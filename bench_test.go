@@ -1,0 +1,253 @@
+package rlnc
+
+import (
+	"fmt"
+	"testing"
+
+	"rlnc/internal/construct"
+	"rlnc/internal/decide"
+	"rlnc/internal/exp"
+	"rlnc/internal/glue"
+	"rlnc/internal/graph"
+	"rlnc/internal/ids"
+	"rlnc/internal/lang"
+	"rlnc/internal/linial"
+	"rlnc/internal/local"
+	"rlnc/internal/localrand"
+	"rlnc/internal/mc"
+	"rlnc/internal/report"
+)
+
+// One benchmark per experiment: the harness that regenerates every table
+// of EXPERIMENTS.md (quick mode; run `rlnc run all` for the full tables).
+func benchExperiment(b *testing.B, id string) {
+	e, ok := report.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(report.Config{Quick: true, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllChecksPass() {
+			for _, c := range res.Checks {
+				if !c.OK {
+					b.Fatalf("%s check failed: %s — %s", id, c.Name, c.Detail)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkExpE1(b *testing.B)  { benchExperiment(b, "E1") }
+func BenchmarkExpE2(b *testing.B)  { benchExperiment(b, "E2") }
+func BenchmarkExpE3(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkExpE4(b *testing.B)  { benchExperiment(b, "E4") }
+func BenchmarkExpE5(b *testing.B)  { benchExperiment(b, "E5") }
+func BenchmarkExpE6(b *testing.B)  { benchExperiment(b, "E6") }
+func BenchmarkExpE7(b *testing.B)  { benchExperiment(b, "E7") }
+func BenchmarkExpE8(b *testing.B)  { benchExperiment(b, "E8") }
+func BenchmarkExpE9(b *testing.B)  { benchExperiment(b, "E9") }
+func BenchmarkExpE10(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkExpE11(b *testing.B) { benchExperiment(b, "E11") }
+func BenchmarkExpE12(b *testing.B) { benchExperiment(b, "E12") }
+func BenchmarkExpE13(b *testing.B) { benchExperiment(b, "E13") }
+func BenchmarkExpE14(b *testing.B) { benchExperiment(b, "E14") }
+func BenchmarkExpE15(b *testing.B) { benchExperiment(b, "E15") }
+func BenchmarkExpE16(b *testing.B) { benchExperiment(b, "E16") }
+
+// Substrate micro-benchmarks.
+
+// BenchmarkRoundEngine measures the synchronous round engine: nodes ×
+// rounds throughput of a flooding algorithm on a ring.
+func BenchmarkRoundEngine(b *testing.B) {
+	n := 1024
+	in, err := lang.NewInstance(graph.Cycle(n), lang.EmptyInputs(n), ids.Consecutive(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	algo := local.FullInfo(local.ViewFunc{
+		AlgoName: "probe", R: 4,
+		F: func(v *local.View) []byte { return []byte{byte(v.Ball.Size())} },
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := local.RunMessage(in, algo, nil, local.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n*4), "node-rounds/op")
+}
+
+// BenchmarkBallExtraction measures B_G(v,t) extraction on a torus.
+func BenchmarkBallExtraction(b *testing.B) {
+	g := graph.Torus(32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.BallAround(i%g.N(), 3)
+	}
+}
+
+// BenchmarkColeVishkin measures the full log*-round 3-coloring.
+func BenchmarkColeVishkin(b *testing.B) {
+	n := 4096
+	in, err := lang.NewInstance(graph.Cycle(n), lang.EmptyInputs(n), ids.RandomPerm(n, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := local.RunMessage(in, construct.ColeVishkin{MaxIDBits: 63}, nil, local.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLubyMIS measures randomized MIS on a 4-regular graph.
+func BenchmarkLubyMIS(b *testing.B) {
+	g, err := graph.RandomRegular(512, 4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := lang.NewInstance(g, lang.EmptyInputs(g.N()), ids.Consecutive(g.N()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := localrand.NewTapeSpace(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		draw := space.Draw(uint64(i))
+		if _, err := construct.LubyMISAlgorithm().Run(in, &draw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLCLDecide measures the canonical decider on a planted ring.
+func BenchmarkLCLDecide(b *testing.B) {
+	n := 4096 // even: the alternating 2-coloring is proper around the wrap
+	l := lang.ProperColoring(3)
+	y := make([][]byte, n)
+	for v := 0; v < n; v++ {
+		y[v] = lang.EncodeColor(v % 2)
+	}
+	di := &lang.DecisionInstance{G: graph.Cycle(n), X: lang.EmptyInputs(n), Y: y, ID: ids.Consecutive(n)}
+	d := &decide.LCLDecider{L: l}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !decide.Accepts(di, d, nil) {
+			b.Fatal("proper coloring rejected")
+		}
+	}
+}
+
+// BenchmarkGluing measures the Theorem 1 surgery on 8 blocks.
+func BenchmarkGluing(b *testing.B) {
+	parts := make([]*lang.Instance, 8)
+	start := int64(1)
+	for i := range parts {
+		in, err := lang.NewInstance(graph.Cycle(64), lang.EmptyInputs(64), ids.ConsecutiveFrom(64, start))
+		if err != nil {
+			b.Fatal(err)
+		}
+		parts[i] = in
+		start += 64
+	}
+	anchors := make([]glue.Anchor, len(parts))
+	for i := range anchors {
+		anchors[i] = glue.Anchor{Node: i * 7, Port: 0}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := glue.BuildGlued(parts, anchors); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonteCarlo measures the trial harness itself.
+func BenchmarkMonteCarlo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		est := mc.Run(10000, func(trial int) bool {
+			return localrand.NewSource(uint64(trial)).Float64() < 0.618
+		})
+		if est.Trials != 10000 {
+			b.Fatal("trial miscount")
+		}
+	}
+}
+
+// BenchmarkPatternGraph measures the order-pattern graph construction
+// (radius 2: 120 patterns).
+func BenchmarkPatternGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pg := linial.BuildPatternGraph(2)
+		if !pg.HasSelfLoopAtMonotone() {
+			b.Fatal("self-loop missing")
+		}
+	}
+}
+
+// BenchmarkColorability measures the exact solver on the Petersen graph.
+func BenchmarkColorability(b *testing.B) {
+	g := graph.Petersen()
+	for i := 0; i < b.N; i++ {
+		ok, _, err := linial.Colorable(g, 3, 0)
+		if err != nil || !ok {
+			b.Fatal("Petersen should be 3-colorable")
+		}
+	}
+}
+
+// BenchmarkCanonicalKey measures exact ball canonicalization.
+func BenchmarkCanonicalKey(b *testing.B) {
+	ball := graph.Cycle(16).BallAround(0, 3)
+	for i := 0; i < b.N; i++ {
+		if _, err := ball.CanonicalKey(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullInfoAdapter measures the §2.1.1 gossip simulation.
+func BenchmarkFullInfoAdapter(b *testing.B) {
+	n := 256
+	in, err := lang.NewInstance(graph.Cycle(n), lang.EmptyInputs(n), ids.Consecutive(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	view := local.ViewFunc{AlgoName: "size", R: 3, F: func(v *local.View) []byte { return []byte{byte(v.Ball.Size())} }}
+	algo := local.FullInfo(view)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := local.RunMessage(in, algo, nil, local.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestFacadeSmoke exercises the re-exported API end to end.
+func TestFacadeSmoke(t *testing.T) {
+	g := Cycle(12)
+	in, err := NewInstance(g, make([][]byte, 12), ConsecutiveIDs(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := RunView(in, local.ViewFunc{AlgoName: "zero", R: 0, F: func(v *View) []byte {
+		return lang.EncodeColor(0)
+	}}, nil)
+	if len(y) != 12 {
+		t.Fatal("facade RunView broken")
+	}
+	if len(Experiments()) != 16 {
+		t.Fatalf("facade lists %d experiments", len(Experiments()))
+	}
+	if _, ok := ExperimentByID("E7"); !ok {
+		t.Fatal("facade lookup broken")
+	}
+	if p := GoldenP; p < 0.61 || p > 0.62 {
+		t.Fatalf("GoldenP = %v", p)
+	}
+	_ = fmt.Sprintf("%v", exp.All())
+}

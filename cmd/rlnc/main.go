@@ -1,0 +1,221 @@
+// Command rlnc drives the Randomized Local Network Computing
+// reproduction: it lists and runs the experiment suite E1–E15 (one per
+// quantitative statement of the paper, see DESIGN.md §5), inspects graph
+// families, and runs individual construction algorithms.
+//
+// Usage:
+//
+//	rlnc list
+//	rlnc run E1 E4 ...      [-quick] [-seed N]
+//	rlnc run all            [-quick] [-seed N]
+//	rlnc graph -family cycle -n 12
+//	rlnc sim -algo cv -n 64 [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rlnc/internal/construct"
+	"rlnc/internal/exp"
+	"rlnc/internal/graph"
+	"rlnc/internal/ids"
+	"rlnc/internal/lang"
+	"rlnc/internal/local"
+	"rlnc/internal/localrand"
+	"rlnc/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "graph":
+		err = cmdGraph(os.Args[2:])
+	case "sim":
+		err = cmdSim(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "rlnc: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rlnc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `rlnc — Randomized Local Network Computing (SPAA 2015) reproduction
+
+commands:
+  list                         list the experiment suite
+  run <id>... | all            run experiments (flags: -quick, -seed N)
+  graph -family F -n N         describe a graph family instance
+  sim -algo A -n N             run a construction algorithm on a ring
+
+`)
+}
+
+func cmdList() error {
+	for _, e := range exp.All() {
+		fmt.Printf("%-4s %s\n     reproduces: %s\n", e.ID(), e.Title(), e.PaperRef())
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced trial counts")
+	seed := fs.Uint64("seed", 1, "tape-space seed")
+	var idArgs []string
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") {
+			break
+		}
+		idArgs = append(idArgs, a)
+	}
+	if err := fs.Parse(args[len(idArgs):]); err != nil {
+		return err
+	}
+	if len(idArgs) == 0 {
+		return fmt.Errorf("run: no experiment ids given (try `rlnc run all`)")
+	}
+	var exps []report.Experiment
+	if len(idArgs) == 1 && strings.EqualFold(idArgs[0], "all") {
+		exps = exp.All()
+	} else {
+		for _, id := range idArgs {
+			e, ok := report.ByID(id)
+			if !ok {
+				return fmt.Errorf("run: unknown experiment %q", id)
+			}
+			exps = append(exps, e)
+		}
+	}
+	cfg := report.Config{Quick: *quick, Seed: *seed}
+	failed := 0
+	for _, e := range exps {
+		fmt.Printf("=== %s — %s\n    reproduces %s\n\n", e.ID(), e.Title(), e.PaperRef())
+		res, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID(), err)
+		}
+		res.Render(os.Stdout)
+		if !res.AllChecksPass() {
+			failed++
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) had failing checks", failed)
+	}
+	return nil
+}
+
+func cmdGraph(args []string) error {
+	fs := flag.NewFlagSet("graph", flag.ExitOnError)
+	family := fs.String("family", "cycle", "cycle|path|complete|star|grid|torus|tree|hypercube|petersen")
+	n := fs.Int("n", 12, "size parameter")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var g *graph.Graph
+	switch *family {
+	case "cycle":
+		g = graph.Cycle(*n)
+	case "path":
+		g = graph.Path(*n)
+	case "complete":
+		g = graph.Complete(*n)
+	case "star":
+		g = graph.Star(*n)
+	case "grid":
+		g = graph.Grid(*n, *n)
+	case "torus":
+		g = graph.Torus(*n, *n)
+	case "tree":
+		g = graph.CompleteTree(2, *n)
+	case "hypercube":
+		g = graph.Hypercube(*n)
+	case "petersen":
+		g = graph.Petersen()
+	default:
+		return fmt.Errorf("graph: unknown family %q", *family)
+	}
+	fmt.Printf("%s  diameter=%d connected=%v\n", g, g.Diameter(), g.Connected())
+	if *dot {
+		fmt.Print(g.DOT(*family, nil))
+	}
+	return nil
+}
+
+func cmdSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	algoName := fs.String("algo", "cv", "cv|random|retry4|luby-mis|matching|weak|linial")
+	n := fs.Int("n", 64, "ring size")
+	seed := fs.Uint64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id := ids.RandomPerm(*n, *seed)
+	in, err := lang.NewInstance(graph.Cycle(*n), lang.EmptyInputs(*n), id)
+	if err != nil {
+		return err
+	}
+	var algo construct.Algorithm
+	var language lang.Language
+	switch *algoName {
+	case "cv":
+		algo = construct.ColeVishkinColoring(63)
+		language = lang.ProperColoring(3)
+	case "random":
+		algo = construct.RandomColoring(3)
+		language = lang.ProperColoring(3)
+	case "retry4":
+		algo = construct.RetryColoring{Q: 3, T: 4}
+		language = lang.ProperColoring(3)
+	case "luby-mis":
+		algo = construct.LubyMISAlgorithm()
+		language = lang.MIS()
+	case "matching":
+		algo = construct.MaximalMatchingAlgorithm()
+		language = lang.MaximalMatching()
+	case "weak":
+		algo = construct.WeakColoringViaMIS()
+		language = lang.WeakColoring(2)
+	case "linial":
+		algo = construct.LinialColoringFor(in)
+		language = lang.ProperColoring(3)
+	default:
+		return fmt.Errorf("sim: unknown algorithm %q", *algoName)
+	}
+	draw := localrand.NewTapeSpace(*seed).Draw(0)
+	y, err := algo.Run(in, &draw)
+	if err != nil {
+		return err
+	}
+	ok, err := language.Contains(&lang.Config{G: in.G, X: in.X, Y: y})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("algorithm: %s\nnetwork:   %s\nvalid %s:  %v\n", algo.Name(), in.G, language.Name(), ok)
+	if msg, isMsg := algo.(construct.MessageConstruction); isMsg {
+		if res, err := local.RunMessage(in, msg.Algo, &draw, msg.Opts); err == nil {
+			fmt.Printf("rounds:    %d\nmessages:  %d\n", res.Stats.Rounds, res.Stats.Messages)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestCmdList(t *testing.T) {
+	if err := cmdList(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdGraphFamilies(t *testing.T) {
+	for _, fam := range []string{"cycle", "path", "complete", "star", "grid", "torus", "tree", "hypercube", "petersen"} {
+		if err := cmdGraph([]string{"-family", fam, "-n", "5"}); err != nil {
+			t.Errorf("family %s: %v", fam, err)
+		}
+	}
+	if err := cmdGraph([]string{"-family", "nope"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if err := cmdGraph([]string{"-family", "path", "-n", "4", "-dot"}); err != nil {
+		t.Errorf("dot output: %v", err)
+	}
+}
+
+func TestCmdSimAlgorithms(t *testing.T) {
+	for _, algo := range []string{"cv", "random", "retry4", "luby-mis", "matching", "weak", "linial"} {
+		if err := cmdSim([]string{"-algo", algo, "-n", "12", "-seed", "3"}); err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+	if err := cmdSim([]string{"-algo", "nope"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestCmdRun(t *testing.T) {
+	if err := cmdRun([]string{"E15", "-quick", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := cmdRun([]string{"-quick"}); err == nil {
+		t.Error("missing ids accepted")
+	}
+}

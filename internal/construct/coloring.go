@@ -1,0 +1,95 @@
+package construct
+
+import (
+	"fmt"
+
+	"rlnc/internal/lang"
+	"rlnc/internal/local"
+	"rlnc/internal/localrand"
+)
+
+// RandomColoring is the trivial zero-round Monte-Carlo algorithm of §1.1:
+// "every node picks independently uniformly at random a color 1, 2, or 3".
+// It guarantees that in expectation a constant fraction of nodes is
+// properly colored — which is exactly what the ε-slack relaxation needs
+// and the f-resilient relaxation cannot use.
+func RandomColoring(q int) Algorithm {
+	return ViewConstruction{Algo: local.ViewFunc{
+		AlgoName: fmt.Sprintf("random-%d-coloring", q),
+		R:        0,
+		F: func(v *local.View) []byte {
+			return lang.EncodeColor(v.Tape().Intn(q))
+		},
+	}}
+}
+
+// RetryColoring is the t-round randomized refinement of RandomColoring:
+// every node starts with a uniform color; in each of the T retry rounds,
+// nodes in conflict with a neighbor resample uniformly. The conflicted
+// fraction decays geometrically in T (measured by experiment E2), so for
+// every fixed ε a constant number of rounds — independent of n — meets the
+// ε-slack budget. This is the witness that randomization helps for
+// ε-slack relaxations.
+type RetryColoring struct {
+	Q int
+	T int
+}
+
+// Name implements Algorithm.
+func (r RetryColoring) Name() string { return fmt.Sprintf("retry-%d-coloring(T=%d)", r.Q, r.T) }
+
+// Run implements Algorithm.
+func (r RetryColoring) Run(in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
+	mc := MessageConstruction{Algo: retryAlgo{q: r.Q, t: r.T}}
+	return mc.Run(in, draw)
+}
+
+type retryAlgo struct{ q, t int }
+
+func (a retryAlgo) Name() string { return fmt.Sprintf("retry-%d-coloring(T=%d)", a.q, a.t) }
+func (a retryAlgo) NewProcess() local.Process {
+	return &retryProc{q: a.q, t: a.t}
+}
+
+type retryProc struct {
+	q, t  int
+	tape  *localrand.Tape
+	color int
+}
+
+func (p *retryProc) Start(info local.NodeInfo) []local.Message {
+	p.tape = info.Tape
+	p.color = p.tape.Intn(p.q)
+	return broadcast(p.color, info.Degree)
+}
+
+func (p *retryProc) Step(round int, received []local.Message) ([]local.Message, bool) {
+	conflicted := false
+	for _, m := range received {
+		if m == nil {
+			continue
+		}
+		if m.(int) == p.color {
+			conflicted = true
+			break
+		}
+	}
+	if round > p.t {
+		return nil, true
+	}
+	if conflicted {
+		p.color = p.tape.Intn(p.q)
+	}
+	return broadcast(p.color, len(received)), false
+}
+
+func (p *retryProc) Output() []byte { return lang.EncodeColor(p.color) }
+
+// broadcast replicates one payload across all ports.
+func broadcast(m local.Message, degree int) []local.Message {
+	out := make([]local.Message, degree)
+	for i := range out {
+		out[i] = m
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+// Package construct implements the construction algorithms of the paper's
+// experiment suite: the trivial zero-round randomized colorings of §1.1,
+// conflict-retry colorings, Cole–Vishkin 3-coloring of oriented cycles
+// (the Ω(log* n)-matching upper bound of [25, 27]), Linial-style
+// polynomial color reduction for general bounded-degree graphs, Luby's
+// randomized MIS, randomized maximal matching, weak 2-coloring via MIS,
+// a distributed Moser–Tardos resampler for the LLL language, and the
+// corpus of order-invariant algorithms used by the Claim-2/Section-4
+// lower-bound experiments.
+package construct
+
+import (
+	"fmt"
+
+	"rlnc/internal/lang"
+	"rlnc/internal/local"
+	"rlnc/internal/localrand"
+)
+
+// Algorithm is a construction algorithm for a distributed task: given an
+// instance (G, x, id) and (for Monte-Carlo algorithms) a draw σ from its
+// tape space, it produces the global output y. Implementations wrap
+// either the ball-view or the message-passing interface of package local.
+type Algorithm interface {
+	Name() string
+	Run(in *lang.Instance, draw *localrand.Draw) ([][]byte, error)
+}
+
+// ViewConstruction adapts a ball-view algorithm.
+type ViewConstruction struct {
+	Algo local.ViewAlgorithm
+}
+
+// Name implements Algorithm.
+func (a ViewConstruction) Name() string { return a.Algo.Name() }
+
+// Run implements Algorithm.
+func (a ViewConstruction) Run(in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
+	return local.RunView(in, a.Algo, draw), nil
+}
+
+// MessageConstruction adapts a message-passing algorithm.
+type MessageConstruction struct {
+	Algo local.MessageAlgorithm
+	Opts local.RunOptions
+}
+
+// Name implements Algorithm.
+func (a MessageConstruction) Name() string { return a.Algo.Name() }
+
+// Run implements Algorithm.
+func (a MessageConstruction) Run(in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
+	res, err := local.RunMessage(in, a.Algo, draw, a.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Y, nil
+}
+
+// RunStats runs the algorithm and also reports engine statistics; it
+// errors for pure view algorithms, which have no message rounds.
+func (a MessageConstruction) RunStats(in *lang.Instance, draw *localrand.Draw) (*local.Result, error) {
+	return local.RunMessage(in, a.Algo, draw, a.Opts)
+}
+
+// Pipeline chains algorithms: the output of stage i becomes the input x
+// of stage i+1 (the original input is visible only to stage 1). Each
+// stage receives an independent sub-draw so stages do not share
+// randomness.
+type Pipeline struct {
+	PipeName string
+	Stages   []Algorithm
+}
+
+// Name implements Algorithm.
+func (p Pipeline) Name() string {
+	if p.PipeName != "" {
+		return p.PipeName
+	}
+	name := "pipeline("
+	for i, s := range p.Stages {
+		if i > 0 {
+			name += " | "
+		}
+		name += s.Name()
+	}
+	return name + ")"
+}
+
+// Run implements Algorithm.
+func (p Pipeline) Run(in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
+	if len(p.Stages) == 0 {
+		return nil, fmt.Errorf("construct: empty pipeline")
+	}
+	cur := in
+	var y [][]byte
+	for i, stage := range p.Stages {
+		var sub *localrand.Draw
+		if draw != nil {
+			d := draw.Derive(uint64(i))
+			sub = &d
+		}
+		var err error
+		y, err = stage.Run(cur, sub)
+		if err != nil {
+			return nil, fmt.Errorf("construct: stage %d (%s): %w", i, stage.Name(), err)
+		}
+		cur = &lang.Instance{G: cur.G, X: y, ID: cur.ID}
+	}
+	return y, nil
+}

@@ -1,0 +1,107 @@
+package construct
+
+import (
+	"fmt"
+
+	"rlnc/internal/lang"
+	"rlnc/internal/local"
+)
+
+// GreedyMISFromColoring converts a proper Q-coloring (provided as the
+// 1-byte input of every node) into a maximal independent set in exactly Q
+// rounds: color classes are processed in order, and a node joins when its
+// class comes up and no neighbor joined earlier. Properness of the input
+// coloring guarantees that two adjacent nodes never decide in the same
+// round, so independence holds by construction and maximality because a
+// non-joining node witnessed a joined neighbor.
+type GreedyMISFromColoring struct {
+	Q int
+}
+
+// Name implements local.MessageAlgorithm.
+func (g GreedyMISFromColoring) Name() string { return fmt.Sprintf("greedy-mis-from-%d-coloring", g.Q) }
+
+// NewProcess implements local.MessageAlgorithm.
+func (g GreedyMISFromColoring) NewProcess() local.Process { return &greedyMISProc{q: g.Q} }
+
+type greedyMISProc struct {
+	q       int
+	color   int
+	joined  bool
+	blocked bool
+	decided bool
+}
+
+func (p *greedyMISProc) Start(info local.NodeInfo) []local.Message {
+	c, err := lang.DecodeColor(info.Input)
+	if err != nil || c >= p.q {
+		panic(fmt.Sprintf("construct: greedy MIS needs a proper %d-coloring as input (got %v)", p.q, info.Input))
+	}
+	p.color = c
+	// Round 1 decisions: color-0 nodes join immediately.
+	if p.color == 0 {
+		p.joined = true
+		p.decided = true
+		return broadcast(true, info.Degree)
+	}
+	return make([]local.Message, info.Degree)
+}
+
+func (p *greedyMISProc) Step(round int, received []local.Message) ([]local.Message, bool) {
+	for _, m := range received {
+		if m == nil {
+			continue
+		}
+		if m.(bool) {
+			p.blocked = true
+		}
+	}
+	if round >= p.q {
+		return nil, true
+	}
+	// Nodes of color `round` decide now.
+	if !p.decided && p.color == round {
+		p.decided = true
+		if !p.blocked {
+			p.joined = true
+			return broadcast(true, len(received)), false
+		}
+	}
+	return make([]local.Message, len(received)), false
+}
+
+func (p *greedyMISProc) Output() []byte { return lang.EncodeSelected(p.joined) }
+
+// DeterministicRingMIS composes Cole–Vishkin with the greedy conversion:
+// a fully deterministic MIS on oriented cycles in Θ(log* n) + 3 rounds.
+func DeterministicRingMIS(maxIDBits int) Algorithm {
+	return Pipeline{
+		PipeName: "deterministic-ring-mis",
+		Stages: []Algorithm{
+			ColeVishkinColoring(maxIDBits),
+			MessageConstruction{Algo: GreedyMISFromColoring{Q: 3}},
+		},
+	}
+}
+
+// DeterministicRingWeakColoring derives a deterministic weak 2-coloring
+// of oriented cycles from the deterministic MIS.
+func DeterministicRingWeakColoring(maxIDBits int) Algorithm {
+	return Pipeline{
+		PipeName: "deterministic-ring-weak-2-coloring",
+		Stages: []Algorithm{
+			DeterministicRingMIS(maxIDBits),
+			ViewConstruction{Algo: local.ViewFunc{
+				AlgoName: "mis-to-color",
+				R:        0,
+				F: func(v *local.View) []byte {
+					sel, err := lang.DecodeSelected(v.X[0])
+					if err != nil || !sel {
+						return lang.EncodeColor(1)
+					}
+					return lang.EncodeColor(0)
+				},
+			}},
+		},
+	}
+}

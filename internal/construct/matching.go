@@ -1,0 +1,207 @@
+package construct
+
+import (
+	"rlnc/internal/lang"
+	"rlnc/internal/local"
+	"rlnc/internal/localrand"
+)
+
+// EdgeLubyMatching computes a maximal matching by running Luby's
+// algorithm on the line graph: in every phase each active edge gets a
+// random totally ordered value (drawn by its higher-identity endpoint and
+// shipped across), endpoints exchange their incident value lists, and an
+// edge whose value is the strict minimum among all adjacent edges joins
+// the matching. Matched nodes announce themselves; edges touching matched
+// nodes deactivate. Maximality: an edge between two unmatched nodes stays
+// active, and Luby's argument guarantees every active edge is eventually
+// resolved (O(log n) phases with high probability).
+//
+// Outputs use the port encoding of lang.MaximalMatching: the host port of
+// the matched edge, or the unmatched sentinel.
+type EdgeLubyMatching struct{}
+
+// Name implements local.MessageAlgorithm.
+func (EdgeLubyMatching) Name() string { return "edge-luby-matching" }
+
+// NewProcess implements local.MessageAlgorithm.
+func (EdgeLubyMatching) NewProcess() local.Process { return &matchProc{} }
+
+// matchVal totally orders edges: random word, then the drawing endpoint's
+// identity and port for tie-breaking.
+type matchVal struct {
+	R     uint64
+	HID   int64
+	HPort int
+}
+
+func (a matchVal) less(b matchVal) bool {
+	switch {
+	case a.R != b.R:
+		return a.R < b.R
+	case a.HID != b.HID:
+		return a.HID < b.HID
+	default:
+		return a.HPort < b.HPort
+	}
+}
+
+// Phase messages. Draw: the higher endpoint ships the edge value. Share:
+// each node ships the values of all its active edges. Announce: a matched
+// node tells its neighbors.
+type matchDraw struct{ V matchVal }
+type matchShare struct{ Vals []matchVal }
+type matchAnnounce struct{}
+
+type matchProc struct {
+	tape    *localrand.Tape
+	id      int64
+	active  []bool
+	edgeVal []matchVal
+	pending []matchVal // own candidates for the current phase
+	matched int        // matched port, or -1
+}
+
+func (p *matchProc) Start(info local.NodeInfo) []local.Message {
+	p.tape = info.Tape
+	p.id = info.ID
+	p.active = make([]bool, info.Degree)
+	for i := range p.active {
+		p.active[i] = true
+	}
+	p.edgeVal = make([]matchVal, info.Degree)
+	p.pending = make([]matchVal, info.Degree)
+	p.matched = -1
+	// Draw round: both endpoints ship candidates; the higher-identity
+	// endpoint's candidate becomes the edge value on both sides.
+	out := make([]local.Message, info.Degree)
+	for port := range out {
+		cand := matchVal{R: p.tape.Uint64(), HID: p.id, HPort: port}
+		p.pending[port] = cand
+		out[port] = matchDraw{V: cand}
+	}
+	return out
+}
+
+func (p *matchProc) Step(round int, received []local.Message) ([]local.Message, bool) {
+	deg := len(received)
+	switch round % 3 {
+	case 1: // draw messages arrived; fix edge values, ship share lists
+		for port, m := range received {
+			if m == nil || !p.active[port] {
+				continue
+			}
+			d := m.(matchDraw)
+			if d.V.HID > p.id {
+				p.edgeVal[port] = d.V // the neighbor is the higher endpoint
+			} else {
+				p.edgeVal[port] = p.pending[port]
+			}
+		}
+		var vals []matchVal
+		for port, a := range p.active {
+			if a {
+				vals = append(vals, p.edgeVal[port])
+			}
+		}
+		out := make([]local.Message, deg)
+		for port, a := range p.active {
+			if a {
+				out[port] = matchShare{Vals: vals}
+			}
+		}
+		return out, false
+	case 2: // share lists arrived; decide, announce
+		best := -1
+		for port, a := range p.active {
+			if !a {
+				continue
+			}
+			if p.isLocalMin(port, received) {
+				best = port
+				break // at most one edge at this node can be the local min
+			}
+		}
+		if best >= 0 {
+			p.matched = best
+			return broadcastActive(matchAnnounce{}, p.active), true
+		}
+		return make([]local.Message, deg), false
+	default: // case 0: announcements arrived; deactivate, redraw
+		for port, m := range received {
+			if m == nil {
+				continue
+			}
+			if _, ok := m.(matchAnnounce); ok {
+				p.active[port] = false
+			}
+		}
+		if !p.anyActive() {
+			return nil, true // unmatched, but no augmenting edge remains
+		}
+		p.pending = make([]matchVal, deg)
+		out := make([]local.Message, deg)
+		for port, a := range p.active {
+			if !a {
+				continue
+			}
+			cand := matchVal{R: p.tape.Uint64(), HID: p.id, HPort: port}
+			p.pending[port] = cand
+			out[port] = matchDraw{V: cand}
+		}
+		return out, false
+	}
+}
+
+func (p *matchProc) isLocalMin(port int, received []local.Message) bool {
+	v := p.edgeVal[port]
+	// Compare against our own active edges.
+	for q, a := range p.active {
+		if !a || q == port {
+			continue
+		}
+		if p.edgeVal[q].less(v) {
+			return false
+		}
+	}
+	// And against the neighbor's active edges.
+	m := received[port]
+	if m == nil {
+		return false // neighbor went silent: treat as unresolved this phase
+	}
+	share := m.(matchShare)
+	for _, w := range share.Vals {
+		if w != v && w.less(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *matchProc) anyActive() bool {
+	for _, a := range p.active {
+		if a {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *matchProc) Output() []byte {
+	return lang.EncodeMatchPort(p.matched, p.matched >= 0)
+}
+
+// broadcastActive sends a payload on active ports only.
+func broadcastActive(m local.Message, active []bool) []local.Message {
+	out := make([]local.Message, len(active))
+	for port, a := range active {
+		if a {
+			out[port] = m
+		}
+	}
+	return out
+}
+
+// MaximalMatchingAlgorithm packages the edge-Luby matching.
+func MaximalMatchingAlgorithm() Algorithm {
+	return MessageConstruction{Algo: EdgeLubyMatching{}}
+}

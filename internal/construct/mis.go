@@ -1,0 +1,130 @@
+package construct
+
+import (
+	"rlnc/internal/lang"
+	"rlnc/internal/local"
+	"rlnc/internal/localrand"
+)
+
+// LubyMIS is Luby's randomized maximal-independent-set algorithm, the
+// standard O(log n)-round Monte-Carlo construction. Phases take two
+// rounds: in the value round every undecided node broadcasts a random
+// (value, id) pair and the strict local minimum among undecided nodes
+// joins the set; in the announce round joiners notify their neighbors,
+// who drop out. The output marks members with the selection byte.
+type LubyMIS struct{}
+
+// Name implements local.MessageAlgorithm.
+func (LubyMIS) Name() string { return "luby-mis" }
+
+// NewProcess implements local.MessageAlgorithm.
+func (LubyMIS) NewProcess() local.Process { return &lubyProc{} }
+
+type lubyStatus int
+
+const (
+	lubyUndecided lubyStatus = iota
+	lubyIn
+	lubyOut
+)
+
+// lubyVal is a totally ordered random value (ties broken by identity).
+type lubyVal struct {
+	R  uint64
+	ID int64
+}
+
+func (a lubyVal) less(b lubyVal) bool {
+	if a.R != b.R {
+		return a.R < b.R
+	}
+	return a.ID < b.ID
+}
+
+// lubyJoin announces that the sender joined the independent set.
+type lubyJoin struct{}
+
+type lubyProc struct {
+	tape   *localrand.Tape
+	id     int64
+	status lubyStatus
+	val    lubyVal
+}
+
+func (p *lubyProc) Start(info local.NodeInfo) []local.Message {
+	p.tape = info.Tape
+	p.id = info.ID
+	p.val = lubyVal{R: p.tape.Uint64(), ID: p.id}
+	return broadcast(p.val, info.Degree)
+}
+
+func (p *lubyProc) Step(round int, received []local.Message) ([]local.Message, bool) {
+	if round%2 == 1 {
+		// Value round just completed: join if strictly smaller than every
+		// undecided neighbor (decided neighbors are silent).
+		isMin := true
+		for _, m := range received {
+			if m == nil {
+				continue
+			}
+			if v, ok := m.(lubyVal); ok && v.less(p.val) {
+				isMin = false
+				break
+			}
+		}
+		if isMin {
+			p.status = lubyIn
+			// Final act: announce membership, then stop.
+			return broadcast(lubyJoin{}, len(received)), true
+		}
+		return make([]local.Message, len(received)), false
+	}
+	// Announce round just completed: drop out next to a member.
+	for _, m := range received {
+		if m == nil {
+			continue
+		}
+		if _, ok := m.(lubyJoin); ok {
+			p.status = lubyOut
+			return nil, true
+		}
+	}
+	// Still undecided: draw a fresh value for the next phase.
+	p.val = lubyVal{R: p.tape.Uint64(), ID: p.id}
+	return broadcast(p.val, len(received)), false
+}
+
+func (p *lubyProc) Output() []byte {
+	return lang.EncodeSelected(p.status == lubyIn)
+}
+
+// LubyMISAlgorithm packages Luby's MIS as a construction algorithm.
+func LubyMISAlgorithm() Algorithm {
+	return MessageConstruction{Algo: LubyMIS{}}
+}
+
+// WeakColoringViaMIS composes MIS with the zero-round map selected -> 0,
+// unselected -> 1. The result is a weak 2-coloring on graphs with minimum
+// degree >= 1: members have only non-members around them (independence),
+// and every non-member has a member neighbor (maximality). This replaces
+// the Naor–Stockmeyer constant-time odd-degree construction; see the
+// substitution table in DESIGN.md.
+func WeakColoringViaMIS() Algorithm {
+	return Pipeline{
+		PipeName: "weak-2-coloring(mis)",
+		Stages: []Algorithm{
+			LubyMISAlgorithm(),
+			ViewConstruction{Algo: local.ViewFunc{
+				AlgoName: "mis-to-color",
+				R:        0,
+				F: func(v *local.View) []byte {
+					sel, err := lang.DecodeSelected(v.X[0])
+					if err != nil || !sel {
+						return lang.EncodeColor(1)
+					}
+					return lang.EncodeColor(0)
+				},
+			}},
+		},
+	}
+}

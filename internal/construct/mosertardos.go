@@ -1,0 +1,162 @@
+package construct
+
+import (
+	"fmt"
+
+	"rlnc/internal/lang"
+	"rlnc/internal/local"
+	"rlnc/internal/localrand"
+)
+
+// MoserTardosLLL is a distributed Moser–Tardos resampler for the paper's
+// LLL example language (lang.LLL): every node holds one bit, and the bad
+// event at v is that v's closed star is monochromatic. Following the
+// distributed constructive LLL of Chung–Pettie–Su [6] in spirit, each
+// phase
+//
+//  1. broadcasts bits (1 round),
+//  2. detects violated events and floods them to radius 2 (2 rounds),
+//  3. selects an independent set of violated events — identity-minimal
+//     among violated events within distance 2, so selected stars are
+//     disjoint — and resamples exactly those stars (1 round of resample
+//     commands; owners redraw their bits from their own tapes).
+//
+// The algorithm runs a fixed number of phases; experiment E3/E10 measures
+// the surviving bad events, and the f-resilient relaxation of the
+// language is what Corollary 1 proves cannot be constructed in O(1)
+// rounds. Phases = 0 degenerates to the plain zero-round random
+// assignment.
+type MoserTardosLLL struct {
+	Phases int
+}
+
+// Name implements local.MessageAlgorithm.
+func (m MoserTardosLLL) Name() string { return fmt.Sprintf("moser-tardos-lll(phases=%d)", m.Phases) }
+
+// NewProcess implements local.MessageAlgorithm.
+func (m MoserTardosLLL) NewProcess() local.Process { return &mtProc{phases: m.Phases} }
+
+// Phase messages.
+type mtBit struct{ B byte }
+type mtViolated struct {
+	// IDs of violated events known to the sender (their centers).
+	Events []int64
+}
+type mtResample struct{}
+
+type mtProc struct {
+	phases int
+	tape   *localrand.Tape
+	id     int64
+	bit    byte
+	nbrBit []byte
+
+	violated   bool
+	seenEvents map[int64]bool
+}
+
+func (p *mtProc) Start(info local.NodeInfo) []local.Message {
+	p.tape = info.Tape
+	p.id = info.ID
+	if p.tape.Bool() {
+		p.bit = 1
+	}
+	p.nbrBit = make([]byte, info.Degree)
+	if p.phases == 0 {
+		return nil
+	}
+	return broadcast(mtBit{B: p.bit}, info.Degree)
+}
+
+func (p *mtProc) Step(round int, received []local.Message) ([]local.Message, bool) {
+	if p.phases == 0 {
+		return nil, true
+	}
+	deg := len(received)
+	phaseRound := (round-1)%4 + 1
+	phase := (round-1)/4 + 1
+	switch phaseRound {
+	case 1: // bits arrived: detect own violation, announce violated events
+		p.violated = true
+		for port, m := range received {
+			b := m.(mtBit).B
+			p.nbrBit[port] = b
+			if b != p.bit {
+				p.violated = false
+			}
+		}
+		if deg == 0 {
+			p.violated = false
+		}
+		p.seenEvents = make(map[int64]bool)
+		if p.violated {
+			p.seenEvents[p.id] = true
+		}
+		return broadcast(mtViolated{Events: eventList(p.seenEvents)}, deg), false
+	case 2: // first violation wave: gather, forward (reaches radius 2)
+		for _, m := range received {
+			for _, e := range m.(mtViolated).Events {
+				p.seenEvents[e] = true
+			}
+		}
+		return broadcast(mtViolated{Events: eventList(p.seenEvents)}, deg), false
+	case 3: // second violation wave: select local minima, command resample
+		for _, m := range received {
+			for _, e := range m.(mtViolated).Events {
+				p.seenEvents[e] = true
+			}
+		}
+		selected := p.violated
+		if selected {
+			for e := range p.seenEvents {
+				if e < p.id {
+					selected = false
+					break
+				}
+			}
+		}
+		if selected {
+			// Resample own bit and command the star to resample.
+			if p.tape.Bool() {
+				p.bit = 1
+			} else {
+				p.bit = 0
+			}
+			return broadcast(mtResample{}, deg), false
+		}
+		return make([]local.Message, deg), false
+	default: // case 0 mod 4: resample commands arrived; redraw, next phase
+		for _, m := range received {
+			if m == nil {
+				continue
+			}
+			if _, ok := m.(mtResample); ok {
+				if p.tape.Bool() {
+					p.bit = 1
+				} else {
+					p.bit = 0
+				}
+				break // disjoint stars: at most one command possible
+			}
+		}
+		if phase >= p.phases {
+			return nil, true
+		}
+		return broadcast(mtBit{B: p.bit}, deg), false
+	}
+}
+
+func (p *mtProc) Output() []byte { return lang.EncodeColor(int(p.bit)) }
+
+func eventList(set map[int64]bool) []int64 {
+	out := make([]int64, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	return out
+}
+
+// MoserTardosAlgorithm packages the resampler.
+func MoserTardosAlgorithm(phases int) Algorithm {
+	return MessageConstruction{Algo: MoserTardosLLL{Phases: phases}}
+}

@@ -1,0 +1,152 @@
+package construct
+
+import (
+	"fmt"
+	"sort"
+
+	"rlnc/internal/lang"
+	"rlnc/internal/local"
+)
+
+// This file provides the corpus of order-invariant construction
+// algorithms used by the lower-bound experiments (E3, E10, E14). An
+// order-invariant algorithm's output at a node depends only on the
+// structure of its ball, the inputs, and the relative order of the
+// identities — never their values (§2.1.1). By Claim 1 (from [3]),
+// studying constant-time deterministic algorithms reduces to studying
+// these; by the Section 4 argument, on a cycle with consecutive
+// identities every interior node sees the same order pattern, so any
+// order-invariant algorithm mono-colors n−(2t−1) nodes — the engine of
+// the f-resilience impossibility.
+
+// OrderInvariant marks algorithms whose Output provably ignores identity
+// values. The marker is validated by orderinv.CheckInvariance in tests.
+type OrderInvariant interface {
+	local.ViewAlgorithm
+	OrderInvariantAlgorithm()
+}
+
+// rankPattern returns the ball-local identity ranks: rank[i] is the
+// position of IDs[i] in the sorted order of all ball identities.
+func rankPattern(ids []int64) []int {
+	idx := make([]int, len(ids))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ids[idx[a]] < ids[idx[b]] })
+	rank := make([]int, len(ids))
+	for r, i := range idx {
+		rank[i] = r
+	}
+	return rank
+}
+
+// RankColor colors each node by the rank of its identity within its
+// radius-T ball, modulo Q. It is the natural "greedy by local seniority"
+// order-invariant coloring.
+type RankColor struct {
+	Q int
+	T int
+}
+
+// Name implements local.ViewAlgorithm.
+func (a RankColor) Name() string { return fmt.Sprintf("oi-rank-color(q=%d,t=%d)", a.Q, a.T) }
+
+// Radius implements local.ViewAlgorithm.
+func (a RankColor) Radius() int { return a.T }
+
+// Output implements local.ViewAlgorithm.
+func (a RankColor) Output(v *local.View) []byte {
+	rank := rankPattern(v.IDs)
+	return lang.EncodeColor(rank[0] % a.Q)
+}
+
+// OrderInvariantAlgorithm implements OrderInvariant.
+func (RankColor) OrderInvariantAlgorithm() {}
+
+// PatternHashColor hashes the full order pattern of the ball (ranks in
+// BFS order plus distances) into a color. Different patterns may get
+// different colors, but equal patterns always collide — which is exactly
+// what dooms it on consecutive-identity cycles.
+type PatternHashColor struct {
+	Q    int
+	T    int
+	Salt uint64
+}
+
+// Name implements local.ViewAlgorithm.
+func (a PatternHashColor) Name() string {
+	return fmt.Sprintf("oi-pattern-hash(q=%d,t=%d,salt=%d)", a.Q, a.T, a.Salt)
+}
+
+// Radius implements local.ViewAlgorithm.
+func (a PatternHashColor) Radius() int { return a.T }
+
+// Output implements local.ViewAlgorithm.
+func (a PatternHashColor) Output(v *local.View) []byte {
+	rank := rankPattern(v.IDs)
+	h := a.Salt*0x9e3779b97f4a7c15 + 0x85eb_ca6b
+	for i, r := range rank {
+		h ^= uint64(r+1) * uint64(v.Ball.Dist[i]+3)
+		h *= 0x100000001b3
+	}
+	return lang.EncodeColor(int(h % uint64(a.Q)))
+}
+
+// OrderInvariantAlgorithm implements OrderInvariant.
+func (PatternHashColor) OrderInvariantAlgorithm() {}
+
+// LocalExtremaColor 3-colors by local comparison: local minimum -> 0,
+// local maximum -> 1, otherwise 2. Order-invariant with radius 1; on a
+// consecutive-identity cycle all interior nodes are neither minima nor
+// maxima, so nearly everything gets color 2.
+type LocalExtremaColor struct{}
+
+// Name implements local.ViewAlgorithm.
+func (LocalExtremaColor) Name() string { return "oi-local-extrema" }
+
+// Radius implements local.ViewAlgorithm.
+func (LocalExtremaColor) Radius() int { return 1 }
+
+// Output implements local.ViewAlgorithm.
+func (LocalExtremaColor) Output(v *local.View) []byte {
+	isMin, isMax := true, true
+	for _, u := range v.Ball.G.Neighbors(0) {
+		if v.IDs[u] < v.IDs[0] {
+			isMin = false
+		}
+		if v.IDs[u] > v.IDs[0] {
+			isMax = false
+		}
+	}
+	switch {
+	case isMin:
+		return lang.EncodeColor(0)
+	case isMax:
+		return lang.EncodeColor(1)
+	default:
+		return lang.EncodeColor(2)
+	}
+}
+
+// OrderInvariantAlgorithm implements OrderInvariant.
+func (LocalExtremaColor) OrderInvariantAlgorithm() {}
+
+// OrderInvariantCorpus returns a spread of order-invariant coloring
+// algorithms with palette q and radius at most t. The corpus plays the
+// role of the finite family of order-invariant algorithms enumerated in
+// the proof of Claim 2 (N = Σ nᵢ! is finite under the F_k promise); the
+// hard-instance search of package glue finds, for each corpus member, an
+// instance on which it fails.
+func OrderInvariantCorpus(q, t int) []OrderInvariant {
+	corpus := []OrderInvariant{
+		LocalExtremaColor{},
+	}
+	for radius := 1; radius <= t; radius++ {
+		corpus = append(corpus, RankColor{Q: q, T: radius})
+		for salt := uint64(0); salt < 3; salt++ {
+			corpus = append(corpus, PatternHashColor{Q: q, T: radius, Salt: salt})
+		}
+	}
+	return corpus
+}

@@ -1,0 +1,74 @@
+package decide
+
+import (
+	"rlnc/internal/lang"
+	"rlnc/internal/localrand"
+	"rlnc/internal/mc"
+)
+
+// LabeledInstance pairs a decision instance with its ground-truth
+// membership, for guarantee estimation.
+type LabeledInstance struct {
+	DI   *lang.DecisionInstance
+	InL  bool
+	Note string
+}
+
+// Labeled builds a LabeledInstance by evaluating the language.
+func Labeled(di *lang.DecisionInstance, l lang.Language, note string) (*LabeledInstance, error) {
+	in, err := l.Contains(di.Config())
+	if err != nil {
+		return nil, err
+	}
+	return &LabeledInstance{DI: di, InL: in, Note: note}, nil
+}
+
+// GuaranteeReport is the outcome of estimating a decider's guarantee on a
+// corpus of labeled instances: the empirical success probability of each
+// instance (Pr[all accept] when in L, Pr[some reject] when out of L) and
+// the minimum over the corpus, which lower-bounds the decider's guarantee
+// p in Eq. (1) on that corpus.
+type GuaranteeReport struct {
+	PerInstance []mc.Estimate
+	Min         mc.Estimate
+}
+
+// EstimateGuarantee measures the success probability of a randomized
+// decider on each labeled instance over the given tape space, using
+// `trials` draws per instance.
+func EstimateGuarantee(corpus []*LabeledInstance, d Decider, space *localrand.TapeSpace, trials int) GuaranteeReport {
+	rep := GuaranteeReport{PerInstance: make([]mc.Estimate, len(corpus))}
+	for i, li := range corpus {
+		li := li
+		est := mc.Run(trials, func(trial int) bool {
+			draw := space.Draw(uint64(i)<<32 | uint64(trial))
+			acc := Accepts(li.DI, d, &draw)
+			if li.InL {
+				return acc
+			}
+			return !acc
+		})
+		rep.PerInstance[i] = est
+		if i == 0 || est.P() < rep.Min.P() {
+			rep.Min = est
+		}
+	}
+	return rep
+}
+
+// AcceptProbability estimates Pr[D accepts (G,(x,y))] for one instance.
+func AcceptProbability(di *lang.DecisionInstance, d Decider, space *localrand.TapeSpace, trials int) mc.Estimate {
+	return mc.Run(trials, func(trial int) bool {
+		draw := space.Draw(uint64(trial))
+		return Accepts(di, d, &draw)
+	})
+}
+
+// AcceptFarFromProbability estimates Pr[D accepts far from u], the
+// quantity bounded by Claims 4 and 5.
+func AcceptFarFromProbability(di *lang.DecisionInstance, d Decider, space *localrand.TapeSpace, trials, u, far int) mc.Estimate {
+	return mc.Run(trials, func(trial int) bool {
+		draw := space.Draw(uint64(trial))
+		return AcceptsFarFrom(di, d, &draw, u, far)
+	})
+}

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"rlnc/internal/decide"
+	"rlnc/internal/graph"
+	"rlnc/internal/localrand"
+	"rlnc/internal/report"
+)
+
+func init() { report.Register(e1{}) }
+
+// e1 reproduces the §2.3.1 example: the zero-round randomized decider for
+// amos with p = (√5−1)/2 accepts s-selected configurations with
+// probability exactly p^s, giving guarantee min(p, 1−p²) = p ≈ 0.618.
+type e1 struct{}
+
+func (e1) ID() string    { return "E1" }
+func (e1) Title() string { return "AMOS golden-ratio decider: Pr[all accept] = p^s" }
+func (e1) PaperRef() string {
+	return "§2.3.1 example (amos ∈ BPLD with guarantee (√5−1)/2)"
+}
+
+func (e e1) Run(cfg report.Config) (*report.Result, error) {
+	res := &report.Result{}
+	nTrials := trials(cfg, 40000, 4000)
+	d := decide.NewAMOSDecider()
+	space := localrand.NewTapeSpace(cfg.Seed ^ 0xE1)
+
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"cycle-60", graph.Cycle(60)},
+		{"path-33", graph.Path(33)},
+		{"star-17", graph.Star(17)},
+	}
+	if cfg.Quick {
+		families = families[:1]
+	}
+	table := res.NewTable(
+		"E1: acceptance probability of the zero-round AMOS decider (p = 0.6180)",
+		"graph", "selected s", "in amos", "empirical Pr[accept]", "analytic p^s", "95% CI")
+	worstGap := 0.0
+	guaranteeOK := true
+	for _, fam := range families {
+		for _, s := range pick(cfg, []int{0, 1, 2, 3, 4, 6}, []int{0, 1, 2, 4}) {
+			if s >= fam.g.N()/4 {
+				continue
+			}
+			sel := make([]int, s)
+			for i := range sel {
+				sel[i] = i * 4
+			}
+			di := selectedInstance(fam.g, sel...)
+			est := decide.AcceptProbability(di, d, space, nTrials)
+			want := math.Pow(decide.GoldenP, float64(s))
+			lo, hi := est.Wilson(1.96)
+			gap := math.Abs(est.P() - want)
+			if gap > worstGap {
+				worstGap = gap
+			}
+			inLang := s <= 1
+			// Success means accept when in, reject when out.
+			success := est.P()
+			if !inLang {
+				success = 1 - est.P()
+			}
+			if success <= 0.5 {
+				guaranteeOK = false
+			}
+			table.AddRow(fam.name, s, inLang,
+				fmt.Sprintf("%.4f", est.P()),
+				fmt.Sprintf("%.4f", want),
+				fmt.Sprintf("[%.4f, %.4f]", lo, hi))
+		}
+	}
+	table.AddNote("p solves p² = 1−p: rejecting two selected nodes is as likely as accepting one")
+
+	res.AddCheck("accept probability matches p^s", worstGap < 0.02,
+		"worst |empirical − analytic| = %.4f", worstGap)
+	res.AddCheck("decider guarantee > 1/2 on every instance", guaranteeOK,
+		"success probability above 1/2 for both in- and out-instances")
+	res.AddCheck("golden identity p² = 1−p", math.Abs(decide.GoldenP*decide.GoldenP-(1-decide.GoldenP)) < 1e-12,
+		"p = %.6f", decide.GoldenP)
+	return res, nil
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"rlnc/internal/decide"
+	"rlnc/internal/lang"
+	"rlnc/internal/localrand"
+	"rlnc/internal/report"
+)
+
+func init() { report.Register(e4{}) }
+
+// e4 reproduces the decider constructed in the proof of Corollary 1: with
+// p ∈ (2^{−1/f}, 2^{−1/(f+1)}), accepting each bad ball independently
+// with probability p gives Pr[all accept] = p^{|F(G)|}, which is > 1/2
+// when |F| ≤ f and < 1/2 when |F| ≥ f+1 — hence L_f ∈ BPLD.
+type e4 struct{}
+
+func (e4) ID() string    { return "E4" }
+func (e4) Title() string { return "Corollary 1 decider: L_f ∈ BPLD" }
+func (e4) PaperRef() string {
+	return "Corollary 1 proof (randomized decision of the f-resilient relaxation)"
+}
+
+func (e e4) Run(cfg report.Config) (*report.Result, error) {
+	res := &report.Result{}
+	l := lang.ProperColoring(3)
+	nTrials := trials(cfg, 30000, 3000)
+	space := localrand.NewTapeSpace(cfg.Seed ^ 0xE4)
+	n := 96
+
+	table := res.NewTable("E4: f-resilient decider acceptance on C_96 with planted bad balls",
+		"f", "p", "|F(G)|", "in L_f", "empirical Pr[accept]", "analytic p^|F|", "success > 1/2")
+
+	worstGap := 0.0
+	allAboveHalf := true
+	for _, f := range pick(cfg, []int{1, 2, 4, 8}, []int{2}) {
+		d := decide.NewResilientDecider(l, f)
+		for _, pairs := range pick(cfg, []int{0, 1, 2, 3, 5}, []int{0, 1, 2}) {
+			badCount := 2 * pairs
+			di := coloredInstance(cycleInstance(n, 1).G, plantedRingColoring(n, pairs))
+			if got := l.CountBadBalls(di.Config()); got != badCount {
+				return nil, fmt.Errorf("e4: planted %d bad balls, measured %d", badCount, got)
+			}
+			est := decide.AcceptProbability(di, d, space, nTrials)
+			want := math.Pow(d.P, float64(badCount))
+			inLf := badCount <= f
+			success := est.P()
+			if !inLf {
+				success = 1 - est.P()
+			}
+			if gap := math.Abs(est.P() - want); gap > worstGap {
+				worstGap = gap
+			}
+			if success <= 0.5 {
+				allAboveHalf = false
+			}
+			table.AddRow(f, fmt.Sprintf("%.4f", d.P), badCount, inLf,
+				fmt.Sprintf("%.4f", est.P()), fmt.Sprintf("%.4f", want), success > 0.5)
+		}
+	}
+	table.AddNote("p is the geometric mean of the interval (2^{−1/f}, 2^{−1/(f+1)}) from the proof")
+
+	res.AddCheck("acceptance equals p^{|F|}", worstGap < 0.02,
+		"worst |empirical − analytic| = %.4f", worstGap)
+	res.AddCheck("guarantee > 1/2 on both sides", allAboveHalf,
+		"success probability above 1/2 for every (f, |F|) pair")
+	intervalOK := true
+	for f := 1; f <= 16; f++ {
+		p := decide.ResilientP(f)
+		if !(math.Pow(p, float64(f)) > 0.5 && 1-math.Pow(p, float64(f+1)) > 0.5) {
+			intervalOK = false
+		}
+	}
+	res.AddCheck("analytic interval sound for f ≤ 16", intervalOK,
+		"p^f > 1/2 and 1−p^{f+1} > 1/2")
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"fmt"
+
+	"rlnc/internal/decide"
+	"rlnc/internal/lang"
+	"rlnc/internal/local"
+	"rlnc/internal/report"
+)
+
+func init() { report.Register(e9{}) }
+
+// e9 reproduces the §2.3.1 impossibility: amos cannot be deterministically
+// decided in D/2 − 1 rounds on diameter-D graphs. The fooling engine pits
+// deterministic deciders against three path configurations — left endpoint
+// selected, right endpoint selected, both — and shows every decider either
+// rejects a legal configuration or accepts the illegal double, because the
+// double is locally indistinguishable from the singles. Combined with E1
+// (amos ∈ BPLD), this exhibits LD ⊊ BPLD.
+type e9 struct{}
+
+func (e9) ID() string    { return "E9" }
+func (e9) Title() string { return "amos ∉ LD: fooling every deterministic local decider" }
+func (e9) PaperRef() string {
+	return "§2.3.1 (amos undecidable in D/2−1 rounds deterministically; LD ⊊ BPLD)"
+}
+
+// Candidate deterministic deciders for amos; each is the natural attempt
+// at some radius.
+type countSelDecider struct{ t int }
+
+func (d countSelDecider) Name() string { return fmt.Sprintf("count-selected(t=%d)", d.t) }
+func (d countSelDecider) Radius() int  { return d.t }
+func (d countSelDecider) Verdict(v *local.View) bool {
+	count := 0
+	for _, y := range v.Y {
+		if sel, err := lang.DecodeSelected(y); err == nil && sel {
+			count++
+		}
+	}
+	return count <= 1
+}
+
+type centerPairDecider struct{ t int }
+
+func (d centerPairDecider) Name() string { return fmt.Sprintf("center-pair(t=%d)", d.t) }
+func (d centerPairDecider) Radius() int  { return d.t }
+func (d centerPairDecider) Verdict(v *local.View) bool {
+	// Reject only if the center is selected and sees another selection.
+	selC, err := lang.DecodeSelected(v.Y[0])
+	if err != nil || !selC {
+		return true
+	}
+	for i := 1; i < len(v.Y); i++ {
+		if sel, err := lang.DecodeSelected(v.Y[i]); err == nil && sel {
+			return false
+		}
+	}
+	return true
+}
+
+type minIDGuardDecider struct{ t int }
+
+func (d minIDGuardDecider) Name() string { return fmt.Sprintf("min-id-guard(t=%d)", d.t) }
+func (d minIDGuardDecider) Radius() int  { return d.t }
+func (d minIDGuardDecider) Verdict(v *local.View) bool {
+	// An identity-asymmetric attempt: the minimum-identity node in the
+	// view takes responsibility for counting selections.
+	minI := 0
+	for i := range v.IDs {
+		if v.IDs[i] < v.IDs[minI] {
+			minI = i
+		}
+	}
+	if minI != 0 {
+		return true
+	}
+	count := 0
+	for _, y := range v.Y {
+		if sel, err := lang.DecodeSelected(y); err == nil && sel {
+			count++
+		}
+	}
+	return count <= 1
+}
+
+func (e e9) Run(cfg report.Config) (*report.Result, error) {
+	res := &report.Result{}
+	table := res.NewTable("E9: fooling deterministic AMOS deciders on paths (both-endpoints instance)",
+		"decider", "radius t", "path length", "accepts left", "accepts right", "accepts BOTH (illegal)", "defeated", "failure mode")
+	radii := pick(cfg, []int{1, 2, 3, 4}, []int{1, 2})
+	allDefeated := true
+	allTransfer := true
+	for _, t := range radii {
+		for _, d := range []decide.Decider{
+			countSelDecider{t: t},
+			centerPairDecider{t: t},
+			minIDGuardDecider{t: t},
+		} {
+			pathLen := 2*t + 4
+			rep, err := decide.AMOSFooling(d, pathLen)
+			if err != nil {
+				return nil, err
+			}
+			table.AddRow(d.Name(), t, pathLen,
+				rep.AcceptsLeft, rep.AcceptsRight, rep.AcceptsBoth, rep.Fails, rep.Reason)
+			if !rep.Fails {
+				allDefeated = false
+			}
+			if !rep.TransferConsistent {
+				allTransfer = false
+			}
+		}
+	}
+	table.AddNote("any decider accepting both legal single-selection paths must accept the illegal double: the views coincide")
+
+	res.AddCheck("every deterministic decider is defeated", allDefeated,
+		"no radius-t decider decides amos on paths of length 2t+4")
+	res.AddCheck("indistinguishability transfer verified", allTransfer,
+		"verdicts on the double instance equal the single-instance verdicts node by node")
+	res.AddCheck("separation LD ⊊ BPLD", allDefeated,
+		"with E1 (amos ∈ BPLD at guarantee 0.618), amos witnesses the strict inclusion")
+	return res, nil
+}

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"fmt"
+
+	"rlnc/internal/construct"
+	"rlnc/internal/lang"
+	"rlnc/internal/localrand"
+	"rlnc/internal/mc"
+	"rlnc/internal/relax"
+	"rlnc/internal/report"
+)
+
+func init() { report.Register(e12{}) }
+
+// e12 probes the open problem of §5: intermediate relaxations allowing
+// O(n^c) incorrect nodes, c < 1. Constant-round randomized algorithms
+// produce Θ(n) expected violations, so for every c < 1 there is a
+// crossover size n* beyond which they miss the n^c budget; the experiment
+// measures n* for the constant-round suite. (Whether *some* O(1)-round
+// randomized algorithm beats n^c is exactly the paper's open question —
+// the table reports the behaviour of the natural candidates.)
+type e12 struct{}
+
+func (e12) ID() string    { return "E12" }
+func (e12) Title() string { return "Open problem probe: O(n^c) intermediate relaxations" }
+func (e12) PaperRef() string {
+	return "§5 open problems (relaxations between BPLD and BPLD#node)"
+}
+
+func (e e12) Run(cfg report.Config) (*report.Result, error) {
+	res := &report.Result{}
+	l := lang.ProperColoring(3)
+	nTrials := trials(cfg, 25, 6)
+	space := localrand.NewTapeSpace(cfg.Seed ^ 0x12)
+	// Quick mode still ends at n = 2048: the retry-4 algorithm leaves
+	// ≈ 0.19n violations, and the n^0.75 budget needs a clear margin
+	// below that for the crossover check to be noise-proof.
+	sizes := pick(cfg, []int{64, 256, 1024, 4096, 16384}, []int{64, 256, 2048})
+
+	table := res.NewTable("E12: mean violations vs n^c budgets on C_n",
+		"algorithm", "n", "mean violations", "n^0.25", "n^0.5", "n^0.75", "meets c=0.75?")
+
+	algos := []struct {
+		name string
+		t    int
+	}{
+		{"random-3-coloring", 0},
+		{"retry-3-coloring(T=4)", 4},
+	}
+	crossoverSeen := true
+	for _, a := range algos {
+		lastMeets := true
+		for _, n := range sizes {
+			in := cycleInstance(n, 1)
+			mean, _ := mc.Mean(nTrials, func(trial int) float64 {
+				draw := space.Draw(uint64(a.t)<<40 | uint64(n)<<8 | uint64(trial))
+				y, err := (construct.RetryColoring{Q: 3, T: a.t}).Run(in, &draw)
+				if err != nil {
+					return float64(n)
+				}
+				return float64(l.CountBadBalls(&lang.Config{G: in.G, X: in.X, Y: y}))
+			})
+			budgets := make([]int, 3)
+			for i, c := range []float64{0.25, 0.5, 0.75} {
+				budgets[i] = (&relax.PolyBudget{L: l, C: c}).Budget(n)
+			}
+			meets := mean <= float64(budgets[2])
+			table.AddRow(a.name, n, fmt.Sprintf("%.1f", mean),
+				budgets[0], budgets[1], budgets[2], meets)
+			lastMeets = meets
+		}
+		// At the largest size, the linear-violation algorithm must have
+		// crossed below every sublinear budget.
+		if lastMeets {
+			crossoverSeen = false
+		}
+	}
+	table.AddNote("violations grow ∝ n while budgets grow ∝ n^c: every constant-round candidate eventually fails")
+
+	res.AddCheck("constant-round algorithms cross every n^c budget", crossoverSeen,
+		"at the largest n, mean violations exceed n^0.75 for both candidates")
+	return res, nil
+}

@@ -1,0 +1,167 @@
+package glue
+
+import (
+	"fmt"
+
+	"rlnc/internal/graph"
+	"rlnc/internal/ids"
+	"rlnc/internal/lang"
+)
+
+// Union is the disjoint-union instance of Claim 3, with bookkeeping to
+// locate each block.
+type Union struct {
+	Instance *lang.Instance
+	// Offsets[i] is the node offset of block i.
+	Offsets []int
+	// Sizes[i] is the node count of block i.
+	Sizes []int
+}
+
+// BuildDisjointUnion forms the union instance (G, x, id) of Claim 3: the
+// graphs side by side, inputs concatenated, and identity blocks offset so
+// that block i+1's identities all exceed block i's ("we can carry on that
+// process" with I_{i+1} = 1 + max id of the previous blocks).
+func BuildDisjointUnion(parts []*lang.Instance) (*Union, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("glue: empty union")
+	}
+	graphs := make([]*graph.Graph, len(parts))
+	idBlocks := make([]ids.Assignment, len(parts))
+	var x [][]byte
+	for i, p := range parts {
+		graphs[i] = p.G
+		idBlocks[i] = p.ID
+		x = append(x, p.X...)
+	}
+	u := graph.DisjointUnion(graphs...)
+	id := ids.Concat(idBlocks...)
+	sizes := make([]int, len(parts))
+	for i, p := range parts {
+		sizes[i] = p.G.N()
+	}
+	in := &lang.Instance{G: u.G, X: x, ID: id}
+	if err := id.Validate(); err != nil {
+		return nil, err
+	}
+	return &Union{Instance: in, Offsets: u.Offsets, Sizes: sizes}, nil
+}
+
+// Anchor designates where a block is opened up for gluing: the node u_i
+// of Claim 5 and the incident edge e_i to subdivide (by port).
+type Anchor struct {
+	// Node is u_i, in block-local indexing.
+	Node int
+	// Port selects the incident edge e_i at u_i.
+	Port int
+}
+
+// Glued is the connected instance built by the Theorem 1 surgery.
+type Glued struct {
+	Instance *lang.Instance
+	// Offsets[i] is the node offset of block i in the glued graph.
+	Offsets []int
+	// U[i], V[i], W[i] are the global indices of u_i and the two nodes
+	// inserted by the double subdivision of e_i (u_i – v_i – w_i – z_i).
+	U, V, W []int
+}
+
+// BuildGlued performs the gluing of the proof of Theorem 1: each block's
+// anchor edge e_i = {u_i, z_i} is subdivided twice (inserting v_i, w_i),
+// the blocks are laid side by side, and the ring edges {v_i, w_{i+1}} for
+// i < ν′ and {v_{ν′}, w_1} connect them. The inserted nodes receive fresh
+// identities above every block identity and empty inputs ("inputs and
+// identities given to the nodes of G not in some H_i are set
+// arbitrarily"). Degrees: v_i and w_i end at degree 3, u_i and z_i keep
+// their degrees — hence the paper's requirement k > 2.
+func BuildGlued(parts []*lang.Instance, anchors []Anchor) (*Glued, error) {
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("glue: need at least 2 blocks, got %d", len(parts))
+	}
+	if len(anchors) != len(parts) {
+		return nil, fmt.Errorf("glue: %d anchors for %d blocks", len(anchors), len(parts))
+	}
+	// Subdivide each block first (block-locally).
+	subGraphs := make([]*graph.Graph, len(parts))
+	vLocal := make([]int, len(parts))
+	wLocal := make([]int, len(parts))
+	for i, p := range parts {
+		a := anchors[i]
+		if a.Node < 0 || a.Node >= p.G.N() {
+			return nil, fmt.Errorf("glue: block %d anchor node %d out of range", i, a.Node)
+		}
+		if a.Port < 0 || a.Port >= p.G.Degree(a.Node) {
+			return nil, fmt.Errorf("glue: block %d anchor port %d out of range", i, a.Port)
+		}
+		z := p.G.Neighbor(a.Node, a.Port)
+		res, err := p.G.SubdivideTwice(a.Node, z)
+		if err != nil {
+			return nil, fmt.Errorf("glue: block %d: %w", i, err)
+		}
+		subGraphs[i] = res.G
+		vLocal[i] = res.VNode
+		wLocal[i] = res.WNode
+	}
+	// Disjoint union of the subdivided blocks.
+	u := graph.DisjointUnion(subGraphs...)
+	// Inputs: block inputs followed by empty inputs for v_i, w_i (the
+	// subdivision appends them as the last two nodes of each block).
+	var x [][]byte
+	total := 0
+	for _, p := range parts {
+		x = append(x, p.X...)
+		x = append(x, nil, nil)
+		total += p.G.N() + 2
+	}
+	id := make(ids.Assignment, total)
+	var maxID int64
+	for i, p := range parts {
+		off := u.Offsets[i]
+		base := maxID // block identities shifted above all previous ones
+		var blockMax int64
+		for v := 0; v < p.G.N(); v++ {
+			val := p.ID[v] + base
+			id[off+v] = val
+			if val > blockMax {
+				blockMax = val
+			}
+		}
+		maxID = blockMax
+	}
+	// Fresh identities for the inserted nodes.
+	next := maxID + 1
+	for i := range parts {
+		off := u.Offsets[i]
+		id[off+vLocal[i]] = next
+		id[off+wLocal[i]] = next + 1
+		next += 2
+	}
+	// Ring edges between blocks.
+	var extra [][2]int
+	nBlocks := len(parts)
+	gv := make([]int, nBlocks)
+	gw := make([]int, nBlocks)
+	gu := make([]int, nBlocks)
+	for i := range parts {
+		gv[i] = u.Offsets[i] + vLocal[i]
+		gw[i] = u.Offsets[i] + wLocal[i]
+		gu[i] = u.Offsets[i] + anchors[i].Node
+	}
+	for i := 0; i < nBlocks; i++ {
+		extra = append(extra, [2]int{gv[i], gw[(i+1)%nBlocks]})
+	}
+	g, err := u.G.WithExtraEdges(extra)
+	if err != nil {
+		return nil, fmt.Errorf("glue: ring edges: %w", err)
+	}
+	if err := id.Validate(); err != nil {
+		return nil, err
+	}
+	return &Glued{
+		Instance: &lang.Instance{G: g, X: x, ID: id},
+		Offsets:  u.Offsets,
+		U:        gu,
+		V:        gv,
+		W:        gw,
+	}, nil
+}

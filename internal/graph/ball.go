@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ball is the radius-t ball B_G(v,t) of the paper (§2.1.1): the subgraph of
+// G induced by all nodes at distance at most t from v, *excluding the edges
+// between nodes at distance exactly t* from v. The exclusion matters: it is
+// what makes a t-round view collect exactly the information that can reach
+// v in t rounds, and the legality of a ball must be preserved when the ball
+// reappears inside a different host graph (§1.1).
+type Ball struct {
+	// G is the ball as a standalone graph on local indices 0..len(Nodes)-1.
+	// Local index 0 is always the center. Port order of surviving edges
+	// matches the host graph's port order.
+	G *Graph
+	// Nodes maps local index -> host-graph node.
+	Nodes []int
+	// Dist maps local index -> distance from the center in the host graph.
+	Dist []int
+	// Ports maps, in parallel with G's adjacency lists, each surviving
+	// local edge to the port index it occupies at the host node:
+	// Ports[i][j] is the host port of Nodes[i] for the edge to local
+	// neighbor G.Neighbors(i)[j]. Algorithms whose outputs reference ports
+	// (e.g. matchings) interpret them through this map.
+	Ports [][]int
+	// Radius is the t used for extraction.
+	Radius int
+}
+
+// BallAround extracts B_G(v,t).
+func (g *Graph) BallAround(v, t int) *Ball {
+	nodes, dists := g.NodesWithin(v, t)
+	local := make(map[int]int, len(nodes))
+	for i, u := range nodes {
+		local[u] = i
+	}
+	adj := make([][]int32, len(nodes))
+	ports := make([][]int, len(nodes))
+	m := 0
+	for i, u := range nodes {
+		for p, w := range g.adj[u] {
+			j, in := local[int(w)]
+			if !in {
+				continue
+			}
+			// Frontier-edge exclusion: drop edges joining two nodes at
+			// distance exactly t from the center.
+			if dists[i] == t && dists[j] == t {
+				continue
+			}
+			adj[i] = append(adj[i], int32(j))
+			ports[i] = append(ports[i], p)
+			m++
+		}
+	}
+	return &Ball{
+		G:      &Graph{adj: adj, m: m / 2},
+		Nodes:  nodes,
+		Dist:   dists,
+		Ports:  ports,
+		Radius: t,
+	}
+}
+
+// Center returns the host-graph node at the center of the ball.
+func (b *Ball) Center() int { return b.Nodes[0] }
+
+// Size returns the number of nodes in the ball.
+func (b *Ball) Size() int { return len(b.Nodes) }
+
+// LocalIndex returns the ball-local index of a host node, or -1.
+func (b *Ball) LocalIndex(hostNode int) int {
+	for i, u := range b.Nodes {
+		if u == hostNode {
+			return i
+		}
+	}
+	return -1
+}
+
+// maxCanonicalSize bounds the exact canonicalization search. Balls used
+// for inventory enumeration (order-invariance machinery, Claim 2's count N)
+// come from bounded-degree families with k <= 3 and small t, so this is
+// ample; larger balls return an error rather than a wrong key.
+const maxCanonicalSize = 12
+
+// CanonicalKey returns a string that is equal for two balls exactly when
+// there is an isomorphism between them that maps center to center and
+// preserves the node labels produced by label (e.g. input strings, or ID
+// order ranks). It performs an exact search over label/distance-consistent
+// permutations; balls larger than an internal bound return an error.
+func (b *Ball) CanonicalKey(label func(local int) string) (string, error) {
+	n := b.Size()
+	if n > maxCanonicalSize {
+		return "", fmt.Errorf("graph: ball size %d exceeds canonicalization bound %d", n, maxCanonicalSize)
+	}
+	labels := make([]string, n)
+	for i := 0; i < n; i++ {
+		if label != nil {
+			labels[i] = label(i)
+		}
+	}
+	// A candidate relabeling assigns canonical positions 0..n-1 to local
+	// nodes; position 0 is forced to the center. We enumerate assignments
+	// where position p can host any node whose (dist, degree, label) class
+	// is still available, and keep the lexicographically smallest encoding.
+	best := ""
+	perm := make([]int, n)  // canonical position -> local node
+	used := make([]bool, n) //
+	perm[0] = 0
+	used[0] = true
+	var rec func(p int)
+	encode := func() string {
+		var sb strings.Builder
+		inv := make([]int, n) // local -> canonical
+		for p, l := range perm {
+			inv[l] = p
+		}
+		for p := 0; p < n; p++ {
+			l := perm[p]
+			fmt.Fprintf(&sb, "%d:%d:%q:", b.Dist[l], b.G.Degree(l), labels[l])
+			nb := make([]int, 0, b.G.Degree(l))
+			for _, w := range b.G.Neighbors(l) {
+				nb = append(nb, inv[w])
+			}
+			sort.Ints(nb)
+			for _, x := range nb {
+				fmt.Fprintf(&sb, "%d,", x)
+			}
+			sb.WriteByte(';')
+		}
+		return sb.String()
+	}
+	rec = func(p int) {
+		if p == n {
+			enc := encode()
+			if best == "" || enc < best {
+				best = enc
+			}
+			return
+		}
+		for l := 0; l < n; l++ {
+			if used[l] {
+				continue
+			}
+			used[l] = true
+			perm[p] = l
+			rec(p + 1)
+			used[l] = false
+		}
+	}
+	rec(1)
+	return best, nil
+}
+
+// IsomorphicTo reports whether two balls admit a center-fixing,
+// label-preserving isomorphism (via canonical keys).
+func (b *Ball) IsomorphicTo(o *Ball, labelB, labelO func(local int) string) (bool, error) {
+	kb, err := b.CanonicalKey(labelB)
+	if err != nil {
+		return false, err
+	}
+	ko, err := o.CanonicalKey(labelO)
+	if err != nil {
+		return false, err
+	}
+	return kb == ko, nil
+}

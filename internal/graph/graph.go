@@ -1,0 +1,255 @@
+// Package graph provides the network substrate for the LOCAL model: simple
+// connected graphs (no loops, no multi-edges, paper §2.1.1), generators for
+// the families used in the experiments, traversal and distance utilities,
+// the radius-t balls B_G(v,t) with the paper's frontier-edge exclusion, and
+// the surgery operations (edge subdivision, disjoint union) used by the
+// gluing construction in the proof of Theorem 1.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is a simple undirected graph on nodes 0..N-1. The neighbor order of
+// each node is the node's port numbering and is preserved by construction;
+// algorithms that need local orientation (e.g. Cole–Vishkin on cycles) rely
+// on generator-provided port consistency.
+//
+// A Graph is immutable after construction; surgery operations return new
+// graphs.
+type Graph struct {
+	adj [][]int32
+	m   int // number of edges
+}
+
+// Errors returned by the builder.
+var (
+	ErrSelfLoop  = errors.New("graph: self-loop not allowed in a simple graph")
+	ErrMultiEdge = errors.New("graph: multi-edge not allowed in a simple graph")
+	ErrRange     = errors.New("graph: node index out of range")
+)
+
+// Builder incrementally assembles a simple graph.
+type Builder struct {
+	n   int
+	adj [][]int32
+	set []map[int32]bool
+	err error
+}
+
+// NewBuilder returns a builder for a graph on n nodes (initially no edges).
+func NewBuilder(n int) *Builder {
+	return &Builder{
+		n:   n,
+		adj: make([][]int32, n),
+		set: make([]map[int32]bool, n),
+	}
+}
+
+// AddEdge adds the undirected edge {u, v}. Errors (self-loop, multi-edge,
+// out-of-range endpoints) are sticky and reported by Build.
+func (b *Builder) AddEdge(u, v int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		b.err = fmt.Errorf("%w: edge {%d,%d} on %d nodes", ErrRange, u, v, b.n)
+		return b
+	}
+	if u == v {
+		b.err = fmt.Errorf("%w: {%d,%d}", ErrSelfLoop, u, v)
+		return b
+	}
+	if b.set[u] == nil {
+		b.set[u] = make(map[int32]bool)
+	}
+	if b.set[v] == nil {
+		b.set[v] = make(map[int32]bool)
+	}
+	if b.set[u][int32(v)] {
+		b.err = fmt.Errorf("%w: {%d,%d}", ErrMultiEdge, u, v)
+		return b
+	}
+	b.set[u][int32(v)] = true
+	b.set[v][int32(u)] = true
+	b.adj[u] = append(b.adj[u], int32(v))
+	b.adj[v] = append(b.adj[v], int32(u))
+	return b
+}
+
+// Build finalizes the graph, returning any accumulated error.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	m := 0
+	for _, nb := range b.adj {
+		m += len(nb)
+	}
+	return &Graph{adj: b.adj, m: m / 2}, nil
+}
+
+// MustBuild is Build that panics on error; intended for generators whose
+// edge sets are correct by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree over all nodes (0 for empty graphs).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, nb := range g.adj {
+		if len(nb) > max {
+			max = len(nb)
+		}
+	}
+	return max
+}
+
+// Neighbors returns the neighbors of v in port order. The returned slice
+// must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// Neighbor returns the neighbor of v at the given port.
+func (g *Graph) Neighbor(v, port int) int { return int(g.adj[v][port]) }
+
+// HasEdge reports whether the edge {u,v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	// Scan the smaller adjacency list; graphs here are bounded-degree so
+	// linear scans are cache-friendly and allocation-free.
+	a, b := u, v
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	for _, w := range g.adj[a] {
+		if int(w) == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Edges returns all edges as pairs (u, v) with u < v, in ascending order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := range g.adj {
+		for _, w := range g.adj[u] {
+			if int(w) > u {
+				out = append(out, [2]int{u, int(w)})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	adj := make([][]int32, len(g.adj))
+	for v, nb := range g.adj {
+		adj[v] = append([]int32(nil), nb...)
+	}
+	return &Graph{adj: adj, m: g.m}
+}
+
+// DegreeHistogram returns a map degree -> count.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, nb := range g.adj {
+		h[len(nb)]++
+	}
+	return h
+}
+
+// String renders a compact description, e.g. "graph(n=5, m=5, Δ=2)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d, Δ=%d)", g.N(), g.M(), g.MaxDegree())
+}
+
+// DOT renders the graph in Graphviz DOT format, with optional node labels.
+func (g *Graph) DOT(name string, label func(v int) string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %s {\n", name)
+	for v := 0; v < g.N(); v++ {
+		if label != nil {
+			fmt.Fprintf(&sb, "  %d [label=%q];\n", v, label(v))
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  %d -- %d;\n", e[0], e[1])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// FromAdjacency builds a graph from explicit per-node adjacency lists,
+// preserving the given port order exactly. It validates simplicity and
+// symmetry (every directed entry must have a reverse entry).
+func FromAdjacency(adj [][]int32) (*Graph, error) {
+	n := len(adj)
+	m := 0
+	for v, nb := range adj {
+		seen := make(map[int32]bool, len(nb))
+		for _, w := range nb {
+			if int(w) < 0 || int(w) >= n {
+				return nil, fmt.Errorf("%w: node %d lists %d", ErrRange, v, w)
+			}
+			if int(w) == v {
+				return nil, fmt.Errorf("%w: node %d", ErrSelfLoop, v)
+			}
+			if seen[w] {
+				return nil, fmt.Errorf("%w: node %d lists %d twice", ErrMultiEdge, v, w)
+			}
+			seen[w] = true
+			// Symmetry check.
+			back := false
+			for _, x := range adj[w] {
+				if int(x) == v {
+					back = true
+					break
+				}
+			}
+			if !back {
+				return nil, fmt.Errorf("graph: asymmetric adjacency %d -> %d", v, w)
+			}
+			m++
+		}
+	}
+	cp := make([][]int32, n)
+	for v, nb := range adj {
+		cp[v] = append([]int32(nil), nb...)
+	}
+	return &Graph{adj: cp, m: m / 2}, nil
+}
+
+// FromEdges builds a graph on n nodes from an explicit edge list.
+func FromEdges(n int, edges [][2]int) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// sortedCopy returns the neighbors of v in ascending order (used by
+// canonicalization, where port order must not matter).
+func (g *Graph) sortedCopy(v int) []int32 {
+	nb := append([]int32(nil), g.adj[v]...)
+	sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	return nb
+}

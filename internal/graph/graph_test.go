@@ -1,0 +1,558 @@
+package graph
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderRejectsSelfLoop(t *testing.T) {
+	_, err := NewBuilder(3).AddEdge(1, 1).Build()
+	if !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("err = %v, want ErrSelfLoop", err)
+	}
+}
+
+func TestBuilderRejectsMultiEdge(t *testing.T) {
+	_, err := NewBuilder(3).AddEdge(0, 1).AddEdge(1, 0).Build()
+	if !errors.Is(err, ErrMultiEdge) {
+		t.Errorf("err = %v, want ErrMultiEdge", err)
+	}
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	_, err := NewBuilder(3).AddEdge(0, 3).Build()
+	if !errors.Is(err, ErrRange) {
+		t.Errorf("err = %v, want ErrRange", err)
+	}
+}
+
+func TestBuilderErrorSticky(t *testing.T) {
+	_, err := NewBuilder(3).AddEdge(1, 1).AddEdge(0, 1).Build()
+	if !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("sticky error lost: %v", err)
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g, err := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Errorf("n=%d m=%d, want 4, 3", g.N(), g.M())
+	}
+}
+
+func TestCycleStructure(t *testing.T) {
+	g := Cycle(6)
+	if g.N() != 6 || g.M() != 6 {
+		t.Fatalf("C6: n=%d m=%d", g.N(), g.M())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 2 {
+			t.Errorf("deg(%d) = %d, want 2", v, g.Degree(v))
+		}
+		// Port orientation contract: port 0 = successor, port 1 = predecessor.
+		if g.Neighbor(v, 0) != (v+1)%6 {
+			t.Errorf("port 0 of %d = %d, want %d", v, g.Neighbor(v, 0), (v+1)%6)
+		}
+		if g.Neighbor(v, 1) != (v+5)%6 {
+			t.Errorf("port 1 of %d = %d, want %d", v, g.Neighbor(v, 1), (v+5)%6)
+		}
+	}
+	if !g.Connected() {
+		t.Error("cycle not connected")
+	}
+}
+
+func TestPathStructure(t *testing.T) {
+	g := Path(5)
+	if g.N() != 5 || g.M() != 4 {
+		t.Fatalf("P5: n=%d m=%d", g.N(), g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(4) != 1 || g.Degree(2) != 2 {
+		t.Error("path degrees wrong")
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("P5 diameter = %d, want 4", g.Diameter())
+	}
+}
+
+func TestCompleteStructure(t *testing.T) {
+	g := Complete(5)
+	if g.M() != 10 || g.MaxDegree() != 4 || g.Diameter() != 1 {
+		t.Errorf("K5: m=%d Δ=%d diam=%d", g.M(), g.MaxDegree(), g.Diameter())
+	}
+}
+
+func TestStarStructure(t *testing.T) {
+	g := Star(6)
+	if g.Degree(0) != 5 || g.M() != 5 || g.Diameter() != 2 {
+		t.Errorf("star: deg0=%d m=%d diam=%d", g.Degree(0), g.M(), g.Diameter())
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 || g.M() != 3*3+2*4 {
+		t.Errorf("grid 3x4: n=%d m=%d, want 12, 17", g.N(), g.M())
+	}
+	if g.Diameter() != 2+3 {
+		t.Errorf("grid 3x4 diameter = %d, want 5", g.Diameter())
+	}
+}
+
+func TestTorusStructure(t *testing.T) {
+	g := Torus(3, 3)
+	if g.N() != 9 || g.M() != 18 {
+		t.Errorf("torus 3x3: n=%d m=%d, want 9, 18", g.N(), g.M())
+	}
+	for v := 0; v < 9; v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("torus deg(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestCompleteTree(t *testing.T) {
+	g := CompleteTree(2, 3) // 1+2+4+8 = 15 nodes
+	if g.N() != 15 || g.M() != 14 {
+		t.Errorf("binary depth-3 tree: n=%d m=%d", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Error("tree disconnected")
+	}
+	if g.Degree(0) != 2 {
+		t.Errorf("root degree = %d, want 2", g.Degree(0))
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 || g.M() != 32 || g.Diameter() != 4 {
+		t.Errorf("Q4: n=%d m=%d diam=%d", g.N(), g.M(), g.Diameter())
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(4, 2)
+	if g.N() != 12 || g.M() != 11 {
+		t.Errorf("caterpillar: n=%d m=%d", g.N(), g.M())
+	}
+	// Spine interior nodes have odd degree 2+2 = 4? node 1: neighbors 0,2 + 2 legs = 4.
+	if g.Degree(1) != 4 {
+		t.Errorf("spine degree = %d, want 4", g.Degree(1))
+	}
+}
+
+func TestPetersen(t *testing.T) {
+	g := Petersen()
+	if g.N() != 10 || g.M() != 15 || g.MaxDegree() != 3 || g.Diameter() != 2 {
+		t.Errorf("petersen: n=%d m=%d Δ=%d diam=%d", g.N(), g.M(), g.MaxDegree(), g.Diameter())
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	g, err := RandomRegular(20, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 20; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("deg(%d) = %d, want 3", v, g.Degree(v))
+		}
+	}
+	if _, err := RandomRegular(5, 3, 1); err == nil {
+		t.Error("expected parity error for n*d odd")
+	}
+	if _, err := RandomRegular(4, 4, 1); err == nil {
+		t.Error("expected range error for d >= n")
+	}
+}
+
+func TestRandomRegularDeterministic(t *testing.T) {
+	g1, _ := RandomRegular(16, 3, 9)
+	g2, _ := RandomRegular(16, 3, 9)
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatal("edge counts differ for same seed")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("edges differ for same seed")
+		}
+	}
+}
+
+func TestConnectedGNP(t *testing.T) {
+	g, err := ConnectedGNP(30, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Error("ConnectedGNP returned a disconnected graph")
+	}
+}
+
+func TestLollipopAndDoubleStar(t *testing.T) {
+	g := Lollipop(4, 3)
+	if g.N() != 7 || g.M() != 6+3 {
+		t.Errorf("lollipop: n=%d m=%d", g.N(), g.M())
+	}
+	if g.Diameter() != 1+3 {
+		t.Errorf("lollipop diameter = %d, want 4", g.Diameter())
+	}
+	ds := DoubleStar(3, 2)
+	if ds.N() != 7 || ds.M() != 6 || ds.Degree(0) != 4 || ds.Degree(1) != 3 {
+		t.Errorf("double star: %v deg0=%d deg1=%d", ds, ds.Degree(0), ds.Degree(1))
+	}
+}
+
+func TestDistAndDiameter(t *testing.T) {
+	g := Cycle(10)
+	if d := g.Dist(0, 5); d != 5 {
+		t.Errorf("dist(0,5) = %d, want 5", d)
+	}
+	if d := g.Dist(0, 7); d != 3 {
+		t.Errorf("dist(0,7) = %d, want 3", d)
+	}
+	if g.Diameter() != 5 {
+		t.Errorf("C10 diameter = %d, want 5", g.Diameter())
+	}
+}
+
+func TestComponents(t *testing.T) {
+	u := DisjointUnion(Cycle(3), Path(4), Complete(3))
+	comp, k := u.G.Components()
+	if k != 3 {
+		t.Fatalf("components = %d, want 3", k)
+	}
+	if comp[0] != comp[1] || comp[3] == comp[0] {
+		t.Error("component labels wrong")
+	}
+}
+
+func TestNodesWithin(t *testing.T) {
+	g := Path(9) // 0-1-...-8
+	nodes, dists := g.NodesWithin(4, 2)
+	if len(nodes) != 5 {
+		t.Fatalf("|B(4,2)| = %d, want 5", len(nodes))
+	}
+	if nodes[0] != 4 || dists[0] != 0 {
+		t.Error("center must come first at distance 0")
+	}
+	for i, v := range nodes {
+		if want := abs(v - 4); dists[i] != want {
+			t.Errorf("dist[%d]=%d, want %d", v, dists[i], want)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestBallFrontierExclusion(t *testing.T) {
+	// In C5, B(0,2) contains all 5 nodes; nodes 2 and 3 are both at
+	// distance exactly 2, so the edge {2,3} must be EXCLUDED (paper
+	// §2.1.1). The ball is the path 2-1-0-4-3.
+	g := Cycle(5)
+	b := g.BallAround(0, 2)
+	if b.Size() != 5 {
+		t.Fatalf("|B(0,2)| = %d, want 5", b.Size())
+	}
+	if b.G.M() != 4 {
+		t.Errorf("ball edges = %d, want 4 (frontier edge excluded)", b.G.M())
+	}
+	i2, i3 := b.LocalIndex(2), b.LocalIndex(3)
+	if b.G.HasEdge(i2, i3) {
+		t.Error("frontier edge {2,3} present in ball")
+	}
+	if b.Center() != 0 {
+		t.Errorf("center = %d, want 0", b.Center())
+	}
+}
+
+func TestBallPreservesInteriorEdges(t *testing.T) {
+	g := Cycle(8)
+	b := g.BallAround(0, 2)
+	// Nodes: 0,1,7,2,6. Edges 0-1, 0-7, 1-2, 7-6 all survive; 2 and 6 are
+	// not adjacent.
+	if b.Size() != 5 || b.G.M() != 4 {
+		t.Errorf("ball = %d nodes %d edges, want 5, 4", b.Size(), b.G.M())
+	}
+}
+
+func TestBallRadiusZero(t *testing.T) {
+	g := Complete(4)
+	b := g.BallAround(2, 0)
+	if b.Size() != 1 || b.G.M() != 0 || b.Center() != 2 {
+		t.Error("radius-0 ball must be a single node")
+	}
+}
+
+func TestBallWholeGraph(t *testing.T) {
+	g := Path(5)
+	b := g.BallAround(2, 10)
+	if b.Size() != 5 || b.G.M() != 4 {
+		t.Error("large-radius ball must equal the whole path")
+	}
+}
+
+func TestBallPortOrderPreserved(t *testing.T) {
+	g := Cycle(7)
+	b := g.BallAround(3, 1)
+	// Center local index 0; its ports must be successor first.
+	succ := b.Nodes[int(b.G.Neighbors(0)[0])]
+	pred := b.Nodes[int(b.G.Neighbors(0)[1])]
+	if succ != 4 || pred != 2 {
+		t.Errorf("port order lost: succ=%d pred=%d", succ, pred)
+	}
+}
+
+func TestCanonicalKeyMatchesIsomorphicBalls(t *testing.T) {
+	// Balls around different nodes of a cycle are isomorphic with no labels.
+	g := Cycle(9)
+	b1 := g.BallAround(0, 2)
+	b2 := g.BallAround(5, 2)
+	eq, err := b1.IsomorphicTo(b2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("isomorphic balls have different canonical keys")
+	}
+}
+
+func TestCanonicalKeyDistinguishesLabels(t *testing.T) {
+	g := Cycle(9)
+	b1 := g.BallAround(0, 1)
+	b2 := g.BallAround(0, 1)
+	l1 := func(local int) string { return "x" }
+	l2 := func(local int) string {
+		if local == 1 {
+			return "y"
+		}
+		return "x"
+	}
+	eq, err := b1.IsomorphicTo(b2, l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("differently labeled balls share a canonical key")
+	}
+}
+
+func TestCanonicalKeyDistinguishesStructure(t *testing.T) {
+	pathBall := Path(5).BallAround(2, 2) // path of 5
+	starBall := Star(5).BallAround(0, 2) // star with 4 leaves
+	eq, err := pathBall.IsomorphicTo(starBall, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("path and star balls share a canonical key")
+	}
+}
+
+func TestCanonicalKeySizeGuard(t *testing.T) {
+	b := Complete(13).BallAround(0, 1)
+	if _, err := b.CanonicalKey(nil); err == nil {
+		t.Error("expected size-guard error for 13-node ball")
+	}
+}
+
+func TestSubdivideTwice(t *testing.T) {
+	g := Cycle(5)
+	res, err := g.SubdivideTwice(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.G
+	if h.N() != 7 || h.M() != 7 {
+		t.Fatalf("subdivided C5: n=%d m=%d, want 7, 7", h.N(), h.M())
+	}
+	if h.HasEdge(0, 1) {
+		t.Error("original edge survived subdivision")
+	}
+	if !h.HasEdge(0, res.VNode) || !h.HasEdge(res.VNode, res.WNode) || !h.HasEdge(res.WNode, 1) {
+		t.Error("subdivision path missing")
+	}
+	// Endpoint degrees unchanged; new nodes have degree 2.
+	if h.Degree(0) != 2 || h.Degree(1) != 2 {
+		t.Error("endpoint degree changed")
+	}
+	if h.Degree(res.VNode) != 2 || h.Degree(res.WNode) != 2 {
+		t.Error("inserted node degree != 2")
+	}
+	if !h.Connected() {
+		t.Error("subdivision disconnected the graph")
+	}
+	if _, err := g.SubdivideTwice(0, 2); err == nil {
+		t.Error("expected error subdividing a non-edge")
+	}
+}
+
+func TestDisjointUnionOffsets(t *testing.T) {
+	u := DisjointUnion(Cycle(3), Path(2))
+	if u.G.N() != 5 || u.G.M() != 4 {
+		t.Fatalf("union: n=%d m=%d", u.G.N(), u.G.M())
+	}
+	if u.Offsets[0] != 0 || u.Offsets[1] != 3 {
+		t.Errorf("offsets = %v", u.Offsets)
+	}
+	if !u.G.HasEdge(3, 4) {
+		t.Error("second part edge missing")
+	}
+	if u.G.HasEdge(2, 3) {
+		t.Error("parts connected in disjoint union")
+	}
+}
+
+func TestWithExtraEdges(t *testing.T) {
+	g := Path(4)
+	h, err := g.WithExtraEdges([][2]int{{0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.HasEdge(0, 3) || h.M() != 4 {
+		t.Error("extra edge missing")
+	}
+	if _, err := g.WithExtraEdges([][2]int{{0, 1}}); err == nil {
+		t.Error("expected duplicate-edge error")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Cycle(6)
+	sub, nodes := g.InducedSubgraph([]int{0, 1, 2, 4})
+	if sub.N() != 4 || sub.M() != 2 {
+		t.Errorf("induced: n=%d m=%d, want 4, 2", sub.N(), sub.M())
+	}
+	if nodes[3] != 4 {
+		t.Errorf("node mapping wrong: %v", nodes)
+	}
+}
+
+func TestScatteredSetSeparation(t *testing.T) {
+	g := Cycle(60)
+	sep := 10
+	s := g.ScatteredSet(sep, 0)
+	if len(s) < 60/(2*sep) {
+		t.Errorf("scattered set too small: %d", len(s))
+	}
+	if ok, u, v := g.PairwiseDistAtLeast(s, sep); !ok {
+		t.Errorf("nodes %d and %d too close", u, v)
+	}
+}
+
+func TestScatteredSetWantLimit(t *testing.T) {
+	g := Cycle(100)
+	s := g.ScatteredSet(5, 3)
+	if len(s) != 3 {
+		t.Errorf("want limit ignored: got %d nodes", len(s))
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := Path(3)
+	dot := g.DOT("p3", func(v int) string { return "n" })
+	if !strings.Contains(dot, "0 -- 1") || !strings.Contains(dot, "1 -- 2") {
+		t.Errorf("DOT missing edges:\n%s", dot)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := Star(5).DegreeHistogram()
+	if h[4] != 1 || h[1] != 4 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+// Property: cycles have diameter floor(n/2) and are 2-regular and connected.
+func TestCycleInvariantsProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%60) + 3
+		g := Cycle(n)
+		return g.Connected() && g.MaxDegree() == 2 && g.M() == n && g.Diameter() == n/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every ball of radius t has all recorded distances <= t and the
+// distance labels agree with BFS inside the host graph.
+func TestBallDistanceProperty(t *testing.T) {
+	f := func(seed uint64, rawN, rawT uint8) bool {
+		n := int(rawN%30) + 5
+		tRad := int(rawT % 4)
+		g, err := ConnectedGNP(n, 0.15, seed)
+		if err != nil {
+			return true // skip infeasible draws
+		}
+		host := g.BFSFrom(0)
+		b := g.BallAround(0, tRad)
+		for i, v := range b.Nodes {
+			if b.Dist[i] > tRad || b.Dist[i] != host[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no frontier-frontier edge ever appears in a ball.
+func TestBallNoFrontierEdgesProperty(t *testing.T) {
+	f := func(seed uint64, rawN, rawT uint8) bool {
+		n := int(rawN%25) + 5
+		tRad := int(rawT%3) + 1
+		g, err := ConnectedGNP(n, 0.2, seed)
+		if err != nil {
+			return true
+		}
+		b := g.BallAround(int(seed%uint64(n)), tRad)
+		for _, e := range b.G.Edges() {
+			if b.Dist[e[0]] == tRad && b.Dist[e[1]] == tRad {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: subdividing any edge preserves endpoint degrees and adds
+// exactly 2 nodes and 2 edges (net: one edge removed, three added).
+func TestSubdivisionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := RandomRegular(12, 3, seed)
+		if err != nil {
+			return true
+		}
+		e := g.Edges()[int(seed%uint64(g.M()))]
+		res, err := g.SubdivideTwice(e[0], e[1])
+		if err != nil {
+			return false
+		}
+		return res.G.N() == g.N()+2 &&
+			res.G.M() == g.M()+2 &&
+			res.G.Degree(e[0]) == g.Degree(e[0]) &&
+			res.G.Degree(e[1]) == g.Degree(e[1]) &&
+			res.G.Connected() == g.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package graph
+
+// IsBipartite reports whether the graph is 2-colorable, and returns a
+// witness side assignment when it is (nil otherwise). BFS layering per
+// component.
+func (g *Graph) IsBipartite() (bool, []int) {
+	n := g.N()
+	side := make([]int, n)
+	for i := range side {
+		side[i] = -1
+	}
+	for s := 0; s < n; s++ {
+		if side[s] != -1 {
+			continue
+		}
+		side[s] = 0
+		queue := []int32{int32(s)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[u] {
+				if side[w] == -1 {
+					side[w] = 1 - side[u]
+					queue = append(queue, w)
+				} else if side[w] == side[u] {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, side
+}
+
+// Girth returns the length of a shortest cycle, or -1 for forests.
+// BFS from every node; O(n·(n+m)), fine for experiment-scale graphs.
+func (g *Graph) Girth() int {
+	best := -1
+	n := g.N()
+	dist := make([]int, n)
+	parent := make([]int32, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		parent[s] = -1
+		queue := []int32{int32(s)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[u] {
+				if dist[w] == -1 {
+					dist[w] = dist[u] + 1
+					parent[w] = u
+					queue = append(queue, w)
+				} else if w != parent[u] {
+					// Cycle through s of length dist[u]+dist[w]+1.
+					c := dist[u] + dist[w] + 1
+					if best == -1 || c < best {
+						best = c
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// DegeneracyOrder returns the graph's degeneracy d and a coloring order
+// (the reverse of the min-degree elimination order) in which every node
+// has at most d neighbors among the EARLIER nodes — so greedy coloring
+// along it uses at most d+1 colors.
+func (g *Graph) DegeneracyOrder() (int, []int) {
+	n := g.N()
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	// Bucket queue over current degrees.
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	buckets := make([][]int, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], v)
+	}
+	order := make([]int, 0, n)
+	degeneracy := 0
+	for len(order) < n {
+		// Find the smallest non-empty bucket.
+		d := 0
+		for ; d <= maxDeg; d++ {
+			// Pop skipping stale entries.
+			for len(buckets[d]) > 0 {
+				v := buckets[d][len(buckets[d])-1]
+				buckets[d] = buckets[d][:len(buckets[d])-1]
+				if removed[v] || deg[v] != d {
+					continue
+				}
+				if d > degeneracy {
+					degeneracy = d
+				}
+				removed[v] = true
+				order = append(order, v)
+				for _, w := range g.adj[v] {
+					if !removed[w] {
+						deg[w]--
+						buckets[deg[w]] = append(buckets[deg[w]], int(w))
+					}
+				}
+				d = -1 // restart scan from bucket 0
+				break
+			}
+			if d == -1 {
+				break
+			}
+		}
+	}
+	// The greedy-friendly order is the reverse of the elimination order.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return degeneracy, order
+}
+
+// TriangleCount returns the number of triangles (3-cycles).
+func (g *Graph) TriangleCount() int {
+	count := 0
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		// Intersect neighborhoods, counting only w > v to dedupe.
+		for _, w := range g.adj[u] {
+			if int(w) > v && g.HasEdge(v, int(w)) {
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsBipartite(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"even cycle", Cycle(8), true},
+		{"odd cycle", Cycle(7), false},
+		{"path", Path(9), true},
+		{"tree", CompleteTree(3, 3), true},
+		{"K4", Complete(4), false},
+		{"grid", Grid(4, 5), true},
+		{"petersen", Petersen(), false},
+	}
+	for _, tc := range cases {
+		ok, side := tc.g.IsBipartite()
+		if ok != tc.want {
+			t.Errorf("%s: IsBipartite = %v, want %v", tc.name, ok, tc.want)
+		}
+		if ok {
+			for _, e := range tc.g.Edges() {
+				if side[e[0]] == side[e[1]] {
+					t.Errorf("%s: witness puts edge {%d,%d} on one side", tc.name, e[0], e[1])
+				}
+			}
+		}
+	}
+}
+
+func TestGirth(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"C5", Cycle(5), 5},
+		{"C8", Cycle(8), 8},
+		{"K4", Complete(4), 3},
+		{"path", Path(6), -1},
+		{"tree", CompleteTree(2, 3), -1},
+		{"petersen", Petersen(), 5},
+		{"grid", Grid(3, 3), 4},
+	}
+	for _, tc := range cases {
+		if got := tc.g.Girth(); got != tc.want {
+			t.Errorf("%s: girth = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDegeneracyOrder(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"cycle", Cycle(9), 2},
+		{"tree", CompleteTree(3, 3), 1},
+		{"K5", Complete(5), 4},
+		{"star", Star(8), 1},
+	}
+	for _, tc := range cases {
+		d, order := tc.g.DegeneracyOrder()
+		if d != tc.want {
+			t.Errorf("%s: degeneracy = %d, want %d", tc.name, d, tc.want)
+		}
+		if len(order) != tc.g.N() {
+			t.Fatalf("%s: order covers %d of %d nodes", tc.name, len(order), tc.g.N())
+		}
+		// Witness property: each node has at most d neighbors earlier in
+		// the coloring order (greedy needs at most d+1 colors).
+		pos := make([]int, tc.g.N())
+		for i, v := range order {
+			pos[v] = i
+		}
+		for v := 0; v < tc.g.N(); v++ {
+			earlier := 0
+			for _, w := range tc.g.Neighbors(v) {
+				if pos[w] < pos[v] {
+					earlier++
+				}
+			}
+			if earlier > d {
+				t.Errorf("%s: node %d has %d earlier neighbors > degeneracy %d", tc.name, v, earlier, d)
+			}
+		}
+	}
+}
+
+func TestTriangleCount(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"K3", Complete(3), 1},
+		{"K4", Complete(4), 4},
+		{"C5", Cycle(5), 0},
+		{"petersen", Petersen(), 0},
+		{"grid", Grid(3, 3), 0},
+	}
+	for _, tc := range cases {
+		if got := tc.g.TriangleCount(); got != tc.want {
+			t.Errorf("%s: triangles = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// Property: bipartite iff no odd cycle is found by the exact girth
+// parity... weaker but useful: even cycles are bipartite, odd are not.
+func TestBipartiteCycleParityProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%40) + 3
+		ok, _ := Cycle(n).IsBipartite()
+		return ok == (n%2 == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: girth of C_n equals n.
+func TestGirthCycleProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%40) + 3
+		return Cycle(n).Girth() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+package graph
+
+import "fmt"
+
+// SubdivisionResult records the outcome of subdividing one edge twice, the
+// operation used by the gluing construction in the proof of Theorem 1:
+// "we subdivide each edge e_i twice, by inserting two nodes v_i and w_i".
+type SubdivisionResult struct {
+	G *Graph
+	// VNode and WNode are the indices of the two inserted nodes: the edge
+	// {u, z} becomes the path u - VNode - WNode - z.
+	VNode, WNode int
+}
+
+// SubdivideTwice replaces the edge {u, z} with the path u - v - w - z,
+// where v and w are two fresh nodes appended after the existing ones.
+// Degrees of u and z are unchanged; v and w have degree 2 until the gluing
+// step adds one inter-copy edge each (hence the paper's requirement k > 2).
+func (g *Graph) SubdivideTwice(u, z int) (*SubdivisionResult, error) {
+	if !g.HasEdge(u, z) {
+		return nil, fmt.Errorf("graph: no edge {%d,%d} to subdivide", u, z)
+	}
+	n := g.N()
+	vNode, wNode := n, n+1
+	adj := make([][]int32, n+2)
+	for x := 0; x < n; x++ {
+		nb := make([]int32, 0, len(g.adj[x]))
+		for _, y := range g.adj[x] {
+			switch {
+			case x == u && int(y) == z:
+				nb = append(nb, int32(vNode)) // u now points to v in the same port slot
+			case x == z && int(y) == u:
+				nb = append(nb, int32(wNode)) // z now points to w in the same port slot
+			default:
+				nb = append(nb, y)
+			}
+		}
+		adj[x] = nb
+	}
+	adj[vNode] = []int32{int32(u), int32(wNode)}
+	adj[wNode] = []int32{int32(vNode), int32(z)}
+	return &SubdivisionResult{
+		G:     &Graph{adj: adj, m: g.m + 2},
+		VNode: vNode,
+		WNode: wNode,
+	}, nil
+}
+
+// UnionResult records a disjoint union and the index offsets of each part.
+type UnionResult struct {
+	G *Graph
+	// Offsets[i] is the index in G of node 0 of part i; part i's node v
+	// becomes Offsets[i]+v.
+	Offsets []int
+}
+
+// DisjointUnion places the given graphs side by side with no connecting
+// edges. This realizes the instance union of Claim 3 (the relaxed variant
+// of Theorem 1 on non-connected configurations).
+func DisjointUnion(parts ...*Graph) *UnionResult {
+	total := 0
+	offsets := make([]int, len(parts))
+	for i, p := range parts {
+		offsets[i] = total
+		total += p.N()
+	}
+	adj := make([][]int32, total)
+	m := 0
+	for i, p := range parts {
+		off := offsets[i]
+		for v := 0; v < p.N(); v++ {
+			nb := make([]int32, len(p.adj[v]))
+			for j, w := range p.adj[v] {
+				nb[j] = w + int32(off)
+			}
+			adj[off+v] = nb
+		}
+		m += p.m
+	}
+	return &UnionResult{G: &Graph{adj: adj, m: m}, Offsets: offsets}
+}
+
+// WithExtraEdges returns a copy of g with the listed edges added; it
+// errors on self-loops, duplicates, or edges already present.
+func (g *Graph) WithExtraEdges(edges [][2]int) (*Graph, error) {
+	b := NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		b.AddEdge(e[0], e[1])
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// InducedSubgraph returns the subgraph induced by keep (all edges with both
+// endpoints in keep), plus the local->original node mapping.
+func (g *Graph) InducedSubgraph(keep []int) (*Graph, []int) {
+	local := make(map[int]int, len(keep))
+	nodes := append([]int(nil), keep...)
+	for i, v := range nodes {
+		local[v] = i
+	}
+	adj := make([][]int32, len(nodes))
+	m := 0
+	for i, v := range nodes {
+		for _, w := range g.adj[v] {
+			if j, ok := local[int(w)]; ok {
+				adj[i] = append(adj[i], int32(j))
+				m++
+			}
+		}
+	}
+	return &Graph{adj: adj, m: m / 2}, nodes
+}

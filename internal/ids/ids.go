@@ -1,0 +1,258 @@
+// Package ids provides identity assignments for the LOCAL model.
+//
+// In the LOCAL model every node v of a network carries an identity id(v),
+// a positive integer, and identities within one network are pairwise
+// distinct (paper §2.1.1). The behaviour of algorithms may depend on the
+// actual identity values or, for order-invariant algorithms, only on their
+// relative order. This package provides assignment generators, order
+// patterns (ranks), order-preserving remappings, and the disjoint-range
+// concatenation used by the gluing constructions of Theorem 1.
+package ids
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Assignment maps node indices 0..n-1 to identities. Identities are
+// positive and pairwise distinct; Validate reports violations.
+type Assignment []int64
+
+// Errors returned by Validate.
+var (
+	ErrNonPositive = errors.New("ids: identity must be positive")
+	ErrDuplicate   = errors.New("ids: identities must be pairwise distinct")
+)
+
+// Validate checks that the assignment is a legal LOCAL-model identity
+// assignment: every identity is positive and no two nodes share one.
+func (a Assignment) Validate() error {
+	seen := make(map[int64]int, len(a))
+	for v, id := range a {
+		if id <= 0 {
+			return fmt.Errorf("%w: node %d has id %d", ErrNonPositive, v, id)
+		}
+		if u, ok := seen[id]; ok {
+			return fmt.Errorf("%w: nodes %d and %d share id %d", ErrDuplicate, u, v, id)
+		}
+		seen[id] = v
+	}
+	return nil
+}
+
+// Len returns the number of nodes covered by the assignment.
+func (a Assignment) Len() int { return len(a) }
+
+// Max returns the largest identity in the assignment, or 0 if empty.
+func (a Assignment) Max() int64 {
+	var m int64
+	for _, id := range a {
+		if id > m {
+			m = id
+		}
+	}
+	return m
+}
+
+// Min returns the smallest identity in the assignment, or 0 if empty.
+func (a Assignment) Min() int64 {
+	if len(a) == 0 {
+		return 0
+	}
+	m := a[0]
+	for _, id := range a[1:] {
+		if id < m {
+			m = id
+		}
+	}
+	return m
+}
+
+// Clone returns an independent copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	copy(out, a)
+	return out
+}
+
+// Consecutive assigns identities 1..n in node order. This is the hard
+// assignment of the paper's Section 4 argument: on the cycle with
+// consecutive identities, all interior balls carry the same order pattern.
+func Consecutive(n int) Assignment {
+	return ConsecutiveFrom(n, 1)
+}
+
+// ConsecutiveFrom assigns identities start..start+n-1 in node order.
+func ConsecutiveFrom(n int, start int64) Assignment {
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = start + int64(i)
+	}
+	return a
+}
+
+// Spaced assigns identities start, start+gap, start+2*gap, ... allowing
+// later insertions between existing identities. gap must be >= 1.
+func Spaced(n int, start, gap int64) Assignment {
+	if gap < 1 {
+		gap = 1
+	}
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = start + int64(i)*gap
+	}
+	return a
+}
+
+// rng is a small splitmix64 generator local to this package so that
+// assignment generation does not depend on localrand (keeping the
+// dependency graph acyclic).
+type rng uint64
+
+func (r *rng) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// RandomPerm assigns a uniformly random permutation of 1..n, derived
+// deterministically from seed.
+func RandomPerm(n int, seed uint64) Assignment {
+	a := Consecutive(n)
+	r := rng(seed)
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		a[i], a[j] = a[j], a[i]
+	}
+	return a
+}
+
+// RandomFromUniverse assigns n distinct identities drawn uniformly without
+// replacement from [1, universe]. universe must be >= n.
+func RandomFromUniverse(n int, universe int64, seed uint64) (Assignment, error) {
+	if universe < int64(n) {
+		return nil, fmt.Errorf("ids: universe %d smaller than n %d", universe, n)
+	}
+	r := rng(seed)
+	seen := make(map[int64]bool, n)
+	a := make(Assignment, 0, n)
+	for len(a) < n {
+		id := int64(r.next()%uint64(universe)) + 1
+		if !seen[id] {
+			seen[id] = true
+			a = append(a, id)
+		}
+	}
+	return a, nil
+}
+
+// FromSlice builds an assignment from explicit identities.
+func FromSlice(ids []int64) Assignment {
+	return Assignment(ids).Clone()
+}
+
+// Rank returns, for each node, the rank of its identity among all
+// identities in the assignment (0 = smallest). The rank vector is exactly
+// the information available to an order-invariant algorithm that sees the
+// whole assignment.
+func (a Assignment) Rank() []int {
+	idx := make([]int, len(a))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return a[idx[i]] < a[idx[j]] })
+	ranks := make([]int, len(a))
+	for r, v := range idx {
+		ranks[v] = r
+	}
+	return ranks
+}
+
+// OrderPattern computes the rank vector of an arbitrary identity list.
+// Identities must be distinct; equal identities would make the pattern
+// ill-defined, so duplicates cause an error.
+func OrderPattern(ids []int64) ([]int, error) {
+	seen := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			return nil, fmt.Errorf("%w: id %d", ErrDuplicate, id)
+		}
+		seen[id] = true
+	}
+	return Assignment(ids).Rank(), nil
+}
+
+// SameOrder reports whether two identity lists induce the same ordering of
+// their positions, i.e. whether an order-invariant algorithm is guaranteed
+// to behave identically on them (paper §2.1.1, order-invariance).
+func SameOrder(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	pa, errA := OrderPattern(a)
+	pb, errB := OrderPattern(b)
+	if errA != nil || errB != nil {
+		return false
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RemapPreservingOrder returns a new assignment using the n smallest values
+// of pool, assigned so the relative order of identities is preserved.
+// This is the substitution step of the order-invariant simulation A′ in
+// Appendix A: relabel the ball with the smallest identities of the Ramsey
+// set U, respecting the original order. pool must contain at least Len()
+// distinct positive values.
+func (a Assignment) RemapPreservingOrder(pool []int64) (Assignment, error) {
+	if len(pool) < len(a) {
+		return nil, fmt.Errorf("ids: pool size %d < n %d", len(pool), len(a))
+	}
+	sortedPool := append([]int64(nil), pool...)
+	sort.Slice(sortedPool, func(i, j int) bool { return sortedPool[i] < sortedPool[j] })
+	sortedPool = sortedPool[:len(a)]
+	if err := Assignment(sortedPool).Validate(); err != nil {
+		return nil, err
+	}
+	ranks := a.Rank()
+	out := make(Assignment, len(a))
+	for v, r := range ranks {
+		out[v] = sortedPool[r]
+	}
+	return out, nil
+}
+
+// Concat concatenates assignments for a disjoint union of graphs,
+// offsetting each block so that identity ranges do not overlap and each
+// block's identities stay in the same relative order. This realizes the
+// "identities at least I_min" sequencing in the proof of Claim 3: block
+// i+1 starts above the maximum identity of blocks 1..i.
+func Concat(parts ...Assignment) Assignment {
+	var out Assignment
+	var offset int64
+	for _, p := range parts {
+		base := offset + 1 - p.Min()
+		if p.Len() == 0 {
+			continue
+		}
+		for _, id := range p {
+			out = append(out, id+base)
+		}
+		if m := out.Max(); m > offset {
+			offset = m
+		}
+	}
+	return out
+}

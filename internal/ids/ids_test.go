@@ -1,0 +1,245 @@
+package ids
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestConsecutive(t *testing.T) {
+	a := Consecutive(5)
+	if a.Len() != 5 {
+		t.Fatalf("len = %d, want 5", a.Len())
+	}
+	for i, id := range a {
+		if id != int64(i+1) {
+			t.Errorf("a[%d] = %d, want %d", i, id, i+1)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestConsecutiveFrom(t *testing.T) {
+	a := ConsecutiveFrom(3, 100)
+	want := Assignment{100, 101, 102}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Errorf("a[%d] = %d, want %d", i, a[i], want[i])
+		}
+	}
+}
+
+func TestValidateRejectsNonPositive(t *testing.T) {
+	a := Assignment{1, 0, 3}
+	if err := a.Validate(); !errors.Is(err, ErrNonPositive) {
+		t.Errorf("Validate() = %v, want ErrNonPositive", err)
+	}
+	a = Assignment{1, -5, 3}
+	if err := a.Validate(); !errors.Is(err, ErrNonPositive) {
+		t.Errorf("Validate() = %v, want ErrNonPositive", err)
+	}
+}
+
+func TestValidateRejectsDuplicates(t *testing.T) {
+	a := Assignment{1, 2, 2}
+	if err := a.Validate(); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("Validate() = %v, want ErrDuplicate", err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a := Assignment{7, 3, 9, 4}
+	if a.Min() != 3 || a.Max() != 9 {
+		t.Errorf("Min/Max = %d/%d, want 3/9", a.Min(), a.Max())
+	}
+	var empty Assignment
+	if empty.Min() != 0 || empty.Max() != 0 {
+		t.Errorf("empty Min/Max = %d/%d, want 0/0", empty.Min(), empty.Max())
+	}
+}
+
+func TestSpaced(t *testing.T) {
+	a := Spaced(4, 10, 5)
+	want := Assignment{10, 15, 20, 25}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Errorf("a[%d] = %d, want %d", i, a[i], want[i])
+		}
+	}
+}
+
+func TestRandomPermIsPermutation(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100} {
+		a := RandomPerm(n, 42)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if a.Min() != 1 || a.Max() != int64(n) {
+			t.Errorf("n=%d: range [%d,%d], want [1,%d]", n, a.Min(), a.Max(), n)
+		}
+	}
+}
+
+func TestRandomPermDeterministic(t *testing.T) {
+	a := RandomPerm(50, 7)
+	b := RandomPerm(50, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different permutations at %d", i)
+		}
+	}
+	c := RandomPerm(50, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical permutations")
+	}
+}
+
+func TestRandomFromUniverse(t *testing.T) {
+	a, err := RandomFromUniverse(20, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Max() > 1000 {
+		t.Errorf("id %d exceeds universe", a.Max())
+	}
+	if _, err := RandomFromUniverse(10, 5, 3); err == nil {
+		t.Error("expected error for universe < n")
+	}
+}
+
+func TestRank(t *testing.T) {
+	a := Assignment{30, 10, 20}
+	r := a.Rank()
+	want := []int{2, 0, 1}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("rank[%d] = %d, want %d", i, r[i], want[i])
+		}
+	}
+}
+
+func TestOrderPattern(t *testing.T) {
+	p, err := OrderPattern([]int64{5, 1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 0, 2}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Errorf("pattern[%d] = %d, want %d", i, p[i], want[i])
+		}
+	}
+	if _, err := OrderPattern([]int64{1, 1}); err == nil {
+		t.Error("expected duplicate error")
+	}
+}
+
+func TestSameOrder(t *testing.T) {
+	if !SameOrder([]int64{5, 1, 9}, []int64{50, 10, 90}) {
+		t.Error("order-equivalent lists reported different")
+	}
+	if SameOrder([]int64{5, 1, 9}, []int64{1, 5, 9}) {
+		t.Error("different orders reported same")
+	}
+	if SameOrder([]int64{1, 2}, []int64{1, 2, 3}) {
+		t.Error("different lengths reported same")
+	}
+}
+
+func TestRemapPreservingOrder(t *testing.T) {
+	a := Assignment{30, 10, 20}
+	out, err := a.RemapPreservingOrder([]int64{100, 200, 300, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order must be preserved: positions 1 < 2 < 0.
+	if !(out[1] < out[2] && out[2] < out[0]) {
+		t.Errorf("order not preserved: %v", out)
+	}
+	// And it must use the 3 smallest pool values.
+	if out[1] != 100 || out[2] != 200 || out[0] != 300 {
+		t.Errorf("did not use smallest pool values: %v", out)
+	}
+	if _, err := a.RemapPreservingOrder([]int64{1, 2}); err == nil {
+		t.Error("expected pool-too-small error")
+	}
+}
+
+func TestConcatDisjointAndOrderPreserving(t *testing.T) {
+	a := Assignment{3, 1, 2}
+	b := Assignment{2, 5}
+	out := Concat(a, b)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("Concat produced invalid assignment: %v (%v)", err, out)
+	}
+	if out.Len() != 5 {
+		t.Fatalf("len = %d, want 5", out.Len())
+	}
+	// Block 2 identities must all exceed block 1's maximum.
+	blockAMax := out[:3].Max()
+	for _, id := range out[3:] {
+		if id <= blockAMax {
+			t.Errorf("block 2 id %d not above block 1 max %d", id, blockAMax)
+		}
+	}
+	// Relative order within each block preserved.
+	if !SameOrder([]int64(out[:3]), []int64(a)) {
+		t.Errorf("block 1 order changed: %v vs %v", out[:3], a)
+	}
+	if !SameOrder([]int64(out[3:]), []int64(b)) {
+		t.Errorf("block 2 order changed: %v vs %v", out[3:], b)
+	}
+}
+
+// Property: RandomPerm is always a valid assignment and Rank is always a
+// permutation of 0..n-1.
+func TestRankIsPermutationProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		a := RandomPerm(n, seed)
+		r := a.Rank()
+		seen := make([]bool, n)
+		for _, x := range r {
+			if x < 0 || x >= n || seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: order-preserving remap never changes the order pattern.
+func TestRemapPreservesPatternProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		a := RandomPerm(n, seed)
+		pool := make([]int64, n)
+		for i := range pool {
+			pool[i] = int64(1000 + i*7)
+		}
+		out, err := a.RemapPreservingOrder(pool)
+		if err != nil {
+			return false
+		}
+		return SameOrder([]int64(a), []int64(out))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

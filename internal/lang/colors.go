@@ -1,0 +1,79 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Colors and other small categorical outputs are encoded as single bytes,
+// keeping outputs within every F_k promise with k >= 1. The sentinel
+// values below share the byte namespace deliberately: a language only ever
+// interprets its own outputs.
+
+// ErrDecode reports an output string that does not decode as expected.
+var ErrDecode = errors.New("lang: cannot decode output")
+
+// EncodeColor encodes color c (0..255) as a 1-byte output string.
+func EncodeColor(c int) []byte {
+	if c < 0 || c > 255 {
+		panic(fmt.Sprintf("lang: color %d out of byte range", c))
+	}
+	return []byte{byte(c)}
+}
+
+// DecodeColor decodes a 1-byte color.
+func DecodeColor(y []byte) (int, error) {
+	if len(y) != 1 {
+		return 0, fmt.Errorf("%w: want 1 byte, got %d", ErrDecode, len(y))
+	}
+	return int(y[0]), nil
+}
+
+// Selection marks (AMOS, MIS, dominating set) use a single byte: 0 = not
+// selected, 1 = selected (the paper's ⋆ mark).
+const (
+	NotSelected byte = 0
+	Selected    byte = 1
+)
+
+// EncodeSelected returns the output string for a (non-)selected node.
+func EncodeSelected(sel bool) []byte {
+	if sel {
+		return []byte{Selected}
+	}
+	return []byte{NotSelected}
+}
+
+// DecodeSelected decodes a selection mark.
+func DecodeSelected(y []byte) (bool, error) {
+	if len(y) != 1 || (y[0] != Selected && y[0] != NotSelected) {
+		return false, fmt.Errorf("%w: bad selection mark %v", ErrDecode, y)
+	}
+	return y[0] == Selected, nil
+}
+
+// UnmatchedPort is the matching output for an unmatched node.
+const UnmatchedPort byte = 0xFF
+
+// EncodeMatchPort encodes "matched through port p" (p < 255) or unmatched.
+func EncodeMatchPort(port int, matched bool) []byte {
+	if !matched {
+		return []byte{UnmatchedPort}
+	}
+	if port < 0 || port >= 255 {
+		panic(fmt.Sprintf("lang: match port %d out of range", port))
+	}
+	return []byte{byte(port)}
+}
+
+// DecodeMatchPort decodes a matching output; matched is false for the
+// unmatched sentinel.
+func DecodeMatchPort(y []byte) (port int, matched bool, err error) {
+	if len(y) != 1 {
+		return 0, false, fmt.Errorf("%w: want 1 byte, got %d", ErrDecode, len(y))
+	}
+	if y[0] == UnmatchedPort {
+		return 0, false, nil
+	}
+	return int(y[0]), true, nil
+}

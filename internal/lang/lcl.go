@@ -1,0 +1,318 @@
+package lang
+
+import (
+	"fmt"
+
+	"rlnc/internal/graph"
+)
+
+// LabeledBall is a radius-t ball together with the inputs and outputs of
+// its nodes, indexed ball-locally (index 0 = center). LCL bad-ball
+// predicates examine labeled balls and must not depend on identities —
+// language membership is identity-free (§2.2.1).
+type LabeledBall struct {
+	Ball *graph.Ball
+	X    [][]byte
+	Y    [][]byte
+}
+
+// LabeledBallAround extracts the labeled ball B_G(v,t) from a
+// configuration.
+func LabeledBallAround(c *Config, v, t int) *LabeledBall {
+	b := c.G.BallAround(v, t)
+	x := make([][]byte, b.Size())
+	y := make([][]byte, b.Size())
+	for i, u := range b.Nodes {
+		x[i] = c.X[u]
+		y[i] = c.Y[u]
+	}
+	return &LabeledBall{Ball: b, X: x, Y: y}
+}
+
+// LCL is a locally checkable labeling language (§4): a language defined by
+// the exclusion of a collection Bad(L) of balls of radius Radius. A
+// configuration belongs to the language iff no node's ball is bad.
+type LCL struct {
+	LangName string
+	Radius   int
+	// Bad reports whether the ball violates the specification. It is the
+	// membership test of Bad(L).
+	Bad func(b *LabeledBall) bool
+}
+
+// Name implements Language.
+func (l *LCL) Name() string { return l.LangName }
+
+// Contains implements Language: no ball may be bad.
+func (l *LCL) Contains(c *Config) (bool, error) {
+	if err := c.Validate(); err != nil {
+		return false, err
+	}
+	return l.CountBadBalls(c) == 0, nil
+}
+
+// CountBadBalls returns |F(G)| in the notation of Corollary 1's proof:
+// the number of nodes v with B_G(v,t) ∈ Bad(L).
+func (l *LCL) CountBadBalls(c *Config) int {
+	count := 0
+	for v := 0; v < c.G.N(); v++ {
+		if l.Bad(LabeledBallAround(c, v, l.Radius)) {
+			count++
+		}
+	}
+	return count
+}
+
+// BadNodes returns the centers of all bad balls.
+func (l *LCL) BadNodes(c *Config) []int {
+	var out []int
+	for v := 0; v < c.G.N(); v++ {
+		if l.Bad(LabeledBallAround(c, v, l.Radius)) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// centerColor decodes the center's color; ok is false when the output is
+// malformed or outside [0, q).
+func centerColor(b *LabeledBall, q int) (int, bool) {
+	col, err := DecodeColor(b.Y[0])
+	if err != nil || col >= q {
+		return 0, false
+	}
+	return col, true
+}
+
+// ProperColoring returns the LCL of proper q-colorings: the excluded balls
+// of radius 1 are those whose center shares its color with a neighbor (or
+// carries no valid color).
+func ProperColoring(q int) *LCL {
+	return &LCL{
+		LangName: fmt.Sprintf("%d-coloring", q),
+		Radius:   1,
+		Bad: func(b *LabeledBall) bool {
+			col, ok := centerColor(b, q)
+			if !ok {
+				return true
+			}
+			for _, u := range b.Ball.G.Neighbors(0) {
+				nc, err := DecodeColor(b.Y[u])
+				if err != nil {
+					return true
+				}
+				if nc == col {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+// WeakColoring returns the LCL of weak q-colorings (§1.1, [28]): every
+// node must have at least one neighbor with a different color.
+func WeakColoring(q int) *LCL {
+	return &LCL{
+		LangName: fmt.Sprintf("weak-%d-coloring", q),
+		Radius:   1,
+		Bad: func(b *LabeledBall) bool {
+			col, ok := centerColor(b, q)
+			if !ok {
+				return true
+			}
+			for _, u := range b.Ball.G.Neighbors(0) {
+				nc, err := DecodeColor(b.Y[u])
+				if err != nil {
+					return true
+				}
+				if nc != col {
+					return false // found a differing neighbor
+				}
+			}
+			return true // no differing neighbor (or isolated center)
+		},
+	}
+}
+
+// MIS returns the LCL of maximal independent sets: a selected node may not
+// have a selected neighbor; an unselected node must have one.
+func MIS() *LCL {
+	return &LCL{
+		LangName: "mis",
+		Radius:   1,
+		Bad: func(b *LabeledBall) bool {
+			sel, err := DecodeSelected(b.Y[0])
+			if err != nil {
+				return true
+			}
+			anySelected := false
+			for _, u := range b.Ball.G.Neighbors(0) {
+				nsel, err := DecodeSelected(b.Y[u])
+				if err != nil {
+					return true
+				}
+				if nsel {
+					anySelected = true
+				}
+			}
+			if sel {
+				return anySelected // independence violated
+			}
+			return !anySelected // domination violated
+		},
+	}
+}
+
+// MaximalMatching returns the LCL of maximal matchings. Outputs encode
+// "matched through host port p" or the unmatched sentinel; the excluded
+// balls of radius 1 are those where the center's claimed partner does not
+// reciprocate, the port is invalid, or both the center and a neighbor are
+// unmatched (maximality).
+func MaximalMatching() *LCL {
+	return &LCL{
+		LangName: "maximal-matching",
+		Radius:   1,
+		Bad:      badMatchingBall,
+	}
+}
+
+func badMatchingBall(b *LabeledBall) bool {
+	port, matched, err := DecodeMatchPort(b.Y[0])
+	if err != nil {
+		return true
+	}
+	if matched {
+		// Find the local neighbor reached through the claimed host port.
+		partner := -1
+		for j, hostPort := range b.Ball.Ports[0] {
+			if hostPort == port {
+				partner = int(b.Ball.G.Neighbors(0)[j])
+				break
+			}
+		}
+		if partner == -1 {
+			return true // port does not exist at the center
+		}
+		// The partner must point back at the center through its own port.
+		pPort, pMatched, err := DecodeMatchPort(b.Y[partner])
+		if err != nil || !pMatched {
+			return true
+		}
+		for j, hostPort := range b.Ball.Ports[partner] {
+			if hostPort == pPort {
+				return int(b.Ball.G.Neighbors(partner)[j]) != 0
+			}
+		}
+		return true // partner's port points outside the ball, hence not at center
+	}
+	// Maximality: an unmatched center may not have an unmatched neighbor.
+	for _, u := range b.Ball.G.Neighbors(0) {
+		_, nMatched, err := DecodeMatchPort(b.Y[u])
+		if err != nil {
+			return true
+		}
+		if !nMatched {
+			return true
+		}
+	}
+	return false
+}
+
+// MinimalDominatingSet returns the LCL of minimal dominating sets, with
+// radius 2: domination is a radius-1 condition; minimality of a selected
+// center needs its neighbors' neighborhoods.
+func MinimalDominatingSet() *LCL {
+	return &LCL{
+		LangName: "minimal-dominating-set",
+		Radius:   2,
+		Bad:      badMDSBall,
+	}
+}
+
+func badMDSBall(b *LabeledBall) bool {
+	selAt := func(local int) (bool, bool) {
+		s, err := DecodeSelected(b.Y[local])
+		return s, err == nil
+	}
+	sel, ok := selAt(0)
+	if !ok {
+		return true
+	}
+	neighbors := b.Ball.G.Neighbors(0)
+	if !sel {
+		// Domination: some neighbor must be selected.
+		for _, u := range neighbors {
+			if s, ok := selAt(int(u)); !ok {
+				return true
+			} else if s {
+				return false
+			}
+		}
+		return true
+	}
+	// Minimality: the selected center is redundant — and the ball bad — if
+	// the center is dominated without itself (some selected neighbor) and
+	// every neighbor is dominated without the center.
+	centerCovered := false
+	for _, u := range neighbors {
+		s, ok := selAt(int(u))
+		if !ok {
+			return true
+		}
+		if s {
+			centerCovered = true
+		}
+	}
+	if !centerCovered {
+		return false // center is the only dominator of itself: not redundant
+	}
+	for _, u := range neighbors {
+		uCovered := false
+		if s, _ := selAt(int(u)); s {
+			uCovered = true
+		}
+		for j, w := range b.Ball.G.Neighbors(int(u)) {
+			_ = j
+			if int(w) == 0 {
+				continue // coverage by the center does not count
+			}
+			if s, ok := selAt(int(w)); ok && s {
+				uCovered = true
+				break
+			}
+		}
+		if !uCovered {
+			return false // u needs the center: center not redundant
+		}
+	}
+	return true // center redundant: minimality violated
+}
+
+// FrugalColoring returns the LCL of c-frugal proper q-colorings (§4):
+// proper coloring with the extra constraint that no color appears more
+// than c times in the neighborhood of any node.
+func FrugalColoring(q, c int) *LCL {
+	proper := ProperColoring(q)
+	return &LCL{
+		LangName: fmt.Sprintf("%d-frugal-%d-coloring", c, q),
+		Radius:   1,
+		Bad: func(b *LabeledBall) bool {
+			if proper.Bad(b) {
+				return true
+			}
+			counts := make(map[int]int)
+			for _, u := range b.Ball.G.Neighbors(0) {
+				nc, err := DecodeColor(b.Y[u])
+				if err != nil {
+					return true
+				}
+				counts[nc]++
+				if counts[nc] > c {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}

@@ -1,0 +1,18 @@
+package lang
+
+// LLL returns the LCL used as the paper's running Lovász-local-lemma
+// example (§1.1, citing Chung–Pettie–Su [6]): every node outputs one bit,
+// and the "bad event" at node v is that v's closed star is monochromatic
+// (v and all its neighbors carry the same bit). Under a uniformly random
+// assignment the bad event at v has probability 2^{-deg(v)} and depends
+// only on events within distance 2, so for bounded degree ≥ 3 the LLL
+// criterion e·p·(d+1) ≤ 1 holds and satisfying assignments exist — indeed
+// any weak 2-coloring is exactly an assignment avoiding every bad event.
+//
+// The f-resilient relaxation of this language (at most f bad events hold)
+// is the relaxed constructive LLL discussed in §1.1 and §4.
+func LLL() *LCL {
+	l := WeakColoring(2)
+	l.LangName = "lll-monochromatic-star"
+	return l
+}

@@ -1,0 +1,180 @@
+package linial
+
+import (
+	"errors"
+	"testing"
+
+	"rlnc/internal/graph"
+)
+
+func TestColorableKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		k    int
+		want bool
+	}{
+		{"C5 with 3", graph.Cycle(5), 3, true},
+		{"C5 with 2", graph.Cycle(5), 2, false},
+		{"C6 with 2", graph.Cycle(6), 2, true},
+		{"K4 with 3", graph.Complete(4), 3, false},
+		{"K4 with 4", graph.Complete(4), 4, true},
+		{"Petersen with 3", graph.Petersen(), 3, true},
+		{"Petersen with 2", graph.Petersen(), 2, false},
+		{"path with 2", graph.Path(7), 2, true},
+		{"grid with 2", graph.Grid(3, 4), 2, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ok, coloring, err := Colorable(tc.g, tc.k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != tc.want {
+				t.Fatalf("Colorable = %v, want %v", ok, tc.want)
+			}
+			if ok {
+				validateColoring(t, tc.g, coloring, tc.k)
+			}
+		})
+	}
+}
+
+func validateColoring(t *testing.T, g *graph.Graph, colors []int, k int) {
+	t.Helper()
+	for v := 0; v < g.N(); v++ {
+		if colors[v] < 0 || colors[v] >= k {
+			t.Fatalf("node %d color %d outside [0,%d)", v, colors[v], k)
+		}
+		for _, w := range g.Neighbors(v) {
+			if colors[v] == colors[w] {
+				t.Fatalf("edge {%d,%d} monochromatic", v, w)
+			}
+		}
+	}
+}
+
+func TestColorableBudget(t *testing.T) {
+	// A tiny budget must abort, not lie.
+	g := graph.Petersen()
+	_, _, err := Colorable(g, 3, 2)
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestChromaticNumber(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"C5", graph.Cycle(5), 3},
+		{"C6", graph.Cycle(6), 2},
+		{"K5", graph.Complete(5), 5},
+		{"Petersen", graph.Petersen(), 3},
+		{"star", graph.Star(6), 2},
+	}
+	for _, tc := range cases {
+		got, err := ChromaticNumber(tc.g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: χ = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestGreedyUpperBound(t *testing.T) {
+	if ub := GreedyChromaticUpperBound(graph.Complete(5)); ub != 5 {
+		t.Errorf("K5 greedy = %d, want 5", ub)
+	}
+	if ub := GreedyChromaticUpperBound(graph.Cycle(6)); ub < 2 || ub > 3 {
+		t.Errorf("C6 greedy = %d", ub)
+	}
+}
+
+func TestPatternGraphSelfLoopAtMonotone(t *testing.T) {
+	for _, radius := range []int{1, 2, 3} {
+		pg := BuildPatternGraph(radius)
+		if len(pg.Patterns) != factorialInt(2*radius+1) {
+			t.Fatalf("t=%d: %d patterns, want (2t+1)!", radius, len(pg.Patterns))
+		}
+		if !pg.HasSelfLoopAtMonotone() {
+			t.Errorf("t=%d: monotone pattern has no self-loop — the Section 4 engine is broken", radius)
+		}
+		if pg.SelfLoopCount() < 1 {
+			t.Errorf("t=%d: no self-loops at all", radius)
+		}
+	}
+}
+
+func factorialInt(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+func TestPatternCompatibility(t *testing.T) {
+	// Increasing followed by increasing: consecutive windows of a
+	// monotone sequence. Must be compatible.
+	inc := []int{0, 1, 2}
+	if !compatible(inc, inc) {
+		t.Error("monotone self-compatibility missing")
+	}
+	// (0,1,2) then (2,1,0): overlap of the first says x1<x2; of the
+	// second says x1>x2. Incompatible.
+	dec := []int{2, 1, 0}
+	if compatible(inc, dec) {
+		t.Error("contradictory overlap accepted")
+	}
+}
+
+func TestNeighborhoodGraphStructure(t *testing.T) {
+	g, err := NeighborhoodGraph(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != NeighborhoodGraphSize(5, 1) {
+		t.Errorf("B(5,1): %d vertices, want %d", g.N(), NeighborhoodGraphSize(5, 1))
+	}
+	if g.N() != 5*4*3 {
+		t.Errorf("B(5,1) should have 60 vertices, has %d", g.N())
+	}
+	// Every vertex has successors: for each tuple there are n-3 fresh ids
+	// extending it and n-3 preceding it (possibly overlapping as
+	// undirected edges).
+	if g.M() == 0 {
+		t.Fatal("B(5,1) has no edges")
+	}
+	if _, err := NeighborhoodGraph(3, 1); err == nil {
+		t.Error("n=3 should be rejected for t=1")
+	}
+}
+
+func TestNeighborhoodGraphColorabilityTransition(t *testing.T) {
+	// The Linial lower-bound machine: find 3-colorability of B(n,1) for
+	// small n. It must be 3-colorable for tiny n (few constraints). The
+	// non-3-colorability threshold for larger n is what experiment E7
+	// reports; here we pin the small cases and monotonicity of the
+	// verdicts we can afford to compute.
+	okSmall, _, err := Colorable(mustNG(t, 4, 1), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okSmall {
+		t.Error("B(4,1) should be 3-colorable")
+	}
+}
+
+func mustNG(t *testing.T, n, radius int) *graph.Graph {
+	t.Helper()
+	g, err := NeighborhoodGraph(n, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

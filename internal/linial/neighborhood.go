@@ -1,0 +1,222 @@
+package linial
+
+import (
+	"fmt"
+
+	"rlnc/internal/graph"
+)
+
+// PatternGraph is the adjacency structure of order patterns: vertices are
+// the permutations of the 2t+1 window positions of a t-round view on the
+// oriented ring, and two patterns are adjacent when consecutive windows of
+// some identity sequence realize them. Self-loops are possible — and
+// decisive: a t-round order-invariant algorithm is a coloring of this
+// graph, so a self-loop at pattern P means every such algorithm produces
+// adjacent equal outputs on sequences realizing P twice in a row. The
+// monotone (consecutive-identity) pattern always has a self-loop, which is
+// exactly the Section 4 argument.
+type PatternGraph struct {
+	T int
+	// Patterns lists the rank patterns (permutation of 0..2t) indexing
+	// the vertices.
+	Patterns [][]int
+	// Adj is the simple adjacency (no self-loops).
+	Adj [][]int
+	// SelfLoop flags vertices adjacent to themselves.
+	SelfLoop []bool
+}
+
+// permutationsOf generates all permutations of 0..n-1 in lexicographic
+// generation order.
+func permutationsOf(n int) [][]int {
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), base...))
+			return
+		}
+		for i := k; i < n; i++ {
+			base[k], base[i] = base[i], base[k]
+			rec(k + 1)
+			base[k], base[i] = base[i], base[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// compatible reports whether two patterns can appear on consecutive
+// windows: the order they induce on the shared 2t positions must agree.
+// (The fresh endpoints can then always be placed, so agreement on the
+// overlap is both necessary and sufficient.)
+func compatible(p, q []int) bool {
+	w := len(p)
+	// Shared positions: p[1..w-1] vs q[0..w-2]; ranks induce an order on
+	// the shared elements, and both orders must coincide.
+	for i := 1; i < w; i++ {
+		for j := i + 1; j < w; j++ {
+			if (p[i] < p[j]) != (q[i-1] < q[j-1]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BuildPatternGraph constructs the pattern graph for radius t (window
+// width 2t+1).
+func BuildPatternGraph(t int) *PatternGraph {
+	w := 2*t + 1
+	patterns := permutationsOf(w)
+	pg := &PatternGraph{
+		T:        t,
+		Patterns: patterns,
+		Adj:      make([][]int, len(patterns)),
+		SelfLoop: make([]bool, len(patterns)),
+	}
+	for i, p := range patterns {
+		for j, q := range patterns {
+			if !compatible(p, q) {
+				continue
+			}
+			if i == j {
+				pg.SelfLoop[i] = true
+				continue
+			}
+			pg.Adj[i] = append(pg.Adj[i], j)
+		}
+	}
+	return pg
+}
+
+// MonotoneIndex returns the vertex index of the strictly increasing
+// pattern (0, 1, ..., 2t), the pattern realized at every interior node of
+// a consecutive-identity ring window.
+func (pg *PatternGraph) MonotoneIndex() int {
+	for i, p := range pg.Patterns {
+		mono := true
+		for j, r := range p {
+			if r != j {
+				mono = false
+				break
+			}
+		}
+		if mono {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasSelfLoopAtMonotone reports the decisive structural fact: the
+// increasing pattern is self-adjacent (two consecutive windows of
+// 1, 2, ..., m are both increasing), hence no order-invariant algorithm
+// of radius t properly colors all rings with any palette.
+func (pg *PatternGraph) HasSelfLoopAtMonotone() bool {
+	i := pg.MonotoneIndex()
+	return i >= 0 && pg.SelfLoop[i]
+}
+
+// SelfLoopCount returns the number of self-adjacent patterns.
+func (pg *PatternGraph) SelfLoopCount() int {
+	count := 0
+	for _, s := range pg.SelfLoop {
+		if s {
+			count++
+		}
+	}
+	return count
+}
+
+// NeighborhoodGraph builds Linial's identity neighborhood graph B(n, t)
+// for the oriented ring: vertices are (2t+1)-tuples of distinct
+// identities from [n] (a node's ordered view of the identities around it)
+// and edges join tuples that can be consecutive views — overlapping by a
+// shift of one with all 2t+2 identities distinct. Any t-round algorithm
+// that properly 3-colors every oriented ring with identities from [n]
+// induces a proper 3-coloring of B(n, t), so non-3-colorability of
+// B(n, t) is a lower bound certificate ([25]).
+//
+// The construction materializes n·(n-1)·...·(n-2t) vertices; it is meant
+// for t = 1 and small n.
+func NeighborhoodGraph(n, t int) (*graph.Graph, error) {
+	w := 2*t + 1
+	if n < w+1 {
+		return nil, fmt.Errorf("linial: need n >= %d for radius %d", w+1, t)
+	}
+	// Enumerate all ordered w-tuples of distinct ids from 1..n.
+	var tuples [][]int
+	tuple := make([]int, w)
+	used := make([]bool, n+1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == w {
+			tuples = append(tuples, append([]int(nil), tuple...))
+			return
+		}
+		for id := 1; id <= n; id++ {
+			if used[id] {
+				continue
+			}
+			used[id] = true
+			tuple[k] = id
+			rec(k + 1)
+			used[id] = false
+		}
+	}
+	rec(0)
+
+	index := make(map[string]int, len(tuples))
+	keyOf := func(tp []int) string {
+		return fmt.Sprint(tp)
+	}
+	for i, tp := range tuples {
+		index[keyOf(tp)] = i
+	}
+	b := graph.NewBuilder(len(tuples))
+	seen := make(map[[2]int]bool)
+	for i, tp := range tuples {
+		// Successor views: shift left by one, append a fresh id.
+		for id := 1; id <= n; id++ {
+			fresh := true
+			for _, x := range tp {
+				if x == id {
+					fresh = false
+					break
+				}
+			}
+			if !fresh {
+				continue
+			}
+			next := append(append([]int(nil), tp[1:]...), id)
+			j := index[keyOf(next)]
+			if i == j {
+				continue // cannot happen with distinct ids, kept defensive
+			}
+			a, bb := i, j
+			if a > bb {
+				a, bb = bb, a
+			}
+			if !seen[[2]int{a, bb}] {
+				seen[[2]int{a, bb}] = true
+				b.AddEdge(a, bb)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// NeighborhoodGraphSize predicts the vertex count of B(n, t).
+func NeighborhoodGraphSize(n, t int) int {
+	w := 2*t + 1
+	size := 1
+	for i := 0; i < w; i++ {
+		size *= n - i
+	}
+	return size
+}

@@ -1,0 +1,167 @@
+// Package linial makes the ring-coloring lower bounds discussed in §1.3
+// and §4 of the paper computational:
+//
+//   - an exact k-colorability solver (DSATUR-ordered backtracking with a
+//     search budget);
+//   - the order-pattern adjacency graph of t-round order-invariant
+//     algorithms on the ring, whose self-loop at the monotone pattern
+//     proves that no order-invariant algorithm properly colors all rings
+//     at any constant radius with any finite palette (the engine behind
+//     the Section 4 argument);
+//   - Linial's identity neighborhood graph B(n, t) for the oriented ring,
+//     whose chromatic number lower-bounds the palette of any t-round
+//     algorithm with identities from [n] ([25], [27]).
+package linial
+
+import (
+	"errors"
+	"fmt"
+
+	"rlnc/internal/graph"
+)
+
+// ErrBudget reports an exhausted search budget: the instance is neither
+// proved colorable nor uncolorable.
+var ErrBudget = errors.New("linial: search budget exhausted")
+
+// Colorable decides exact k-colorability by backtracking with DSATUR-style
+// most-saturated-first variable ordering. budget caps the number of
+// backtracking nodes (0 selects a large default); exceeding it returns
+// ErrBudget rather than a wrong answer.
+func Colorable(g *graph.Graph, k int, budget int64) (bool, []int, error) {
+	n := g.N()
+	if k < 0 {
+		return false, nil, fmt.Errorf("linial: negative palette")
+	}
+	if n == 0 {
+		return true, nil, nil
+	}
+	if budget == 0 {
+		budget = 50_000_000
+	}
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	// neighborColors[v] tracks how many neighbors of v use each color.
+	neighborColors := make([][]int32, n)
+	satDegree := make([]int, n)
+	for v := 0; v < n; v++ {
+		neighborColors[v] = make([]int32, k)
+	}
+	var nodes int64
+	var solve func(assigned int) (bool, error)
+	solve = func(assigned int) (bool, error) {
+		if assigned == n {
+			return true, nil
+		}
+		nodes++
+		if nodes > budget {
+			return false, ErrBudget
+		}
+		// Pick the uncolored vertex with maximum saturation, tie-break on
+		// degree.
+		best := -1
+		for v := 0; v < n; v++ {
+			if colors[v] != -1 {
+				continue
+			}
+			if best == -1 || satDegree[v] > satDegree[best] ||
+				(satDegree[v] == satDegree[best] && g.Degree(v) > g.Degree(best)) {
+				best = v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if neighborColors[best][c] > 0 {
+				continue
+			}
+			colors[best] = c
+			for _, w := range g.Neighbors(best) {
+				if neighborColors[w][c] == 0 {
+					satDegree[w]++
+				}
+				neighborColors[w][c]++
+			}
+			ok, err := solve(assigned + 1)
+			if ok || err != nil {
+				return ok, err
+			}
+			for _, w := range g.Neighbors(best) {
+				neighborColors[w][c]--
+				if neighborColors[w][c] == 0 {
+					satDegree[w]--
+				}
+			}
+			colors[best] = -1
+		}
+		return false, nil
+	}
+	ok, err := solve(0)
+	if err != nil {
+		return false, nil, err
+	}
+	if !ok {
+		return false, nil, nil
+	}
+	return true, colors, nil
+}
+
+// GreedyChromaticUpperBound colors greedily in degree order, returning the
+// number of colors used — a cheap upper bound on the chromatic number.
+func GreedyChromaticUpperBound(g *graph.Graph) int {
+	n := g.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Sort by decreasing degree (simple selection to stay allocation-lean).
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if g.Degree(order[j]) > g.Degree(order[i]) {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	max := 0
+	for _, v := range order {
+		used := make(map[int]bool)
+		for _, w := range g.Neighbors(v) {
+			if colors[w] >= 0 {
+				used[colors[w]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+		if c+1 > max {
+			max = c + 1
+		}
+	}
+	return max
+}
+
+// ChromaticNumber computes the exact chromatic number by binary-searching
+// Colorable between clique-ish lower and greedy upper bounds. Intended
+// for the small neighborhood graphs of this package.
+func ChromaticNumber(g *graph.Graph, budget int64) (int, error) {
+	if g.N() == 0 {
+		return 0, nil
+	}
+	upper := GreedyChromaticUpperBound(g)
+	for k := 1; k <= upper; k++ {
+		ok, _, err := Colorable(g, k, budget)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return k, nil
+		}
+	}
+	return upper, nil
+}

@@ -1,0 +1,265 @@
+package local
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rlnc/internal/lang"
+	"rlnc/internal/localrand"
+)
+
+// Message is an arbitrary payload exchanged in one round. The LOCAL model
+// places no bound on message size (§2.1.1), so payloads are free-form;
+// algorithms define their own message types.
+type Message any
+
+// NodeInfo is the static information a node holds when an execution
+// starts: its identity, degree, input, and (for Monte-Carlo algorithms)
+// its private random tape.
+type NodeInfo struct {
+	ID     int64
+	Degree int
+	Input  []byte
+	// Tape is nil in deterministic executions.
+	Tape *localrand.Tape
+}
+
+// Process is the per-node state machine of a message-passing algorithm.
+// The engine creates one Process per node; a Process must not share
+// mutable state with other Processes (they run concurrently).
+type Process interface {
+	// Start receives the node's static information and returns the
+	// messages to send in round 1, indexed by port (nil entries send
+	// nothing; a nil or short slice is padded).
+	Start(info NodeInfo) []Message
+	// Step receives the messages that arrived in round r (indexed by the
+	// receiving node's ports, nil = no message) and returns the messages
+	// for round r+1. Returning done = true fixes the node's output; the
+	// node sends nothing afterwards but neighbors may keep running.
+	Step(round int, received []Message) (send []Message, done bool)
+	// Output returns the node's final output string. It is called once
+	// the execution finishes and must be valid as soon as done was
+	// returned (or when the engine's round budget is exhausted for
+	// fixed-round algorithms).
+	Output() []byte
+}
+
+// MessageAlgorithm creates the per-node processes of a distributed
+// algorithm in which "all nodes perform the same instructions" (§2.1.1):
+// one factory, one Process per node.
+type MessageAlgorithm interface {
+	Name() string
+	NewProcess() Process
+}
+
+// Stats records the observable cost of an execution.
+type Stats struct {
+	// Rounds is the number of communication rounds executed.
+	Rounds int
+	// Messages is the number of (non-nil) messages delivered.
+	Messages int64
+}
+
+// Result is the outcome of a message-passing execution.
+type Result struct {
+	Y     [][]byte
+	Stats Stats
+}
+
+// ErrNoHalt reports an execution that exceeded its round budget.
+var ErrNoHalt = errors.New("local: algorithm did not halt within the round budget")
+
+// RunOptions tunes an execution.
+type RunOptions struct {
+	// MaxRounds caps the number of rounds; 0 selects 2n+64, a generous
+	// bound for the algorithms in this repository.
+	MaxRounds int
+	// StopAfter, when positive, ends the execution after exactly that
+	// many communication rounds whether or not all nodes reported done
+	// (the completion time of a LOCAL algorithm is deterministic,
+	// §2.1.2). Fixed-round algorithms must have valid outputs then.
+	StopAfter int
+}
+
+// RunMessage executes a message-passing algorithm on an instance. A nil
+// draw yields a deterministic execution; otherwise each node's tape is
+// drawn from σ by identity.
+func RunMessage(in *lang.Instance, algo MessageAlgorithm, draw *localrand.Draw, opts RunOptions) (*Result, error) {
+	var tapeOf func(v int) *localrand.Tape
+	if draw != nil {
+		d := *draw
+		tapeOf = func(v int) *localrand.Tape { return d.Tape(in.ID[v]) }
+	}
+	return runCore(in, algo, tapeOf, opts)
+}
+
+// runCore is the engine proper; tapeOf supplies each node's private tape
+// (nil for deterministic executions) addressed by node index.
+func runCore(in *lang.Instance, algo MessageAlgorithm, tapeOf func(v int) *localrand.Tape, opts RunOptions) (*Result, error) {
+	n := in.G.N()
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 2*n + 64
+	}
+	if opts.StopAfter > 0 {
+		maxRounds = opts.StopAfter
+	}
+
+	// inPort[v][p] is the port at which the neighbor across v's port p
+	// receives messages from v.
+	inPort := make([][]int, n)
+	for v := 0; v < n; v++ {
+		inPort[v] = make([]int, in.G.Degree(v))
+		for p, w := range in.G.Neighbors(v) {
+			u := int(w)
+			q := -1
+			for pp, x := range in.G.Neighbors(u) {
+				if int(x) == v {
+					q = pp
+					break
+				}
+			}
+			if q == -1 {
+				return nil, fmt.Errorf("local: asymmetric adjacency at edge {%d,%d}", v, u)
+			}
+			inPort[v][p] = q
+		}
+	}
+
+	procs := make([]Process, n)
+	sends := make([][]Message, n)
+	done := make([]bool, n)
+	var messages atomic.Int64
+
+	parallelFor(n, func(v int) {
+		procs[v] = algo.NewProcess()
+		info := NodeInfo{
+			ID:     in.ID[v],
+			Degree: in.G.Degree(v),
+			Input:  in.X[v],
+		}
+		if tapeOf != nil {
+			info.Tape = tapeOf(v)
+		}
+		sends[v] = padMessages(procs[v].Start(info), info.Degree)
+	})
+
+	rounds := 0
+	for round := 1; opts.StopAfter == 0 || round <= opts.StopAfter; round++ {
+		if round > maxRounds {
+			return nil, fmt.Errorf("%w: %d rounds on %d nodes", ErrNoHalt, maxRounds, n)
+		}
+		// Deliver: recv[v][p] is the message arriving at v's port p.
+		recv := make([][]Message, n)
+		parallelFor(n, func(v int) {
+			deg := in.G.Degree(v)
+			rv := make([]Message, deg)
+			for p, w := range in.G.Neighbors(v) {
+				u := int(w)
+				// v's port p connects to u's port inPort[v][p]; u's
+				// outgoing message on that port lands here.
+				if m := sends[u][inPort[v][p]]; m != nil {
+					rv[p] = m
+					messages.Add(1)
+				}
+			}
+			recv[v] = rv
+		})
+		rounds = round
+
+		allDone := true
+		parallelFor(n, func(v int) {
+			if done[v] {
+				sends[v] = padMessages(nil, in.G.Degree(v))
+				return
+			}
+			out, fin := procs[v].Step(round, recv[v])
+			sends[v] = padMessages(out, in.G.Degree(v))
+			done[v] = fin
+		})
+		for v := 0; v < n; v++ {
+			if !done[v] {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+
+	y := make([][]byte, n)
+	parallelFor(n, func(v int) { y[v] = procs[v].Output() })
+	return &Result{Y: y, Stats: Stats{Rounds: rounds, Messages: messages.Load()}}, nil
+}
+
+// padMessages normalizes a send slice to exactly deg entries.
+func padMessages(ms []Message, deg int) []Message {
+	if len(ms) == deg {
+		return ms
+	}
+	out := make([]Message, deg)
+	copy(out, ms)
+	return out
+}
+
+// ParallelFor runs fn(i) for i in [0, n) on a pool of GOMAXPROCS workers.
+// fn must touch disjoint state per index; under that contract the result
+// is deterministic regardless of scheduling. Exported for the decider and
+// experiment packages, which share the same per-node parallelism pattern.
+func ParallelFor(n int, fn func(i int)) { parallelFor(n, fn) }
+
+// parallelFor runs fn(i) for i in [0, n) on a pool of GOMAXPROCS workers,
+// in contiguous chunks. Callers guarantee fn touches disjoint state per
+// index, so the iteration is deterministic regardless of scheduling. A
+// panic inside fn is captured and re-raised on the calling goroutine, so
+// algorithm contract violations surface as ordinary recoverable panics.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var panicked any
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					mu.Unlock()
+				}
+			}()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

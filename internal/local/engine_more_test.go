@@ -1,0 +1,99 @@
+package local
+
+import (
+	"strings"
+	"testing"
+
+	"rlnc/internal/graph"
+	"rlnc/internal/lang"
+)
+
+// panicker violates its contract in Start.
+type panicker struct{}
+
+func (panicker) Name() string { return "panicker" }
+func (panicker) NewProcess() Process {
+	return &panickerProc{}
+}
+
+type panickerProc struct{}
+
+func (p *panickerProc) Start(info NodeInfo) []Message {
+	panic("algorithm contract violated")
+}
+func (p *panickerProc) Step(round int, received []Message) ([]Message, bool) { return nil, true }
+func (p *panickerProc) Output() []byte                                       { return nil }
+
+// TestEnginePanicsAreRecoverable pins the worker-pool contract: a panic
+// inside a process surfaces on the caller's goroutine where tests (and
+// callers) can recover it, instead of crashing the whole program from a
+// worker goroutine.
+func TestEnginePanicsAreRecoverable(t *testing.T) {
+	in := mustInstance(t, graph.Cycle(8))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected the algorithm panic to propagate")
+		}
+		if !strings.Contains(r.(string), "contract violated") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	_, _ = RunMessage(in, panicker{}, nil, RunOptions{})
+}
+
+func TestParallelForSmallN(t *testing.T) {
+	// n smaller than worker count exercises the serial path.
+	hits := make([]bool, 2)
+	ParallelFor(2, func(i int) { hits[i] = true })
+	if !hits[0] || !hits[1] {
+		t.Error("ParallelFor skipped indices")
+	}
+	ParallelFor(0, func(i int) { t.Error("called for n=0") })
+}
+
+func TestFullInfoZeroRound(t *testing.T) {
+	in := mustInstance(t, graph.Path(5))
+	view := ViewFunc{AlgoName: "self", R: 0, F: func(v *View) []byte {
+		return []byte{byte(v.IDs[0])}
+	}}
+	res, err := RunMessage(in, FullInfo(view), nil, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		if len(res.Y[v]) != 1 || res.Y[v][0] != byte(in.ID[v]) {
+			t.Errorf("node %d: output %v", v, res.Y[v])
+		}
+	}
+	if res.Stats.Messages != 0 {
+		t.Errorf("zero-round run sent %d messages", res.Stats.Messages)
+	}
+}
+
+func TestMessageStatsCount(t *testing.T) {
+	in := mustInstance(t, graph.Cycle(6))
+	res, err := RunMessage(in, floodMin{t: 2}, nil, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node sends both ports for 2 rounds of delivery: the Start
+	// sends (delivered in round 1) plus round-1 sends (delivered in round
+	// 2): 6 nodes × 2 ports × 2 deliveries.
+	if res.Stats.Messages != 24 {
+		t.Errorf("messages = %d, want 24", res.Stats.Messages)
+	}
+}
+
+func TestRunMessageRejectsNilGraphInstance(t *testing.T) {
+	// Structural misuse should fail loudly, not hang: a 0-node instance
+	// completes immediately.
+	in := &lang.Instance{G: mustInstance(t, graph.Path(1)).G, X: lang.EmptyInputs(1), ID: []int64{1}}
+	res, err := RunMessage(in, floodMin{t: 0}, nil, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Y) != 1 {
+		t.Error("single-node run lost its output")
+	}
+}

@@ -1,0 +1,389 @@
+package local
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rlnc/internal/graph"
+	"rlnc/internal/ids"
+	"rlnc/internal/lang"
+	"rlnc/internal/localrand"
+)
+
+func mustInstance(t testing.TB, g *graph.Graph) *lang.Instance {
+	t.Helper()
+	in, err := lang.NewInstance(g, lang.EmptyInputs(g.N()), ids.RandomPerm(g.N(), 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// minIDView outputs the minimum identity in the radius-t ball, encoded in
+// 8 bytes. It reads only ball membership, never port order, so it is safe
+// for the reconstruction-equivalence tests.
+type minIDView struct{ t int }
+
+func (m minIDView) Name() string { return fmt.Sprintf("min-id-view(%d)", m.t) }
+func (m minIDView) Radius() int  { return m.t }
+func (m minIDView) Output(v *View) []byte {
+	min := v.IDs[0]
+	for _, id := range v.IDs {
+		if id < min {
+			min = id
+		}
+	}
+	return encode64(min)
+}
+
+func encode64(x int64) []byte {
+	out := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		out[i] = byte(x >> (8 * i))
+	}
+	return out
+}
+
+// ballSummaryView produces an order-insensitive fingerprint of the view:
+// the sorted (distance, id) pairs and the sorted edge list by identity.
+// It exercises structure reconstruction without depending on frontier
+// port numbering.
+type ballSummaryView struct{ t int }
+
+func (b ballSummaryView) Name() string { return "ball-summary" }
+func (b ballSummaryView) Radius() int  { return b.t }
+func (b ballSummaryView) Output(v *View) []byte {
+	var parts []string
+	for i := range v.IDs {
+		parts = append(parts, fmt.Sprintf("n%d@%d", v.IDs[i], v.Ball.Dist[i]))
+	}
+	sort.Strings(parts)
+	var edges []string
+	for _, e := range v.Ball.G.Edges() {
+		a, bID := v.IDs[e[0]], v.IDs[e[1]]
+		if a > bID {
+			a, bID = bID, a
+		}
+		edges = append(edges, fmt.Sprintf("e%d-%d", a, bID))
+	}
+	sort.Strings(edges)
+	return []byte(fmt.Sprintf("%v|%v", parts, edges))
+}
+
+// tapeSumView sums the first tape word of every ball node, testing that
+// random bits are shipped correctly by the full-information adapter.
+type tapeSumView struct{ t int }
+
+func (s tapeSumView) Name() string { return "tape-sum" }
+func (s tapeSumView) Radius() int  { return s.t }
+func (s tapeSumView) Output(v *View) []byte {
+	var sum uint64
+	for i := range v.IDs {
+		sum += v.TapeFor(i).Uint64()
+	}
+	return encode64(int64(sum))
+}
+
+// floodMin is a message-passing algorithm: flood identities for t rounds,
+// output the minimum seen. After t rounds the minimum ranges exactly over
+// the radius-t ball.
+type floodMin struct{ t int }
+
+func (f floodMin) Name() string { return fmt.Sprintf("flood-min(%d)", f.t) }
+func (f floodMin) NewProcess() Process {
+	return &floodMinProc{t: f.t}
+}
+
+type floodMinProc struct {
+	t   int
+	min int64
+}
+
+func (p *floodMinProc) Start(info NodeInfo) []Message {
+	p.min = info.ID
+	if p.t == 0 {
+		return nil
+	}
+	out := make([]Message, info.Degree)
+	for i := range out {
+		out[i] = p.min
+	}
+	return out
+}
+
+func (p *floodMinProc) Step(round int, received []Message) ([]Message, bool) {
+	for _, m := range received {
+		if m == nil {
+			continue
+		}
+		if id := m.(int64); id < p.min {
+			p.min = id
+		}
+	}
+	if round >= p.t {
+		return nil, true
+	}
+	out := make([]Message, len(received))
+	for i := range out {
+		out[i] = p.min
+	}
+	return out, false
+}
+
+func (p *floodMinProc) Output() []byte { return encode64(p.min) }
+
+func TestRunViewMinID(t *testing.T) {
+	g := graph.Cycle(8)
+	in := mustInstance(t, g)
+	y := RunView(in, minIDView{t: 2}, nil)
+	for v := 0; v < g.N(); v++ {
+		want := in.ID[v]
+		nodes, _ := g.NodesWithin(v, 2)
+		for _, u := range nodes {
+			if in.ID[u] < want {
+				want = in.ID[u]
+			}
+		}
+		if !bytes.Equal(y[v], encode64(want)) {
+			t.Errorf("node %d: wrong min", v)
+		}
+	}
+}
+
+func TestRunMessageFloodMin(t *testing.T) {
+	g := graph.Path(10)
+	in := mustInstance(t, g)
+	res, err := RunMessage(in, floodMin{t: 3}, nil, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds != 3 {
+		t.Errorf("rounds = %d, want 3", res.Stats.Rounds)
+	}
+	if res.Stats.Messages == 0 {
+		t.Error("no messages recorded")
+	}
+	y := RunView(in, minIDView{t: 3}, nil)
+	for v := range y {
+		if !bytes.Equal(res.Y[v], y[v]) {
+			t.Errorf("node %d: message %x vs view %x", v, res.Y[v], y[v])
+		}
+	}
+}
+
+func TestRunMessageDeterministic(t *testing.T) {
+	g, err := graph.ConnectedGNP(40, 0.15, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := mustInstance(t, g)
+	r1, err1 := RunMessage(in, floodMin{t: 4}, nil, RunOptions{})
+	r2, err2 := RunMessage(in, floodMin{t: 4}, nil, RunOptions{})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for v := range r1.Y {
+		if !bytes.Equal(r1.Y[v], r2.Y[v]) {
+			t.Fatalf("node %d: outputs differ across runs", v)
+		}
+	}
+}
+
+// neverHalt keeps sending forever.
+type neverHalt struct{}
+
+func (neverHalt) Name() string { return "never-halt" }
+func (neverHalt) NewProcess() Process {
+	return &neverHaltProc{}
+}
+
+type neverHaltProc struct{}
+
+func (p *neverHaltProc) Start(info NodeInfo) []Message {
+	return make([]Message, info.Degree)
+}
+func (p *neverHaltProc) Step(round int, received []Message) ([]Message, bool) {
+	return make([]Message, len(received)), false
+}
+func (p *neverHaltProc) Output() []byte { return nil }
+
+func TestRunMessageNoHalt(t *testing.T) {
+	in := mustInstance(t, graph.Cycle(5))
+	_, err := RunMessage(in, neverHalt{}, nil, RunOptions{MaxRounds: 20})
+	if !errors.Is(err, ErrNoHalt) {
+		t.Errorf("want ErrNoHalt, got %v", err)
+	}
+}
+
+func TestStopAfter(t *testing.T) {
+	in := mustInstance(t, graph.Cycle(5))
+	res, err := RunMessage(in, neverHalt{}, nil, RunOptions{StopAfter: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds != 7 {
+		t.Errorf("rounds = %d, want 7", res.Stats.Rounds)
+	}
+}
+
+func TestFullInfoEquivalenceDeterministic(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		t    int
+	}{
+		{"cycle-r0", graph.Cycle(7), 0},
+		{"cycle-r1", graph.Cycle(7), 1},
+		{"cycle-r2", graph.Cycle(9), 2},
+		{"path-r3", graph.Path(12), 3},
+		{"grid-r2", graph.Grid(4, 5), 2},
+		{"tree-r2", graph.CompleteTree(3, 3), 2},
+		{"petersen-r2", Petersen(), 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in := mustInstance(t, tc.g)
+			view := ballSummaryView{t: tc.t}
+			want := RunView(in, view, nil)
+			res, err := RunMessage(in, FullInfo(view), nil, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.t > 0 && res.Stats.Rounds != tc.t {
+				t.Errorf("full-info rounds = %d, want %d", res.Stats.Rounds, tc.t)
+			}
+			for v := range want {
+				if !bytes.Equal(res.Y[v], want[v]) {
+					t.Errorf("node %d:\n message: %s\n view:    %s", v, res.Y[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+// Petersen is re-exported for table entries.
+func Petersen() *graph.Graph { return graph.Petersen() }
+
+func TestFullInfoEquivalenceRandomized(t *testing.T) {
+	in := mustInstance(t, graph.Cycle(9))
+	draw := localrand.NewTapeSpace(5).Draw(0)
+	view := tapeSumView{t: 2}
+	want := RunView(in, view, &draw)
+	res, err := RunMessage(in, FullInfo(view), &draw, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if !bytes.Equal(res.Y[v], want[v]) {
+			t.Errorf("node %d: tape sums differ between view and message run", v)
+		}
+	}
+}
+
+func TestMessageAsViewEquivalence(t *testing.T) {
+	for _, rounds := range []int{0, 1, 2, 3} {
+		g := graph.Cycle(10)
+		in := mustInstance(t, g)
+		direct, err := RunMessage(in, floodMin{t: rounds}, nil, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := RunView(in, MessageAsView(floodMin{t: rounds}, rounds), nil)
+		for v := range sim {
+			if !bytes.Equal(direct.Y[v], sim[v]) {
+				t.Errorf("rounds=%d node %d: direct %x vs simulated %x", rounds, v, direct.Y[v], sim[v])
+			}
+		}
+	}
+}
+
+func TestDecisionViewCarriesOutputs(t *testing.T) {
+	g := graph.Path(4)
+	in := mustInstance(t, g)
+	y := [][]byte{{1}, {2}, {3}, {4}}
+	di, err := in.WithOutput(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := DecisionView(di, 1, 1, nil)
+	if v.Y == nil {
+		t.Fatal("decision view lost outputs")
+	}
+	if !bytes.Equal(v.Y[0], []byte{2}) {
+		t.Errorf("center output = %v, want [2]", v.Y[0])
+	}
+	if v.Tape() != nil {
+		t.Error("deterministic view has a tape")
+	}
+}
+
+func TestConstructionViewTapesAddressedByID(t *testing.T) {
+	g := graph.Path(3)
+	in := mustInstance(t, g)
+	draw := localrand.NewTapeSpace(1).Draw(7)
+	// The same node must present the same first tape word in views built
+	// around different centers (the multiset-of-strings model of §3).
+	v0 := ConstructionView(in, 0, 2, &draw)
+	v2 := ConstructionView(in, 2, 2, &draw)
+	var at0, at2 uint64
+	for i, id := range v0.IDs {
+		if id == in.ID[1] {
+			at0 = v0.TapeFor(i).Uint64()
+		}
+	}
+	for i, id := range v2.IDs {
+		if id == in.ID[1] {
+			at2 = v2.TapeFor(i).Uint64()
+		}
+	}
+	if at0 != at2 || at0 == 0 {
+		t.Errorf("node 1 tape differs across views: %d vs %d", at0, at2)
+	}
+}
+
+func TestViewFunc(t *testing.T) {
+	f := ViewFunc{AlgoName: "const", R: 1, F: func(v *View) []byte { return []byte{9} }}
+	if f.Name() != "const" || f.Radius() != 1 {
+		t.Error("ViewFunc accessors wrong")
+	}
+	in := mustInstance(t, graph.Path(3))
+	y := RunView(in, f, nil)
+	if !bytes.Equal(y[1], []byte{9}) {
+		t.Error("ViewFunc output wrong")
+	}
+}
+
+// Property: full-information reconstruction equals the omniscient ball on
+// random connected graphs for the order-insensitive summary.
+func TestFullInfoEquivalenceProperty(t *testing.T) {
+	f := func(seed uint64, rawN, rawT uint8) bool {
+		n := int(rawN%20) + 4
+		radius := int(rawT % 4)
+		g, err := graph.ConnectedGNP(n, 0.25, seed)
+		if err != nil {
+			return true
+		}
+		in, err := lang.NewInstance(g, lang.EmptyInputs(n), ids.RandomPerm(n, seed))
+		if err != nil {
+			return false
+		}
+		view := ballSummaryView{t: radius}
+		want := RunView(in, view, nil)
+		res, err := RunMessage(in, FullInfo(view), nil, RunOptions{})
+		if err != nil {
+			return false
+		}
+		for v := range want {
+			if !bytes.Equal(res.Y[v], want[v]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package local implements the LOCAL model of the paper (§2.1): synchronous
+// rounds in which every node sends messages to its neighbors, receives
+// theirs, and computes; no bounds on message size or local computation.
+//
+// Two equivalent programming interfaces are provided, mirroring the
+// simulation argument of §2.1.1:
+//
+//   - the message-passing interface (Process/MessageAlgorithm) runs an
+//     explicit round loop with one goroutine per batch of nodes;
+//   - the ball-view interface (ViewAlgorithm) computes each node's output
+//     directly as a function of its ball B_G(v,t).
+//
+// The adapters FullInfo (view algorithm → t-round message algorithm,
+// exact) and MessageAsView (t-round message algorithm → view algorithm of
+// radius t+1, exact) witness the equivalence; see adapter.go.
+package local
+
+import (
+	"rlnc/internal/graph"
+	"rlnc/internal/lang"
+	"rlnc/internal/localrand"
+)
+
+// View is everything a node may base its output on in the ball-view
+// formulation: the ball B_G(v,t) with inputs, identities, optionally the
+// outputs y (for deciders examining input-output configurations), and the
+// per-node random tapes (for Monte-Carlo algorithms). All slices are
+// ball-local; index 0 is the center.
+type View struct {
+	Ball *graph.Ball
+	IDs  []int64
+	X    [][]byte
+	// Y is nil when the view belongs to a construction task; deciders
+	// receive the candidate outputs here.
+	Y [][]byte
+	// TapeFor returns the private tape of the ball-local node, or nil for
+	// deterministic algorithms. Tapes are addressed by identity, so the
+	// same node presents the same bits in every view containing it —
+	// exactly the multiset-of-strings model of §3.
+	TapeFor func(local int) *localrand.Tape
+}
+
+// Tape returns the center's tape (nil for deterministic views).
+func (v *View) Tape() *localrand.Tape {
+	if v.TapeFor == nil {
+		return nil
+	}
+	return v.TapeFor(0)
+}
+
+// Degree returns the center's degree inside the ball, which equals its
+// degree in the host graph for any radius >= 1.
+func (v *View) Degree() int { return v.Ball.G.Degree(0) }
+
+// ViewAlgorithm is a constant-radius algorithm in ball form: every node
+// outputs a function of its radius-t view.
+type ViewAlgorithm interface {
+	Name() string
+	Radius() int
+	Output(v *View) []byte
+}
+
+// tapeFunc builds the per-view tape accessor for a draw σ; nil draws give
+// deterministic views.
+func tapeFunc(drawPtr *localrand.Draw, idOf func(local int) int64) func(int) *localrand.Tape {
+	if drawPtr == nil {
+		return nil
+	}
+	draw := *drawPtr
+	return func(local int) *localrand.Tape {
+		return draw.Tape(idOf(local))
+	}
+}
+
+// ConstructionView assembles the radius-t view of node v for a
+// construction instance (no outputs).
+func ConstructionView(in *lang.Instance, v, t int, draw *localrand.Draw) *View {
+	b := in.G.BallAround(v, t)
+	view := &View{
+		Ball: b,
+		IDs:  make([]int64, b.Size()),
+		X:    make([][]byte, b.Size()),
+	}
+	for i, u := range b.Nodes {
+		view.IDs[i] = in.ID[u]
+		view.X[i] = in.X[u]
+	}
+	view.TapeFor = tapeFunc(draw, func(local int) int64 { return view.IDs[local] })
+	return view
+}
+
+// DecisionView assembles the radius-t view of node v for a decision
+// instance (inputs and candidate outputs).
+func DecisionView(di *lang.DecisionInstance, v, t int, draw *localrand.Draw) *View {
+	b := di.G.BallAround(v, t)
+	view := &View{
+		Ball: b,
+		IDs:  make([]int64, b.Size()),
+		X:    make([][]byte, b.Size()),
+		Y:    make([][]byte, b.Size()),
+	}
+	for i, u := range b.Nodes {
+		view.IDs[i] = di.ID[u]
+		view.X[i] = di.X[u]
+		view.Y[i] = di.Y[u]
+	}
+	view.TapeFor = tapeFunc(draw, func(local int) int64 { return view.IDs[local] })
+	return view
+}
+
+// RunView executes a ball-view algorithm on every node of an instance,
+// returning the global output y. A nil draw runs the algorithm
+// deterministically (no tapes). Nodes are processed on a worker pool; the
+// result is independent of scheduling because views are read-only.
+func RunView(in *lang.Instance, algo ViewAlgorithm, draw *localrand.Draw) [][]byte {
+	n := in.G.N()
+	y := make([][]byte, n)
+	parallelFor(n, func(v int) {
+		y[v] = algo.Output(ConstructionView(in, v, algo.Radius(), draw))
+	})
+	return y
+}
+
+// ViewFunc wraps a plain function as a ViewAlgorithm.
+type ViewFunc struct {
+	AlgoName string
+	R        int
+	F        func(v *View) []byte
+}
+
+// Name implements ViewAlgorithm.
+func (a ViewFunc) Name() string { return a.AlgoName }
+
+// Radius implements ViewAlgorithm.
+func (a ViewFunc) Radius() int { return a.R }
+
+// Output implements ViewAlgorithm.
+func (a ViewFunc) Output(v *View) []byte { return a.F(v) }

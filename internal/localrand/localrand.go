@@ -1,0 +1,135 @@
+// Package localrand provides the deterministic, splittable randomness used
+// to model randomized Monte-Carlo algorithms in the LOCAL model.
+//
+// In the paper (§2.1.2 and §3), a randomized algorithm gives every node a
+// private source of independent random bits; the collection of all nodes'
+// bit strings, indexed by node identity, forms one element of the space
+// Rand(A) of random strings of algorithm A. The proofs of Claims 4 and 5
+// condition on a *fixed* string σ ∈ Rand(C) of the construction algorithm
+// while integrating over Rand(D) of the decider.
+//
+// This package makes that conditioning executable: a TapeSpace is a seeded,
+// reproducible model of Rand(A); drawing element σ yields per-node Tapes
+// addressed by node identity. Fixing σ and resampling an independent space
+// is just reusing one seed while varying the other.
+package localrand
+
+import "math"
+
+const (
+	splitmixGamma = 0x9e3779b97f4a7c15
+	mixA          = 0xbf58476d1ce4e5b9
+	mixB          = 0x94d049bb133111eb
+)
+
+// mix64 is the SplitMix64 finalizer: a bijective mixer with good avalanche
+// behaviour, sufficient for simulation-grade pseudo-randomness.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * mixA
+	z = (z ^ (z >> 27)) * mixB
+	return z ^ (z >> 31)
+}
+
+// Source is a deterministic stream of pseudo-random values.
+type Source struct {
+	state uint64
+}
+
+// NewSource returns a source seeded with the given value.
+func NewSource(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Clone returns an independent copy of the source at its current
+// position. Cloning a pristine (never-consumed) tape and replaying the
+// clone models shipping a node's random bit string to another node, which
+// §2.1.2 explicitly allows ("these random bits may well be exchanged
+// between nodes during the execution").
+func (s *Source) Clone() *Source {
+	c := *s
+	return &c
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += splitmixGamma
+	return mix64(s.state)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("localrand: Intn with non-positive bound")
+	}
+	// Rejection sampling to avoid modulo bias; the loop terminates quickly
+	// because the acceptance probability is at least 1/2.
+	bound := uint64(n)
+	limit := math.MaxUint64 - math.MaxUint64%bound
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return int(v % bound)
+		}
+	}
+}
+
+// Bool returns a fair pseudo-random bit.
+func (s *Source) Bool() bool {
+	return s.Uint64()&1 == 1
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	return s.Float64() < p
+}
+
+// Tape is the private random bit string of a single node, as in §2.1.2:
+// "every node has access to a private source of independent random bits".
+// A Tape is just a Source whose seed is derived from (space seed, draw
+// index, node identity), so the same (σ, node) pair always replays the
+// same bits.
+type Tape = Source
+
+// TapeSpace models Rand(A) for one algorithm: the probability space of the
+// collections of per-node random strings. Distinct algorithms should use
+// distinct space seeds so their randomness is independent.
+type TapeSpace struct {
+	seed uint64
+}
+
+// NewTapeSpace returns the tape space identified by seed.
+func NewTapeSpace(seed uint64) *TapeSpace {
+	return &TapeSpace{seed: seed}
+}
+
+// Draw identifies one element σ ∈ Rand(A) by index. Draws with different
+// indices are independent streams; the same index always denotes the same
+// σ, which is what lets experiments fix σ ∈ Rand(C) (Claim 4) and vary
+// only the decider's randomness.
+func (ts *TapeSpace) Draw(index uint64) Draw {
+	return Draw{seed: mix64(ts.seed ^ mix64(index+1))}
+}
+
+// Draw is one fixed element σ of a tape space: a deterministic function
+// from node identity to that node's private bit string.
+type Draw struct {
+	seed uint64
+}
+
+// Tape returns the private tape of the node with the given identity under
+// this draw. Calling it twice returns identical, independently-positioned
+// streams.
+func (d Draw) Tape(nodeID int64) *Tape {
+	return NewSource(mix64(d.seed ^ mix64(uint64(nodeID)+0x5bf0_3635)))
+}
+
+// Derive returns a sub-draw labeled by the given tag, for algorithms that
+// need several independent per-node streams (e.g. one per round).
+func (d Draw) Derive(tag uint64) Draw {
+	return Draw{seed: mix64(d.seed + splitmixGamma*(tag+1))}
+}

@@ -1,0 +1,174 @@
+package localrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceDeterminism(t *testing.T) {
+	a, b := NewSource(42), NewSource(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed sources diverged at step %d", i)
+		}
+	}
+}
+
+func TestSourceSeedsDiffer(t *testing.T) {
+	a, b := NewSource(1), NewSource(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between different seeds in 64 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSource(7)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := NewSource(9)
+	for _, n := range []int{1, 2, 3, 7, 100} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for Intn(0)")
+		}
+	}()
+	NewSource(1).Intn(0)
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	s := NewSource(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d count %d too far from expectation %v", v, c, want)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	s := NewSource(13)
+	const trials = 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency %v", p)
+	}
+}
+
+func TestDrawReproducible(t *testing.T) {
+	ts := NewTapeSpace(100)
+	d := ts.Draw(5)
+	t1 := d.Tape(77)
+	t2 := d.Tape(77)
+	for i := 0; i < 50; i++ {
+		if t1.Uint64() != t2.Uint64() {
+			t.Fatalf("same (draw, node) tapes diverged at step %d", i)
+		}
+	}
+}
+
+func TestDrawsIndependent(t *testing.T) {
+	ts := NewTapeSpace(100)
+	a := ts.Draw(1).Tape(77)
+	b := ts.Draw(2).Tape(77)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between draws in 64 steps", same)
+	}
+}
+
+func TestNodesIndependent(t *testing.T) {
+	d := NewTapeSpace(3).Draw(0)
+	a := d.Tape(1)
+	b := d.Tape(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between node tapes in 64 steps", same)
+	}
+}
+
+func TestFixSigmaSemantics(t *testing.T) {
+	// The Claim 4 conditioning: fixing σ of one space while varying draws
+	// of another must replay σ's bits exactly.
+	cSpace := NewTapeSpace(1)
+	dSpace := NewTapeSpace(2)
+	sigma := cSpace.Draw(123)
+	ref := sigma.Tape(5).Uint64()
+	for i := uint64(0); i < 10; i++ {
+		_ = dSpace.Draw(i).Tape(5).Uint64() // unrelated draws
+		if got := sigma.Tape(5).Uint64(); got != ref {
+			t.Fatalf("fixed σ changed after decider draw %d", i)
+		}
+	}
+}
+
+func TestDeriveChangesStream(t *testing.T) {
+	d := NewTapeSpace(9).Draw(0)
+	a := d.Tape(1).Uint64()
+	b := d.Derive(1).Tape(1).Uint64()
+	if a == b {
+		t.Error("Derive(1) did not change the stream")
+	}
+	if d.Derive(2).Tape(1).Uint64() == b {
+		t.Error("Derive(1) and Derive(2) collide")
+	}
+}
+
+// Property: tapes are pure functions of (space seed, draw index, node id).
+func TestTapePurityProperty(t *testing.T) {
+	f := func(seed, draw uint64, node int64) bool {
+		if node < 0 {
+			node = -node
+		}
+		x := NewTapeSpace(seed).Draw(draw).Tape(node).Uint64()
+		y := NewTapeSpace(seed).Draw(draw).Tape(node).Uint64()
+		return x == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package mc is the Monte-Carlo measurement harness used by every
+// experiment: it runs independent Bernoulli trials on a fixed worker pool
+// and reports point estimates with Wilson confidence intervals. Trials are
+// indexed, and callers derive all randomness from the trial index, so
+// results are reproducible and independent of parallel scheduling.
+package mc
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Estimate is the outcome of a batch of Bernoulli trials.
+type Estimate struct {
+	Trials    int
+	Successes int
+}
+
+// P returns the point estimate of the success probability.
+func (e Estimate) P() float64 {
+	if e.Trials == 0 {
+		return math.NaN()
+	}
+	return float64(e.Successes) / float64(e.Trials)
+}
+
+// Wilson returns the Wilson score interval at the given z value
+// (z = 1.96 for 95%, 2.58 for 99%). Preferred over the normal interval
+// because experiment probabilities sit near 0 and 1.
+func (e Estimate) Wilson(z float64) (lo, hi float64) {
+	if e.Trials == 0 {
+		return math.NaN(), math.NaN()
+	}
+	n := float64(e.Trials)
+	p := e.P()
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// String renders the estimate as "p=0.618 (k/n)".
+func (e Estimate) String() string {
+	return fmt.Sprintf("p=%.4f (%d/%d)", e.P(), e.Successes, e.Trials)
+}
+
+// Run executes trials of f on a worker pool; f receives the trial index
+// and must derive all randomness from it (e.g. as a tape-space draw
+// index). The aggregate is independent of scheduling.
+func Run(trials int, f func(trial int) bool) Estimate {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	if workers <= 1 {
+		succ := 0
+		for i := 0; i < trials; i++ {
+			if f(i) {
+				succ++
+			}
+		}
+		return Estimate{Trials: trials, Successes: succ}
+	}
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	chunk := (trials + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > trials {
+			hi = trials
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if f(i) {
+					counts[w]++
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	succ := 0
+	for _, c := range counts {
+		succ += c
+	}
+	return Estimate{Trials: trials, Successes: succ}
+}
+
+// Mean runs trials of a real-valued observable and returns its sample
+// mean and standard error.
+func Mean(trials int, f func(trial int) float64) (mean, stderr float64) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	sums := make([]float64, workers)
+	sqs := make([]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (trials + workers - 1) / workers
+	if workers <= 1 {
+		for i := 0; i < trials; i++ {
+			v := f(i)
+			sums[0] += v
+			sqs[0] += v * v
+		}
+	} else {
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > trials {
+				hi = trials
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					v := f(i)
+					sums[w] += v
+					sqs[w] += v * v
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+	}
+	var sum, sq float64
+	for w := range sums {
+		sum += sums[w]
+		sq += sqs[w]
+	}
+	n := float64(trials)
+	mean = sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	if trials > 1 {
+		stderr = math.Sqrt(variance / (n - 1))
+	}
+	return mean, stderr
+}

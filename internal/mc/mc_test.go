@@ -1,0 +1,107 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"rlnc/internal/localrand"
+)
+
+func TestRunCountsDeterministically(t *testing.T) {
+	// f depends only on the trial index, so the estimate is exact and
+	// independent of scheduling.
+	est := Run(1000, func(trial int) bool { return trial%4 == 0 })
+	if est.Successes != 250 || est.Trials != 1000 {
+		t.Errorf("est = %+v, want 250/1000", est)
+	}
+	if math.Abs(est.P()-0.25) > 1e-12 {
+		t.Errorf("P = %v", est.P())
+	}
+}
+
+func TestRunMatchesSequential(t *testing.T) {
+	f := func(trial int) bool {
+		return localrand.NewSource(uint64(trial)).Float64() < 0.37
+	}
+	par := Run(5000, f)
+	seq := 0
+	for i := 0; i < 5000; i++ {
+		if f(i) {
+			seq++
+		}
+	}
+	if par.Successes != seq {
+		t.Errorf("parallel %d != sequential %d", par.Successes, seq)
+	}
+}
+
+func TestWilsonCoversTruth(t *testing.T) {
+	est := Run(20000, func(trial int) bool {
+		return localrand.NewSource(uint64(trial)).Float64() < 0.618
+	})
+	lo, hi := est.Wilson(3.3)
+	if 0.618 < lo || 0.618 > hi {
+		t.Errorf("interval [%v, %v] misses 0.618 (est %v)", lo, hi, est)
+	}
+	if hi-lo > 0.03 {
+		t.Errorf("interval too wide: [%v, %v]", lo, hi)
+	}
+}
+
+func TestWilsonClamped(t *testing.T) {
+	all := Estimate{Trials: 100, Successes: 100}
+	lo, hi := all.Wilson(1.96)
+	if hi > 1 || lo < 0 {
+		t.Errorf("interval [%v, %v] out of [0,1]", lo, hi)
+	}
+	none := Estimate{Trials: 100, Successes: 0}
+	lo, _ = none.Wilson(1.96)
+	if lo != 0 {
+		t.Errorf("lo = %v, want 0", lo)
+	}
+}
+
+func TestEmptyEstimate(t *testing.T) {
+	var e Estimate
+	if !math.IsNaN(e.P()) {
+		t.Error("empty estimate should be NaN")
+	}
+	lo, hi := e.Wilson(1.96)
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Error("empty Wilson should be NaN")
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	e := Estimate{Trials: 100, Successes: 62}
+	if e.String() != "p=0.6200 (62/100)" {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestMean(t *testing.T) {
+	mean, stderr := Mean(4000, func(trial int) float64 {
+		return localrand.NewSource(uint64(trial)).Float64()
+	})
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean = %v, want ≈ 0.5", mean)
+	}
+	// Uniform stddev = 1/sqrt(12) ≈ 0.2887; stderr ≈ 0.00456.
+	if stderr < 0.003 || stderr > 0.006 {
+		t.Errorf("stderr = %v out of expected range", stderr)
+	}
+}
+
+func TestMeanConstant(t *testing.T) {
+	mean, stderr := Mean(100, func(int) float64 { return 7 })
+	if mean != 7 || stderr != 0 {
+		t.Errorf("mean=%v stderr=%v, want 7, 0", mean, stderr)
+	}
+}
+
+func TestMeanSingleTrial(t *testing.T) {
+	mean, stderr := Mean(1, func(int) float64 { return 3 })
+	if mean != 3 || stderr != 0 {
+		t.Errorf("mean=%v stderr=%v", mean, stderr)
+	}
+}

@@ -1,0 +1,105 @@
+// Package relax implements the two relaxations of LCL languages studied in
+// the paper (§1.1 and §4):
+//
+//   - the ε-slack relaxation tolerates that an ε-fraction of the nodes
+//     output values violating the specification; randomization helps for
+//     these (a trivial zero-round algorithm solves relaxed coloring);
+//   - the f-resilient relaxation L_f (Definition 1) tolerates at most f
+//     bad balls in total; Corollary 1 shows L_f ∈ BPLD and, via Theorem 1,
+//     that randomization does not help for constructing L_f.
+//
+// Both relaxations are themselves distributed languages; neither is
+// locally checkable in general, which is the paper's entire motivation.
+package relax
+
+import (
+	"fmt"
+	"math"
+
+	"rlnc/internal/lang"
+)
+
+// FResilient is the f-resilient relaxation L_f of an LCL language L
+// (Definition 1): configurations with at most f balls in Bad(L).
+type FResilient struct {
+	L *lang.LCL
+	F int
+}
+
+// Name implements lang.Language.
+func (r *FResilient) Name() string {
+	return fmt.Sprintf("%s[f-resilient,f=%d]", r.L.Name(), r.F)
+}
+
+// Contains implements lang.Language.
+func (r *FResilient) Contains(c *lang.Config) (bool, error) {
+	if err := c.Validate(); err != nil {
+		return false, err
+	}
+	return r.L.CountBadBalls(c) <= r.F, nil
+}
+
+// Violations returns the number of bad balls, the quantity bounded by f.
+func (r *FResilient) Violations(c *lang.Config) int {
+	return r.L.CountBadBalls(c)
+}
+
+// EpsSlack is the ε-slack relaxation of an LCL language: configurations
+// where at most ⌊ε·n⌋ nodes center a bad ball.
+type EpsSlack struct {
+	L   *lang.LCL
+	Eps float64
+}
+
+// Name implements lang.Language.
+func (r *EpsSlack) Name() string {
+	return fmt.Sprintf("%s[eps-slack,eps=%g]", r.L.Name(), r.Eps)
+}
+
+// Budget returns the violation budget ⌊ε·n⌋ for an n-node graph.
+func (r *EpsSlack) Budget(n int) int {
+	return int(math.Floor(r.Eps * float64(n)))
+}
+
+// Contains implements lang.Language.
+func (r *EpsSlack) Contains(c *lang.Config) (bool, error) {
+	if err := c.Validate(); err != nil {
+		return false, err
+	}
+	return r.L.CountBadBalls(c) <= r.Budget(c.G.N()), nil
+}
+
+// Violations returns the number of bad balls.
+func (r *EpsSlack) Violations(c *lang.Config) int {
+	return r.L.CountBadBalls(c)
+}
+
+// PolyBudget is the intermediate relaxation probed by the paper's open
+// problems (§5): at most ⌈n^c⌉ nodes may center bad balls, for c < 1.
+type PolyBudget struct {
+	L *lang.LCL
+	C float64
+}
+
+// Name implements lang.Language.
+func (r *PolyBudget) Name() string {
+	return fmt.Sprintf("%s[poly-slack,c=%g]", r.L.Name(), r.C)
+}
+
+// Budget returns ⌈n^c⌉ for an n-node graph.
+func (r *PolyBudget) Budget(n int) int {
+	return int(math.Ceil(math.Pow(float64(n), r.C)))
+}
+
+// Contains implements lang.Language.
+func (r *PolyBudget) Contains(c *lang.Config) (bool, error) {
+	if err := c.Validate(); err != nil {
+		return false, err
+	}
+	return r.L.CountBadBalls(c) <= r.Budget(c.G.N()), nil
+}
+
+// Violations returns the number of bad balls.
+func (r *PolyBudget) Violations(c *lang.Config) int {
+	return r.L.CountBadBalls(c)
+}

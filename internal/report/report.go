@@ -1,0 +1,195 @@
+// Package report renders experiment output: fixed-width tables (the
+// repository's equivalent of the paper's displayed claims), qualitative
+// checks with pass/fail verdicts, and the experiment registry driving the
+// CLI and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each cell with fmt.Sprint. Numeric
+// formatting is the caller's business (use fmt.Sprintf cells for
+// precision control).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a free-text footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Check is a programmatic verdict: the experiment's assertion that the
+// measured shape matches the paper's claim.
+type Check struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// Result is everything one experiment produces.
+type Result struct {
+	Tables []*Table
+	Checks []Check
+}
+
+// NewTable allocates a table and attaches it to the result.
+func (r *Result) NewTable(title string, columns ...string) *Table {
+	t := &Table{Title: title, Columns: columns}
+	r.Tables = append(r.Tables, t)
+	return t
+}
+
+// AddCheck records a verdict.
+func (r *Result) AddCheck(name string, ok bool, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+}
+
+// AllChecksPass reports whether every check succeeded.
+func (r *Result) AllChecksPass() bool {
+	for _, c := range r.Checks {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes tables and checks.
+func (r *Result) Render(w io.Writer) {
+	for _, t := range r.Tables {
+		t.Render(w)
+	}
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  [%s] %s: %s\n", status, c.Name, c.Detail)
+	}
+}
+
+// Config tunes an experiment run.
+type Config struct {
+	// Quick reduces trial counts and sweep sizes for CI and benchmarks.
+	Quick bool
+	// Seed feeds every tape space the experiment creates.
+	Seed uint64
+}
+
+// Experiment is one entry of the per-experiment index in DESIGN.md.
+type Experiment interface {
+	// ID is the index key, e.g. "E1".
+	ID() string
+	// Title is a one-line description.
+	Title() string
+	// PaperRef cites the statement reproduced, e.g. "§2.3.1 example".
+	PaperRef() string
+	// Run executes the experiment.
+	Run(cfg Config) (*Result, error)
+}
+
+// registry of experiments, keyed by lower-cased ID.
+var registry = map[string]Experiment{}
+
+// Register adds an experiment; duplicate IDs panic at init time.
+func Register(e Experiment) {
+	key := strings.ToLower(e.ID())
+	if _, dup := registry[key]; dup {
+		panic(fmt.Sprintf("report: duplicate experiment %s", e.ID()))
+	}
+	registry[key] = e
+}
+
+// ByID looks an experiment up (case-insensitive).
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[strings.ToLower(id)]
+	return e, ok
+}
+
+// All returns the experiments sorted by numeric ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return idOrder(out[i].ID()) < idOrder(out[j].ID())
+	})
+	return out
+}
+
+func idOrder(id string) int {
+	n := 0
+	for _, r := range id {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+		}
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"a", "long-column"}}
+	tb.AddRow(1, "x")
+	tb.AddRow("wide-cell", 2.5)
+	tb.AddNote("footnote %d", 7)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "a", "long-column", "wide-cell", "2.5", "note: footnote 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Alignment: header and separator lines have equal length.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestResultChecksAndRender(t *testing.T) {
+	r := &Result{}
+	tb := r.NewTable("t", "c1")
+	tb.AddRow("v")
+	r.AddCheck("good", true, "fine %d", 1)
+	if !r.AllChecksPass() {
+		t.Error("single passing check reported as failing")
+	}
+	r.AddCheck("bad", false, "broken")
+	if r.AllChecksPass() {
+		t.Error("failing check not detected")
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "[PASS] good") || !strings.Contains(out, "[FAIL] bad") {
+		t.Errorf("check rendering wrong:\n%s", out)
+	}
+}
+
+type fakeExp struct{ id string }
+
+func (f fakeExp) ID() string                      { return f.id }
+func (f fakeExp) Title() string                   { return "fake" }
+func (f fakeExp) PaperRef() string                { return "nowhere" }
+func (f fakeExp) Run(cfg Config) (*Result, error) { return &Result{}, nil }
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register(fakeExp{id: "Zdup"})
+	Register(fakeExp{id: "zdup"}) // case-insensitive duplicate
+}
+
+func TestByIDCaseInsensitive(t *testing.T) {
+	Register(fakeExp{id: "Zcase"})
+	if _, ok := ByID("zCASE"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+}
+
+func TestAllSortsNumerically(t *testing.T) {
+	Register(fakeExp{id: "Z2"})
+	Register(fakeExp{id: "Z10"})
+	all := All()
+	pos := map[string]int{}
+	for i, e := range all {
+		pos[e.ID()] = i
+	}
+	if pos["Z2"] > pos["Z10"] {
+		t.Error("numeric ordering broken: Z2 after Z10")
+	}
+}
+
+func TestIDOrder(t *testing.T) {
+	if idOrder("E12") != 12 || idOrder("E1") != 1 || idOrder("x") != 0 {
+		t.Error("idOrder parsing wrong")
+	}
+}

@@ -1,0 +1,192 @@
+// Package rlnc is the public facade of the Randomized Local Network
+// Computing reproduction (Feuilloley & Fraigniaud, SPAA 2015). It
+// re-exports the library's main entry points:
+//
+//   - networks and instances: Graph, Assignment, Instance, Config;
+//   - the LOCAL model engine: ViewAlgorithm, MessageAlgorithm, RunView,
+//     RunMessage, and the §2.1.1 simulation adapters;
+//   - distributed languages: LCL languages via excluded bad balls,
+//     global languages (AMOS, Majority), the F_k promise, and the ε-slack
+//     / f-resilient relaxations of §1.1 and Definition 1;
+//   - deciders: deterministic LD deciders and the randomized BPLD
+//     deciders of §2.3 and Corollary 1;
+//   - construction algorithms: Cole–Vishkin, Linial reduction, Luby MIS,
+//     maximal matching, weak coloring, retry coloring, Moser–Tardos LLL;
+//   - the Theorem 1 machinery: boosting parameters, disjoint unions,
+//     gluing, order-invariance, and the Ramsey extraction of Appendix A;
+//   - the experiment suite E1–E15 (see DESIGN.md §5 and EXPERIMENTS.md).
+//
+// See examples/ for runnable programs and cmd/rlnc for the CLI.
+package rlnc
+
+import (
+	"rlnc/internal/construct"
+	"rlnc/internal/decide"
+	"rlnc/internal/exp"
+	"rlnc/internal/glue"
+	"rlnc/internal/graph"
+	"rlnc/internal/ids"
+	"rlnc/internal/lang"
+	"rlnc/internal/local"
+	"rlnc/internal/localrand"
+	"rlnc/internal/orderinv"
+	"rlnc/internal/relax"
+	"rlnc/internal/report"
+)
+
+// Network substrate.
+type (
+	// Graph is a simple undirected network (paper §2.1.1).
+	Graph = graph.Graph
+	// Ball is the radius-t ball B_G(v,t) with frontier-edge exclusion.
+	Ball = graph.Ball
+	// Assignment gives every node a distinct positive identity.
+	Assignment = ids.Assignment
+)
+
+// Graph generators.
+var (
+	Cycle         = graph.Cycle
+	Path          = graph.Path
+	Complete      = graph.Complete
+	Star          = graph.Star
+	Grid          = graph.Grid
+	Torus         = graph.Torus
+	CompleteTree  = graph.CompleteTree
+	Hypercube     = graph.Hypercube
+	RandomRegular = graph.RandomRegular
+	ConnectedGNP  = graph.ConnectedGNP
+)
+
+// Identity assignments.
+var (
+	ConsecutiveIDs = ids.Consecutive
+	RandomIDs      = ids.RandomPerm
+)
+
+// Configurations, instances, and promises (paper §2.2).
+type (
+	Config           = lang.Config
+	Instance         = lang.Instance
+	DecisionInstance = lang.DecisionInstance
+	Language         = lang.Language
+	LCL              = lang.LCL
+	Fk               = lang.Fk
+)
+
+// NewInstance validates and assembles a construction instance (G, x, id).
+var NewInstance = lang.NewInstance
+
+// Languages.
+var (
+	ProperColoring       = lang.ProperColoring
+	WeakColoring         = lang.WeakColoring
+	MIS                  = lang.MIS
+	MaximalMatching      = lang.MaximalMatching
+	MinimalDominatingSet = lang.MinimalDominatingSet
+	FrugalColoring       = lang.FrugalColoring
+	LLL                  = lang.LLL
+)
+
+// AMOS is the "at most one selected" language of §2.3.1.
+type AMOS = lang.AMOS
+
+// Relaxations (§1.1, Definition 1).
+type (
+	EpsSlack   = relax.EpsSlack
+	FResilient = relax.FResilient
+)
+
+// The LOCAL model engine (§2.1).
+type (
+	View             = local.View
+	ViewAlgorithm    = local.ViewAlgorithm
+	MessageAlgorithm = local.MessageAlgorithm
+	Process          = local.Process
+	RunOptions       = local.RunOptions
+)
+
+var (
+	RunView    = local.RunView
+	RunMessage = local.RunMessage
+	// FullInfo turns a radius-t view algorithm into a t-round
+	// message-passing algorithm (§2.1.1 simulation).
+	FullInfo = local.FullInfo
+	// MessageAsView simulates a t-round message algorithm inside a
+	// radius-(t+1) ball.
+	MessageAsView = local.MessageAsView
+)
+
+// Randomness: tape spaces model Rand(A) of §3; fixing a draw σ while
+// varying another space is the Claim 4 conditioning.
+type (
+	TapeSpace = localrand.TapeSpace
+	Draw      = localrand.Draw
+	Tape      = localrand.Tape
+)
+
+var NewTapeSpace = localrand.NewTapeSpace
+
+// Deciders (§2.2.1, §2.3).
+type (
+	Decider          = decide.Decider
+	LCLDecider       = decide.LCLDecider
+	AMOSDecider      = decide.AMOSDecider
+	ResilientDecider = decide.ResilientDecider
+)
+
+var (
+	Accepts             = decide.Accepts
+	AcceptsFarFrom      = decide.AcceptsFarFrom
+	NewAMOSDecider      = decide.NewAMOSDecider
+	NewResilientDecider = decide.NewResilientDecider
+	GoldenP             = decide.GoldenP
+	AMOSFooling         = decide.AMOSFooling
+)
+
+// Construction algorithms.
+type ConstructionAlgorithm = construct.Algorithm
+
+var (
+	RandomColoring           = construct.RandomColoring
+	ColeVishkinColoring      = construct.ColeVishkinColoring
+	LinialColoring           = construct.LinialColoring
+	LubyMISAlgorithm         = construct.LubyMISAlgorithm
+	MaximalMatchingAlgorithm = construct.MaximalMatchingAlgorithm
+	WeakColoringViaMIS       = construct.WeakColoringViaMIS
+	MoserTardosAlgorithm     = construct.MoserTardosAlgorithm
+)
+
+// RetryColoring is the t-round conflict-resampling coloring of §1.1.
+type RetryColoring = construct.RetryColoring
+
+// Theorem 1 machinery.
+var (
+	Mu                 = glue.Mu
+	NuDisjoint         = glue.NuDisjoint
+	NuPrimeSearch      = glue.NuPrimeSearch
+	BuildGlued         = glue.BuildGlued
+	BuildDisjointUnion = glue.BuildDisjointUnion
+)
+
+// Order-invariance and the Appendix A extraction.
+type OrderInvariantSimulation = orderinv.Simulation
+
+var (
+	CheckInvariance = orderinv.CheckInvariance
+	RingInventory   = orderinv.RingInventory
+	RamseyExtract   = orderinv.Extract
+)
+
+// Experiments.
+type (
+	Experiment       = report.Experiment
+	ExperimentConfig = report.Config
+	ExperimentResult = report.Result
+)
+
+// Experiments returns the registered suite E1–E15 in order.
+func Experiments() []report.Experiment { return exp.All() }
+
+// ExperimentByID looks up one experiment (e.g. "E5").
+func ExperimentByID(id string) (report.Experiment, bool) { return report.ByID(id) }
