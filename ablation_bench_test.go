@@ -54,6 +54,42 @@ func benchMCWithProcs(b *testing.B, procs int) {
 func BenchmarkAblationMCSerial(b *testing.B)   { benchMCWithProcs(b, 1) }
 func BenchmarkAblationMCParallel(b *testing.B) { benchMCWithProcs(b, runtime.NumCPU()) }
 
+// --- Per-worker engines in the Monte-Carlo harness ---------------------------
+// The Plan/Engine design choice: each trial-pool worker holds one
+// reusable engine (mc.RunWith) vs rebuilding execution state every trial
+// (mc.Run), on the kind of construction trial every experiment runs.
+
+func benchMCTrialLoop(b *testing.B, pooled bool) {
+	n := 256
+	in, err := lang.NewInstance(graph.Cycle(n), lang.EmptyInputs(n), ids.Consecutive(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	algo := local.ViewFunc{AlgoName: "random-3-color", R: 1, F: func(v *local.View) []byte {
+		return lang.EncodeColor(v.Tape().Intn(3))
+	}}
+	space := localrand.NewTapeSpace(23)
+	plan := local.MustPlan(in.G)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pooled {
+			mc.RunWith(500, plan.NewEngine, func(eng *local.Engine, trial int) bool {
+				draw := space.Draw(uint64(trial))
+				return eng.RunView(in, algo, &draw)[0][0] == 0
+			})
+		} else {
+			mc.Run(500, func(trial int) bool {
+				draw := space.Draw(uint64(trial))
+				return local.RunView(in, algo, &draw)[0][0] == 0
+			})
+		}
+	}
+}
+
+func BenchmarkAblationMCPerTrialState(b *testing.B)   { benchMCTrialLoop(b, false) }
+func BenchmarkAblationMCPerWorkerEngine(b *testing.B) { benchMCTrialLoop(b, true) }
+
 // --- View vs message interface ----------------------------------------------
 // The same radius-2 computation through the direct ball-view runner vs
 // the full-information gossip adapter: the cost of faithful message

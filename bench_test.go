@@ -80,6 +80,102 @@ func BenchmarkRoundEngine(b *testing.B) {
 	b.ReportMetric(float64(n*4), "node-rounds/op")
 }
 
+// benchTrialFixture builds the fixed Monte-Carlo trial setup shared by
+// the engine-reuse benchmarks: a ring instance, a radius-1 randomized
+// coloring in ball-view form, and the canonical LCL decider.
+func benchTrialFixture(b *testing.B) (*lang.Instance, local.ViewAlgorithm, *decide.LCLDecider) {
+	n := 512
+	in, err := lang.NewInstance(graph.Cycle(n), lang.EmptyInputs(n), ids.Consecutive(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	algo := local.ViewFunc{AlgoName: "random-3-color", R: 1, F: func(v *local.View) []byte {
+		return lang.EncodeColor(v.Tape().Intn(3))
+	}}
+	return in, algo, &decide.LCLDecider{L: lang.ProperColoring(3)}
+}
+
+// benchTrial runs one construction+decision Monte-Carlo trial, pooled or
+// single-shot.
+func benchTrial(in *lang.Instance, algo local.ViewAlgorithm, d *decide.LCLDecider, eng *local.Engine, draw localrand.Draw) ([][]byte, bool) {
+	var y [][]byte
+	if eng != nil {
+		y = eng.RunView(in, algo, &draw)
+	} else {
+		y = local.RunView(in, algo, &draw)
+	}
+	di := &lang.DecisionInstance{G: in.G, X: in.X, Y: y, ID: in.ID}
+	if eng != nil {
+		return y, decide.AcceptsWith(eng, di, d, nil)
+	}
+	return y, decide.Accepts(di, d, nil)
+}
+
+// BenchmarkTrialSingleShot measures the per-trial cost of the
+// single-shot path: every iteration re-extracts balls and reassembles
+// views, as all trial loops did before the Plan/Engine layer.
+func BenchmarkTrialSingleShot(b *testing.B) {
+	in, algo, d := benchTrialFixture(b)
+	space := localrand.NewTapeSpace(17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchTrial(in, algo, d, nil, space.Draw(uint64(i)))
+	}
+}
+
+// BenchmarkTrialPooledEngine is the identical trial on one reusable
+// Engine — the acceptance benchmark of the Plan/Engine PR: repeated
+// executions on a fixed graph must show ≥ 40% fewer allocs/op than
+// BenchmarkTrialSingleShot, with identical outputs (verified below and
+// pinned exhaustively by internal/local/plan_test.go).
+func BenchmarkTrialPooledEngine(b *testing.B) {
+	in, algo, d := benchTrialFixture(b)
+	space := localrand.NewTapeSpace(17)
+	plan := local.MustPlan(in.G)
+	eng := plan.NewEngine()
+	// Verify pooled and single-shot trials agree before timing.
+	yp, ap := benchTrial(in, algo, d, eng, space.Draw(0))
+	ys, as := benchTrial(in, algo, d, nil, space.Draw(0))
+	if ap != as {
+		b.Fatal("pooled and single-shot verdicts differ")
+	}
+	for v := range ys {
+		if string(yp[v]) != string(ys[v]) {
+			b.Fatalf("node %d: pooled output differs from single-shot", v)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchTrial(in, algo, d, eng, space.Draw(uint64(i)))
+	}
+}
+
+// BenchmarkMessageEngineReuse measures the message-passing engine with
+// slab reuse (compare BenchmarkRoundEngine, which is single-shot).
+func BenchmarkMessageEngineReuse(b *testing.B) {
+	n := 1024
+	in, err := lang.NewInstance(graph.Cycle(n), lang.EmptyInputs(n), ids.Consecutive(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	algo := local.FullInfo(local.ViewFunc{
+		AlgoName: "probe", R: 4,
+		F: func(v *local.View) []byte { return []byte{byte(v.Ball.Size())} },
+	})
+	plan := local.MustPlan(in.G)
+	eng := plan.NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(in, algo, nil, local.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n*4), "node-rounds/op")
+}
+
 // BenchmarkBallExtraction measures B_G(v,t) extraction on a torus.
 func BenchmarkBallExtraction(b *testing.B) {
 	g := graph.Torus(32, 32)
@@ -239,6 +335,13 @@ func TestFacadeSmoke(t *testing.T) {
 	}}, nil)
 	if len(y) != 12 {
 		t.Fatal("facade RunView broken")
+	}
+	var plan *Plan = MustPlan(g)
+	var eng *Engine = plan.NewEngine()
+	if res, err := eng.Run(in, local.FullInfo(local.ViewFunc{AlgoName: "zero", R: 0, F: func(v *View) []byte {
+		return lang.EncodeColor(0)
+	}}), nil, RunOptions{}); err != nil || len(res.Y) != 12 {
+		t.Fatalf("facade Plan/Engine broken: %v", err)
 	}
 	if len(Experiments()) != 16 {
 		t.Fatalf("facade lists %d experiments", len(Experiments()))

@@ -1,0 +1,3 @@
+module rlnc
+
+go 1.24

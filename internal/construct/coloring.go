@@ -44,6 +44,12 @@ func (r RetryColoring) Run(in *lang.Instance, draw *localrand.Draw) ([][]byte, e
 	return mc.Run(in, draw)
 }
 
+// RunOn implements EngineRunner.
+func (r RetryColoring) RunOn(eng *local.Engine, in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
+	mc := MessageConstruction{Algo: retryAlgo{q: r.Q, t: r.T}}
+	return mc.RunOn(eng, in, draw)
+}
+
 type retryAlgo struct{ q, t int }
 
 func (a retryAlgo) Name() string { return fmt.Sprintf("retry-%d-coloring(T=%d)", a.q, a.t) }

@@ -26,6 +26,24 @@ type Algorithm interface {
 	Run(in *lang.Instance, draw *localrand.Draw) ([][]byte, error)
 }
 
+// EngineRunner is the pooled execution path of a construction algorithm:
+// RunOn behaves exactly like Run but executes on the caller's reusable
+// engine, so trial loops amortize execution scratch across trials. The
+// engine's plan must be built for in.G.
+type EngineRunner interface {
+	RunOn(eng *local.Engine, in *lang.Instance, draw *localrand.Draw) ([][]byte, error)
+}
+
+// RunOn executes a on the pooled engine when it supports pooling and
+// falls back to the single-shot Run otherwise; outputs are identical
+// either way.
+func RunOn(a Algorithm, eng *local.Engine, in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
+	if r, ok := a.(EngineRunner); ok {
+		return r.RunOn(eng, in, draw)
+	}
+	return a.Run(in, draw)
+}
+
 // ViewConstruction adapts a ball-view algorithm.
 type ViewConstruction struct {
 	Algo local.ViewAlgorithm
@@ -37,6 +55,11 @@ func (a ViewConstruction) Name() string { return a.Algo.Name() }
 // Run implements Algorithm.
 func (a ViewConstruction) Run(in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
 	return local.RunView(in, a.Algo, draw), nil
+}
+
+// RunOn implements EngineRunner.
+func (a ViewConstruction) RunOn(eng *local.Engine, in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
+	return eng.RunView(in, a.Algo, draw), nil
 }
 
 // MessageConstruction adapts a message-passing algorithm.
@@ -51,6 +74,15 @@ func (a MessageConstruction) Name() string { return a.Algo.Name() }
 // Run implements Algorithm.
 func (a MessageConstruction) Run(in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
 	res, err := local.RunMessage(in, a.Algo, draw, a.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Y, nil
+}
+
+// RunOn implements EngineRunner.
+func (a MessageConstruction) RunOn(eng *local.Engine, in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
+	res, err := eng.Run(in, a.Algo, draw, a.Opts)
 	if err != nil {
 		return nil, err
 	}
@@ -89,6 +121,17 @@ func (p Pipeline) Name() string {
 
 // Run implements Algorithm.
 func (p Pipeline) Run(in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
+	return p.run(nil, in, draw)
+}
+
+// RunOn implements EngineRunner. Every stage runs on the same graph, so
+// one engine serves the whole pipeline.
+func (p Pipeline) RunOn(eng *local.Engine, in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
+	return p.run(eng, in, draw)
+}
+
+// run executes the stages, on the pooled engine when one is given.
+func (p Pipeline) run(eng *local.Engine, in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
 	if len(p.Stages) == 0 {
 		return nil, fmt.Errorf("construct: empty pipeline")
 	}
@@ -101,7 +144,11 @@ func (p Pipeline) Run(in *lang.Instance, draw *localrand.Draw) ([][]byte, error)
 			sub = &d
 		}
 		var err error
-		y, err = stage.Run(cur, sub)
+		if eng != nil {
+			y, err = RunOn(stage, eng, cur, sub)
+		} else {
+			y, err = stage.Run(cur, sub)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("construct: stage %d (%s): %w", i, stage.Name(), err)
 		}

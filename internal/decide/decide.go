@@ -77,6 +77,41 @@ func AcceptsFarFrom(di *lang.DecisionInstance, d Decider, draw *localrand.Draw, 
 	return true
 }
 
+// VerdictsWith is Verdicts on a pooled engine: decision views are
+// assembled on the engine's cached balls instead of being extracted per
+// node per call, which is what Monte-Carlo trial loops want. The verdicts
+// are identical to Verdicts'.
+func VerdictsWith(eng *local.Engine, di *lang.DecisionInstance, d Decider, draw *localrand.Draw) []bool {
+	out := make([]bool, di.G.N())
+	eng.ForEachDecisionView(di, d.Radius(), draw, func(v int, view *local.View) {
+		out[v] = d.Verdict(view)
+	})
+	return out
+}
+
+// AcceptsWith is Accepts on a pooled engine; see VerdictsWith.
+func AcceptsWith(eng *local.Engine, di *lang.DecisionInstance, d Decider, draw *localrand.Draw) bool {
+	for _, ok := range VerdictsWith(eng, di, d, draw) {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// AcceptsFarFromWith is AcceptsFarFrom on a pooled engine; see
+// VerdictsWith.
+func AcceptsFarFromWith(eng *local.Engine, di *lang.DecisionInstance, d Decider, draw *localrand.Draw, u, far int) bool {
+	dist := di.G.BFSFrom(u)
+	verdicts := VerdictsWith(eng, di, d, draw)
+	for v, ok := range verdicts {
+		if dist[v] > far && !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // LCLDecider is the canonical deterministic decider for an LCL language:
 // a node rejects iff its radius-t ball is in Bad(L). It decides L exactly,
 // witnessing LCL ⊆ LD (§2.2.2).

@@ -1,0 +1,71 @@
+package decide
+
+import (
+	"testing"
+
+	"rlnc/internal/graph"
+	"rlnc/internal/lang"
+	"rlnc/internal/local"
+	"rlnc/internal/localrand"
+)
+
+// TestPooledVerdictsMatchSingleShot pins that the engine-pooled decision
+// path (VerdictsWith / AcceptsWith / AcceptsFarFromWith) produces
+// identical verdicts to the one-shot path for randomized and
+// deterministic deciders, across back-to-back reuse with fresh
+// DecisionInstances per trial — the exact shape of the experiment loops.
+func TestPooledVerdictsMatchSingleShot(t *testing.T) {
+	l := lang.ProperColoring(3)
+	g := graph.Cycle(18)
+	colors := make([]int, 18)
+	for v := range colors {
+		colors[v] = v % 3
+	}
+	colors[4] = colors[3] // plant one violation
+	space := localrand.NewTapeSpace(13)
+
+	plan, err := local.NewPlan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := plan.NewEngine()
+	det := &LCLDecider{L: l}
+	for trial := 0; trial < 5; trial++ {
+		// Fresh instance per trial, like the Monte-Carlo harness builds.
+		di := coloringInstance(t, g, colors...)
+		draw := space.Draw(uint64(trial))
+
+		want := Verdicts(di, det, &draw)
+		got := VerdictsWith(eng, di, det, &draw)
+		for v := range want {
+			if want[v] != got[v] {
+				t.Fatalf("trial %d node %d: pooled verdict %v, single-shot %v", trial, v, got[v], want[v])
+			}
+		}
+		if Accepts(di, det, &draw) != AcceptsWith(eng, di, det, &draw) {
+			t.Fatalf("trial %d: Accepts disagrees", trial)
+		}
+		for _, u := range []int{0, 4, 9} {
+			for _, far := range []int{1, 3} {
+				if AcceptsFarFrom(di, det, &draw, u, far) != AcceptsFarFromWith(eng, di, det, &draw, u, far) {
+					t.Fatalf("trial %d: AcceptsFarFrom(u=%d, far=%d) disagrees", trial, u, far)
+				}
+			}
+		}
+	}
+
+	// Randomized decider: verdicts depend on tapes, so this also pins the
+	// pooled tape threading.
+	rnd := NewResilientDecider(l, 1)
+	for trial := 0; trial < 5; trial++ {
+		di := coloringInstance(t, g, colors...)
+		draw := space.Draw(uint64(100 + trial))
+		want := Verdicts(di, rnd, &draw)
+		got := VerdictsWith(eng, di, rnd, &draw)
+		for v := range want {
+			if want[v] != got[v] {
+				t.Fatalf("randomized trial %d node %d: pooled %v, single-shot %v", trial, v, got[v], want[v])
+			}
+		}
+	}
+}

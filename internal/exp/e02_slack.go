@@ -6,6 +6,7 @@ import (
 
 	"rlnc/internal/construct"
 	"rlnc/internal/lang"
+	"rlnc/internal/local"
 	"rlnc/internal/localrand"
 	"rlnc/internal/mc"
 	"rlnc/internal/report"
@@ -32,9 +33,10 @@ func meanBadFraction(n, T, nTrials int, seed uint64) (float64, float64) {
 	l := lang.ProperColoring(3)
 	in := cycleInstance(n, 1)
 	space := localrand.NewTapeSpace(seed)
-	return mc.Mean(nTrials, func(trial int) float64 {
+	plan := local.MustPlan(in.G)
+	return mc.MeanWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) float64 {
 		draw := space.Draw(uint64(trial))
-		y, err := (construct.RetryColoring{Q: 3, T: T}).Run(in, &draw)
+		y, err := construct.RunOn(construct.RetryColoring{Q: 3, T: T}, eng, in, &draw)
 		if err != nil {
 			return 1
 		}

@@ -67,9 +67,10 @@ func (e e3) Run(cfg report.Config) (*report.Result, error) {
 	for _, T := range pick(cfg, []int{0, 4}, []int{0}) {
 		for _, n := range sizes {
 			in := cycleInstance(n, 1)
-			mean, _ := mc.Mean(nTrials, func(trial int) float64 {
+			plan := local.MustPlan(in.G)
+			mean, _ := mc.MeanWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) float64 {
 				draw := space.Draw(uint64(T)<<32 | uint64(trial))
-				y, err := (construct.RetryColoring{Q: 3, T: T}).Run(in, &draw)
+				y, err := construct.RunOn(construct.RetryColoring{Q: 3, T: T}, eng, in, &draw)
 				if err != nil {
 					return float64(n)
 				}

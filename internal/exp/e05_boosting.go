@@ -70,12 +70,13 @@ func (e e5) Run(cfg report.Config) (*report.Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			est := mc.Run(nTrials, func(trial int) bool {
+			plan := local.MustPlan(union.Instance.G)
+			est := mc.RunWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) bool {
 				drawC := cSpace.Draw(uint64(nu)<<32 | uint64(trial))
-				y := local.RunView(union.Instance, sab, &drawC)
+				y := eng.RunView(union.Instance, sab, &drawC)
 				di := &lang.DecisionInstance{G: union.Instance.G, X: union.Instance.X, Y: y, ID: union.Instance.ID}
 				drawD := dSpace.Draw(uint64(nu)<<32 | uint64(trial))
-				return decide.Accepts(di, d, &drawD)
+				return decide.AcceptsWith(eng, di, d, &drawD)
 			})
 			bound := glue.DisjointAcceptBound(pr.p, pr.beta, nu)
 			lo, _ := est.Wilson(3.3)

@@ -57,13 +57,15 @@ func (e e6) Run(cfg report.Config) (*report.Result, error) {
 	// Per-block far-from acceptance (the Claim 5 measurement): probability
 	// over both C's and D's randomness that all nodes of the block at
 	// distance > t+t' from u accept.
-	farAcceptProb := func(in *lang.Instance, u int, tag uint64) mc.Estimate {
-		return mc.Run(nTrials, func(trial int) bool {
+	// One plan per block: every anchor candidate's measurement shares the
+	// block's cached balls instead of re-extracting them per invocation.
+	farAcceptProb := func(plan *local.Plan, in *lang.Instance, u int, tag uint64) mc.Estimate {
+		return mc.RunWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) bool {
 			drawC := cSpace.Draw(tag<<24 | uint64(trial))
-			y := local.RunView(in, sab, &drawC)
+			y := eng.RunView(in, sab, &drawC)
 			di := &lang.DecisionInstance{G: in.G, X: in.X, Y: y, ID: in.ID}
 			drawD := dSpace.Draw(tag<<24 | uint64(trial))
-			return decide.AcceptsFarFrom(di, dec, &drawD, u, tC+tD)
+			return decide.AcceptsFarFromWith(eng, di, dec, &drawD, u, tC+tD)
 		})
 	}
 
@@ -89,6 +91,7 @@ func (e e6) Run(cfg report.Config) (*report.Result, error) {
 		bestFarReject := 0.0
 		sepOK := true
 		for i, part := range parts {
+			partPlan := local.MustPlan(part.G)
 			cands := part.G.ScatteredSet(2*(tC+tD), mu)
 			if len(cands) < mu {
 				return nil, fmt.Errorf("e6: block %d yielded %d scattered nodes, need %d", i, len(cands), mu)
@@ -97,11 +100,11 @@ func (e e6) Run(cfg report.Config) (*report.Result, error) {
 				sepOK = false
 			}
 			best := glue.BestAnchorByFarRejection(cands, func(u int) float64 {
-				return 1 - farAcceptProb(part, u, uint64(nu*100+i)).P()
+				return 1 - farAcceptProb(partPlan, part, u, uint64(nu*100+i)).P()
 			})
 			u := cands[best]
 			anchors[i] = glue.Anchor{Node: u, Port: 0}
-			acc := farAcceptProb(part, u, uint64(nu*100+i))
+			acc := farAcceptProb(partPlan, part, u, uint64(nu*100+i))
 			blockFarAccept[i] = acc.P()
 			if rej := 1 - acc.P(); rej > bestFarReject {
 				bestFarReject = rej
@@ -130,12 +133,13 @@ func (e e6) Run(cfg report.Config) (*report.Result, error) {
 		}
 
 		// Acceptance of the glued instance.
-		est := mc.Run(nTrials, func(trial int) bool {
+		plan := local.MustPlan(gl.Instance.G)
+		est := mc.RunWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) bool {
 			drawC := cSpace.Draw(uint64(nu)<<40 | uint64(trial))
-			y := local.RunView(gl.Instance, sab, &drawC)
+			y := eng.RunView(gl.Instance, sab, &drawC)
 			di := &lang.DecisionInstance{G: gl.Instance.G, X: gl.Instance.X, Y: y, ID: gl.Instance.ID}
 			drawD := dSpace.Draw(uint64(nu)<<40 | uint64(trial))
-			return decide.Accepts(di, dec, &drawD)
+			return decide.AcceptsWith(eng, di, dec, &drawD)
 		})
 		product := 1.0
 		for _, a := range blockFarAccept {

@@ -42,14 +42,13 @@ func (e e10) Run(cfg report.Config) (*report.Result, error) {
 		fmt.Sprintf("E10: violations vs budgets (ε=%.2f slack, f=%d resilient) on consecutive-id C_n", eps, f),
 		"algorithm", "type", "rounds", "n", "mean violations", "slack budget ⌊εn⌋", "meets slack", "meets f")
 
-	meanOf := func(runner interface {
-		Run(*lang.Instance, *localrand.Draw) ([][]byte, error)
-	}, tag uint64) func(n int) float64 {
+	meanOf := func(runner construct.Algorithm, tag uint64) func(n int) float64 {
 		return func(n int) float64 {
 			in := cycleInstance(n, 1)
-			m, _ := mc.Mean(nTrials, func(trial int) float64 {
+			plan := local.MustPlan(in.G)
+			m, _ := mc.MeanWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) float64 {
 				draw := space.Draw(tag<<32 | uint64(trial))
-				y, err := runner.Run(in, &draw)
+				y, err := construct.RunOn(runner, eng, in, &draw)
 				if err != nil {
 					return float64(n)
 				}

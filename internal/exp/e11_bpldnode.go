@@ -58,9 +58,10 @@ func (e e11) Run(cfg report.Config) (*report.Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			est := mc.Run(nTrials, func(trial int) bool {
+			plan := local.MustPlan(di.G)
+			est := mc.RunWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) bool {
 				draw := space.Draw(uint64(n)<<32 | uint64(trial))
-				acc := decide.Accepts(di, d, &draw)
+				acc := decide.AcceptsWith(eng, di, d, &draw)
 				if inL {
 					return acc
 				}
@@ -74,9 +75,10 @@ func (e e11) Run(cfg report.Config) (*report.Result, error) {
 		mono := make([]int, n)
 		diMono := coloredInstance(cycleInstance(n, 1).G, mono)
 		inL, _ := slackLang.Contains(diMono.Config())
-		est := mc.Run(nTrials, func(trial int) bool {
+		planMono := local.MustPlan(diMono.G)
+		est := mc.RunWith(nTrials, planMono.NewEngine, func(eng *local.Engine, trial int) bool {
 			draw := space.Draw(uint64(n)<<33 | uint64(trial))
-			acc := decide.Accepts(diMono, d, &draw)
+			acc := decide.AcceptsWith(eng, diMono, d, &draw)
 			if inL {
 				return acc
 			}
@@ -95,9 +97,10 @@ func (e e11) Run(cfg report.Config) (*report.Result, error) {
 	constructionOK := true
 	for _, n := range pick(cfg, []int{300, 1200, 4800}, []int{300, 1200}) {
 		in := cycleInstance(n, 1)
-		est := mc.Run(trials(cfg, 400, 60), func(trial int) bool {
+		plan := local.MustPlan(in.G)
+		est := mc.RunWith(trials(cfg, 400, 60), plan.NewEngine, func(eng *local.Engine, trial int) bool {
 			draw := space.Draw(uint64(n)<<34 | uint64(trial))
-			y, err := construct.RandomColoring(3).Run(in, &draw)
+			y, err := construct.RunOn(construct.RandomColoring(3), eng, in, &draw)
 			if err != nil {
 				return false
 			}

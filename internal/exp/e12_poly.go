@@ -5,6 +5,7 @@ import (
 
 	"rlnc/internal/construct"
 	"rlnc/internal/lang"
+	"rlnc/internal/local"
 	"rlnc/internal/localrand"
 	"rlnc/internal/mc"
 	"rlnc/internal/relax"
@@ -53,9 +54,10 @@ func (e e12) Run(cfg report.Config) (*report.Result, error) {
 		lastMeets := true
 		for _, n := range sizes {
 			in := cycleInstance(n, 1)
-			mean, _ := mc.Mean(nTrials, func(trial int) float64 {
+			plan := local.MustPlan(in.G)
+			mean, _ := mc.MeanWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) float64 {
 				draw := space.Draw(uint64(a.t)<<40 | uint64(n)<<8 | uint64(trial))
-				y, err := (construct.RetryColoring{Q: 3, T: a.t}).Run(in, &draw)
+				y, err := construct.RunOn(construct.RetryColoring{Q: 3, T: a.t}, eng, in, &draw)
 				if err != nil {
 					return float64(n)
 				}

@@ -7,6 +7,7 @@ import (
 	"rlnc/internal/construct"
 	"rlnc/internal/glue"
 	"rlnc/internal/lang"
+	"rlnc/internal/local"
 	"rlnc/internal/localrand"
 	"rlnc/internal/mc"
 	"rlnc/internal/relax"
@@ -76,9 +77,10 @@ func (e e14) Run(cfg report.Config) (*report.Result, error) {
 				}
 				instance = gl.Instance
 			}
-			est := mc.Run(nTrials, func(trial int) bool {
+			plan := local.MustPlan(instance.G)
+			est := mc.RunWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) bool {
 				draw := space.Draw(uint64(ai)<<48 | uint64(nu)<<32 | uint64(trial))
-				y, err := algo.Run(instance, &draw)
+				y, err := construct.RunOn(algo, eng, instance, &draw)
 				if err != nil {
 					return false
 				}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Graph is a simple undirected graph on nodes 0..N-1. The neighbor order of
@@ -23,6 +24,12 @@ import (
 type Graph struct {
 	adj [][]int32
 	m   int // number of edges
+
+	// topo caches the CSR/reverse-port flattening (see Topology); it is
+	// derived from adj, so immutability makes the cache sound.
+	topoOnce sync.Once
+	topo     *Topology
+	topoErr  error
 }
 
 // Errors returned by the builder.
@@ -125,6 +132,15 @@ func (g *Graph) MaxDegree() int {
 // Neighbors returns the neighbors of v in port order. The returned slice
 // must not be modified.
 func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// Topology returns the CSR-flattened adjacency plus the reverse-port
+// table, computed on first use and cached for the graph's lifetime. All
+// executions on the same graph share one Topology, which is what lets the
+// LOCAL engine amortize delivery wiring across Monte-Carlo trials.
+func (g *Graph) Topology() (*Topology, error) {
+	g.topoOnce.Do(func() { g.topo, g.topoErr = buildTopology(g.adj) })
+	return g.topo, g.topoErr
+}
 
 // Neighbor returns the neighbor of v at the given port.
 func (g *Graph) Neighbor(v, port int) int { return int(g.adj[v][port]) }

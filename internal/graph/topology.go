@@ -1,0 +1,89 @@
+package graph
+
+import "fmt"
+
+// Topology is the CSR-flattened form of a graph's port-numbered adjacency
+// together with the reverse-edge table used by synchronous message
+// delivery. Node v owns the directed slots Offsets[v]..Offsets[v+1]; slot
+// Offsets[v]+p corresponds to v's port p.
+//
+// RevSlot is the delivery wiring of the LOCAL model: the message v sends
+// on port p arrives at the neighbor across that port on the port
+// identified by RevSlot. Concretely, RevSlot[Offsets[v]+p] is the slot of
+// the reverse directed edge (w → v, where w = Nbrs[Offsets[v]+p]), so a
+// round of delivery is one gather: recv[s] = send[RevSlot[s]].
+//
+// A Topology is immutable and shared; callers must not modify the slices.
+type Topology struct {
+	Offsets []int32 // len N()+1, cumulative degrees
+	Nbrs    []int32 // len 2*M(), neighbors in port order
+	RevSlot []int32 // len 2*M(), slot of the reverse directed edge
+}
+
+// NumNodes returns the number of nodes.
+func (t *Topology) NumNodes() int { return len(t.Offsets) - 1 }
+
+// NumSlots returns the number of directed edge slots (2·M).
+func (t *Topology) NumSlots() int { return len(t.Nbrs) }
+
+// Degree returns the degree of node v.
+func (t *Topology) Degree(v int) int { return int(t.Offsets[v+1] - t.Offsets[v]) }
+
+// Slots returns the half-open directed-slot range [lo, hi) of node v.
+func (t *Topology) Slots(v int) (lo, hi int) {
+	return int(t.Offsets[v]), int(t.Offsets[v+1])
+}
+
+// InPort returns the port at which the neighbor across v's port p receives
+// messages from v (the reverse-port table in port coordinates).
+func (t *Topology) InPort(v, p int) int {
+	s := t.RevSlot[int(t.Offsets[v])+p]
+	w := t.Nbrs[int(t.Offsets[v])+p]
+	return int(s - t.Offsets[w])
+}
+
+// topoEdge keys an undirected edge with ordered endpoints.
+type topoEdge struct{ lo, hi int32 }
+
+// buildTopology flattens adj into CSR form and pairs every directed edge
+// with its reverse in one pass over the slots (O(n + m) expected time).
+// Adjacency built by Builder or FromAdjacency is symmetric by
+// construction; the error path guards hand-rolled graphs.
+func buildTopology(adj [][]int32) (*Topology, error) {
+	n := len(adj)
+	offsets := make([]int32, n+1)
+	total := 0
+	for v, nb := range adj {
+		offsets[v] = int32(total)
+		total += len(nb)
+	}
+	offsets[n] = int32(total)
+
+	nbrs := make([]int32, total)
+	rev := make([]int32, total)
+	// Pair the two directed copies of each undirected edge: the first
+	// visit parks its slot in pending, the second wires both directions.
+	pending := make(map[topoEdge]int32, total/2)
+	for v, nb := range adj {
+		base := offsets[v]
+		for p, w := range nb {
+			s := base + int32(p)
+			nbrs[s] = w
+			key := topoEdge{int32(v), w}
+			if key.lo > key.hi {
+				key.lo, key.hi = key.hi, key.lo
+			}
+			if other, ok := pending[key]; ok {
+				rev[s] = other
+				rev[other] = s
+				delete(pending, key)
+			} else {
+				pending[key] = s
+			}
+		}
+	}
+	for key := range pending {
+		return nil, fmt.Errorf("graph: asymmetric adjacency at edge {%d,%d}", key.lo, key.hi)
+	}
+	return &Topology{Offsets: offsets, Nbrs: nbrs, RevSlot: rev}, nil
+}

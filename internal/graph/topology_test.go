@@ -1,0 +1,112 @@
+package graph
+
+import "testing"
+
+// checkTopology cross-validates a topology against the adjacency API.
+func checkTopology(t *testing.T, g *Graph) {
+	t.Helper()
+	topo, err := g.Topology()
+	if err != nil {
+		t.Fatalf("Topology: %v", err)
+	}
+	if topo.NumNodes() != g.N() || topo.NumSlots() != 2*g.M() {
+		t.Fatalf("shape: %d nodes / %d slots, want %d / %d",
+			topo.NumNodes(), topo.NumSlots(), g.N(), 2*g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if topo.Degree(v) != g.Degree(v) {
+			t.Fatalf("node %d: degree %d, want %d", v, topo.Degree(v), g.Degree(v))
+		}
+		lo, hi := topo.Slots(v)
+		for p, w := range g.Neighbors(v) {
+			s := lo + p
+			if s >= hi {
+				t.Fatalf("node %d: slot range too small", v)
+			}
+			if topo.Nbrs[s] != w {
+				t.Fatalf("node %d port %d: nbr %d, want %d", v, p, topo.Nbrs[s], w)
+			}
+			// The reverse slot must be w's directed edge back to v, and the
+			// pairing must be involutive.
+			r := topo.RevSlot[s]
+			wlo, whi := topo.Slots(int(w))
+			if int(r) < wlo || int(r) >= whi {
+				t.Fatalf("node %d port %d: reverse slot %d outside node %d", v, p, r, w)
+			}
+			if topo.Nbrs[r] != int32(v) {
+				t.Fatalf("node %d port %d: reverse edge points at %d", v, p, topo.Nbrs[r])
+			}
+			if topo.RevSlot[r] != int32(s) {
+				t.Fatalf("node %d port %d: RevSlot not involutive", v, p)
+			}
+			// InPort must agree with a direct scan of w's port numbering.
+			q := topo.InPort(v, p)
+			if g.Neighbor(int(w), q) != v {
+				t.Fatalf("node %d port %d: InPort %d does not map back", v, p, q)
+			}
+		}
+	}
+}
+
+func TestTopologyFamilies(t *testing.T) {
+	rr, err := RandomRegular(40, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gnp, err := ConnectedGNP(30, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"cycle", Cycle(9)},
+		{"path", Path(7)},
+		{"star", Star(6)},
+		{"complete", Complete(5)},
+		{"grid", Grid(4, 5)},
+		{"torus", Torus(4, 4)},
+		{"tree", CompleteTree(3, 3)},
+		{"petersen", Petersen()},
+		{"random-regular", rr},
+		{"connected-gnp", gnp},
+	} {
+		t.Run(tc.name, func(t *testing.T) { checkTopology(t, tc.g) })
+	}
+}
+
+func TestTopologyCached(t *testing.T) {
+	g := Cycle(6)
+	a, err := g.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Topology not cached: two calls returned distinct tables")
+	}
+}
+
+func TestTopologyAsymmetricAdjacency(t *testing.T) {
+	// Hand-rolled asymmetric adjacency (node 0 lists 1, not vice versa)
+	// must be reported, not silently miswired.
+	g := &Graph{adj: [][]int32{{1}, {}}, m: 1}
+	if _, err := g.Topology(); err == nil {
+		t.Fatal("asymmetric adjacency not detected")
+	}
+}
+
+func TestTopologySingleNode(t *testing.T) {
+	g := &Graph{adj: [][]int32{{}}}
+	topo, err := g.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumNodes() != 1 || topo.NumSlots() != 0 {
+		t.Fatalf("unexpected shape for K1: %d nodes, %d slots", topo.NumNodes(), topo.NumSlots())
+	}
+}

@@ -1,0 +1,74 @@
+//go:build !race
+
+package local
+
+import (
+	"testing"
+
+	"rlnc/internal/graph"
+	"rlnc/internal/localrand"
+)
+
+// TestEngineReuseCutsAllocs enforces the PR's performance contract in
+// CI. testing.AllocsPerRun pins GOMAXPROCS to 1, so both paths take the
+// deterministic serial branch of parallelFor and the comparison is
+// exact. Skipped under -race, whose instrumentation changes allocation
+// counts.
+//
+// The contract is path-specific. The ball-view path — the Monte-Carlo
+// trial hot path — must show ≥ 40% fewer allocs/op on a pooled engine,
+// because ball extraction and view assembly amortize away. The
+// message path's single-shot form is already slab-based after this
+// refactor (no per-round receive allocation), so reuse only trims the
+// per-run slab setup; there the pooled path must simply never allocate
+// more than single-shot.
+func TestEngineReuseCutsAllocs(t *testing.T) {
+	in := mustInstance(t, graph.Cycle(256))
+	plan, err := NewPlan(in.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := localrand.NewTapeSpace(3)
+
+	// Ball-view path: ≥ 40% fewer allocs/op.
+	trial := 0
+	singleV := testing.AllocsPerRun(50, func() {
+		draw := space.Draw(uint64(trial))
+		RunView(in, tapeSumView{t: 2}, &draw)
+		trial++
+	})
+	veng := plan.NewEngine()
+	draw := space.Draw(0)
+	veng.RunView(in, tapeSumView{t: 2}, &draw) // warm the view cache
+	reuseV := testing.AllocsPerRun(50, func() {
+		draw := space.Draw(uint64(trial))
+		veng.RunView(in, tapeSumView{t: 2}, &draw)
+		trial++
+	})
+	t.Logf("view allocs/op: single-shot %.1f, pooled %.1f", singleV, reuseV)
+	if reuseV > 0.6*singleV {
+		t.Errorf("pooled view path allocates %.1f/op vs %.1f/op single-shot; want ≥ 40%% fewer", reuseV, singleV)
+	}
+
+	// Message path: pooled must not allocate more than single-shot.
+	run := func(eng *Engine, trial int) {
+		d := space.Draw(uint64(trial))
+		if _, err := eng.Run(in, tapeXOR{rounds: 4}, &d, RunOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	single := testing.AllocsPerRun(50, func() {
+		run(plan.NewEngine(), trial)
+		trial++
+	})
+	eng := plan.NewEngine()
+	run(eng, 0) // warm the slabs before measuring the steady state
+	reuse := testing.AllocsPerRun(50, func() {
+		run(eng, trial)
+		trial++
+	})
+	t.Logf("message allocs/op: single-shot %.1f, pooled %.1f", single, reuse)
+	if reuse > single {
+		t.Errorf("pooled message path allocates %.1f/op vs %.1f/op single-shot", reuse, single)
+	}
+}

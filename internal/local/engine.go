@@ -2,10 +2,8 @@ package local
 
 import (
 	"errors"
-	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"rlnc/internal/lang"
 	"rlnc/internal/localrand"
@@ -39,6 +37,12 @@ type Process interface {
 	// receiving node's ports, nil = no message) and returns the messages
 	// for round r+1. Returning done = true fixes the node's output; the
 	// node sends nothing afterwards but neighbors may keep running.
+	//
+	// The received slice is engine-owned scratch, valid only for the
+	// duration of the call: implementations must copy any values they
+	// want to keep (message payloads themselves are never reused).
+	// Likewise the returned slice is copied by the engine before the next
+	// round, so implementations may reuse their own send buffer.
 	Step(round int, received []Message) (send []Message, done bool)
 	// Output returns the node's final output string. It is called once
 	// the execution finishes and must be valid as soon as done was
@@ -87,123 +91,30 @@ type RunOptions struct {
 // RunMessage executes a message-passing algorithm on an instance. A nil
 // draw yields a deterministic execution; otherwise each node's tape is
 // drawn from σ by identity.
+//
+// RunMessage is the single-shot convenience wrapper over the Plan/Engine
+// layer: it builds the instance's execution plan (the CSR flattening and
+// reverse-port table are cached on the graph, so repeat runs share them)
+// and a transient Engine. Callers measuring many executions on one graph
+// — Monte-Carlo trial loops above all — should hold a Plan and give each
+// worker its own Engine; see Plan and Engine in plan.go.
 func RunMessage(in *lang.Instance, algo MessageAlgorithm, draw *localrand.Draw, opts RunOptions) (*Result, error) {
-	var tapeOf func(v int) *localrand.Tape
-	if draw != nil {
-		d := *draw
-		tapeOf = func(v int) *localrand.Tape { return d.Tape(in.ID[v]) }
+	plan, err := NewPlan(in.G)
+	if err != nil {
+		return nil, err
 	}
-	return runCore(in, algo, tapeOf, opts)
+	return plan.Run(in, algo, draw, opts)
 }
 
-// runCore is the engine proper; tapeOf supplies each node's private tape
-// (nil for deterministic executions) addressed by node index.
+// runCore runs a message algorithm with an explicit per-node tape source
+// on a transient engine; the ball-simulation adapter uses it to thread
+// view tapes through.
 func runCore(in *lang.Instance, algo MessageAlgorithm, tapeOf func(v int) *localrand.Tape, opts RunOptions) (*Result, error) {
-	n := in.G.N()
-	maxRounds := opts.MaxRounds
-	if maxRounds == 0 {
-		maxRounds = 2*n + 64
+	plan, err := NewPlan(in.G)
+	if err != nil {
+		return nil, err
 	}
-	if opts.StopAfter > 0 {
-		maxRounds = opts.StopAfter
-	}
-
-	// inPort[v][p] is the port at which the neighbor across v's port p
-	// receives messages from v.
-	inPort := make([][]int, n)
-	for v := 0; v < n; v++ {
-		inPort[v] = make([]int, in.G.Degree(v))
-		for p, w := range in.G.Neighbors(v) {
-			u := int(w)
-			q := -1
-			for pp, x := range in.G.Neighbors(u) {
-				if int(x) == v {
-					q = pp
-					break
-				}
-			}
-			if q == -1 {
-				return nil, fmt.Errorf("local: asymmetric adjacency at edge {%d,%d}", v, u)
-			}
-			inPort[v][p] = q
-		}
-	}
-
-	procs := make([]Process, n)
-	sends := make([][]Message, n)
-	done := make([]bool, n)
-	var messages atomic.Int64
-
-	parallelFor(n, func(v int) {
-		procs[v] = algo.NewProcess()
-		info := NodeInfo{
-			ID:     in.ID[v],
-			Degree: in.G.Degree(v),
-			Input:  in.X[v],
-		}
-		if tapeOf != nil {
-			info.Tape = tapeOf(v)
-		}
-		sends[v] = padMessages(procs[v].Start(info), info.Degree)
-	})
-
-	rounds := 0
-	for round := 1; opts.StopAfter == 0 || round <= opts.StopAfter; round++ {
-		if round > maxRounds {
-			return nil, fmt.Errorf("%w: %d rounds on %d nodes", ErrNoHalt, maxRounds, n)
-		}
-		// Deliver: recv[v][p] is the message arriving at v's port p.
-		recv := make([][]Message, n)
-		parallelFor(n, func(v int) {
-			deg := in.G.Degree(v)
-			rv := make([]Message, deg)
-			for p, w := range in.G.Neighbors(v) {
-				u := int(w)
-				// v's port p connects to u's port inPort[v][p]; u's
-				// outgoing message on that port lands here.
-				if m := sends[u][inPort[v][p]]; m != nil {
-					rv[p] = m
-					messages.Add(1)
-				}
-			}
-			recv[v] = rv
-		})
-		rounds = round
-
-		allDone := true
-		parallelFor(n, func(v int) {
-			if done[v] {
-				sends[v] = padMessages(nil, in.G.Degree(v))
-				return
-			}
-			out, fin := procs[v].Step(round, recv[v])
-			sends[v] = padMessages(out, in.G.Degree(v))
-			done[v] = fin
-		})
-		for v := 0; v < n; v++ {
-			if !done[v] {
-				allDone = false
-				break
-			}
-		}
-		if allDone {
-			break
-		}
-	}
-
-	y := make([][]byte, n)
-	parallelFor(n, func(v int) { y[v] = procs[v].Output() })
-	return &Result{Y: y, Stats: Stats{Rounds: rounds, Messages: messages.Load()}}, nil
-}
-
-// padMessages normalizes a send slice to exactly deg entries.
-func padMessages(ms []Message, deg int) []Message {
-	if len(ms) == deg {
-		return ms
-	}
-	out := make([]Message, deg)
-	copy(out, ms)
-	return out
+	return plan.NewEngine().runWithTapes(in, algo, tapeOf, opts)
 }
 
 // ParallelFor runs fn(i) for i in [0, n) on a pool of GOMAXPROCS workers.

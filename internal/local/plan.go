@@ -1,0 +1,371 @@
+package local
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rlnc/internal/graph"
+	"rlnc/internal/lang"
+	"rlnc/internal/localrand"
+)
+
+// Plan is the reusable execution layout for one graph (with its port
+// numbering): the CSR-flattened adjacency and reverse-port table that
+// every synchronous round needs, plus a per-radius cache of the balls
+// B_G(v,t) that ball-view executions need. A Plan holds no per-execution
+// state, so it is safe for concurrent use; Monte-Carlo harnesses build
+// one Plan per instance and hand each worker its own Engine.
+type Plan struct {
+	g    *graph.Graph
+	topo *graph.Topology
+
+	// balls caches the per-node balls by radius. Balls depend only on
+	// (graph, radius), never on inputs, identities, or randomness, so the
+	// cache is shared by every engine of the plan.
+	mu    sync.Mutex
+	balls map[int][]*graph.Ball
+}
+
+// NewPlan builds (or fetches, the topology is cached on the graph) the
+// execution plan of g. The only failure mode is a hand-rolled asymmetric
+// adjacency, which graphs built through the public constructors never
+// exhibit.
+func NewPlan(g *graph.Graph) (*Plan, error) {
+	topo, err := g.Topology()
+	if err != nil {
+		return nil, fmt.Errorf("local: %w", err)
+	}
+	return &Plan{g: g, topo: topo}, nil
+}
+
+// MustPlan is NewPlan for graphs known to be well-formed (anything built
+// through the public constructors); it panics on the hand-rolled
+// asymmetric case NewPlan reports.
+func MustPlan(g *graph.Graph) *Plan {
+	p, err := NewPlan(g)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Graph returns the graph the plan was built for.
+func (p *Plan) Graph() *graph.Graph { return p.g }
+
+// Run executes a message-passing algorithm with a transient engine; it is
+// what the package-level RunMessage delegates to. Callers running many
+// executions on the same graph should hold an Engine instead.
+func (p *Plan) Run(in *lang.Instance, algo MessageAlgorithm, draw *localrand.Draw, opts RunOptions) (*Result, error) {
+	return p.NewEngine().Run(in, algo, draw, opts)
+}
+
+// ballsFor returns the cached per-node balls of the given radius,
+// extracting them on first use.
+func (p *Plan) ballsFor(radius int) []*graph.Ball {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b, ok := p.balls[radius]; ok {
+		return b
+	}
+	n := p.g.N()
+	balls := make([]*graph.Ball, n)
+	parallelFor(n, func(v int) { balls[v] = p.g.BallAround(v, radius) })
+	if p.balls == nil {
+		p.balls = make(map[int][]*graph.Ball)
+	}
+	p.balls[radius] = balls
+	return balls
+}
+
+// Engine executes algorithms on one Plan while reusing all per-execution
+// scratch: the double-buffered send/receive message slabs (one directed
+// edge slot each), the per-node done flags and process table, the random
+// tape slab, and — for ball-view executions — the assembled per-node
+// views. Steady-state reuse eliminates the O(n + m) allocations that a
+// fresh run performs every round, which is what makes Monte-Carlo trial
+// loops allocation-free outside the algorithm's own state.
+//
+// An Engine is NOT safe for concurrent use: it is one worker's private
+// scratch. Concurrency comes from running one Engine per worker on a
+// shared Plan.
+type Engine struct {
+	plan *Plan
+
+	// Message-passing scratch. sendSlab[s] is the message travelling on
+	// directed slot s (node v's port p is slot Offsets[v]+p); delivery is
+	// the gather recvSlab[s] = sendSlab[RevSlot[s]].
+	sendSlab []Message
+	recvSlab []Message
+	recvs    [][]Message // per-node windows into recvSlab
+	procs    []Process
+	done     []bool
+	tapes    []localrand.Tape
+
+	// View scratch: skeleton views keyed by radius (like the plan's ball
+	// cache), refilled from the instance on every call — trial loops and
+	// pipeline stages hand fresh instances per call, but only the
+	// identity/input/label pointers change. Construction and decision
+	// views differ only in carrying Y, so they share the machinery; the
+	// tape closures of both read viewDraw, rebound before every run.
+	viewSets  map[int]*viewSet
+	dviewSets map[int]*viewSet
+	viewDraw  localrand.Draw
+}
+
+// viewSet is one radius's cached view skeletons plus the per-node tape
+// accessors bound to the engine's current draw.
+type viewSet struct {
+	views   []View
+	tapeFns []func(int) *localrand.Tape
+}
+
+// NewEngine returns a fresh engine of the plan. Slabs are allocated
+// lazily on first use, so view-only engines never pay for message slabs
+// and vice versa.
+func (p *Plan) NewEngine() *Engine { return &Engine{plan: p} }
+
+// Run executes a message-passing algorithm on an instance over the
+// plan's graph. A nil draw yields a deterministic execution; otherwise
+// each node's tape is drawn from σ by identity, exactly as RunMessage
+// does — outputs and Stats are identical to a single-shot run.
+func (e *Engine) Run(in *lang.Instance, algo MessageAlgorithm, draw *localrand.Draw, opts RunOptions) (*Result, error) {
+	var tapeOf func(v int) *localrand.Tape
+	if draw != nil {
+		d := *draw
+		if e.tapes == nil {
+			e.tapes = make([]localrand.Tape, e.plan.g.N())
+		}
+		tapes := e.tapes
+		tapeOf = func(v int) *localrand.Tape {
+			t := &tapes[v]
+			d.TapeInto(t, in.ID[v])
+			return t
+		}
+	}
+	return e.runWithTapes(in, algo, tapeOf, opts)
+}
+
+// runWithTapes is the engine proper; tapeOf supplies each node's private
+// tape (nil for deterministic executions) addressed by node index.
+func (e *Engine) runWithTapes(in *lang.Instance, algo MessageAlgorithm, tapeOf func(v int) *localrand.Tape, opts RunOptions) (*Result, error) {
+	if in.G != e.plan.g {
+		return nil, fmt.Errorf("local: instance graph %v is not the engine's plan graph %v", in.G, e.plan.g)
+	}
+	topo := e.plan.topo
+	n := e.plan.g.N()
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 2*n + 64
+	}
+	if opts.StopAfter > 0 {
+		maxRounds = opts.StopAfter
+	}
+	e.ensureMessageState()
+	// Drop references into algorithm state when the run ends — on the
+	// error paths too — so a pooled engine never keeps a previous
+	// execution's processes and messages alive.
+	defer func() {
+		clear(e.procs)
+		clear(e.sendSlab)
+		clear(e.recvSlab)
+	}()
+
+	procs, done := e.procs, e.done
+	var messages atomic.Int64
+
+	parallelFor(n, func(v int) {
+		done[v] = false
+		procs[v] = algo.NewProcess()
+		info := NodeInfo{
+			ID:     in.ID[v],
+			Degree: topo.Degree(v),
+			Input:  in.X[v],
+		}
+		if tapeOf != nil {
+			info.Tape = tapeOf(v)
+		}
+		e.stageSend(v, procs[v].Start(info))
+	})
+
+	rounds := 0
+	for round := 1; opts.StopAfter == 0 || round <= opts.StopAfter; round++ {
+		if round > maxRounds {
+			return nil, fmt.Errorf("%w: %d rounds on %d nodes", ErrNoHalt, maxRounds, n)
+		}
+		// Deliver: the message v sent on port p arrives across the edge at
+		// the reverse slot, so receiving is one gather over RevSlot.
+		parallelFor(n, func(v int) {
+			lo, hi := topo.Slots(v)
+			delivered := 0
+			for s := lo; s < hi; s++ {
+				m := e.sendSlab[topo.RevSlot[s]]
+				e.recvSlab[s] = m
+				if m != nil {
+					delivered++
+				}
+			}
+			if delivered > 0 {
+				messages.Add(int64(delivered))
+			}
+		})
+		rounds = round
+
+		parallelFor(n, func(v int) {
+			if done[v] {
+				e.stageSend(v, nil)
+				return
+			}
+			out, fin := procs[v].Step(round, e.recvs[v])
+			e.stageSend(v, out)
+			done[v] = fin
+		})
+		allDone := true
+		for v := 0; v < n; v++ {
+			if !done[v] {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+
+	y := make([][]byte, n)
+	parallelFor(n, func(v int) { y[v] = procs[v].Output() })
+	return &Result{Y: y, Stats: Stats{Rounds: rounds, Messages: messages.Load()}}, nil
+}
+
+// ensureMessageState allocates the round-loop slabs on first use.
+func (e *Engine) ensureMessageState() {
+	if e.procs != nil {
+		return
+	}
+	n := e.plan.g.N()
+	slots := e.plan.topo.NumSlots()
+	e.sendSlab = make([]Message, slots)
+	e.recvSlab = make([]Message, slots)
+	e.recvs = make([][]Message, n)
+	for v := 0; v < n; v++ {
+		lo, hi := e.plan.topo.Slots(v)
+		e.recvs[v] = e.recvSlab[lo:hi:hi]
+	}
+	e.procs = make([]Process, n)
+	e.done = make([]bool, n)
+}
+
+// stageSend copies a process's outgoing messages into node v's send
+// slots, padding (or truncating) to the node's degree like the engine
+// always has.
+func (e *Engine) stageSend(v int, out []Message) {
+	lo, hi := e.plan.topo.Slots(v)
+	k := copy(e.sendSlab[lo:hi], out)
+	clear(e.sendSlab[lo+k : hi])
+}
+
+// RunView executes a ball-view algorithm on every node of an instance
+// over the plan's graph, reusing the cached balls and view skeletons
+// across calls. The output slice y is fresh on every call; everything
+// else — balls, view node tables, tape accessors — is reused (only the
+// identity/input pointers are refilled), so a trial loop runs
+// allocation-free outside the algorithm's own work even when each trial
+// or pipeline stage hands a fresh Instance over the same graph. Outputs
+// are identical to RunView's.
+func (e *Engine) RunView(in *lang.Instance, algo ViewAlgorithm, draw *localrand.Draw) [][]byte {
+	if in.G != e.plan.g {
+		panic(fmt.Sprintf("local: instance graph %v is not the engine's plan graph %v", in.G, e.plan.g))
+	}
+	vs := e.viewSetFor(algo.Radius(), false)
+	y := make([][]byte, len(vs.views))
+	e.forEachView(vs, in.ID, in.X, nil, draw, func(v int, view *View) {
+		y[v] = algo.Output(view)
+	})
+	return y
+}
+
+// ForEachDecisionView assembles the radius-t decision views of di over
+// the plan's graph and invokes fn at every node on the worker pool,
+// exactly as the decide package's Verdicts does with one-shot views.
+// Skeletons are cached per radius; only the identity/input/label
+// pointers are refilled per call, so trial loops that hand a fresh
+// DecisionInstance every trial stay allocation-free. Views are
+// engine-owned scratch: they are valid only for the duration of fn and
+// must be treated as read-only.
+func (e *Engine) ForEachDecisionView(di *lang.DecisionInstance, radius int, draw *localrand.Draw, fn func(v int, view *View)) {
+	if di.G != e.plan.g {
+		panic(fmt.Sprintf("local: decision instance graph %v is not the engine's plan graph %v", di.G, e.plan.g))
+	}
+	e.forEachView(e.viewSetFor(radius, true), di.ID, di.X, di.Y, draw, fn)
+}
+
+// viewSetFor returns the cached view skeletons of the given radius,
+// building them on first use. Decision views additionally carry the
+// candidate-output column Y.
+func (e *Engine) viewSetFor(radius int, decision bool) *viewSet {
+	cache := &e.viewSets
+	if decision {
+		cache = &e.dviewSets
+	}
+	if *cache == nil {
+		*cache = make(map[int]*viewSet)
+	}
+	if vs, ok := (*cache)[radius]; ok {
+		return vs
+	}
+	balls := e.plan.ballsFor(radius)
+	vs := &viewSet{
+		views:   make([]View, len(balls)),
+		tapeFns: make([]func(int) *localrand.Tape, len(balls)),
+	}
+	for v, b := range balls {
+		view := &vs.views[v]
+		view.Ball = b
+		view.IDs = make([]int64, b.Size())
+		view.X = make([][]byte, b.Size())
+		if decision {
+			view.Y = make([][]byte, b.Size())
+		}
+		ids := view.IDs
+		vs.tapeFns[v] = func(local int) *localrand.Tape {
+			return e.viewDraw.Tape(ids[local])
+		}
+	}
+	(*cache)[radius] = vs
+	return vs
+}
+
+// forEachView refills the skeleton views from (id, x, y) — y is nil for
+// construction views — binds the tape accessors to draw, and invokes fn
+// at every node on the worker pool. The instance's data pointers are
+// released when the run ends, matching the message path's no-retention
+// invariant for pooled engines.
+func (e *Engine) forEachView(vs *viewSet, id []int64, x, y [][]byte, draw *localrand.Draw, fn func(v int, view *View)) {
+	if draw != nil {
+		e.viewDraw = *draw
+	}
+	defer func() {
+		for v := range vs.views {
+			view := &vs.views[v]
+			clear(view.X)
+			clear(view.Y)
+			view.TapeFor = nil
+		}
+	}()
+	parallelFor(len(vs.views), func(v int) {
+		view := &vs.views[v]
+		for i, u := range view.Ball.Nodes {
+			view.IDs[i] = id[u]
+			view.X[i] = x[u]
+			if y != nil {
+				view.Y[i] = y[u]
+			}
+		}
+		if draw != nil {
+			view.TapeFor = vs.tapeFns[v]
+		} else {
+			view.TapeFor = nil
+		}
+		fn(v, view)
+	})
+}

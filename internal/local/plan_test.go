@@ -1,0 +1,242 @@
+package local
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rlnc/internal/graph"
+	"rlnc/internal/localrand"
+)
+
+// tapeXOR is a randomized fixed-round message algorithm: every node draws
+// one word from its private tape, floods it, and folds received words in
+// by XOR. Its output is a deterministic function of (graph, ids, draw),
+// so it pins down that pooled engines thread tapes exactly like
+// single-shot runs.
+type tapeXOR struct{ rounds int }
+
+func (a tapeXOR) Name() string { return fmt.Sprintf("tape-xor(%d)", a.rounds) }
+func (a tapeXOR) NewProcess() Process {
+	return &tapeXORProc{rounds: a.rounds}
+}
+
+type tapeXORProc struct {
+	rounds int
+	val    uint64
+}
+
+func (p *tapeXORProc) Start(info NodeInfo) []Message {
+	p.val = info.Tape.Uint64()
+	if p.rounds == 0 {
+		return nil
+	}
+	out := make([]Message, info.Degree)
+	for i := range out {
+		out[i] = p.val
+	}
+	return out
+}
+
+func (p *tapeXORProc) Step(round int, received []Message) ([]Message, bool) {
+	for _, m := range received {
+		if m != nil {
+			p.val ^= m.(uint64)
+		}
+	}
+	if round >= p.rounds {
+		return nil, true
+	}
+	out := make([]Message, len(received))
+	for i := range out {
+		out[i] = p.val
+	}
+	return out, false
+}
+
+func (p *tapeXORProc) Output() []byte { return encode64(int64(p.val)) }
+
+// testFamilies returns the graph families the reuse tests sweep.
+func testFamilies(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rr, err := graph.RandomRegular(48, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gnp, err := graph.ConnectedGNP(30, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{
+		"cycle":          graph.Cycle(24),
+		"grid":           graph.Grid(5, 5),
+		"tree":           graph.CompleteTree(3, 3),
+		"star":           graph.Star(9),
+		"random-regular": rr,
+		"connected-gnp":  gnp,
+	}
+}
+
+// expectSameResult asserts byte-identical outputs and identical Stats.
+func expectSameResult(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if want.Stats != got.Stats {
+		t.Fatalf("%s: stats %+v, want %+v", label, got.Stats, want.Stats)
+	}
+	for v := range want.Y {
+		if !bytes.Equal(want.Y[v], got.Y[v]) {
+			t.Fatalf("%s: node %d output %x, want %x", label, v, got.Y[v], want.Y[v])
+		}
+	}
+}
+
+// TestEngineReuseMatchesSingleShotMessage pins the tentpole contract for
+// the message path: one pooled Engine, reused back to back across draws,
+// produces byte-identical outputs and identical Stats to fresh
+// single-shot runs — on every graph family and with both deterministic
+// and randomized algorithms.
+func TestEngineReuseMatchesSingleShotMessage(t *testing.T) {
+	space := localrand.NewTapeSpace(42)
+	for name, g := range testFamilies(t) {
+		t.Run(name, func(t *testing.T) {
+			in := mustInstance(t, g)
+			plan, err := NewPlan(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := plan.NewEngine()
+
+			// Deterministic algorithm, reused engine.
+			want, err := RunMessage(in, floodMin{t: 3}, nil, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rep := 0; rep < 3; rep++ {
+				got, err := eng.Run(in, floodMin{t: 3}, nil, RunOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				expectSameResult(t, fmt.Sprintf("floodMin rep %d", rep), want, got)
+			}
+
+			// Randomized algorithm: interleave draws on ONE engine and
+			// compare each against its own fresh single-shot run.
+			for trial := 0; trial < 4; trial++ {
+				draw := space.Draw(uint64(trial))
+				want, err := RunMessage(in, tapeXOR{rounds: 2}, &draw, RunOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := eng.Run(in, tapeXOR{rounds: 2}, &draw, RunOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				expectSameResult(t, fmt.Sprintf("tapeXOR trial %d", trial), want, got)
+			}
+
+			// Switching algorithms on the same engine must not leak state:
+			// rerun the deterministic algorithm after the randomized ones.
+			got, err := eng.Run(in, floodMin{t: 3}, nil, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			expectSameResult(t, "floodMin after tapeXOR", want, got)
+		})
+	}
+}
+
+// TestEngineReuseMatchesSingleShotView pins the same contract for the
+// ball-view path, including the cached-views steady state (same instance,
+// varying draw) and a radius switch mid-stream.
+func TestEngineReuseMatchesSingleShotView(t *testing.T) {
+	space := localrand.NewTapeSpace(7)
+	for name, g := range testFamilies(t) {
+		t.Run(name, func(t *testing.T) {
+			in := mustInstance(t, g)
+			plan, err := NewPlan(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := plan.NewEngine()
+			for trial := 0; trial < 4; trial++ {
+				draw := space.Draw(uint64(trial))
+				want := RunView(in, tapeSumView{t: 2}, &draw)
+				got := eng.RunView(in, tapeSumView{t: 2}, &draw)
+				for v := range want {
+					if !bytes.Equal(want[v], got[v]) {
+						t.Fatalf("trial %d node %d: %x, want %x", trial, v, got[v], want[v])
+					}
+				}
+			}
+			// Radius switch (rebuilds the cache), then deterministic run
+			// (drops tapes) on the same engine.
+			want := RunView(in, minIDView{t: 3}, nil)
+			got := eng.RunView(in, minIDView{t: 3}, nil)
+			for v := range want {
+				if !bytes.Equal(want[v], got[v]) {
+					t.Fatalf("radius switch node %d: %x, want %x", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+// TestEngineRejectsForeignInstance pins the plan/instance contract: an
+// engine only runs instances over its own graph.
+func TestEngineRejectsForeignInstance(t *testing.T) {
+	a := mustInstance(t, graph.Cycle(6))
+	b := mustInstance(t, graph.Cycle(6)) // same shape, different graph value
+	plan, err := NewPlan(a.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.NewEngine().Run(b, floodMin{t: 1}, nil, RunOptions{}); err == nil {
+		t.Fatal("engine accepted an instance over a foreign graph")
+	}
+}
+
+// TestEngineErrorPathsMatchSingleShot pins ErrNoHalt and StopAfter
+// behavior on reused engines, including reuse after a failed run.
+func TestEngineErrorPathsMatchSingleShot(t *testing.T) {
+	in := mustInstance(t, graph.Cycle(5))
+	plan, err := NewPlan(in.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := plan.NewEngine()
+	if _, err := eng.Run(in, neverHalt{}, nil, RunOptions{MaxRounds: 20}); err == nil {
+		t.Fatal("expected ErrNoHalt")
+	}
+	// The engine must be reusable after an aborted run.
+	res, err := eng.Run(in, neverHalt{}, nil, RunOptions{StopAfter: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds != 7 {
+		t.Errorf("rounds = %d, want 7", res.Stats.Rounds)
+	}
+	want, err := RunMessage(in, floodMin{t: 2}, nil, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Run(in, floodMin{t: 2}, nil, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectSameResult(t, "after aborted run", want, got)
+}
+
+// TestPlanBallCacheShared pins that engines of one plan share one ball
+// cache (the point of putting it on the Plan).
+func TestPlanBallCacheShared(t *testing.T) {
+	g := graph.Cycle(12)
+	plan, err := NewPlan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := plan.ballsFor(2)
+	b := plan.ballsFor(2)
+	if &a[0] != &b[0] {
+		t.Error("ballsFor rebuilt the cache on the second call")
+	}
+}

@@ -13,6 +13,14 @@
 // The adapters FullInfo (view algorithm → t-round message algorithm,
 // exact) and MessageAsView (t-round message algorithm → view algorithm of
 // radius t+1, exact) witness the equivalence; see adapter.go.
+//
+// Both interfaces execute through the plan layer (plan.go): a Plan is the
+// reusable layout of one graph — CSR-flattened adjacency, the
+// reverse-port delivery table, cached balls — and an Engine is one
+// worker's reusable execution scratch. RunView and RunMessage are
+// single-shot wrappers; Monte-Carlo trial loops hold a Plan and give
+// each worker its own Engine (see mc.RunWith), which removes all
+// steady-state allocations from the trial loop.
 package local
 
 import (
@@ -111,14 +119,22 @@ func DecisionView(di *lang.DecisionInstance, v, t int, draw *localrand.Draw) *Vi
 // RunView executes a ball-view algorithm on every node of an instance,
 // returning the global output y. A nil draw runs the algorithm
 // deterministically (no tapes). Nodes are processed on a worker pool; the
-// result is independent of scheduling because views are read-only.
+// result is independent of scheduling because views are read-only (and,
+// now that views are cached, algorithms must treat them as read-only:
+// Ball, IDs, and X are shared scratch, not per-call copies).
+//
+// RunView is the single-shot wrapper over the Plan/Engine layer; trial
+// loops should hold a Plan and one Engine per worker so ball extraction
+// and view assembly are amortized across executions.
 func RunView(in *lang.Instance, algo ViewAlgorithm, draw *localrand.Draw) [][]byte {
-	n := in.G.N()
-	y := make([][]byte, n)
-	parallelFor(n, func(v int) {
-		y[v] = algo.Output(ConstructionView(in, v, algo.Radius(), draw))
-	})
-	return y
+	plan, err := NewPlan(in.G)
+	if err != nil {
+		// Unreachable for graphs built through the public constructors,
+		// which validate adjacency symmetry; keep the old panic-free
+		// signature for the overwhelmingly common case.
+		panic(err)
+	}
+	return plan.NewEngine().RunView(in, algo, draw)
 }
 
 // ViewFunc wraps a plain function as a ViewAlgorithm.

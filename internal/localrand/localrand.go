@@ -125,7 +125,20 @@ type Draw struct {
 // this draw. Calling it twice returns identical, independently-positioned
 // streams.
 func (d Draw) Tape(nodeID int64) *Tape {
-	return NewSource(mix64(d.seed ^ mix64(uint64(nodeID)+0x5bf0_3635)))
+	return NewSource(d.tapeSeed(nodeID))
+}
+
+// TapeInto rewinds t in place to the start of nodeID's tape under this
+// draw — the allocation-free form of Tape used by pooled engines, which
+// hold one Tape per node and reseed the slab on every trial. After the
+// call, t replays exactly the stream Tape(nodeID) would return.
+func (d Draw) TapeInto(t *Tape, nodeID int64) {
+	t.state = d.tapeSeed(nodeID)
+}
+
+// tapeSeed derives the per-node seed of this draw.
+func (d Draw) tapeSeed(nodeID int64) uint64 {
+	return mix64(d.seed ^ mix64(uint64(nodeID)+0x5bf0_3635))
 }
 
 // Derive returns a sub-draw labeled by the given tag, for algorithms that

@@ -172,3 +172,22 @@ func TestTapePurityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTapeIntoMatchesTape(t *testing.T) {
+	d := NewTapeSpace(21).Draw(4)
+	var slab Tape
+	for _, id := range []int64{1, 7, 1 << 40} {
+		d.TapeInto(&slab, id)
+		fresh := d.Tape(id)
+		for i := 0; i < 8; i++ {
+			if got, want := slab.Uint64(), fresh.Uint64(); got != want {
+				t.Fatalf("id %d word %d: TapeInto stream %x, Tape stream %x", id, i, got, want)
+			}
+		}
+	}
+	// Reseeding mid-stream must rewind to the start of the new tape.
+	d.TapeInto(&slab, 7)
+	if slab.Uint64() != d.Tape(7).Uint64() {
+		t.Error("TapeInto after partial consumption did not rewind")
+	}
+}

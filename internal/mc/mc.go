@@ -54,24 +54,22 @@ func (e Estimate) String() string {
 	return fmt.Sprintf("p=%.4f (%d/%d)", e.P(), e.Successes, e.Trials)
 }
 
-// Run executes trials of f on a worker pool; f receives the trial index
-// and must derive all randomness from it (e.g. as a tape-space draw
-// index). The aggregate is independent of scheduling.
-func Run(trials int, f func(trial int) bool) Estimate {
-	workers := runtime.GOMAXPROCS(0)
+// forEachWorker partitions [0, trials) into contiguous chunks and runs
+// body(w, lo, hi) for each on its own goroutine (or inline when one
+// worker suffices). workers caps the pool and bounds every index w the
+// bodies see — callers size their per-worker result slices from the
+// same value, so the two can never disagree. Bodies must write only
+// worker-indexed state.
+func forEachWorker(trials, workers int, body func(w, lo, hi int)) {
 	if workers > trials {
 		workers = trials
 	}
 	if workers <= 1 {
-		succ := 0
-		for i := 0; i < trials; i++ {
-			if f(i) {
-				succ++
-			}
+		if trials > 0 {
+			body(0, 0, trials)
 		}
-		return Estimate{Trials: trials, Successes: succ}
+		return
 	}
-	counts := make([]int, workers)
 	var wg sync.WaitGroup
 	chunk := (trials + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -85,14 +83,39 @@ func Run(trials int, f func(trial int) bool) Estimate {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				if f(i) {
-					counts[w]++
-				}
-			}
+			body(w, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+}
+
+// Run executes trials of f on a worker pool; f receives the trial index
+// and must derive all randomness from it (e.g. as a tape-space draw
+// index). The aggregate is independent of scheduling.
+func Run(trials int, f func(trial int) bool) Estimate {
+	return RunWith(trials, func() struct{} { return struct{}{} },
+		func(_ struct{}, trial int) bool { return f(trial) })
+}
+
+// RunWith is Run with per-worker state: newState is called once per
+// worker and its value is passed to every trial that worker executes.
+// The intended state is a reusable *local.Engine, so the O(n + m)
+// execution scratch is set up once per worker instead of once per trial;
+// any resettable scratch (buffers, scratch graphs) works the same way.
+// Trials must still derive all randomness from the trial index — state
+// only carries reusable scratch, never statistics — so the estimate is
+// identical to Run's for the same f.
+func RunWith[S any](trials int, newState func() S, f func(s S, trial int) bool) Estimate {
+	workers := runtime.GOMAXPROCS(0)
+	counts := make([]int, workers)
+	forEachWorker(trials, workers, func(w, lo, hi int) {
+		s := newState()
+		for i := lo; i < hi; i++ {
+			if f(s, i) {
+				counts[w]++
+			}
+		}
+	})
 	succ := 0
 	for _, c := range counts {
 		succ += c
@@ -103,41 +126,23 @@ func Run(trials int, f func(trial int) bool) Estimate {
 // Mean runs trials of a real-valued observable and returns its sample
 // mean and standard error.
 func Mean(trials int, f func(trial int) float64) (mean, stderr float64) {
+	return MeanWith(trials, func() struct{} { return struct{}{} },
+		func(_ struct{}, trial int) float64 { return f(trial) })
+}
+
+// MeanWith is Mean with per-worker state; see RunWith.
+func MeanWith[S any](trials int, newState func() S, f func(s S, trial int) float64) (mean, stderr float64) {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > trials {
-		workers = trials
-	}
 	sums := make([]float64, workers)
 	sqs := make([]float64, workers)
-	var wg sync.WaitGroup
-	chunk := (trials + workers - 1) / workers
-	if workers <= 1 {
-		for i := 0; i < trials; i++ {
-			v := f(i)
-			sums[0] += v
-			sqs[0] += v * v
+	forEachWorker(trials, workers, func(w, lo, hi int) {
+		s := newState()
+		for i := lo; i < hi; i++ {
+			v := f(s, i)
+			sums[w] += v
+			sqs[w] += v * v
 		}
-	} else {
-		for w := 0; w < workers; w++ {
-			lo, hi := w*chunk, (w+1)*chunk
-			if hi > trials {
-				hi = trials
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					v := f(i)
-					sums[w] += v
-					sqs[w] += v * v
-				}
-			}(w, lo, hi)
-		}
-		wg.Wait()
-	}
+	})
 	var sum, sq float64
 	for w := range sums {
 		sum += sums[w]

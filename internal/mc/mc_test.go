@@ -2,6 +2,9 @@ package mc
 
 import (
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"rlnc/internal/localrand"
@@ -103,5 +106,81 @@ func TestMeanSingleTrial(t *testing.T) {
 	mean, stderr := Mean(1, func(int) float64 { return 3 })
 	if mean != 3 || stderr != 0 {
 		t.Errorf("mean=%v stderr=%v", mean, stderr)
+	}
+}
+
+// scratch is a stand-in for a reusable per-worker engine: it records that
+// the harness created it once per worker, not once per trial.
+type scratch struct{ uses int }
+
+func TestRunWithMatchesRun(t *testing.T) {
+	f := func(trial int) bool {
+		return localrand.NewSource(uint64(trial)).Float64() < 0.37
+	}
+	want := Run(5000, f)
+	var created atomic.Int64
+	got := RunWith(5000,
+		func() *scratch { created.Add(1); return &scratch{} },
+		func(s *scratch, trial int) bool { s.uses++; return f(trial) })
+	if got != want {
+		t.Errorf("RunWith = %+v, want %+v", got, want)
+	}
+	if c := created.Load(); c < 1 || c > int64(runtime.GOMAXPROCS(0)) {
+		t.Errorf("newState called %d times; want once per worker", c)
+	}
+}
+
+func TestMeanWithMatchesMean(t *testing.T) {
+	f := func(trial int) float64 {
+		return localrand.NewSource(uint64(trial)).Float64()
+	}
+	wantMean, wantSE := Mean(4000, f)
+	gotMean, gotSE := MeanWith(4000,
+		func() *scratch { return &scratch{} },
+		func(s *scratch, trial int) float64 { return f(trial) })
+	if gotMean != wantMean || gotSE != wantSE {
+		t.Errorf("MeanWith = (%v, %v), want (%v, %v)", gotMean, gotSE, wantMean, wantSE)
+	}
+}
+
+func TestRunWithZeroTrials(t *testing.T) {
+	est := RunWith(0, func() *scratch { t.Error("state created for zero trials"); return nil },
+		func(*scratch, int) bool { t.Error("trial executed"); return false })
+	if est.Trials != 0 || est.Successes != 0 {
+		t.Errorf("est = %+v", est)
+	}
+}
+
+func TestRunWithStateIsPerWorker(t *testing.T) {
+	// Every trial must observe the state its own worker created. If a
+	// regression shared one state across workers, the unsynchronized
+	// increments below would lose updates, the use counts would no longer
+	// sum to the trial count, and -race would flag the writes.
+	var mu sync.Mutex
+	var states []*scratch
+	est := RunWith(2000,
+		func() *scratch {
+			s := &scratch{}
+			mu.Lock()
+			states = append(states, s)
+			mu.Unlock()
+			return s
+		},
+		func(s *scratch, trial int) bool {
+			s.uses++
+			return true
+		})
+	if est.Successes != 2000 {
+		t.Errorf("successes = %d, want 2000", est.Successes)
+	}
+	total := 0
+	for _, s := range states {
+		if s.uses == 0 {
+			t.Error("a worker state ran zero trials")
+		}
+		total += s.uses
+	}
+	if total != 2000 {
+		t.Errorf("per-state use counts sum to %d, want 2000 (states shared across workers?)", total)
 	}
 }

@@ -5,6 +5,14 @@
 //   - networks and instances: Graph, Assignment, Instance, Config;
 //   - the LOCAL model engine: ViewAlgorithm, MessageAlgorithm, RunView,
 //     RunMessage, and the §2.1.1 simulation adapters;
+//   - the execution-plan layer: a Plan is the reusable layout of one
+//     graph (CSR-flattened adjacency, reverse-port delivery table, cached
+//     balls) and an Engine is one worker's reusable execution scratch
+//     (double-buffered message slabs, tape slab, assembled views).
+//     RunView/RunMessage are single-shot wrappers over this layer;
+//     Monte-Carlo trial loops build one Plan per instance and hand each
+//     trial-pool worker its own Engine (mc.RunWith), which eliminates
+//     steady-state allocations from the trial loop;
 //   - distributed languages: LCL languages via excluded bad balls,
 //     global languages (AMOS, Majority), the F_k promise, and the ε-slack
 //     / f-resilient relaxations of §1.1 and Definition 1;
@@ -104,11 +112,25 @@ type (
 	MessageAlgorithm = local.MessageAlgorithm
 	Process          = local.Process
 	RunOptions       = local.RunOptions
+
+	// Plan is the reusable execution layout of one graph: CSR adjacency,
+	// the reverse-port delivery table, and the per-radius ball cache.
+	// Plans are concurrency-safe and shared by all engines built on them.
+	Plan = local.Plan
+	// Engine is one worker's reusable execution scratch (message slabs,
+	// tapes, assembled views); not safe for concurrent use — trial pools
+	// hold one Engine per worker.
+	Engine = local.Engine
 )
 
 var (
 	RunView    = local.RunView
 	RunMessage = local.RunMessage
+	// NewPlan builds (or fetches from the graph's cache) the execution
+	// plan of a graph; MustPlan panics on the hand-rolled asymmetric
+	// adjacency case that NewPlan reports.
+	NewPlan  = local.NewPlan
+	MustPlan = local.MustPlan
 	// FullInfo turns a radius-t view algorithm into a t-round
 	// message-passing algorithm (§2.1.1 simulation).
 	FullInfo = local.FullInfo
