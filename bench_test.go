@@ -152,6 +152,116 @@ func BenchmarkTrialPooledEngine(b *testing.B) {
 	}
 }
 
+// benchTrialBatched is the identical construction+decision trial run in
+// vectors of `width` lanes through one Batch — the acceptance benchmark
+// of the batched-execution PR: at width ≥ 32 it must show ≥ 2× trials/sec
+// over BenchmarkTrialPooledEngine, with outputs byte-identical to the
+// pooled engine at equal seeds (verified below before timing and pinned
+// exhaustively by internal/local/batch_test.go). Reported time/op is per
+// trial, so the ratio against the pooled benchmark is the throughput gain.
+func benchTrialBatched(b *testing.B, width int) {
+	in, algo, d := benchTrialFixture(b)
+	space := localrand.NewTapeSpace(17)
+	plan := local.MustPlan(in.G)
+	bt := plan.NewBatch(width)
+	eng := plan.NewEngine()
+	draws := make([]localrand.Draw, width)
+	dis := make([]*lang.DecisionInstance, width)
+
+	// Verify batched and pooled trials agree before timing.
+	for i := range draws {
+		draws[i] = space.Draw(uint64(i))
+	}
+	ys, err := bt.RunView(in, algo, draws)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range draws {
+		dis[i] = &lang.DecisionInstance{G: in.G, X: in.X, Y: ys[i], ID: in.ID}
+	}
+	accs := decide.AcceptsBatch(bt, dis, d, nil)
+	for i := range draws {
+		yp, ap := benchTrial(in, algo, d, eng, space.Draw(uint64(i)))
+		if ap != accs[i] {
+			b.Fatalf("lane %d: batched and pooled verdicts differ", i)
+		}
+		for v := range yp {
+			if string(yp[v]) != string(ys[i][v]) {
+				b.Fatalf("lane %d node %d: batched output differs from pooled", i, v)
+			}
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += width {
+		k := width
+		if left := b.N - done; left < k {
+			k = left
+		}
+		for j := 0; j < k; j++ {
+			draws[j] = space.Draw(uint64(done + j))
+		}
+		ys, err := bt.RunView(in, algo, draws[:k])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < k; j++ {
+			dis[j] = &lang.DecisionInstance{G: in.G, X: in.X, Y: ys[j], ID: in.ID}
+		}
+		decide.AcceptsBatch(bt, dis[:k], d, nil)
+	}
+}
+
+func BenchmarkTrialBatched8(b *testing.B)   { benchTrialBatched(b, 8) }
+func BenchmarkTrialBatched32(b *testing.B)  { benchTrialBatched(b, 32) }
+func BenchmarkTrialBatched128(b *testing.B) { benchTrialBatched(b, 128) }
+
+// BenchmarkTrialBatchedMessage runs the message-path trial (retry
+// coloring) in vectors of 32, against BenchmarkTrialPooledMessage below —
+// the round-loop amortization, separate from the view-path one.
+func BenchmarkTrialBatchedMessage(b *testing.B) {
+	const width = 32
+	in, _, _ := benchTrialFixture(b)
+	algo := construct.RetryColoring{Q: 3, T: 2}
+	space := localrand.NewTapeSpace(19)
+	plan := local.MustPlan(in.G)
+	bt := plan.NewBatch(width)
+	draws := make([]localrand.Draw, width)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += width {
+		k := width
+		if left := b.N - done; left < k {
+			k = left
+		}
+		for j := 0; j < k; j++ {
+			draws[j] = space.Draw(uint64(done + j))
+		}
+		if _, err := construct.RunBatch(algo, bt, in, draws[:k]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrialPooledMessage is the pooled-engine baseline of
+// BenchmarkTrialBatchedMessage.
+func BenchmarkTrialPooledMessage(b *testing.B) {
+	in, _, _ := benchTrialFixture(b)
+	algo := construct.RetryColoring{Q: 3, T: 2}
+	space := localrand.NewTapeSpace(19)
+	plan := local.MustPlan(in.G)
+	eng := plan.NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		draw := space.Draw(uint64(i))
+		if _, err := construct.RunOn(algo, eng, in, &draw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMessageEngineReuse measures the message-passing engine with
 // slab reuse (compare BenchmarkRoundEngine, which is single-shot).
 func BenchmarkMessageEngineReuse(b *testing.B) {

@@ -1,0 +1,80 @@
+package construct
+
+import (
+	"bytes"
+	"testing"
+
+	"rlnc/internal/graph"
+	"rlnc/internal/ids"
+	"rlnc/internal/lang"
+	"rlnc/internal/local"
+	"rlnc/internal/localrand"
+)
+
+// plainAlgorithm hides an algorithm's pooled and batched paths, forcing
+// RunBatchInstances through the single-shot fallback.
+type plainAlgorithm struct{ a Algorithm }
+
+func (p plainAlgorithm) Name() string { return p.a.Name() }
+func (p plainAlgorithm) Run(in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
+	return p.a.Run(in, draw)
+}
+
+// TestRunBatchMatchesRunOn pins the construction-side equivalence
+// contract: every lane of RunBatch matches RunOn (pooled) and Run
+// (single-shot) at the same draw, for the ball-view, message-passing,
+// retry, and pipeline paths, plus the single-shot fallback — including
+// ragged lane counts and back-to-back batch reuse.
+func TestRunBatchMatchesRunOn(t *testing.T) {
+	in := instanceOn(t, graph.Cycle(24), ids.Consecutive(24))
+	plan := local.MustPlan(in.G)
+	space := localrand.NewTapeSpace(91)
+
+	algos := []Algorithm{
+		RandomColoring(3),
+		RetryColoring{Q: 3, T: 2},
+		MessageConstruction{Algo: retryAlgo{q: 3, t: 1}},
+		Pipeline{Stages: []Algorithm{RandomColoring(3), RetryColoring{Q: 3, T: 1}}},
+		plainAlgorithm{a: RandomColoring(3)},
+	}
+	const width = 4
+	bt := plan.NewBatch(width)
+	eng := plan.NewEngine()
+	for _, a := range algos {
+		t.Run(a.Name(), func(t *testing.T) {
+			lo := 0
+			for rep, k := range []int{width, width - 1} {
+				draws := make([]localrand.Draw, k)
+				for b := range draws {
+					draws[b] = space.Draw(uint64(lo + b))
+				}
+				ys, err := RunBatch(a, bt, in, draws)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(ys) != k {
+					t.Fatalf("rep %d: %d lanes, want %d", rep, len(ys), k)
+				}
+				for b := 0; b < k; b++ {
+					pooled, err := RunOn(a, eng, in, &draws[b])
+					if err != nil {
+						t.Fatal(err)
+					}
+					single, err := a.Run(in, &draws[b])
+					if err != nil {
+						t.Fatal(err)
+					}
+					for v := range pooled {
+						if !bytes.Equal(pooled[v], ys[b][v]) {
+							t.Fatalf("rep %d lane %d node %d: batched %x, pooled %x", rep, b, v, ys[b][v], pooled[v])
+						}
+						if !bytes.Equal(single[v], ys[b][v]) {
+							t.Fatalf("rep %d lane %d node %d: batched %x, single-shot %x", rep, b, v, ys[b][v], single[v])
+						}
+					}
+				}
+				lo += k
+			}
+		})
+	}
+}

@@ -50,6 +50,12 @@ func (r RetryColoring) RunOn(eng *local.Engine, in *lang.Instance, draw *localra
 	return mc.RunOn(eng, in, draw)
 }
 
+// RunBatch implements BatchRunner.
+func (r RetryColoring) RunBatch(bt *local.Batch, ins []*lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
+	mc := MessageConstruction{Algo: retryAlgo{q: r.Q, t: r.T}}
+	return mc.RunBatch(bt, ins, draws)
+}
+
 type retryAlgo struct{ q, t int }
 
 func (a retryAlgo) Name() string { return fmt.Sprintf("retry-%d-coloring(T=%d)", a.q, a.t) }

@@ -44,6 +44,51 @@ func RunOn(a Algorithm, eng *local.Engine, in *lang.Instance, draw *localrand.Dr
 	return a.Run(in, draw)
 }
 
+// BatchRunner is the vectorized execution path of a construction
+// algorithm: RunBatch runs one independent trial per lane — lane b
+// executes ins[b] under draws[b] (nil draws = all lanes deterministic) —
+// through the caller's reusable batch, and returns the per-lane global
+// outputs. Lane b's output is byte-identical to RunOn with the same
+// (instance, draw); the batch's plan must be built for the lanes' shared
+// graph.
+type BatchRunner interface {
+	RunBatch(bt *local.Batch, ins []*lang.Instance, draws []localrand.Draw) ([][][]byte, error)
+}
+
+// RunBatch executes len(draws) independent trials of a on one shared
+// instance through the batch — the standard Monte-Carlo chunk shape —
+// falling back to single-shot runs for algorithms without a batched
+// path. Outputs are identical either way.
+func RunBatch(a Algorithm, bt *local.Batch, in *lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
+	ins := make([]*lang.Instance, len(draws))
+	for b := range ins {
+		ins[b] = in
+	}
+	return RunBatchInstances(a, bt, ins, draws)
+}
+
+// RunBatchInstances is RunBatch with per-lane instances (all over the
+// batch's plan graph); pipelines use it to thread lane-varying inputs
+// between stages.
+func RunBatchInstances(a Algorithm, bt *local.Batch, ins []*lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
+	if r, ok := a.(BatchRunner); ok {
+		return r.RunBatch(bt, ins, draws)
+	}
+	ys := make([][][]byte, len(ins))
+	for b, in := range ins {
+		var sub *localrand.Draw
+		if draws != nil {
+			sub = &draws[b]
+		}
+		y, err := a.Run(in, sub)
+		if err != nil {
+			return nil, err
+		}
+		ys[b] = y
+	}
+	return ys, nil
+}
+
 // ViewConstruction adapts a ball-view algorithm.
 type ViewConstruction struct {
 	Algo local.ViewAlgorithm
@@ -60,6 +105,11 @@ func (a ViewConstruction) Run(in *lang.Instance, draw *localrand.Draw) ([][]byte
 // RunOn implements EngineRunner.
 func (a ViewConstruction) RunOn(eng *local.Engine, in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
 	return eng.RunView(in, a.Algo, draw), nil
+}
+
+// RunBatch implements BatchRunner.
+func (a ViewConstruction) RunBatch(bt *local.Batch, ins []*lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
+	return bt.RunViewInstances(ins, a.Algo, draws)
 }
 
 // MessageConstruction adapts a message-passing algorithm.
@@ -87,6 +137,19 @@ func (a MessageConstruction) RunOn(eng *local.Engine, in *lang.Instance, draw *l
 		return nil, err
 	}
 	return res.Y, nil
+}
+
+// RunBatch implements BatchRunner.
+func (a MessageConstruction) RunBatch(bt *local.Batch, ins []*lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
+	rs, err := bt.RunInstances(ins, a.Algo, draws, a.Opts)
+	if err != nil {
+		return nil, err
+	}
+	ys := make([][][]byte, len(rs))
+	for b, r := range rs {
+		ys[b] = r.Y
+	}
+	return ys, nil
 }
 
 // RunStats runs the algorithm and also reports engine statistics; it
@@ -128,6 +191,40 @@ func (p Pipeline) Run(in *lang.Instance, draw *localrand.Draw) ([][]byte, error)
 // one engine serves the whole pipeline.
 func (p Pipeline) RunOn(eng *local.Engine, in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
 	return p.run(eng, in, draw)
+}
+
+// RunBatch implements BatchRunner: every stage runs its whole lane
+// vector through the batch, with stage i's lane outputs becoming stage
+// i+1's lane inputs and each lane deriving the same per-stage sub-draws
+// as the scalar path.
+func (p Pipeline) RunBatch(bt *local.Batch, ins []*lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
+	if len(p.Stages) == 0 {
+		return nil, fmt.Errorf("construct: empty pipeline")
+	}
+	k := len(ins)
+	cur := make([]*lang.Instance, k)
+	copy(cur, ins)
+	var subs []localrand.Draw
+	if draws != nil {
+		subs = make([]localrand.Draw, k)
+	}
+	var ys [][][]byte
+	for i, stage := range p.Stages {
+		if draws != nil {
+			for b := range subs {
+				subs[b] = draws[b].Derive(uint64(i))
+			}
+		}
+		y, err := RunBatchInstances(stage, bt, cur, subs)
+		if err != nil {
+			return nil, fmt.Errorf("construct: stage %d (%s): %w", i, stage.Name(), err)
+		}
+		ys = y
+		for b := range cur {
+			cur[b] = &lang.Instance{G: cur[b].G, X: y[b], ID: cur[b].ID}
+		}
+	}
+	return ys, nil
 }
 
 // run executes the stages, on the pooled engine when one is given.

@@ -65,16 +65,13 @@ func RejectSet(di *lang.DecisionInstance, d Decider, draw *localrand.Draw) []int
 
 // AcceptsFarFrom reports whether the decider outputs true at every node at
 // distance greater than far from u — "D accepts (G,(x,y)) far from u" in
-// §3. Nodes within distance far of u are ignored.
+// §3. Nodes within distance far of u are ignored. It is the single-shot
+// wrapper over the pooled path (a transient plan and engine); callers
+// evaluating many trials against one source should hold an engine or
+// batch themselves so the plan's distance column and ball cache survive
+// across trials.
 func AcceptsFarFrom(di *lang.DecisionInstance, d Decider, draw *localrand.Draw, u, far int) bool {
-	dist := di.G.BFSFrom(u)
-	verdicts := Verdicts(di, d, draw)
-	for v, ok := range verdicts {
-		if dist[v] > far && !ok {
-			return false
-		}
-	}
-	return true
+	return AcceptsFarFromWith(local.MustPlan(di.G).NewEngine(), di, d, draw, u, far)
 }
 
 // VerdictsWith is Verdicts on a pooled engine: decision views are
@@ -100,9 +97,11 @@ func AcceptsWith(eng *local.Engine, di *lang.DecisionInstance, d Decider, draw *
 }
 
 // AcceptsFarFromWith is AcceptsFarFrom on a pooled engine; see
-// VerdictsWith.
+// VerdictsWith. The hop distances from u are read from the plan's cache
+// (they depend only on the graph and the source), so trial loops pay the
+// BFS once per source instead of once per trial.
 func AcceptsFarFromWith(eng *local.Engine, di *lang.DecisionInstance, d Decider, draw *localrand.Draw, u, far int) bool {
-	dist := di.G.BFSFrom(u)
+	dist := eng.Plan().DistFrom(u)
 	verdicts := VerdictsWith(eng, di, d, draw)
 	for v, ok := range verdicts {
 		if dist[v] > far && !ok {
@@ -110,6 +109,63 @@ func AcceptsFarFromWith(eng *local.Engine, di *lang.DecisionInstance, d Decider,
 		}
 	}
 	return true
+}
+
+// VerdictsBatch is VerdictsWith over a vector of trials: lane b holds the
+// verdicts of dis[b] under draws[b] (nil draws for deterministic
+// deciders). Decision views are assembled once per batch on the batch's
+// cached balls — lanes that share identity and input columns with their
+// predecessor pay only the candidate-output column and the tape binding —
+// and every lane's verdicts are identical to VerdictsWith's for the same
+// (instance, draw).
+func VerdictsBatch(bt *local.Batch, dis []*lang.DecisionInstance, d Decider, draws []localrand.Draw) [][]bool {
+	k := len(dis)
+	n := bt.Plan().Graph().N()
+	slab := make([]bool, k*n)
+	out := make([][]bool, k)
+	for b := range out {
+		out[b] = slab[b*n : (b+1)*n : (b+1)*n]
+	}
+	if err := bt.ForEachDecisionViews(dis, d.Radius(), draws, func(b, v int, view *local.View) {
+		slab[b*n+v] = d.Verdict(view)
+	}); err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// AcceptsBatch is Accepts over a vector of trials; see VerdictsBatch.
+func AcceptsBatch(bt *local.Batch, dis []*lang.DecisionInstance, d Decider, draws []localrand.Draw) []bool {
+	verdicts := VerdictsBatch(bt, dis, d, draws)
+	acc := make([]bool, len(verdicts))
+	for b, row := range verdicts {
+		acc[b] = true
+		for _, ok := range row {
+			if !ok {
+				acc[b] = false
+				break
+			}
+		}
+	}
+	return acc
+}
+
+// AcceptsFarFromBatch is AcceptsFarFrom over a vector of trials; see
+// VerdictsBatch. The distance column of u comes from the plan's cache.
+func AcceptsFarFromBatch(bt *local.Batch, dis []*lang.DecisionInstance, d Decider, draws []localrand.Draw, u, far int) []bool {
+	dist := bt.Plan().DistFrom(u)
+	verdicts := VerdictsBatch(bt, dis, d, draws)
+	acc := make([]bool, len(verdicts))
+	for b, row := range verdicts {
+		acc[b] = true
+		for v, ok := range row {
+			if dist[v] > far && !ok {
+				acc[b] = false
+				break
+			}
+		}
+	}
+	return acc
 }
 
 // LCLDecider is the canonical deterministic decider for an LCL language:
@@ -127,5 +183,5 @@ func (d *LCLDecider) Radius() int { return d.L.Radius }
 
 // Verdict implements Decider.
 func (d *LCLDecider) Verdict(v *local.View) bool {
-	return !d.L.Bad(&lang.LabeledBall{Ball: v.Ball, X: v.X, Y: v.Y})
+	return !d.L.Bad(v.LabeledBall())
 }

@@ -2,6 +2,7 @@ package decide
 
 import (
 	"rlnc/internal/lang"
+	"rlnc/internal/local"
 	"rlnc/internal/localrand"
 	"rlnc/internal/mc"
 )
@@ -33,21 +34,74 @@ type GuaranteeReport struct {
 	Min         mc.Estimate
 }
 
+// estimatorBatch is the lane count the guarantee estimators hand to
+// plan.NewBatch: wide enough to amortize view assembly across a chunk of
+// trials, narrow enough that quick sweeps still fill a batch.
+const estimatorBatch = 32
+
+// guaranteeScratch is one worker's reusable trial-vector state for the
+// estimators below: a batch over the instance's plan plus lane slices
+// for the (constant) instance column and the per-trial draws.
+type guaranteeScratch struct {
+	bt    *local.Batch
+	dis   []*lang.DecisionInstance
+	draws []localrand.Draw
+}
+
+// newGuaranteeScratch returns the per-worker state constructor for an
+// estimator over one fixed instance: every lane of the batch decides di.
+func newGuaranteeScratch(di *lang.DecisionInstance) func() *guaranteeScratch {
+	plan := local.MustPlan(di.G)
+	return func() *guaranteeScratch {
+		s := &guaranteeScratch{
+			bt:    plan.NewBatch(estimatorBatch),
+			dis:   make([]*lang.DecisionInstance, estimatorBatch),
+			draws: make([]localrand.Draw, estimatorBatch),
+		}
+		for b := range s.dis {
+			s.dis[b] = di
+		}
+		return s
+	}
+}
+
+// estimate runs trials chunks through batched workers: accept evaluates
+// one chunk of lanes (lane b under s.draws[b]) and the per-trial outcome
+// is want(accept). Per-trial draws are addressed by drawAt, so estimates
+// match the scalar loops these estimators replaced at equal seeds.
+func estimate(di *lang.DecisionInstance, trials int, drawAt func(trial int) localrand.Draw, accept func(s *guaranteeScratch, k int) []bool, want func(accept bool) bool) mc.Estimate {
+	return mc.RunBatched(trials, estimatorBatch, newGuaranteeScratch(di), func(s *guaranteeScratch, lo, hi int, out []bool) {
+		k := hi - lo
+		for b := 0; b < k; b++ {
+			s.draws[b] = drawAt(lo + b)
+		}
+		for b, acc := range accept(s, k) {
+			out[b] = want(acc)
+		}
+	})
+}
+
+// acceptEstimate measures Pr[want(D accepts di)] over trials draws
+// addressed by drawAt; the per-trial acceptance is identical to
+// Accepts(di, d, drawAt(trial)).
+func acceptEstimate(di *lang.DecisionInstance, d Decider, trials int, drawAt func(trial int) localrand.Draw, want func(accept bool) bool) mc.Estimate {
+	return estimate(di, trials, drawAt, func(s *guaranteeScratch, k int) []bool {
+		return AcceptsBatch(s.bt, s.dis[:k], d, s.draws[:k])
+	}, want)
+}
+
 // EstimateGuarantee measures the success probability of a randomized
 // decider on each labeled instance over the given tape space, using
-// `trials` draws per instance.
+// `trials` draws per instance. Each instance's trials run through a
+// batched engine (one plan per instance, one batch per worker), so the
+// per-trial view assembly amortizes across the sweep.
 func EstimateGuarantee(corpus []*LabeledInstance, d Decider, space *localrand.TapeSpace, trials int) GuaranteeReport {
 	rep := GuaranteeReport{PerInstance: make([]mc.Estimate, len(corpus))}
 	for i, li := range corpus {
-		li := li
-		est := mc.Run(trials, func(trial int) bool {
-			draw := space.Draw(uint64(i)<<32 | uint64(trial))
-			acc := Accepts(li.DI, d, &draw)
-			if li.InL {
-				return acc
-			}
-			return !acc
-		})
+		inL := li.InL
+		est := acceptEstimate(li.DI, d, trials,
+			func(trial int) localrand.Draw { return space.Draw(uint64(i)<<32 | uint64(trial)) },
+			func(acc bool) bool { return acc == inL })
 		rep.PerInstance[i] = est
 		if i == 0 || est.P() < rep.Min.P() {
 			rep.Min = est
@@ -56,19 +110,22 @@ func EstimateGuarantee(corpus []*LabeledInstance, d Decider, space *localrand.Ta
 	return rep
 }
 
-// AcceptProbability estimates Pr[D accepts (G,(x,y))] for one instance.
+// AcceptProbability estimates Pr[D accepts (G,(x,y))] for one instance,
+// on a batched engine.
 func AcceptProbability(di *lang.DecisionInstance, d Decider, space *localrand.TapeSpace, trials int) mc.Estimate {
-	return mc.Run(trials, func(trial int) bool {
-		draw := space.Draw(uint64(trial))
-		return Accepts(di, d, &draw)
-	})
+	return acceptEstimate(di, d, trials,
+		func(trial int) localrand.Draw { return space.Draw(uint64(trial)) },
+		func(acc bool) bool { return acc })
 }
 
 // AcceptFarFromProbability estimates Pr[D accepts far from u], the
-// quantity bounded by Claims 4 and 5.
+// quantity bounded by Claims 4 and 5, on a batched engine; the distance
+// column of u is read from the plan's cache once for the whole run.
 func AcceptFarFromProbability(di *lang.DecisionInstance, d Decider, space *localrand.TapeSpace, trials, u, far int) mc.Estimate {
-	return mc.Run(trials, func(trial int) bool {
-		draw := space.Draw(uint64(trial))
-		return AcceptsFarFrom(di, d, &draw, u, far)
-	})
+	return estimate(di, trials,
+		func(trial int) localrand.Draw { return space.Draw(uint64(trial)) },
+		func(s *guaranteeScratch, k int) []bool {
+			return AcceptsFarFromBatch(s.bt, s.dis[:k], d, s.draws[:k], u, far)
+		},
+		func(acc bool) bool { return acc })
 }

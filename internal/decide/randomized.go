@@ -93,7 +93,7 @@ func (d *ResilientDecider) Radius() int { return d.L.Radius }
 
 // Verdict implements Decider.
 func (d *ResilientDecider) Verdict(v *local.View) bool {
-	bad := d.L.Bad(&lang.LabeledBall{Ball: v.Ball, X: v.X, Y: v.Y})
+	bad := d.L.Bad(v.LabeledBall())
 	if !bad {
 		return true
 	}
@@ -145,7 +145,7 @@ func (d *SlackNodeAwareDecider) Radius() int { return d.L.Radius }
 
 // Verdict implements Decider.
 func (d *SlackNodeAwareDecider) Verdict(v *local.View) bool {
-	bad := d.L.Bad(&lang.LabeledBall{Ball: v.Ball, X: v.X, Y: v.Y})
+	bad := d.L.Bad(v.LabeledBall())
 	if !bad {
 		return true
 	}

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"rlnc/internal/lang"
+	"rlnc/internal/local"
+	"rlnc/internal/localrand"
+	"rlnc/internal/mc"
+)
+
+// trialBatchWidth is the lane count the experiment trial loops hand to
+// plan.NewBatch: wide enough that view assembly, tape seeding, and round
+// scheduling amortize across a worker's chunk, narrow enough that
+// quick-mode trial counts still fill whole batches.
+const trialBatchWidth = 32
+
+// trialBatch is one Monte-Carlo worker's batched-trial scratch: the batch
+// itself plus reusable lane slices for draws (two independent sets, for
+// experiments that condition a decider's randomness on a construction
+// draw) and per-lane decision instances. It is the per-worker state of
+// mc.RunBatched/MeanBatched, playing the role a bare *local.Engine plays
+// for mc.RunWith.
+type trialBatch struct {
+	bt     *local.Batch
+	draws  []localrand.Draw
+	draws2 []localrand.Draw
+	dis    []*lang.DecisionInstance
+}
+
+// newTrialBatch returns the per-worker state constructor for trial loops
+// over the given plan.
+func newTrialBatch(plan *local.Plan) func() *trialBatch {
+	return func() *trialBatch {
+		return &trialBatch{
+			bt:     plan.NewBatch(trialBatchWidth),
+			draws:  make([]localrand.Draw, trialBatchWidth),
+			draws2: make([]localrand.Draw, trialBatchWidth),
+			dis:    make([]*lang.DecisionInstance, trialBatchWidth),
+		}
+	}
+}
+
+// lanes fills the primary draw lanes for trials [lo, hi): lane i carries
+// space.Draw(tag(lo+i)), matching the per-trial draw addressing of the
+// scalar loops so batched trials replay identical randomness.
+func (s *trialBatch) lanes(space *localrand.TapeSpace, lo, hi int, tag func(trial int) uint64) []localrand.Draw {
+	k := hi - lo
+	for i := 0; i < k; i++ {
+		s.draws[i] = space.Draw(tag(lo + i))
+	}
+	return s.draws[:k]
+}
+
+// lanes2 is lanes for the secondary draw set.
+func (s *trialBatch) lanes2(space *localrand.TapeSpace, lo, hi int, tag func(trial int) uint64) []localrand.Draw {
+	k := hi - lo
+	for i := 0; i < k; i++ {
+		s.draws2[i] = space.Draw(tag(lo + i))
+	}
+	return s.draws2[:k]
+}
+
+// decisions wraps per-lane construction outputs as decision instances
+// over the shared instance's identity and input columns.
+func (s *trialBatch) decisions(in *lang.Instance, ys [][][]byte) []*lang.DecisionInstance {
+	for i, y := range ys {
+		s.dis[i] = &lang.DecisionInstance{G: in.G, X: in.X, Y: y, ID: in.ID}
+	}
+	return s.dis[:len(ys)]
+}
+
+// runBatched is the batched analogue of mc.RunWith over one plan.
+func runBatched(trials int, plan *local.Plan, f func(s *trialBatch, lo, hi int, out []bool)) mc.Estimate {
+	return mc.RunBatched(trials, trialBatchWidth, newTrialBatch(plan), f)
+}
+
+// meanBatched is the batched analogue of mc.MeanWith over one plan.
+func meanBatched(trials int, plan *local.Plan, f func(s *trialBatch, lo, hi int, out []float64)) (mean, stderr float64) {
+	return mc.MeanBatched(trials, trialBatchWidth, newTrialBatch(plan), f)
+}

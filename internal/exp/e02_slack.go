@@ -8,7 +8,6 @@ import (
 	"rlnc/internal/lang"
 	"rlnc/internal/local"
 	"rlnc/internal/localrand"
-	"rlnc/internal/mc"
 	"rlnc/internal/report"
 )
 
@@ -28,20 +27,26 @@ func (e2) PaperRef() string {
 }
 
 // meanBadFraction estimates the expected fraction of bad balls left by
-// the retry algorithm with T rounds on C_n.
+// the retry algorithm with T rounds on C_n. Trials run in vectors of
+// trialBatchWidth through one batched engine per worker.
 func meanBadFraction(n, T, nTrials int, seed uint64) (float64, float64) {
 	l := lang.ProperColoring(3)
 	in := cycleInstance(n, 1)
 	space := localrand.NewTapeSpace(seed)
 	plan := local.MustPlan(in.G)
-	return mc.MeanWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) float64 {
-		draw := space.Draw(uint64(trial))
-		y, err := construct.RunOn(construct.RetryColoring{Q: 3, T: T}, eng, in, &draw)
+	return meanBatched(nTrials, plan, func(s *trialBatch, lo, hi int, out []float64) {
+		draws := s.lanes(space, lo, hi, func(t int) uint64 { return uint64(t) })
+		ys, err := construct.RunBatch(construct.RetryColoring{Q: 3, T: T}, s.bt, in, draws)
 		if err != nil {
-			return 1
+			for i := range out {
+				out[i] = 1
+			}
+			return
 		}
-		bad := l.CountBadBalls(&lang.Config{G: in.G, X: in.X, Y: y})
-		return float64(bad) / float64(n)
+		for i, y := range ys {
+			bad := l.CountBadBalls(&lang.Config{G: in.G, X: in.X, Y: y})
+			out[i] = float64(bad) / float64(n)
+		}
 	})
 }
 

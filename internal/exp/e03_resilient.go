@@ -7,7 +7,6 @@ import (
 	"rlnc/internal/lang"
 	"rlnc/internal/local"
 	"rlnc/internal/localrand"
-	"rlnc/internal/mc"
 	"rlnc/internal/report"
 )
 
@@ -62,19 +61,25 @@ func (e e3) Run(cfg report.Config) (*report.Result, error) {
 		}
 	}
 
-	// Randomized constant-round algorithms: expected violations.
+	// Randomized constant-round algorithms: expected violations, measured
+	// in batched trial vectors.
 	randLinear := true
 	for _, T := range pick(cfg, []int{0, 4}, []int{0}) {
 		for _, n := range sizes {
 			in := cycleInstance(n, 1)
 			plan := local.MustPlan(in.G)
-			mean, _ := mc.MeanWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) float64 {
-				draw := space.Draw(uint64(T)<<32 | uint64(trial))
-				y, err := construct.RunOn(construct.RetryColoring{Q: 3, T: T}, eng, in, &draw)
+			mean, _ := meanBatched(nTrials, plan, func(s *trialBatch, lo, hi int, out []float64) {
+				draws := s.lanes(space, lo, hi, func(t int) uint64 { return uint64(T)<<32 | uint64(t) })
+				ys, err := construct.RunBatch(construct.RetryColoring{Q: 3, T: T}, s.bt, in, draws)
 				if err != nil {
-					return float64(n)
+					for i := range out {
+						out[i] = float64(n)
+					}
+					return
 				}
-				return float64(l.CountBadBalls(&lang.Config{G: in.G, X: in.X, Y: y}))
+				for i, y := range ys {
+					out[i] = float64(l.CountBadBalls(&lang.Config{G: in.G, X: in.X, Y: y}))
+				}
 			})
 			table.AddRow(fmt.Sprintf("retry-3-coloring(T=%d)", T), T+1, n,
 				fmt.Sprintf("%.1f", mean), fmt.Sprintf("%.3f", mean/float64(n)), mean <= 8)

@@ -8,7 +8,6 @@ import (
 	"rlnc/internal/lang"
 	"rlnc/internal/local"
 	"rlnc/internal/localrand"
-	"rlnc/internal/mc"
 	"rlnc/internal/report"
 )
 
@@ -71,12 +70,14 @@ func (e e5) Run(cfg report.Config) (*report.Result, error) {
 				return nil, err
 			}
 			plan := local.MustPlan(union.Instance.G)
-			est := mc.RunWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) bool {
-				drawC := cSpace.Draw(uint64(nu)<<32 | uint64(trial))
-				y := eng.RunView(union.Instance, sab, &drawC)
-				di := &lang.DecisionInstance{G: union.Instance.G, X: union.Instance.X, Y: y, ID: union.Instance.ID}
-				drawD := dSpace.Draw(uint64(nu)<<32 | uint64(trial))
-				return decide.AcceptsWith(eng, di, d, &drawD)
+			est := runBatched(nTrials, plan, func(s *trialBatch, lo, hi int, out []bool) {
+				drawsC := s.lanes(cSpace, lo, hi, func(t int) uint64 { return uint64(nu)<<32 | uint64(t) })
+				ys, err := s.bt.RunView(union.Instance, sab, drawsC)
+				if err != nil {
+					panic(err) // lane/plan mismatch: programmer error, not a trial outcome
+				}
+				drawsD := s.lanes2(dSpace, lo, hi, func(t int) uint64 { return uint64(nu)<<32 | uint64(t) })
+				copy(out, decide.AcceptsBatch(s.bt, s.decisions(union.Instance, ys), d, drawsD))
 			})
 			bound := glue.DisjointAcceptBound(pr.p, pr.beta, nu)
 			lo, _ := est.Wilson(3.3)

@@ -58,14 +58,18 @@ func (e e6) Run(cfg report.Config) (*report.Result, error) {
 	// over both C's and D's randomness that all nodes of the block at
 	// distance > t+t' from u accept.
 	// One plan per block: every anchor candidate's measurement shares the
-	// block's cached balls instead of re-extracting them per invocation.
+	// block's cached balls — and, per anchor, its cached distance column —
+	// instead of re-extracting them per invocation; trials run in batched
+	// vectors.
 	farAcceptProb := func(plan *local.Plan, in *lang.Instance, u int, tag uint64) mc.Estimate {
-		return mc.RunWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) bool {
-			drawC := cSpace.Draw(tag<<24 | uint64(trial))
-			y := eng.RunView(in, sab, &drawC)
-			di := &lang.DecisionInstance{G: in.G, X: in.X, Y: y, ID: in.ID}
-			drawD := dSpace.Draw(tag<<24 | uint64(trial))
-			return decide.AcceptsFarFromWith(eng, di, dec, &drawD, u, tC+tD)
+		return runBatched(nTrials, plan, func(s *trialBatch, lo, hi int, out []bool) {
+			drawsC := s.lanes(cSpace, lo, hi, func(t int) uint64 { return tag<<24 | uint64(t) })
+			ys, err := s.bt.RunView(in, sab, drawsC)
+			if err != nil {
+				panic(err) // lane/plan mismatch: programmer error, not a trial outcome
+			}
+			drawsD := s.lanes2(dSpace, lo, hi, func(t int) uint64 { return tag<<24 | uint64(t) })
+			copy(out, decide.AcceptsFarFromBatch(s.bt, s.decisions(in, ys), dec, drawsD, u, tC+tD))
 		})
 	}
 
@@ -132,14 +136,17 @@ func (e e6) Run(cfg report.Config) (*report.Result, error) {
 			structureOK = false
 		}
 
-		// Acceptance of the glued instance.
+		// Acceptance of the glued instance, in batched trial vectors.
 		plan := local.MustPlan(gl.Instance.G)
-		est := mc.RunWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) bool {
-			drawC := cSpace.Draw(uint64(nu)<<40 | uint64(trial))
-			y := eng.RunView(gl.Instance, sab, &drawC)
-			di := &lang.DecisionInstance{G: gl.Instance.G, X: gl.Instance.X, Y: y, ID: gl.Instance.ID}
-			drawD := dSpace.Draw(uint64(nu)<<40 | uint64(trial))
-			return decide.AcceptsWith(eng, di, dec, &drawD)
+		nu := nu
+		est := runBatched(nTrials, plan, func(s *trialBatch, lo, hi int, out []bool) {
+			drawsC := s.lanes(cSpace, lo, hi, func(t int) uint64 { return uint64(nu)<<40 | uint64(t) })
+			ys, err := s.bt.RunView(gl.Instance, sab, drawsC)
+			if err != nil {
+				panic(err) // lane/plan mismatch: programmer error, not a trial outcome
+			}
+			drawsD := s.lanes2(dSpace, lo, hi, func(t int) uint64 { return uint64(nu)<<40 | uint64(t) })
+			copy(out, decide.AcceptsBatch(s.bt, s.decisions(gl.Instance, ys), dec, drawsD))
 		})
 		product := 1.0
 		for _, a := range blockFarAccept {

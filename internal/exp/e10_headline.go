@@ -7,7 +7,6 @@ import (
 	"rlnc/internal/lang"
 	"rlnc/internal/local"
 	"rlnc/internal/localrand"
-	"rlnc/internal/mc"
 	"rlnc/internal/relax"
 	"rlnc/internal/report"
 )
@@ -46,13 +45,18 @@ func (e e10) Run(cfg report.Config) (*report.Result, error) {
 		return func(n int) float64 {
 			in := cycleInstance(n, 1)
 			plan := local.MustPlan(in.G)
-			m, _ := mc.MeanWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) float64 {
-				draw := space.Draw(tag<<32 | uint64(trial))
-				y, err := construct.RunOn(runner, eng, in, &draw)
+			m, _ := meanBatched(nTrials, plan, func(s *trialBatch, lo, hi int, out []float64) {
+				draws := s.lanes(space, lo, hi, func(t int) uint64 { return tag<<32 | uint64(t) })
+				ys, err := construct.RunBatch(runner, s.bt, in, draws)
 				if err != nil {
-					return float64(n)
+					for i := range out {
+						out[i] = float64(n)
+					}
+					return
 				}
-				return float64(l.CountBadBalls(&lang.Config{G: in.G, X: in.X, Y: y}))
+				for i, y := range ys {
+					out[i] = float64(l.CountBadBalls(&lang.Config{G: in.G, X: in.X, Y: y}))
+				}
 			})
 			return m
 		}

@@ -8,7 +8,6 @@ import (
 	"rlnc/internal/lang"
 	"rlnc/internal/local"
 	"rlnc/internal/localrand"
-	"rlnc/internal/mc"
 	"rlnc/internal/relax"
 	"rlnc/internal/report"
 )
@@ -59,13 +58,14 @@ func (e e11) Run(cfg report.Config) (*report.Result, error) {
 				return nil, err
 			}
 			plan := local.MustPlan(di.G)
-			est := mc.RunWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) bool {
-				draw := space.Draw(uint64(n)<<32 | uint64(trial))
-				acc := decide.AcceptsWith(eng, di, d, &draw)
-				if inL {
-					return acc
+			est := runBatched(nTrials, plan, func(s *trialBatch, lo, hi int, out []bool) {
+				draws := s.lanes(space, lo, hi, func(t int) uint64 { return uint64(n)<<32 | uint64(t) })
+				for i := range draws {
+					s.dis[i] = di
 				}
-				return !acc
+				for i, acc := range decide.AcceptsBatch(s.bt, s.dis[:len(draws)], d, draws) {
+					out[i] = acc == inL
+				}
 			})
 			ta.AddRow(n, d.Budget(), tc.name, inL, fmt.Sprintf("%.4f", est.P()), est.P() > 0.5)
 			if est.P() <= 0.5 {
@@ -76,13 +76,14 @@ func (e e11) Run(cfg report.Config) (*report.Result, error) {
 		diMono := coloredInstance(cycleInstance(n, 1).G, mono)
 		inL, _ := slackLang.Contains(diMono.Config())
 		planMono := local.MustPlan(diMono.G)
-		est := mc.RunWith(nTrials, planMono.NewEngine, func(eng *local.Engine, trial int) bool {
-			draw := space.Draw(uint64(n)<<33 | uint64(trial))
-			acc := decide.AcceptsWith(eng, diMono, d, &draw)
-			if inL {
-				return acc
+		est := runBatched(nTrials, planMono, func(s *trialBatch, lo, hi int, out []bool) {
+			draws := s.lanes(space, lo, hi, func(t int) uint64 { return uint64(n)<<33 | uint64(t) })
+			for i := range draws {
+				s.dis[i] = diMono
 			}
-			return !acc
+			for i, acc := range decide.AcceptsBatch(s.bt, s.dis[:len(draws)], d, draws) {
+				out[i] = acc == inL
+			}
 		})
 		ta.AddRow(n, d.Budget(), "monochromatic", inL, fmt.Sprintf("%.4f", est.P()), est.P() > 0.5)
 		if est.P() <= 0.5 {
@@ -98,14 +99,16 @@ func (e e11) Run(cfg report.Config) (*report.Result, error) {
 	for _, n := range pick(cfg, []int{300, 1200, 4800}, []int{300, 1200}) {
 		in := cycleInstance(n, 1)
 		plan := local.MustPlan(in.G)
-		est := mc.RunWith(trials(cfg, 400, 60), plan.NewEngine, func(eng *local.Engine, trial int) bool {
-			draw := space.Draw(uint64(n)<<34 | uint64(trial))
-			y, err := construct.RunOn(construct.RandomColoring(3), eng, in, &draw)
+		est := runBatched(trials(cfg, 400, 60), plan, func(s *trialBatch, lo, hi int, out []bool) {
+			draws := s.lanes(space, lo, hi, func(t int) uint64 { return uint64(n)<<34 | uint64(t) })
+			ys, err := construct.RunBatch(construct.RandomColoring(3), s.bt, in, draws)
 			if err != nil {
-				return false
+				return
 			}
-			ok, err := slackLang.Contains(&lang.Config{G: in.G, X: in.X, Y: y})
-			return err == nil && ok
+			for i, y := range ys {
+				ok, err := slackLang.Contains(&lang.Config{G: in.G, X: in.X, Y: y})
+				out[i] = err == nil && ok
+			}
 		})
 		tb.AddRow(n, fmt.Sprintf("%.4f", est.P()),
 			fmt.Sprintf("≈ %.2fn / %.2fn", 5.0/9, eps))

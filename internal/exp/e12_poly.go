@@ -7,7 +7,6 @@ import (
 	"rlnc/internal/lang"
 	"rlnc/internal/local"
 	"rlnc/internal/localrand"
-	"rlnc/internal/mc"
 	"rlnc/internal/relax"
 	"rlnc/internal/report"
 )
@@ -55,13 +54,18 @@ func (e e12) Run(cfg report.Config) (*report.Result, error) {
 		for _, n := range sizes {
 			in := cycleInstance(n, 1)
 			plan := local.MustPlan(in.G)
-			mean, _ := mc.MeanWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) float64 {
-				draw := space.Draw(uint64(a.t)<<40 | uint64(n)<<8 | uint64(trial))
-				y, err := construct.RunOn(construct.RetryColoring{Q: 3, T: a.t}, eng, in, &draw)
+			mean, _ := meanBatched(nTrials, plan, func(s *trialBatch, lo, hi int, out []float64) {
+				draws := s.lanes(space, lo, hi, func(t int) uint64 { return uint64(a.t)<<40 | uint64(n)<<8 | uint64(t) })
+				ys, err := construct.RunBatch(construct.RetryColoring{Q: 3, T: a.t}, s.bt, in, draws)
 				if err != nil {
-					return float64(n)
+					for i := range out {
+						out[i] = float64(n)
+					}
+					return
 				}
-				return float64(l.CountBadBalls(&lang.Config{G: in.G, X: in.X, Y: y}))
+				for i, y := range ys {
+					out[i] = float64(l.CountBadBalls(&lang.Config{G: in.G, X: in.X, Y: y}))
+				}
 			})
 			budgets := make([]int, 3)
 			for i, c := range []float64{0.25, 0.5, 0.75} {

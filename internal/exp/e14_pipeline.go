@@ -9,7 +9,6 @@ import (
 	"rlnc/internal/lang"
 	"rlnc/internal/local"
 	"rlnc/internal/localrand"
-	"rlnc/internal/mc"
 	"rlnc/internal/relax"
 	"rlnc/internal/report"
 )
@@ -78,14 +77,16 @@ func (e e14) Run(cfg report.Config) (*report.Result, error) {
 				instance = gl.Instance
 			}
 			plan := local.MustPlan(instance.G)
-			est := mc.RunWith(nTrials, plan.NewEngine, func(eng *local.Engine, trial int) bool {
-				draw := space.Draw(uint64(ai)<<48 | uint64(nu)<<32 | uint64(trial))
-				y, err := construct.RunOn(algo, eng, instance, &draw)
+			est := runBatched(nTrials, plan, func(s *trialBatch, lo, hi int, out []bool) {
+				draws := s.lanes(space, lo, hi, func(t int) uint64 { return uint64(ai)<<48 | uint64(nu)<<32 | uint64(t) })
+				ys, err := construct.RunBatch(algo, s.bt, instance, draws)
 				if err != nil {
-					return false
+					return
 				}
-				ok, err := lf.Contains(&lang.Config{G: instance.G, X: instance.X, Y: y})
-				return err == nil && ok
+				for i, y := range ys {
+					ok, err := lf.Contains(&lang.Config{G: instance.G, X: instance.X, Y: y})
+					out[i] = err == nil && ok
+				}
 			})
 			probs = append(probs, est.P())
 			rate := "-"

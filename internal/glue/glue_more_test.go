@@ -5,7 +5,10 @@ import (
 	"math"
 	"testing"
 
+	"rlnc/internal/graph"
+	"rlnc/internal/ids"
 	"rlnc/internal/lang"
+	"rlnc/internal/local"
 	"rlnc/internal/localrand"
 )
 
@@ -117,4 +120,53 @@ type errorRunner struct{}
 func (errorRunner) Name() string { return "error" }
 func (errorRunner) Run(in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
 	return nil, errors.New("boom")
+}
+
+// pooledCoinRunner augments coinRunner with pooled and batched execution
+// paths whose per-trial outputs equal the single-shot ones, so the
+// failure estimate must be identical no matter which path the search
+// detects and takes.
+type pooledCoinRunner struct{ coinRunner }
+
+func (r pooledCoinRunner) RunOn(_ *local.Engine, in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
+	return r.Run(in, draw)
+}
+
+func (r pooledCoinRunner) RunBatch(_ *local.Batch, ins []*lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
+	ys := make([][][]byte, len(ins))
+	for b, in := range ins {
+		y, err := r.Run(in, &draws[b])
+		if err != nil {
+			return nil, err
+		}
+		ys[b] = y
+	}
+	return ys, nil
+}
+
+// TestEstimateFailurePathsAgree pins that the batched and pooled failure
+// estimates replay exactly the single-shot per-trial draws: same trial
+// indexing, same estimate, not merely the same limit.
+func TestEstimateFailurePathsAgree(t *testing.T) {
+	l := lang.ProperColoring(3)
+	space := localrand.NewTapeSpace(5)
+	in, err := lang.NewInstance(graph.Cycle(12), lang.EmptyInputs(12), ids.Consecutive(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 200
+	want := estimateFailure(coinRunner{}, l, in, space, trials)
+	gotBatched := estimateFailure(pooledCoinRunner{}, l, in, space, trials)
+	if want != gotBatched {
+		t.Errorf("batched estimate %v, single-shot %v", gotBatched, want)
+	}
+	// engineRunner-only path: embedding the interface promotes RunOn but
+	// not RunBatch, so the search must take the pooled branch.
+	gotPooled := estimateFailure(struct {
+		coinRunner
+		engineRunner
+	}{coinRunner{}, pooledCoinRunner{}}, l, in, space, trials)
+	if want != gotPooled {
+		t.Errorf("pooled estimate %v, single-shot %v", gotPooled, want)
+	}
 }

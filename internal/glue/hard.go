@@ -6,6 +6,7 @@ import (
 	"rlnc/internal/graph"
 	"rlnc/internal/ids"
 	"rlnc/internal/lang"
+	"rlnc/internal/local"
 	"rlnc/internal/localrand"
 	"rlnc/internal/mc"
 )
@@ -35,6 +36,21 @@ type Runner interface {
 	Run(in *lang.Instance, draw *localrand.Draw) ([][]byte, error)
 }
 
+// batchRunner and engineRunner mirror construct's BatchRunner and
+// EngineRunner without the import: runners that support vectorized or
+// pooled execution are detected structurally, and the failure search
+// uses the fastest path available.
+type batchRunner interface {
+	RunBatch(bt *local.Batch, ins []*lang.Instance, draws []localrand.Draw) ([][][]byte, error)
+}
+
+type engineRunner interface {
+	RunOn(eng *local.Engine, in *lang.Instance, draw *localrand.Draw) ([][]byte, error)
+}
+
+// hardSearchBatch is the lane count of the batched failure estimate.
+const hardSearchBatch = 32
+
 // FindHardCycle searches cycles C_n with identities Imin, Imin+1, ... for
 // an instance where the runner's output falls outside the language with
 // probability at least betaTarget (estimated over `trials` draws of the
@@ -61,29 +77,72 @@ func FindHardCycle(runner Runner, language lang.Language, dmin int, imin int64,
 		maxN, runner.Name(), language.Name(), betaTarget)
 }
 
+// estimateFailure measures Pr[runner's output falls outside the language]
+// on one instance. Randomized runners execute on the fastest path they
+// support — a batched engine (one trial vector per worker chunk), a
+// pooled engine, or single-shot runs — with identical per-trial outputs
+// on every path, so the estimate does not depend on the path taken.
 func estimateFailure(runner Runner, language lang.Language, in *lang.Instance,
 	space *localrand.TapeSpace, trials int) mc.Estimate {
-	if space == nil || trials <= 1 {
-		y, err := runner.Run(in, nil)
+	outside := func(y [][]byte, err error) bool {
 		if err != nil {
-			return mc.Estimate{Trials: 1, Successes: 1} // failure to run is failure
+			return true // failure to run is failure
 		}
 		ok, err := language.Contains(&lang.Config{G: in.G, X: in.X, Y: y})
-		bad := err != nil || !ok
+		return err != nil || !ok
+	}
+	if space == nil || trials <= 1 {
 		e := mc.Estimate{Trials: 1}
-		if bad {
+		if outside(runner.Run(in, nil)) {
 			e.Successes = 1
 		}
 		return e
 	}
+	if br, ok := runner.(batchRunner); ok {
+		plan := local.MustPlan(in.G)
+		type scratch struct {
+			bt    *local.Batch
+			ins   []*lang.Instance
+			draws []localrand.Draw
+		}
+		newState := func() *scratch {
+			s := &scratch{
+				bt:    plan.NewBatch(hardSearchBatch),
+				ins:   make([]*lang.Instance, hardSearchBatch),
+				draws: make([]localrand.Draw, hardSearchBatch),
+			}
+			for b := range s.ins {
+				s.ins[b] = in
+			}
+			return s
+		}
+		return mc.RunBatched(trials, hardSearchBatch, newState, func(s *scratch, lo, hi int, out []bool) {
+			k := hi - lo
+			for b := 0; b < k; b++ {
+				s.draws[b] = space.Draw(uint64(lo + b))
+			}
+			ys, err := br.RunBatch(s.bt, s.ins[:k], s.draws[:k])
+			if err != nil {
+				for b := range out {
+					out[b] = true
+				}
+				return
+			}
+			for b, y := range ys {
+				out[b] = outside(y, nil)
+			}
+		})
+	}
+	if er, ok := runner.(engineRunner); ok {
+		plan := local.MustPlan(in.G)
+		return mc.RunWith(trials, plan.NewEngine, func(eng *local.Engine, trial int) bool {
+			draw := space.Draw(uint64(trial))
+			return outside(er.RunOn(eng, in, &draw))
+		})
+	}
 	return mc.Run(trials, func(trial int) bool {
 		draw := space.Draw(uint64(trial))
-		y, err := runner.Run(in, &draw)
-		if err != nil {
-			return true
-		}
-		ok, err := language.Contains(&lang.Config{G: in.G, X: in.X, Y: y})
-		return err != nil || !ok
+		return outside(runner.Run(in, &draw))
 	})
 }
 

@@ -13,12 +13,24 @@ import (
 // ErrDecode reports an output string that does not decode as expected.
 var ErrDecode = errors.New("lang: cannot decode output")
 
-// EncodeColor encodes color c (0..255) as a 1-byte output string.
+// colorBytes backs EncodeColor: one shared 1-byte string per color, so
+// encoding — the innermost operation of every coloring trial — is
+// allocation-free. Output strings are immutable by convention everywhere
+// in the repository; callers must not write through the returned slice.
+var colorBytes = func() (t [256][1]byte) {
+	for i := range t {
+		t[i][0] = byte(i)
+	}
+	return t
+}()
+
+// EncodeColor encodes color c (0..255) as a 1-byte output string. The
+// returned slice is shared and read-only.
 func EncodeColor(c int) []byte {
 	if c < 0 || c > 255 {
 		panic(fmt.Sprintf("lang: color %d out of byte range", c))
 	}
-	return []byte{byte(c)}
+	return colorBytes[c][:]
 }
 
 // DecodeColor decodes a 1-byte color.

@@ -71,4 +71,47 @@ func TestEngineReuseCutsAllocs(t *testing.T) {
 	if reuse > single {
 		t.Errorf("pooled message path allocates %.1f/op vs %.1f/op single-shot", reuse, single)
 	}
+
+	// Batched paths: a lane must never allocate more than a pooled trial.
+	// The batched view path shares one output slab per pass, so its
+	// per-trial allocations sit strictly below the pooled path's; the
+	// batched message path matches the pooled path lane for lane (one
+	// Result and output column per lane) plus the vector bookkeeping,
+	// amortized below one pooled trial across the width.
+	const width = 8
+	bt := plan.NewBatch(width)
+	draws := make([]localrand.Draw, width)
+	fill := func() {
+		for i := range draws {
+			draws[i] = space.Draw(uint64(trial))
+			trial++
+		}
+	}
+	fill()
+	if _, err := bt.RunView(in, tapeSumView{t: 2}, draws); err != nil {
+		t.Fatal(err) // warm the view cache
+	}
+	batchedV := testing.AllocsPerRun(20, func() {
+		fill()
+		if _, err := bt.RunView(in, tapeSumView{t: 2}, draws); err != nil {
+			t.Fatal(err)
+		}
+	}) / width
+	t.Logf("batched view allocs per trial: %.2f (pooled %.1f)", batchedV, reuseV)
+	if batchedV > reuseV {
+		t.Errorf("batched view path allocates %.2f per trial vs %.1f pooled", batchedV, reuseV)
+	}
+
+	runBatch := func() {
+		fill()
+		if _, err := bt.Run(in, tapeXOR{rounds: 4}, draws, RunOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runBatch() // warm the slabs
+	batchedM := testing.AllocsPerRun(20, runBatch) / width
+	t.Logf("batched message allocs per trial: %.2f (pooled %.1f)", batchedM, reuse)
+	if batchedM > reuse {
+		t.Errorf("batched message path allocates %.2f per trial vs %.1f pooled", batchedM, reuse)
+	}
 }

@@ -1,0 +1,643 @@
+package local
+
+import (
+	"fmt"
+
+	"rlnc/internal/ids"
+	"rlnc/internal/lang"
+	"rlnc/internal/localrand"
+)
+
+// Batch executes a vector of independent trials of one algorithm through a
+// single engine pass, so the per-round scheduling, the CSR reverse-slot
+// gather, the halting checks, and the view assembly amortize across the
+// whole vector instead of being paid once per trial. It is the
+// structure-of-arrays generalization of Engine: message slabs are indexed
+// [slot][lane] (flattened, stride = the batch width B), tape slabs hold one
+// row per lane (seeded in one pass by localrand.Draw.TapeVecInto), and the
+// cached view skeletons are refilled once per batch with only the
+// lane-varying columns (candidate outputs, tapes) swapped per trial. An
+// Engine is exactly the B = 1 case of this core.
+//
+// Lanes are independent: lane b behaves byte-identically to a pooled
+// Engine run of the same (instance, draw) pair — outputs, Stats, and error
+// behavior included. That equivalence is the contract Monte-Carlo
+// harnesses rely on when they hand each worker a contiguous trial chunk
+// (mc.RunBatched) instead of one index at a time.
+//
+// A Batch, like an Engine, is one worker's private scratch: it is NOT safe
+// for concurrent use. Concurrency comes from one Batch per worker on a
+// shared Plan.
+type Batch struct {
+	plan  *Plan
+	width int
+
+	// Message-path scratch, allocated on first use. cur and next are the
+	// double-buffered send slabs in [slot][lane] layout: the message lane b
+	// sends on directed slot s lives at s*width+b, so one slot's lanes are
+	// contiguous and the reverse-slot walk of a delivery is shared by every
+	// lane of the batch. Each round gathers from cur into the per-node
+	// receive windows, steps, stages the new sends into next, and swaps.
+	// block is the lane count of one message pass (see msgSlabBudget);
+	// message slabs are sized and strided by it, and wider lane vectors
+	// run in successive blocks.
+	block     int
+	cur, next []Message
+	recvSlab  []Message
+	recvs     [][]Message // per-node windows into recvSlab, reused lane by lane
+	procs     []Process   // [v*block+b]
+	done      []bool      // [v*block+b]
+	tapes     []localrand.Tape
+	alive     []bool  // per-lane: still running
+	notDone   []int   // per-lane count of nodes still running
+	roundsOf  []int   // per-lane Stats.Rounds
+	msgsOf    []int64 // per-lane Stats.Messages
+	// Per-worker, per-lane round counters (delivered messages, newly
+	// finished nodes), merged serially after each round pass so the hot
+	// loop runs without atomics.
+	wkMsgs [][]int64
+	wkFin  [][]int
+
+	// View-path scratch: skeleton views keyed by radius, shared by the
+	// construction and decision paths (decision views additionally carry
+	// the candidate-output column Y), plus the per-lane column tables and
+	// refill flags the batched refill resolves once per pass so the hot
+	// (lane × node) loop runs without indirect calls.
+	viewSets  map[int]*viewSet
+	dviewSets map[int]*viewSet
+	colID     []ids.Assignment
+	colX      [][][]byte
+	colY      [][][]byte
+	refill    []colRefill
+}
+
+// colRefill records which of a lane's columns differ from the previous
+// lane's (by backing array), i.e. which the per-node refill must rewrite.
+type colRefill struct{ id, x, y bool }
+
+// NewBatch returns a fresh batch of the plan with the given width (the
+// lane capacity B). Runs may use any 1..width lanes, so ragged tails of a
+// trial loop (trials % B != 0) reuse the same batch. Slabs are allocated
+// lazily on first use, exactly like an Engine's.
+func (p *Plan) NewBatch(width int) *Batch {
+	if width < 1 {
+		panic(fmt.Sprintf("local: batch width %d, need >= 1", width))
+	}
+	return &Batch{plan: p, width: width}
+}
+
+// Plan returns the plan the batch executes on.
+func (bt *Batch) Plan() *Plan { return bt.plan }
+
+// Width returns the lane capacity B.
+func (bt *Batch) Width() int { return bt.width }
+
+// lanes validates a lane count against the batch width.
+func (bt *Batch) lanes(k int) error {
+	if k < 1 || k > bt.width {
+		return fmt.Errorf("local: %d lanes on a batch of width %d", k, bt.width)
+	}
+	return nil
+}
+
+// checkInstance validates that an instance runs on the batch's plan graph.
+func (bt *Batch) checkInstance(in *lang.Instance) error {
+	if in.G != bt.plan.g {
+		return fmt.Errorf("local: instance graph %v is not the batch's plan graph %v", in.G, bt.plan.g)
+	}
+	return nil
+}
+
+// Run executes one message-passing trial per draw — lane b runs in.ID's
+// tapes under draws[b] — through a blocked round loop, returning one
+// Result per lane. Successful lane outputs and Stats are byte-identical
+// to Engine.Run with the same draw; errors fail fast, so a lane
+// exceeding the round budget aborts its whole vector rather than failing
+// alone (the repository's algorithms halt within the budget for every
+// draw, making the two behaviors indistinguishable in practice).
+// len(draws) may be any 1..Width().
+func (bt *Batch) Run(in *lang.Instance, algo MessageAlgorithm, draws []localrand.Draw, opts RunOptions) ([]*Result, error) {
+	if err := bt.lanes(len(draws)); err != nil {
+		return nil, err
+	}
+	if err := bt.checkInstance(in); err != nil {
+		return nil, err
+	}
+	return bt.runBlocks(func(int) *lang.Instance { return in }, len(draws), algo, draws, opts)
+}
+
+// RunInstances is Run with per-lane instances (all over the plan's graph):
+// lane b executes ins[b] under draws[b]. A nil draws runs every lane
+// deterministically; otherwise len(draws) must equal len(ins). Pipelines
+// use this form — after the first stage, each lane carries its own inputs.
+func (bt *Batch) RunInstances(ins []*lang.Instance, algo MessageAlgorithm, draws []localrand.Draw, opts RunOptions) ([]*Result, error) {
+	if err := bt.lanes(len(ins)); err != nil {
+		return nil, err
+	}
+	if draws != nil && len(draws) != len(ins) {
+		return nil, fmt.Errorf("local: %d draws for %d lanes", len(draws), len(ins))
+	}
+	for _, in := range ins {
+		if err := bt.checkInstance(in); err != nil {
+			return nil, err
+		}
+	}
+	return bt.runBlocks(func(b int) *lang.Instance { return ins[b] }, len(ins), algo, draws, opts)
+}
+
+// msgSlabBudget bounds the bytes the two send slabs of one message pass
+// may occupy. SoA lanes amortize per-round scheduling, but a round loop
+// streams both slabs every round, so the slabs must stay cache-resident
+// for the batch to win; lane vectors wider than the budget's block run in
+// successive full passes (lanes are independent, so the results are
+// identical either way).
+const msgSlabBudget = 128 << 10
+
+// msgLanes returns the lane count of one message pass.
+func (bt *Batch) msgLanes() int {
+	const msgSize = 16 // interface header bytes per staged message
+	lanes := msgSlabBudget / (2 * msgSize * max(1, bt.plan.topo.NumSlots()))
+	if lanes < 1 {
+		lanes = 1
+	}
+	if lanes > bt.width {
+		lanes = bt.width
+	}
+	return lanes
+}
+
+// runBlocks drives the message core over a lane vector in slab-budget
+// blocks: lanes [lo, lo+block) share one round loop per pass.
+func (bt *Batch) runBlocks(insOf func(b int) *lang.Instance, k int, algo MessageAlgorithm, draws []localrand.Draw, opts RunOptions) ([]*Result, error) {
+	if bt.block == 0 {
+		bt.block = bt.msgLanes()
+	}
+	results := make([]*Result, 0, k)
+	for lo := 0; lo < k; lo += bt.block {
+		hi := lo + bt.block
+		if hi > k {
+			hi = k
+		}
+		var chunk []localrand.Draw
+		if draws != nil {
+			chunk = draws[lo:hi]
+		}
+		lo := lo
+		blockIns := func(b int) *lang.Instance { return insOf(lo + b) }
+		tapeOf := bt.seedTapes(hi-lo, chunk, func(b int) ids.Assignment { return blockIns(b).ID })
+		rs, err := bt.runVec(blockIns, hi-lo, algo, tapeOf, opts)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, rs...)
+	}
+	return results, nil
+}
+
+// seedTapes reseeds the first k tape rows — row b holds lane b's per-node
+// tapes under draws[b], addressed by idOf(b) — and returns the lane-aware
+// tape accessor (nil for deterministic batches).
+func (bt *Batch) seedTapes(k int, draws []localrand.Draw, idOf func(b int) ids.Assignment) func(b, v int) *localrand.Tape {
+	if draws == nil {
+		return nil
+	}
+	n := bt.plan.g.N()
+	if bt.tapes == nil {
+		bt.tapes = make([]localrand.Tape, bt.width*n)
+	}
+	for b := 0; b < k; b++ {
+		draws[b].TapeVecInto(bt.tapes[b*n:(b+1)*n], idOf(b))
+	}
+	tapes := bt.tapes
+	return func(b, v int) *localrand.Tape { return &tapes[b*n+v] }
+}
+
+// runVec is the batched round-loop core shared by every execution path:
+// Engine.Run and the single-shot wrappers are the k = 1 case. insOf
+// supplies lane b's instance (the caller has validated all lanes against
+// the plan), tapeOf supplies lane b's per-node tapes (nil for
+// deterministic lanes).
+func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, algo MessageAlgorithm, tapeOf func(b, v int) *localrand.Tape, opts RunOptions) ([]*Result, error) {
+	if bt.block == 0 {
+		bt.block = bt.msgLanes()
+	}
+	topo := bt.plan.topo
+	n := bt.plan.g.N()
+	B := bt.block
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 2*n + 64
+	}
+	if opts.StopAfter > 0 {
+		maxRounds = opts.StopAfter
+	}
+	bt.ensureMessageState()
+	// Drop references into algorithm state when the run ends — on the
+	// error paths too — so a pooled batch never keeps a previous
+	// execution's processes and messages alive.
+	defer func() {
+		clear(bt.procs)
+		clear(bt.cur)
+		clear(bt.next)
+		clear(bt.recvSlab)
+	}()
+
+	procs, done := bt.procs, bt.done
+	workers := maxWorkers(n)
+	bt.ensureWorkerScratch(workers)
+	for b := 0; b < k; b++ {
+		bt.alive[b] = true
+		bt.notDone[b] = n
+		bt.roundsOf[b] = 0
+		bt.msgsOf[b] = 0
+	}
+
+	parallelFor(n, func(v int) {
+		deg := topo.Degree(v)
+		for b := 0; b < k; b++ {
+			in := insOf(b)
+			done[v*B+b] = false
+			p := algo.NewProcess()
+			procs[v*B+b] = p
+			info := NodeInfo{ID: in.ID[v], Degree: deg, Input: in.X[v]}
+			if tapeOf != nil {
+				info.Tape = tapeOf(b, v)
+			}
+			bt.stage(bt.cur, v, b, p.Start(info))
+		}
+	})
+
+	live := k
+	for round := 1; opts.StopAfter == 0 || round <= opts.StopAfter; round++ {
+		if round > maxRounds {
+			return nil, fmt.Errorf("%w: %d rounds on %d nodes", ErrNoHalt, maxRounds, n)
+		}
+		cur, next := bt.cur, bt.next
+		// Deliver + step, fused: the message lane b's node v sent on port p
+		// arrives across the edge at the reverse slot, so receiving is one
+		// gather over RevSlot out of cur into the node's receive window —
+		// the window is engine-owned scratch reused lane by lane — and the
+		// new sends go to next. Done nodes still receive (and their
+		// deliveries count, as in the engine) but stage nothing. Message
+		// and halting counters accumulate into worker-indexed scratch and
+		// merge serially below, so the hot loop carries no atomics.
+		parallelChunks(n, func(w, vlo, vhi int) {
+			msgRow := bt.wkMsgs[w][:k]
+			finRow := bt.wkFin[w][:k]
+			clear(msgRow)
+			clear(finRow)
+			for v := vlo; v < vhi; v++ {
+				lo, hi := topo.Slots(v)
+				window := bt.recvs[v]
+				for b := 0; b < k; b++ {
+					if !bt.alive[b] {
+						continue
+					}
+					delivered := 0
+					for s := lo; s < hi; s++ {
+						m := cur[int(topo.RevSlot[s])*B+b]
+						window[s-lo] = m
+						if m != nil {
+							delivered++
+						}
+					}
+					msgRow[b] += int64(delivered)
+					if done[v*B+b] {
+						bt.stage(next, v, b, nil)
+						continue
+					}
+					out, fin := procs[v*B+b].Step(round, window)
+					bt.stage(next, v, b, out)
+					if fin {
+						done[v*B+b] = true
+						finRow[b]++
+					}
+				}
+			}
+		})
+		bt.cur, bt.next = next, cur
+		// Merge and re-zero the worker rows: a worker index can go idle
+		// between runs (GOMAXPROCS shrinks, or ceil-division leaves the
+		// last chunk empty), and an idle worker's row must read as zero
+		// rather than replay a previous round's counts.
+		for w := 0; w < workers; w++ {
+			msgRow := bt.wkMsgs[w][:k]
+			finRow := bt.wkFin[w][:k]
+			for b := 0; b < k; b++ {
+				bt.msgsOf[b] += msgRow[b]
+				bt.notDone[b] -= finRow[b]
+			}
+			clear(msgRow)
+			clear(finRow)
+		}
+		for b := 0; b < k; b++ {
+			if !bt.alive[b] {
+				continue
+			}
+			bt.roundsOf[b] = round
+			if bt.notDone[b] == 0 {
+				bt.alive[b] = false
+				live--
+			}
+		}
+		if live == 0 {
+			break
+		}
+	}
+
+	ys := make([][]byte, k*n)
+	parallelFor(n, func(v int) {
+		for b := 0; b < k; b++ {
+			ys[b*n+v] = procs[v*B+b].Output()
+		}
+	})
+	results := make([]*Result, k)
+	for b := 0; b < k; b++ {
+		results[b] = &Result{
+			Y:     ys[b*n : (b+1)*n : (b+1)*n],
+			Stats: Stats{Rounds: bt.roundsOf[b], Messages: bt.msgsOf[b]},
+		}
+	}
+	return results, nil
+}
+
+// ensureMessageState allocates the round-loop slabs on first use.
+func (bt *Batch) ensureMessageState() {
+	if bt.procs != nil {
+		return
+	}
+	n := bt.plan.g.N()
+	slots := bt.plan.topo.NumSlots()
+	bt.cur = make([]Message, slots*bt.block)
+	bt.next = make([]Message, slots*bt.block)
+	bt.recvSlab = make([]Message, slots)
+	bt.recvs = make([][]Message, n)
+	for v := 0; v < n; v++ {
+		lo, hi := bt.plan.topo.Slots(v)
+		bt.recvs[v] = bt.recvSlab[lo:hi:hi]
+	}
+	bt.procs = make([]Process, n*bt.block)
+	bt.done = make([]bool, n*bt.block)
+	bt.alive = make([]bool, bt.width)
+	bt.notDone = make([]int, bt.width)
+	bt.roundsOf = make([]int, bt.width)
+	bt.msgsOf = make([]int64, bt.width)
+}
+
+// ensureWorkerScratch sizes the per-worker round counters for the current
+// worker count (GOMAXPROCS may change between runs).
+func (bt *Batch) ensureWorkerScratch(workers int) {
+	for len(bt.wkMsgs) < workers {
+		bt.wkMsgs = append(bt.wkMsgs, make([]int64, bt.width))
+		bt.wkFin = append(bt.wkFin, make([]int, bt.width))
+	}
+}
+
+// stage copies a process's outgoing messages into lane b's send slots of
+// node v, padding (or truncating) to the node's degree like the engine
+// always has.
+func (bt *Batch) stage(slab []Message, v, b int, out []Message) {
+	lo, hi := bt.plan.topo.Slots(v)
+	B := bt.block
+	for s := lo; s < hi; s++ {
+		if p := s - lo; p < len(out) {
+			slab[s*B+b] = out[p]
+		} else {
+			slab[s*B+b] = nil
+		}
+	}
+}
+
+// viewSet is one radius's cached view skeletons, the per-node lane draw
+// they are currently bound to, and the per-node tape accessors reading it.
+type viewSet struct {
+	views []View
+	// draws[v] is the draw of the lane node v is currently evaluating;
+	// the batched refill rebinds it before each lane's output, and
+	// tapeFns[v] reads it. Nodes advance through lanes independently on
+	// the worker pool, which is why the binding is per node, not global.
+	draws   []localrand.Draw
+	tapeFns []func(int) *localrand.Tape
+	// tapes[v][local] is the tape storage TapeFor hands out for node v's
+	// ball-local index: reseeded in place on every call, so the trial
+	// loop's innermost operation allocates nothing. Distinct locals get
+	// distinct entries (simulations hold several ball tapes at once);
+	// repeated calls for one local rewind the same entry, per the
+	// View.TapeFor contract.
+	tapes [][]localrand.Tape
+}
+
+// viewSetFor returns the cached view skeletons of the given radius,
+// building them on first use. Decision views additionally carry the
+// candidate-output column Y.
+func (bt *Batch) viewSetFor(radius int, decision bool) *viewSet {
+	cache := &bt.viewSets
+	if decision {
+		cache = &bt.dviewSets
+	}
+	if *cache == nil {
+		*cache = make(map[int]*viewSet)
+	}
+	if vs, ok := (*cache)[radius]; ok {
+		return vs
+	}
+	balls := bt.plan.ballsFor(radius)
+	vs := &viewSet{
+		views:   make([]View, len(balls)),
+		draws:   make([]localrand.Draw, len(balls)),
+		tapeFns: make([]func(int) *localrand.Tape, len(balls)),
+		tapes:   make([][]localrand.Tape, len(balls)),
+	}
+	for v, b := range balls {
+		view := &vs.views[v]
+		view.Ball = b
+		view.IDs = make([]int64, b.Size())
+		view.X = make([][]byte, b.Size())
+		if decision {
+			view.Y = make([][]byte, b.Size())
+		}
+		vs.tapes[v] = make([]localrand.Tape, b.Size())
+		ids := view.IDs
+		row := vs.tapes[v]
+		v := v
+		vs.tapeFns[v] = func(local int) *localrand.Tape {
+			t := &row[local]
+			vs.draws[v].TapeInto(t, ids[local])
+			return t
+		}
+	}
+	(*cache)[radius] = vs
+	return vs
+}
+
+// sameColumn reports whether two per-node columns share a backing array,
+// which is how the batched refill detects that a lane reuses the previous
+// lane's data (the usual trial-loop shape: identities and inputs are
+// shared across the batch, only outputs and tapes vary).
+func sameColumn[T any](a, b []T) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// ensureColumns sizes the per-lane column tables.
+func (bt *Batch) ensureColumns() {
+	if bt.colID == nil {
+		bt.colID = make([]ids.Assignment, bt.width)
+		bt.colX = make([][][]byte, bt.width)
+		bt.colY = make([][][]byte, bt.width)
+		bt.refill = make([]colRefill, bt.width)
+	}
+}
+
+// forEachViewVec refills the skeleton views lane by lane and invokes fn
+// for every (lane, node) pair on the worker pool. Lane b's columns are
+// bt.colID/colX (and colY when hasY), staged by the caller; columns that
+// share a backing array with the previous lane's are not refilled — the
+// refill decision is resolved once per lane, not per node — so a batch
+// over one instance assembles each view once and pays only the
+// lane-varying columns per trial. draws carries lane randomness (nil =
+// deterministic). Views are batch-owned scratch: valid only for the
+// duration of fn, read-only, and released when the pass ends — the
+// no-retention invariant of pooled engines.
+func (bt *Batch) forEachViewVec(vs *viewSet, k int, hasY bool, draws []localrand.Draw, fn func(b, v int, view *View)) {
+	rf := bt.refill
+	for b := 0; b < k; b++ {
+		rf[b] = colRefill{
+			id: b == 0 || !sameColumn(bt.colID[b], bt.colID[b-1]),
+			x:  b == 0 || !sameColumn(bt.colX[b], bt.colX[b-1]),
+		}
+		if hasY {
+			rf[b].y = b == 0 || !sameColumn(bt.colY[b], bt.colY[b-1])
+		}
+	}
+	defer func() {
+		for v := range vs.views {
+			view := &vs.views[v]
+			clear(view.X)
+			clear(view.Y)
+			view.TapeFor = nil
+		}
+		clear(bt.colID[:k])
+		clear(bt.colX[:k])
+		clear(bt.colY[:k])
+	}()
+	parallelFor(len(vs.views), func(v int) {
+		view := &vs.views[v]
+		nodes := view.Ball.Nodes
+		for b := 0; b < k; b++ {
+			if rf[b].id {
+				id := bt.colID[b]
+				for i, u := range nodes {
+					view.IDs[i] = id[u]
+				}
+			}
+			if rf[b].x {
+				x := bt.colX[b]
+				for i, u := range nodes {
+					view.X[i] = x[u]
+				}
+			}
+			if rf[b].y {
+				y := bt.colY[b]
+				for i, u := range nodes {
+					view.Y[i] = y[u]
+				}
+			}
+			if draws != nil {
+				vs.draws[v] = draws[b]
+				// The accessor is the same closure for every lane; writing
+				// it once per pass keeps the lane loop free of pointer
+				// write barriers.
+				if view.TapeFor == nil {
+					view.TapeFor = vs.tapeFns[v]
+				}
+			} else if view.TapeFor != nil {
+				view.TapeFor = nil
+			}
+			fn(b, v, view)
+		}
+	})
+}
+
+// RunView executes one ball-view trial per draw on a shared instance,
+// returning lane b's global output at index b. The cached view skeletons
+// are assembled once for the whole batch — only the tape binding varies
+// per lane — which is where batched ball-view trials beat pooled ones.
+// Lane outputs are byte-identical to Engine.RunView at the same draw.
+func (bt *Batch) RunView(in *lang.Instance, algo ViewAlgorithm, draws []localrand.Draw) ([][][]byte, error) {
+	if err := bt.lanes(len(draws)); err != nil {
+		return nil, err
+	}
+	if err := bt.checkInstance(in); err != nil {
+		return nil, err
+	}
+	return bt.runViewVec(func(int) *lang.Instance { return in }, len(draws), algo, draws), nil
+}
+
+// RunViewInstances is RunView with per-lane instances (all over the
+// plan's graph); a nil draws runs every lane deterministically.
+func (bt *Batch) RunViewInstances(ins []*lang.Instance, algo ViewAlgorithm, draws []localrand.Draw) ([][][]byte, error) {
+	if err := bt.lanes(len(ins)); err != nil {
+		return nil, err
+	}
+	if draws != nil && len(draws) != len(ins) {
+		return nil, fmt.Errorf("local: %d draws for %d lanes", len(draws), len(ins))
+	}
+	for _, in := range ins {
+		if err := bt.checkInstance(in); err != nil {
+			return nil, err
+		}
+	}
+	return bt.runViewVec(func(b int) *lang.Instance { return ins[b] }, len(ins), algo, draws), nil
+}
+
+// runViewVec is the batched ball-view core; the output rows share one
+// backing slab (two allocations per batch instead of one per trial).
+func (bt *Batch) runViewVec(insOf func(b int) *lang.Instance, k int, algo ViewAlgorithm, draws []localrand.Draw) [][][]byte {
+	vs := bt.viewSetFor(algo.Radius(), false)
+	n := len(vs.views)
+	slab := make([][]byte, k*n)
+	bt.ensureColumns()
+	for b := 0; b < k; b++ {
+		in := insOf(b)
+		bt.colID[b] = in.ID
+		bt.colX[b] = in.X
+	}
+	bt.forEachViewVec(vs, k, false, draws,
+		func(b, v int, view *View) { slab[b*n+v] = algo.Output(view) })
+	ys := make([][][]byte, k)
+	for b := 0; b < k; b++ {
+		ys[b] = slab[b*n : (b+1)*n : (b+1)*n]
+	}
+	return ys
+}
+
+// ForEachDecisionViews assembles the radius-t decision views of one
+// instance per lane — dis[b] evaluated under draws[b] (nil draws =
+// deterministic deciders) — and invokes fn for every (lane, node) pair on
+// the worker pool. The usual trial shape shares identities and inputs
+// across lanes and varies only the candidate outputs, so the skeletons
+// are refilled once and each lane pays only its Y column and tape
+// binding. Lane verdictions are identical to Engine.ForEachDecisionView
+// with the same (instance, draw). Views are batch-owned scratch: valid
+// only for the duration of fn and read-only.
+func (bt *Batch) ForEachDecisionViews(dis []*lang.DecisionInstance, radius int, draws []localrand.Draw, fn func(b, v int, view *View)) error {
+	if err := bt.lanes(len(dis)); err != nil {
+		return err
+	}
+	if draws != nil && len(draws) != len(dis) {
+		return fmt.Errorf("local: %d draws for %d lanes", len(draws), len(dis))
+	}
+	for _, di := range dis {
+		if di.G != bt.plan.g {
+			return fmt.Errorf("local: decision instance graph %v is not the batch's plan graph %v", di.G, bt.plan.g)
+		}
+	}
+	bt.ensureColumns()
+	for b, di := range dis {
+		bt.colID[b] = di.ID
+		bt.colX[b] = di.X
+		bt.colY[b] = di.Y
+	}
+	bt.forEachViewVec(bt.viewSetFor(radius, true), len(dis), true, draws, fn)
+	return nil
+}

@@ -129,13 +129,37 @@ func ParallelFor(n int, fn func(i int)) { parallelFor(n, fn) }
 // panic inside fn is captured and re-raised on the calling goroutine, so
 // algorithm contract violations surface as ordinary recoverable panics.
 func parallelFor(n int, fn func(i int)) {
+	parallelChunks(n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// maxWorkers bounds the worker index parallelChunks can hand out for n
+// indices; callers size worker-indexed scratch from it.
+func maxWorkers(n int) int {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// parallelChunks partitions [0, n) into contiguous chunks and runs
+// body(w, lo, hi) for each on its own goroutine (inline when one worker
+// suffices). w < maxWorkers(n) always holds, so bodies may accumulate
+// into worker-indexed scratch without atomics — the batched round loop
+// counts delivered messages and halting transitions this way. Panics are
+// captured and re-raised on the calling goroutine.
+func parallelChunks(n int, body func(w, lo, hi int)) {
+	workers := maxWorkers(n)
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
+		if n > 0 {
+			body(0, 0, n)
 		}
 		return
 	}
@@ -153,7 +177,7 @@ func parallelFor(n int, fn func(i int)) {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -164,10 +188,8 @@ func parallelFor(n int, fn func(i int)) {
 					mu.Unlock()
 				}
 			}()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
+			body(w, lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
 	if panicked != nil {

@@ -3,28 +3,33 @@ package local
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"rlnc/internal/graph"
+	"rlnc/internal/ids"
 	"rlnc/internal/lang"
 	"rlnc/internal/localrand"
 )
 
 // Plan is the reusable execution layout for one graph (with its port
 // numbering): the CSR-flattened adjacency and reverse-port table that
-// every synchronous round needs, plus a per-radius cache of the balls
-// B_G(v,t) that ball-view executions need. A Plan holds no per-execution
-// state, so it is safe for concurrent use; Monte-Carlo harnesses build
-// one Plan per instance and hand each worker its own Engine.
+// every synchronous round needs, plus per-graph caches that depend only on
+// the topology — the balls B_G(v,t) by radius (ball-view executions) and
+// the BFS distance columns by source (far-from decision evaluation). A
+// Plan holds no per-execution state, so it is safe for concurrent use;
+// Monte-Carlo harnesses build one Plan per instance and hand each worker
+// its own Engine (one trial at a time) or Batch (a vector of trials per
+// pass).
 type Plan struct {
 	g    *graph.Graph
 	topo *graph.Topology
 
-	// balls caches the per-node balls by radius. Balls depend only on
-	// (graph, radius), never on inputs, identities, or randomness, so the
-	// cache is shared by every engine of the plan.
+	// balls caches the per-node balls by radius and dists the hop-distance
+	// columns by BFS source. Both depend only on the graph, never on
+	// inputs, identities, or randomness, so the caches are shared by every
+	// engine and batch of the plan.
 	mu    sync.Mutex
 	balls map[int][]*graph.Ball
+	dists map[int][]int
 }
 
 // NewPlan builds (or fetches, the topology is cached on the graph) the
@@ -78,6 +83,26 @@ func (p *Plan) ballsFor(radius int) []*graph.Ball {
 	return balls
 }
 
+// DistFrom returns the hop distances from source u (graph.BFSFrom),
+// computed on first use and cached for the plan's lifetime. Distances
+// depend only on (graph, source), so — like the ball cache — the column
+// is shared by every engine and batch of the plan; far-from decision
+// loops that evaluate thousands of trials against one source pay the BFS
+// once. The returned slice is cache-owned: callers must not modify it.
+func (p *Plan) DistFrom(u int) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d, ok := p.dists[u]; ok {
+		return d
+	}
+	d := p.g.BFSFrom(u)
+	if p.dists == nil {
+		p.dists = make(map[int][]int)
+	}
+	p.dists[u] = d
+	return d
+}
+
 // Engine executes algorithms on one Plan while reusing all per-execution
 // scratch: the double-buffered send/receive message slabs (one directed
 // edge slot each), the per-node done flags and process table, the random
@@ -86,182 +111,74 @@ func (p *Plan) ballsFor(radius int) []*graph.Ball {
 // fresh run performs every round, which is what makes Monte-Carlo trial
 // loops allocation-free outside the algorithm's own state.
 //
+// An Engine is exactly the one-lane case of a Batch: both run the same
+// structure-of-arrays core (see batch.go), an Engine simply fixes the
+// batch width at 1 and unwraps the single lane. Trial loops that run many
+// draws on one graph should hold a Batch instead and hand it a vector of
+// draws per pass.
+//
 // An Engine is NOT safe for concurrent use: it is one worker's private
 // scratch. Concurrency comes from running one Engine per worker on a
 // shared Plan.
 type Engine struct {
-	plan *Plan
-
-	// Message-passing scratch. sendSlab[s] is the message travelling on
-	// directed slot s (node v's port p is slot Offsets[v]+p); delivery is
-	// the gather recvSlab[s] = sendSlab[RevSlot[s]].
-	sendSlab []Message
-	recvSlab []Message
-	recvs    [][]Message // per-node windows into recvSlab
-	procs    []Process
-	done     []bool
-	tapes    []localrand.Tape
-
-	// View scratch: skeleton views keyed by radius (like the plan's ball
-	// cache), refilled from the instance on every call — trial loops and
-	// pipeline stages hand fresh instances per call, but only the
-	// identity/input/label pointers change. Construction and decision
-	// views differ only in carrying Y, so they share the machinery; the
-	// tape closures of both read viewDraw, rebound before every run.
-	viewSets  map[int]*viewSet
-	dviewSets map[int]*viewSet
-	viewDraw  localrand.Draw
-}
-
-// viewSet is one radius's cached view skeletons plus the per-node tape
-// accessors bound to the engine's current draw.
-type viewSet struct {
-	views   []View
-	tapeFns []func(int) *localrand.Tape
+	bt      Batch
+	drawBuf [1]localrand.Draw
+	diBuf   [1]*lang.DecisionInstance
 }
 
 // NewEngine returns a fresh engine of the plan. Slabs are allocated
 // lazily on first use, so view-only engines never pay for message slabs
 // and vice versa.
-func (p *Plan) NewEngine() *Engine { return &Engine{plan: p} }
+func (p *Plan) NewEngine() *Engine { return &Engine{bt: Batch{plan: p, width: 1}} }
+
+// Plan returns the plan the engine executes on.
+func (e *Engine) Plan() *Plan { return e.bt.plan }
+
+// drawsOf stages a single optional draw into the engine's one-lane draw
+// buffer (nil stays nil: deterministic execution).
+func (e *Engine) drawsOf(draw *localrand.Draw) []localrand.Draw {
+	if draw == nil {
+		return nil
+	}
+	e.drawBuf[0] = *draw
+	return e.drawBuf[:]
+}
 
 // Run executes a message-passing algorithm on an instance over the
 // plan's graph. A nil draw yields a deterministic execution; otherwise
 // each node's tape is drawn from σ by identity, exactly as RunMessage
 // does — outputs and Stats are identical to a single-shot run.
 func (e *Engine) Run(in *lang.Instance, algo MessageAlgorithm, draw *localrand.Draw, opts RunOptions) (*Result, error) {
-	var tapeOf func(v int) *localrand.Tape
-	if draw != nil {
-		d := *draw
-		if e.tapes == nil {
-			e.tapes = make([]localrand.Tape, e.plan.g.N())
-		}
-		tapes := e.tapes
-		tapeOf = func(v int) *localrand.Tape {
-			t := &tapes[v]
-			d.TapeInto(t, in.ID[v])
-			return t
-		}
+	if err := e.bt.checkInstance(in); err != nil {
+		return nil, err
 	}
-	return e.runWithTapes(in, algo, tapeOf, opts)
+	var tapeOf func(b, v int) *localrand.Tape
+	if draws := e.drawsOf(draw); draws != nil {
+		tapeOf = e.bt.seedTapes(1, draws, func(int) ids.Assignment { return in.ID })
+	}
+	rs, err := e.bt.runVec(func(int) *lang.Instance { return in }, 1, algo, tapeOf, opts)
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
 }
 
-// runWithTapes is the engine proper; tapeOf supplies each node's private
-// tape (nil for deterministic executions) addressed by node index.
+// runWithTapes runs with an explicit per-node tape source (nil for
+// deterministic executions) addressed by node index; the ball-simulation
+// adapter uses it to thread view tapes through.
 func (e *Engine) runWithTapes(in *lang.Instance, algo MessageAlgorithm, tapeOf func(v int) *localrand.Tape, opts RunOptions) (*Result, error) {
-	if in.G != e.plan.g {
-		return nil, fmt.Errorf("local: instance graph %v is not the engine's plan graph %v", in.G, e.plan.g)
+	if err := e.bt.checkInstance(in); err != nil {
+		return nil, err
 	}
-	topo := e.plan.topo
-	n := e.plan.g.N()
-	maxRounds := opts.MaxRounds
-	if maxRounds == 0 {
-		maxRounds = 2*n + 64
+	var vec func(b, v int) *localrand.Tape
+	if tapeOf != nil {
+		vec = func(_, v int) *localrand.Tape { return tapeOf(v) }
 	}
-	if opts.StopAfter > 0 {
-		maxRounds = opts.StopAfter
+	rs, err := e.bt.runVec(func(int) *lang.Instance { return in }, 1, algo, vec, opts)
+	if err != nil {
+		return nil, err
 	}
-	e.ensureMessageState()
-	// Drop references into algorithm state when the run ends — on the
-	// error paths too — so a pooled engine never keeps a previous
-	// execution's processes and messages alive.
-	defer func() {
-		clear(e.procs)
-		clear(e.sendSlab)
-		clear(e.recvSlab)
-	}()
-
-	procs, done := e.procs, e.done
-	var messages atomic.Int64
-
-	parallelFor(n, func(v int) {
-		done[v] = false
-		procs[v] = algo.NewProcess()
-		info := NodeInfo{
-			ID:     in.ID[v],
-			Degree: topo.Degree(v),
-			Input:  in.X[v],
-		}
-		if tapeOf != nil {
-			info.Tape = tapeOf(v)
-		}
-		e.stageSend(v, procs[v].Start(info))
-	})
-
-	rounds := 0
-	for round := 1; opts.StopAfter == 0 || round <= opts.StopAfter; round++ {
-		if round > maxRounds {
-			return nil, fmt.Errorf("%w: %d rounds on %d nodes", ErrNoHalt, maxRounds, n)
-		}
-		// Deliver: the message v sent on port p arrives across the edge at
-		// the reverse slot, so receiving is one gather over RevSlot.
-		parallelFor(n, func(v int) {
-			lo, hi := topo.Slots(v)
-			delivered := 0
-			for s := lo; s < hi; s++ {
-				m := e.sendSlab[topo.RevSlot[s]]
-				e.recvSlab[s] = m
-				if m != nil {
-					delivered++
-				}
-			}
-			if delivered > 0 {
-				messages.Add(int64(delivered))
-			}
-		})
-		rounds = round
-
-		parallelFor(n, func(v int) {
-			if done[v] {
-				e.stageSend(v, nil)
-				return
-			}
-			out, fin := procs[v].Step(round, e.recvs[v])
-			e.stageSend(v, out)
-			done[v] = fin
-		})
-		allDone := true
-		for v := 0; v < n; v++ {
-			if !done[v] {
-				allDone = false
-				break
-			}
-		}
-		if allDone {
-			break
-		}
-	}
-
-	y := make([][]byte, n)
-	parallelFor(n, func(v int) { y[v] = procs[v].Output() })
-	return &Result{Y: y, Stats: Stats{Rounds: rounds, Messages: messages.Load()}}, nil
-}
-
-// ensureMessageState allocates the round-loop slabs on first use.
-func (e *Engine) ensureMessageState() {
-	if e.procs != nil {
-		return
-	}
-	n := e.plan.g.N()
-	slots := e.plan.topo.NumSlots()
-	e.sendSlab = make([]Message, slots)
-	e.recvSlab = make([]Message, slots)
-	e.recvs = make([][]Message, n)
-	for v := 0; v < n; v++ {
-		lo, hi := e.plan.topo.Slots(v)
-		e.recvs[v] = e.recvSlab[lo:hi:hi]
-	}
-	e.procs = make([]Process, n)
-	e.done = make([]bool, n)
-}
-
-// stageSend copies a process's outgoing messages into node v's send
-// slots, padding (or truncating) to the node's degree like the engine
-// always has.
-func (e *Engine) stageSend(v int, out []Message) {
-	lo, hi := e.plan.topo.Slots(v)
-	k := copy(e.sendSlab[lo:hi], out)
-	clear(e.sendSlab[lo+k : hi])
+	return rs[0], nil
 }
 
 // RunView executes a ball-view algorithm on every node of an instance
@@ -273,15 +190,10 @@ func (e *Engine) stageSend(v int, out []Message) {
 // or pipeline stage hands a fresh Instance over the same graph. Outputs
 // are identical to RunView's.
 func (e *Engine) RunView(in *lang.Instance, algo ViewAlgorithm, draw *localrand.Draw) [][]byte {
-	if in.G != e.plan.g {
-		panic(fmt.Sprintf("local: instance graph %v is not the engine's plan graph %v", in.G, e.plan.g))
+	if err := e.bt.checkInstance(in); err != nil {
+		panic(err.Error())
 	}
-	vs := e.viewSetFor(algo.Radius(), false)
-	y := make([][]byte, len(vs.views))
-	e.forEachView(vs, in.ID, in.X, nil, draw, func(v int, view *View) {
-		y[v] = algo.Output(view)
-	})
-	return y
+	return e.bt.runViewVec(func(int) *lang.Instance { return in }, 1, algo, e.drawsOf(draw))[0]
 }
 
 // ForEachDecisionView assembles the radius-t decision views of di over
@@ -293,79 +205,11 @@ func (e *Engine) RunView(in *lang.Instance, algo ViewAlgorithm, draw *localrand.
 // engine-owned scratch: they are valid only for the duration of fn and
 // must be treated as read-only.
 func (e *Engine) ForEachDecisionView(di *lang.DecisionInstance, radius int, draw *localrand.Draw, fn func(v int, view *View)) {
-	if di.G != e.plan.g {
-		panic(fmt.Sprintf("local: decision instance graph %v is not the engine's plan graph %v", di.G, e.plan.g))
-	}
-	e.forEachView(e.viewSetFor(radius, true), di.ID, di.X, di.Y, draw, fn)
-}
-
-// viewSetFor returns the cached view skeletons of the given radius,
-// building them on first use. Decision views additionally carry the
-// candidate-output column Y.
-func (e *Engine) viewSetFor(radius int, decision bool) *viewSet {
-	cache := &e.viewSets
-	if decision {
-		cache = &e.dviewSets
-	}
-	if *cache == nil {
-		*cache = make(map[int]*viewSet)
-	}
-	if vs, ok := (*cache)[radius]; ok {
-		return vs
-	}
-	balls := e.plan.ballsFor(radius)
-	vs := &viewSet{
-		views:   make([]View, len(balls)),
-		tapeFns: make([]func(int) *localrand.Tape, len(balls)),
-	}
-	for v, b := range balls {
-		view := &vs.views[v]
-		view.Ball = b
-		view.IDs = make([]int64, b.Size())
-		view.X = make([][]byte, b.Size())
-		if decision {
-			view.Y = make([][]byte, b.Size())
-		}
-		ids := view.IDs
-		vs.tapeFns[v] = func(local int) *localrand.Tape {
-			return e.viewDraw.Tape(ids[local])
-		}
-	}
-	(*cache)[radius] = vs
-	return vs
-}
-
-// forEachView refills the skeleton views from (id, x, y) — y is nil for
-// construction views — binds the tape accessors to draw, and invokes fn
-// at every node on the worker pool. The instance's data pointers are
-// released when the run ends, matching the message path's no-retention
-// invariant for pooled engines.
-func (e *Engine) forEachView(vs *viewSet, id []int64, x, y [][]byte, draw *localrand.Draw, fn func(v int, view *View)) {
-	if draw != nil {
-		e.viewDraw = *draw
-	}
-	defer func() {
-		for v := range vs.views {
-			view := &vs.views[v]
-			clear(view.X)
-			clear(view.Y)
-			view.TapeFor = nil
-		}
-	}()
-	parallelFor(len(vs.views), func(v int) {
-		view := &vs.views[v]
-		for i, u := range view.Ball.Nodes {
-			view.IDs[i] = id[u]
-			view.X[i] = x[u]
-			if y != nil {
-				view.Y[i] = y[u]
-			}
-		}
-		if draw != nil {
-			view.TapeFor = vs.tapeFns[v]
-		} else {
-			view.TapeFor = nil
-		}
+	e.diBuf[0] = di
+	defer func() { e.diBuf[0] = nil }() // no-retention: drop the trial's instance
+	if err := e.bt.ForEachDecisionViews(e.diBuf[:], radius, e.drawsOf(draw), func(_, v int, view *View) {
 		fn(v, view)
-	})
+	}); err != nil {
+		panic(err.Error())
+	}
 }

@@ -14,13 +14,40 @@
 // exact) and MessageAsView (t-round message algorithm → view algorithm of
 // radius t+1, exact) witness the equivalence; see adapter.go.
 //
-// Both interfaces execute through the plan layer (plan.go): a Plan is the
-// reusable layout of one graph — CSR-flattened adjacency, the
-// reverse-port delivery table, cached balls — and an Engine is one
-// worker's reusable execution scratch. RunView and RunMessage are
-// single-shot wrappers; Monte-Carlo trial loops hold a Plan and give
-// each worker its own Engine (see mc.RunWith), which removes all
-// steady-state allocations from the trial loop.
+// Both interfaces execute through a three-level layering:
+//
+//   - Plan (plan.go) is the reusable, concurrency-safe layout of one
+//     graph: the CSR-flattened adjacency, the reverse-port delivery
+//     table, and per-graph caches that depend only on topology (balls by
+//     radius, BFS distance columns by source). Build one Plan per
+//     instance and share it across workers.
+//   - Batch (batch.go) is one worker's vectorized execution scratch: it
+//     runs a vector of independent trials through a single pass, with
+//     structure-of-arrays message slabs indexed [slot][lane] and cached
+//     view skeletons refilled once per pass, so the round scheduling,
+//     the reverse-slot gather, the halting checks, and the view assembly
+//     amortize across the whole vector. Lane b is byte-identical to a
+//     lone execution of the same (instance, draw).
+//   - Engine (plan.go) is the one-lane case of the same core: a Batch of
+//     width 1 with scalar wrappers. RunView and RunMessage are
+//     single-shot wrappers building a transient Engine.
+//
+// Monte-Carlo trial loops hold a Plan and give each worker its own Batch
+// (mc.RunBatched hands workers contiguous trial chunks) or Engine
+// (mc.RunWith hands one index at a time), which removes all steady-state
+// allocations from the trial loop.
+//
+// Everything an Engine or Batch passes to algorithm code is
+// engine-owned scratch with a uniform contract: the received slice of
+// Process.Step, assembled Views (and their LabeledBall reinterpretation),
+// and the tapes returned by View.TapeFor are valid only for the duration
+// of the call that hands them over, must be treated as read-only, and are
+// reused or released when the pass ends — algorithms copy whatever they
+// want to keep. Message payloads themselves and returned output strings
+// are never reused by the engine; conversely, shared encodings such as
+// lang.EncodeColor return read-only storage. These invariants are what
+// let pooled and batched executions drop every reference to a previous
+// trial's state while allocating nothing per round.
 package local
 
 import (
@@ -44,8 +71,29 @@ type View struct {
 	// TapeFor returns the private tape of the ball-local node, or nil for
 	// deterministic algorithms. Tapes are addressed by identity, so the
 	// same node presents the same bits in every view containing it —
-	// exactly the multiset-of-strings model of §3.
+	// exactly the multiset-of-strings model of §3. Every call returns the
+	// tape rewound to its start; distinct locals return distinct tapes,
+	// but calling TapeFor twice with the same local may return the same
+	// (rewound) object, so treat a tape as live only until the next
+	// TapeFor call for that local.
 	TapeFor func(local int) *localrand.Tape
+
+	// lb is the view reinterpreted as an identity-free labeled ball; it
+	// aliases Ball/X/Y, rebuilt on demand by LabeledBall.
+	lb lang.LabeledBall
+}
+
+// LabeledBall returns the view as an identity-free labeled ball for LCL
+// bad-ball predicates, backed by the view's own storage: no allocation,
+// valid exactly as long as the view is. Cached view skeletons keep their
+// Ball/X/Y slices across trials (only the contents are refilled), so the
+// rebuild — and its pointer write barriers — happens once per skeleton,
+// not once per verdict.
+func (v *View) LabeledBall() *lang.LabeledBall {
+	if v.lb.Ball != v.Ball || !sameColumn(v.lb.X, v.X) || !sameColumn(v.lb.Y, v.Y) {
+		v.lb = lang.LabeledBall{Ball: v.Ball, X: v.X, Y: v.Y}
+	}
+	return &v.lb
 }
 
 // Tape returns the center's tape (nil for deterministic views).

@@ -136,6 +136,21 @@ func (d Draw) TapeInto(t *Tape, nodeID int64) {
 	t.state = d.tapeSeed(nodeID)
 }
 
+// TapeVecInto rewinds ts[i] to the start of ids[i]'s tape under this draw
+// for every i — the batched form of TapeInto. A batched engine holds one
+// tape row per trial lane and reseeds the whole row in a single pass
+// before the lane starts, so the per-node seeding cost is a tight loop
+// over the identity column instead of a closure call per node. It panics
+// if the slices disagree in length.
+func (d Draw) TapeVecInto(ts []Tape, ids []int64) {
+	if len(ts) != len(ids) {
+		panic("localrand: TapeVecInto tape row and identity column lengths differ")
+	}
+	for i, id := range ids {
+		ts[i].state = d.tapeSeed(id)
+	}
+}
+
 // tapeSeed derives the per-node seed of this draw.
 func (d Draw) tapeSeed(nodeID int64) uint64 {
 	return mix64(d.seed ^ mix64(uint64(nodeID)+0x5bf0_3635))

@@ -191,3 +191,29 @@ func TestTapeIntoMatchesTape(t *testing.T) {
 		t.Error("TapeInto after partial consumption did not rewind")
 	}
 }
+
+func TestTapeVecIntoMatchesTapeInto(t *testing.T) {
+	d := NewTapeSpace(33).Draw(9)
+	ids := []int64{1, 7, 42, 1 << 40}
+	row := make([]Tape, len(ids))
+	// Consume a little first: the vectorized reseed must rewind lanes.
+	for i := range row {
+		row[i].Uint64()
+	}
+	d.TapeVecInto(row, ids)
+	for i, id := range ids {
+		var want Tape
+		d.TapeInto(&want, id)
+		for w := 0; w < 4; w++ {
+			if got, exp := row[i].Uint64(), want.Uint64(); got != exp {
+				t.Fatalf("lane %d (id %d) word %d: TapeVecInto stream %x, TapeInto stream %x", i, id, w, got, exp)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("TapeVecInto with mismatched lengths did not panic")
+		}
+	}()
+	d.TapeVecInto(row[:2], ids)
+}

@@ -123,6 +123,46 @@ func RunWith[S any](trials int, newState func() S, f func(s S, trial int) bool) 
 	return Estimate{Trials: trials, Successes: succ}
 }
 
+// RunBatched is RunWith with vectorized trials: instead of one index at a
+// time, each worker hands f a contiguous trial chunk [lo, hi) of at most
+// batch indices and a result slice out of length hi-lo to fill (out[i]
+// reports trial lo+i). The intended state is a reusable *local.Batch of
+// width batch, so a whole chunk of trials runs through one engine pass
+// and the per-round scheduling amortizes across the chunk; workers with a
+// ragged tail (hi-lo < batch) reuse the same state. Trials must still
+// derive all randomness from the trial index, so the estimate is
+// identical to Run's for the same per-trial predicate.
+func RunBatched[S any](trials, batch int, newState func() S, f func(s S, lo, hi int, out []bool)) Estimate {
+	if batch < 1 {
+		batch = 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	counts := make([]int, workers)
+	forEachWorker(trials, workers, func(w, lo, hi int) {
+		s := newState()
+		out := make([]bool, batch)
+		for start := lo; start < hi; start += batch {
+			end := start + batch
+			if end > hi {
+				end = hi
+			}
+			chunk := out[:end-start]
+			clear(chunk)
+			f(s, start, end, chunk)
+			for _, ok := range chunk {
+				if ok {
+					counts[w]++
+				}
+			}
+		}
+	})
+	succ := 0
+	for _, c := range counts {
+		succ += c
+	}
+	return Estimate{Trials: trials, Successes: succ}
+}
+
 // Mean runs trials of a real-valued observable and returns its sample
 // mean and standard error.
 func Mean(trials int, f func(trial int) float64) (mean, stderr float64) {
@@ -141,6 +181,51 @@ func MeanWith[S any](trials int, newState func() S, f func(s S, trial int) float
 			v := f(s, i)
 			sums[w] += v
 			sqs[w] += v * v
+		}
+	})
+	var sum, sq float64
+	for w := range sums {
+		sum += sums[w]
+		sq += sqs[w]
+	}
+	n := float64(trials)
+	mean = sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	if trials > 1 {
+		stderr = math.Sqrt(variance / (n - 1))
+	}
+	return mean, stderr
+}
+
+// MeanBatched is MeanWith with vectorized trials; see RunBatched. Each
+// worker accumulates its chunk's values in trial order, so the mean and
+// standard error are bit-identical to MeanWith's for the same per-trial
+// observable.
+func MeanBatched[S any](trials, batch int, newState func() S, f func(s S, lo, hi int, out []float64)) (mean, stderr float64) {
+	if batch < 1 {
+		batch = 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	sums := make([]float64, workers)
+	sqs := make([]float64, workers)
+	forEachWorker(trials, workers, func(w, lo, hi int) {
+		s := newState()
+		out := make([]float64, batch)
+		for start := lo; start < hi; start += batch {
+			end := start + batch
+			if end > hi {
+				end = hi
+			}
+			chunk := out[:end-start]
+			clear(chunk)
+			f(s, start, end, chunk)
+			for _, v := range chunk {
+				sums[w] += v
+				sqs[w] += v * v
+			}
 		}
 	})
 	var sum, sq float64

@@ -184,3 +184,48 @@ func TestRunWithStateIsPerWorker(t *testing.T) {
 		t.Errorf("per-state use counts sum to %d, want 2000 (states shared across workers?)", total)
 	}
 }
+
+// TestRunBatchedMatchesRun pins that the batched harness visits exactly
+// the same trial indices with the same per-trial outcomes as Run, across
+// chunk shapes that do and do not divide the trial count.
+func TestRunBatchedMatchesRun(t *testing.T) {
+	pred := func(trial int) bool { return trial%3 == 0 || trial%7 == 2 }
+	for _, trials := range []int{1, 31, 96, 1000} {
+		for _, batch := range []int{1, 4, 32} {
+			want := Run(trials, pred)
+			got := RunBatched(trials, batch, func() struct{} { return struct{}{} },
+				func(_ struct{}, lo, hi int, out []bool) {
+					if hi-lo > batch {
+						t.Fatalf("chunk [%d,%d) exceeds batch %d", lo, hi, batch)
+					}
+					for i := lo; i < hi; i++ {
+						out[i-lo] = pred(i)
+					}
+				})
+			if got != want {
+				t.Errorf("trials=%d batch=%d: %v, want %v", trials, batch, got, want)
+			}
+		}
+	}
+}
+
+// TestMeanBatchedMatchesMean pins bit-identical mean and stderr: the
+// batched harness accumulates per-worker sums in the same trial order as
+// MeanWith, so floating-point results agree exactly.
+func TestMeanBatchedMatchesMean(t *testing.T) {
+	obs := func(trial int) float64 { return float64(trial%17) * 0.37 }
+	for _, trials := range []int{1, 31, 1000} {
+		for _, batch := range []int{1, 5, 32} {
+			wantMean, wantSE := Mean(trials, obs)
+			gotMean, gotSE := MeanBatched(trials, batch, func() struct{} { return struct{}{} },
+				func(_ struct{}, lo, hi int, out []float64) {
+					for i := lo; i < hi; i++ {
+						out[i-lo] = obs(i)
+					}
+				})
+			if gotMean != wantMean || gotSE != wantSE {
+				t.Errorf("trials=%d batch=%d: mean %v se %v, want %v %v", trials, batch, gotMean, gotSE, wantMean, wantSE)
+			}
+		}
+	}
+}

@@ -121,6 +121,12 @@ type (
 	// tapes, assembled views); not safe for concurrent use — trial pools
 	// hold one Engine per worker.
 	Engine = local.Engine
+	// Batch runs a vector of independent trials through one engine pass
+	// (structure-of-arrays message slabs, batch-refilled view skeletons),
+	// so per-round scheduling and view assembly amortize across the
+	// vector; an Engine is the width-1 case. Not safe for concurrent use —
+	// trial pools hold one Batch per worker (see mc.RunBatched).
+	Batch = local.Batch
 )
 
 var (
