@@ -262,6 +262,86 @@ func BenchmarkTrialPooledMessage(b *testing.B) {
 	}
 }
 
+// benchMessageFixture builds the message-path fixture of the wire-format
+// benchmarks: Luby's MIS (two-word value messages, zero-word join
+// signals) on a 4-regular graph — the §4 construction workhorse shape.
+func benchMessageFixture(b *testing.B) (*lang.Instance, construct.LubyMIS, *localrand.TapeSpace) {
+	g, err := graph.RandomRegular(512, 4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := lang.NewInstance(g, lang.EmptyInputs(g.N()), ids.Consecutive(g.N()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in, construct.LubyMIS{}, localrand.NewTapeSpace(23)
+}
+
+// benchMessagePath measures one trial of a message algorithm per draw,
+// run `width` lanes at a time through a Batch (width 1 = pooled Engine
+// shape). Reported time/op is per trial. The boxed variant runs the very
+// same algorithm through local.Boxed — the legacy []Message transport —
+// after asserting byte-identical outputs and Stats at equal seeds, so
+// the wire/boxed ratio is the speedup of the wire message core alone.
+func benchMessagePath(b *testing.B, width int, boxed bool) {
+	in, wa, space := benchMessageFixture(b)
+	plan := local.MustPlan(in.G)
+	bt := plan.NewBatch(width)
+	var algo local.MessageAlgorithm = wa
+	if boxed {
+		algo = local.Boxed(wa)
+	}
+
+	// Equivalence gate: every lane of the boxed and wire paths must agree
+	// byte for byte, Stats included, before either is timed.
+	draws := make([]localrand.Draw, width)
+	for i := range draws {
+		draws[i] = space.Draw(uint64(i))
+	}
+	wireRes, err := bt.Run(in, wa, draws, local.RunOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	boxedRes, err := bt.Run(in, local.Boxed(wa), draws, local.RunOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range draws {
+		if wireRes[i].Stats != boxedRes[i].Stats {
+			b.Fatalf("lane %d: wire Stats %+v != boxed Stats %+v", i, wireRes[i].Stats, boxedRes[i].Stats)
+		}
+		for v := range wireRes[i].Y {
+			if string(wireRes[i].Y[v]) != string(boxedRes[i].Y[v]) {
+				b.Fatalf("lane %d node %d: wire output differs from boxed", i, v)
+			}
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += width {
+		k := width
+		if left := b.N - done; left < k {
+			k = left
+		}
+		for j := 0; j < k; j++ {
+			draws[j] = space.Draw(uint64(done + j))
+		}
+		if _, err := bt.Run(in, algo, draws[:k], local.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMessageWire{1,32} vs BenchmarkMessageBoxed{1,32}: the
+// acceptance pair of the wire-format PR — at width 32 the wire path must
+// show ≥ 1.5× trials/sec over the boxed path on the same graph at
+// byte-identical outputs and Stats (asserted above before timing).
+func BenchmarkMessageWire1(b *testing.B)   { benchMessagePath(b, 1, false) }
+func BenchmarkMessageWire32(b *testing.B)  { benchMessagePath(b, 32, false) }
+func BenchmarkMessageBoxed1(b *testing.B)  { benchMessagePath(b, 1, true) }
+func BenchmarkMessageBoxed32(b *testing.B) { benchMessagePath(b, 32, true) }
+
 // BenchmarkMessageEngineReuse measures the message-passing engine with
 // slab reuse (compare BenchmarkRoundEngine, which is single-shot).
 func BenchmarkMessageEngineReuse(b *testing.B) {

@@ -1,0 +1,135 @@
+// Command benchcmp compares two benchmark result files produced by
+// `go test -json -bench ...` (test2json event streams) and fails when a
+// named benchmark regressed in time/op beyond a tolerance. CI uses it to
+// gate pull requests against the committed baseline BENCH_main.json:
+//
+//	benchcmp -old BENCH_main.json -new BENCH_pr.json \
+//	    -max-regress 0.10 BenchmarkTrialPooledEngine BenchmarkTrialBatched32
+//
+// Benchmarks named on the command line must be present in both files;
+// any other benchmark is reported for information but never gates.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// event is the subset of a test2json event benchcmp reads.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// test2json splits one benchmark result line across two output events —
+// the name ("BenchmarkTrialBatched32      \t") and then the numbers
+// ("     100\t     45931 ns/op\t..."), so the parser stitches a pending
+// name to the next numbers event. Complete single-line results (plain
+// -bench output piped through) are matched directly.
+var (
+	nameOnly   = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s*$`)
+	numsOnly   = regexp.MustCompile(`^\s*\d+\s+([0-9.]+) ns/op`)
+	fullResult = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+)
+
+// parse extracts benchmark-name → ns/op from a test2json stream. When a
+// benchmark appears several times (-count > 1), the fastest run wins —
+// the conventional noise-resistant choice.
+func parse(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	record := func(name string, ns float64) {
+		if old, ok := out[name]; !ok || ns < old {
+			out[name] = ns
+		}
+	}
+	pending := ""
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			ev = event{Action: "output", Output: string(line)} // plain -bench output
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		if m := fullResult.FindStringSubmatch(ev.Output); m != nil {
+			if ns, err := strconv.ParseFloat(m[2], 64); err == nil {
+				record(m[1], ns)
+			}
+			pending = ""
+			continue
+		}
+		if m := nameOnly.FindStringSubmatch(ev.Output); m != nil {
+			pending = m[1]
+			continue
+		}
+		if m := numsOnly.FindStringSubmatch(ev.Output); m != nil && pending != "" {
+			if ns, err := strconv.ParseFloat(m[1], 64); err == nil {
+				record(pending, ns)
+			}
+		}
+		pending = ""
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchmark JSON (required)")
+	newPath := flag.String("new", "", "candidate benchmark JSON (required)")
+	maxRegress := flag.Float64("max-regress", 0.10, "maximum tolerated time/op regression (fraction)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp -old OLD.json -new NEW.json [-max-regress F] Benchmark...")
+		os.Exit(2)
+	}
+	oldNs, err := parse(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	newNs, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	failed := 0
+	for _, name := range flag.Args() {
+		o, okO := oldNs[name]
+		n, okN := newNs[name]
+		switch {
+		case !okO:
+			// A gated benchmark absent from the baseline means the gate
+			// would silently stop gating (stale baseline, renamed
+			// benchmark): fail loudly so the baseline gets regenerated.
+			fmt.Printf("%-32s missing from baseline %s — FAIL\n", name, *oldPath)
+			failed++
+		case !okN:
+			fmt.Printf("%-32s missing from candidate %s — FAIL\n", name, *newPath)
+			failed++
+		default:
+			delta := n/o - 1
+			verdict := "ok"
+			if delta > *maxRegress {
+				verdict = "FAIL"
+				failed++
+			}
+			fmt.Printf("%-32s %12.0f → %12.0f ns/op  %+6.1f%%  %s\n", name, o, n, 100*delta, verdict)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d benchmark(s) regressed beyond %.0f%%\n", failed, 100**maxRegress)
+		os.Exit(1)
+	}
+}

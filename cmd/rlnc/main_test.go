@@ -1,6 +1,88 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a buffer and
+// returns everything it printed.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.Bytes()
+	}()
+	errRun := fn()
+	os.Stdout = old
+	w.Close()
+	out := <-done
+	r.Close()
+	if errRun != nil {
+		t.Fatal(errRun)
+	}
+	return out
+}
+
+// expectGolden compares output against a committed golden file. The
+// goldens under testdata/ were generated from the boxed message engine
+// BEFORE the wire-format migration, so these tests pin byte-identical
+// CLI output across it: experiment tables, construction outputs, and
+// the rounds/messages Stats lines all survive the transport change.
+func expectGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (generated pre-wire-migration):\n--- want ---\n%s\n--- got ---\n%s", path, want, got)
+	}
+}
+
+// TestRunExperimentGolden pins a full message-algorithm experiment table
+// (E2: retry coloring, the message-path construction of §1.1) byte for
+// byte against the pre-migration engine.
+func TestRunExperimentGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment table in -short mode")
+	}
+	out := captureStdout(t, func() error {
+		return cmdRun([]string{"E2", "-quick", "-seed", "7"})
+	})
+	expectGolden(t, "run_E2_quick_seed7.golden", out)
+}
+
+// TestSimGolden pins the sim subcommand for every migrated message
+// algorithm — outputs, validity verdicts, and Stats (rounds, messages)
+// — against the pre-migration engine.
+func TestSimGolden(t *testing.T) {
+	for golden, args := range map[string][]string{
+		"sim_cv_n24_seed5.golden":       {"-algo", "cv", "-n", "24", "-seed", "5"},
+		"sim_retry4_n24_seed5.golden":   {"-algo", "retry4", "-n", "24", "-seed", "5"},
+		"sim_luby_n24_seed5.golden":     {"-algo", "luby-mis", "-n", "24", "-seed", "5"},
+		"sim_matching_n24_seed5.golden": {"-algo", "matching", "-n", "24", "-seed", "5"},
+		"sim_linial_n24_seed5.golden":   {"-algo", "linial", "-n", "24", "-seed", "5"},
+	} {
+		args := args
+		t.Run(golden, func(t *testing.T) {
+			out := captureStdout(t, func() error { return cmdSim(args) })
+			expectGolden(t, golden, out)
+		})
+	}
+}
 
 func TestCmdList(t *testing.T) {
 	if err := cmdList(); err != nil {

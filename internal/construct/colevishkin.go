@@ -82,10 +82,16 @@ func ReductionRounds(b int) int {
 // first exchange happens in Start) plus three shift-down rounds.
 func (cv ColeVishkin) Rounds() int { return ReductionRounds(cv.MaxIDBits) + 3 }
 
-// NewProcess implements local.MessageAlgorithm.
-func (cv ColeVishkin) NewProcess() local.Process {
+// MsgWords implements local.WireAlgorithm: one word, the current color.
+func (cv ColeVishkin) MsgWords(int) int { return 1 }
+
+// NewWireProcess implements local.WireAlgorithm.
+func (cv ColeVishkin) NewWireProcess() local.WireProcess {
 	return &cvProc{reductions: ReductionRounds(cv.MaxIDBits)}
 }
+
+// NewProcess implements the legacy local.MessageAlgorithm interface.
+func (cv ColeVishkin) NewProcess() local.Process { return local.NewLegacyProcess(cv) }
 
 type cvProc struct {
 	reductions int
@@ -100,7 +106,26 @@ const (
 	predPort = 1
 )
 
-func (p *cvProc) Start(info local.NodeInfo) []local.Message {
+// decodeCVColor rejects anything but a single color word.
+func decodeCVColor(words []uint64) (uint64, bool) {
+	if len(words) != 1 {
+		return 0, false
+	}
+	return words[0], true
+}
+
+// mustCVColor is decodeCVColor for the round loop, where a missing or
+// malformed neighbor color is a broken invariant (the ring is
+// synchronous: both neighbors send every round until the common halt).
+func mustCVColor(in *local.Inbox, port int) uint64 {
+	c, ok := decodeCVColor(in.Words(port))
+	if !ok {
+		panic("construct: Cole-Vishkin received a malformed color word")
+	}
+	return c
+}
+
+func (p *cvProc) Start(info local.NodeInfo, out *local.Outbox) {
 	if info.Degree != 2 {
 		panic("construct: Cole-Vishkin requires a cycle (degree 2 everywhere)")
 	}
@@ -108,12 +133,12 @@ func (p *cvProc) Start(info local.NodeInfo) []local.Message {
 	p.phase2At = p.reductions + 1
 	// Every round sends the current color both ways; only the successor's
 	// value is used during reduction, both during shift-down.
-	return []local.Message{p.color, p.color}
+	out.Broadcast(p.color)
 }
 
-func (p *cvProc) Step(round int, received []local.Message) ([]local.Message, bool) {
-	succC := received[succPort].(uint64)
-	predC := received[predPort].(uint64)
+func (p *cvProc) Step(round int, in *local.Inbox, out *local.Outbox) bool {
+	succC := mustCVColor(in, succPort)
+	predC := mustCVColor(in, predPort)
 	switch {
 	case round <= p.reductions:
 		p.color = cvStep(p.color, succC)
@@ -125,10 +150,11 @@ func (p *cvProc) Step(round int, received []local.Message) ([]local.Message, boo
 			p.color = smallestFree(predC, succC)
 		}
 		if round >= p.phase2At+2 {
-			return nil, true
+			return true
 		}
 	}
-	return []local.Message{p.color, p.color}, false
+	out.Broadcast(p.color)
+	return false
 }
 
 func (p *cvProc) Output() []byte {

@@ -59,9 +59,17 @@ func (r RetryColoring) RunBatch(bt *local.Batch, ins []*lang.Instance, draws []l
 type retryAlgo struct{ q, t int }
 
 func (a retryAlgo) Name() string { return fmt.Sprintf("retry-%d-coloring(T=%d)", a.q, a.t) }
-func (a retryAlgo) NewProcess() local.Process {
+
+// MsgWords implements local.WireAlgorithm: one word, the current color.
+func (a retryAlgo) MsgWords(int) int { return 1 }
+
+// NewWireProcess implements local.WireAlgorithm.
+func (a retryAlgo) NewWireProcess() local.WireProcess {
 	return &retryProc{q: a.q, t: a.t}
 }
+
+// NewProcess implements the legacy local.MessageAlgorithm interface.
+func (a retryAlgo) NewProcess() local.Process { return local.NewLegacyProcess(a) }
 
 type retryProc struct {
 	q, t  int
@@ -69,39 +77,44 @@ type retryProc struct {
 	color int
 }
 
-func (p *retryProc) Start(info local.NodeInfo) []local.Message {
-	p.tape = info.Tape
-	p.color = p.tape.Intn(p.q)
-	return broadcast(p.color, info.Degree)
+// decodeRetryColor rejects anything but a single word holding a color
+// below q.
+func decodeRetryColor(words []uint64, q int) (int, bool) {
+	if len(words) != 1 || words[0] >= uint64(q) {
+		return 0, false
+	}
+	return int(words[0]), true
 }
 
-func (p *retryProc) Step(round int, received []local.Message) ([]local.Message, bool) {
+func (p *retryProc) Start(info local.NodeInfo, out *local.Outbox) {
+	p.tape = info.Tape
+	p.color = p.tape.Intn(p.q)
+	out.Broadcast(uint64(p.color))
+}
+
+func (p *retryProc) Step(round int, in *local.Inbox, out *local.Outbox) bool {
 	conflicted := false
-	for _, m := range received {
-		if m == nil {
+	for port := 0; port < in.Degree(); port++ {
+		if !in.Has(port) {
 			continue
 		}
-		if m.(int) == p.color {
+		c, ok := decodeRetryColor(in.Words(port), p.q)
+		if !ok {
+			panic("construct: retry coloring received a malformed color word")
+		}
+		if c == p.color {
 			conflicted = true
 			break
 		}
 	}
 	if round > p.t {
-		return nil, true
+		return true
 	}
 	if conflicted {
 		p.color = p.tape.Intn(p.q)
 	}
-	return broadcast(p.color, len(received)), false
+	out.Broadcast(uint64(p.color))
+	return false
 }
 
 func (p *retryProc) Output() []byte { return lang.EncodeColor(p.color) }
-
-// broadcast replicates one payload across all ports.
-func broadcast(m local.Message, degree int) []local.Message {
-	out := make([]local.Message, degree)
-	for i := range out {
-		out[i] = m
-	}
-	return out
-}

@@ -21,8 +21,15 @@ type GreedyMISFromColoring struct {
 // Name implements local.MessageAlgorithm.
 func (g GreedyMISFromColoring) Name() string { return fmt.Sprintf("greedy-mis-from-%d-coloring", g.Q) }
 
-// NewProcess implements local.MessageAlgorithm.
-func (g GreedyMISFromColoring) NewProcess() local.Process { return &greedyMISProc{q: g.Q} }
+// MsgWords implements local.WireAlgorithm: the only message is the
+// payload-free "joined" announcement, a zero-word signal.
+func (g GreedyMISFromColoring) MsgWords(int) int { return 0 }
+
+// NewWireProcess implements local.WireAlgorithm.
+func (g GreedyMISFromColoring) NewWireProcess() local.WireProcess { return &greedyMISProc{q: g.Q} }
+
+// NewProcess implements the legacy local.MessageAlgorithm interface.
+func (g GreedyMISFromColoring) NewProcess() local.Process { return local.NewLegacyProcess(g) }
 
 type greedyMISProc struct {
 	q       int
@@ -32,7 +39,10 @@ type greedyMISProc struct {
 	decided bool
 }
 
-func (p *greedyMISProc) Start(info local.NodeInfo) []local.Message {
+// decodeGreedyJoin rejects any join announcement carrying payload words.
+func decodeGreedyJoin(words []uint64) bool { return len(words) == 0 }
+
+func (p *greedyMISProc) Start(info local.NodeInfo, out *local.Outbox) {
 	c, err := lang.DecodeColor(info.Input)
 	if err != nil || c >= p.q {
 		panic(fmt.Sprintf("construct: greedy MIS needs a proper %d-coloring as input (got %v)", p.q, info.Input))
@@ -42,32 +52,32 @@ func (p *greedyMISProc) Start(info local.NodeInfo) []local.Message {
 	if p.color == 0 {
 		p.joined = true
 		p.decided = true
-		return broadcast(true, info.Degree)
+		out.SignalAll()
 	}
-	return make([]local.Message, info.Degree)
 }
 
-func (p *greedyMISProc) Step(round int, received []local.Message) ([]local.Message, bool) {
-	for _, m := range received {
-		if m == nil {
+func (p *greedyMISProc) Step(round int, in *local.Inbox, out *local.Outbox) bool {
+	for port := 0; port < in.Degree(); port++ {
+		if !in.Has(port) {
 			continue
 		}
-		if m.(bool) {
-			p.blocked = true
+		if !decodeGreedyJoin(in.Words(port)) {
+			panic("construct: greedy MIS received a malformed join announcement")
 		}
+		p.blocked = true
 	}
 	if round >= p.q {
-		return nil, true
+		return true
 	}
 	// Nodes of color `round` decide now.
 	if !p.decided && p.color == round {
 		p.decided = true
 		if !p.blocked {
 			p.joined = true
-			return broadcast(true, len(received)), false
+			out.SignalAll()
 		}
 	}
-	return make([]local.Message, len(received)), false
+	return false
 }
 
 func (p *greedyMISProc) Output() []byte { return lang.EncodeSelected(p.joined) }

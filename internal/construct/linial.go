@@ -79,18 +79,16 @@ func reductionParams(q uint64, delta int) (d, p int) {
 }
 
 // polyEval evaluates the polynomial with the base-p digit coefficients of
-// c at point a, over F_p (Horner on the digits, most significant first).
+// c at point a, over F_p: digits are consumed low to high against an
+// accumulated power of a, so no digit buffer is materialized (this runs
+// once per neighbor per evaluation point in the reduction's hot loop).
 func polyEval(c uint64, d, p int, a int) int {
-	// Extract d+1 base-p digits of c (low to high).
-	digits := make([]int, d+1)
+	acc, pw := 0, 1
 	for i := 0; i <= d; i++ {
-		digits[i] = int(c % uint64(p))
+		digit := int(c % uint64(p))
 		c /= uint64(p)
-	}
-	// Horner from the highest digit.
-	acc := 0
-	for i := d; i >= 0; i-- {
-		acc = (acc*a + digits[i]) % p
+		acc = (acc + digit*pw) % p
+		pw = (pw * a) % p
 	}
 	return acc
 }
@@ -158,10 +156,16 @@ func (l LinialReduction) Rounds() int {
 	return len(l.schedule()) + greedy
 }
 
-// NewProcess implements local.MessageAlgorithm.
-func (l LinialReduction) NewProcess() local.Process {
+// MsgWords implements local.WireAlgorithm: one word, the current color.
+func (l LinialReduction) MsgWords(int) int { return 1 }
+
+// NewWireProcess implements local.WireAlgorithm.
+func (l LinialReduction) NewWireProcess() local.WireProcess {
 	return &linialProc{cfg: l, steps: l.schedule()}
 }
+
+// NewProcess implements the legacy local.MessageAlgorithm interface.
+func (l LinialReduction) NewProcess() local.Process { return local.NewLegacyProcess(l) }
 
 type linialProc struct {
 	cfg   LinialReduction
@@ -169,20 +173,36 @@ type linialProc struct {
 	color uint64
 	// greedyFrom is the palette size when the greedy phase starts.
 	greedyFrom int
+	// nbr is the per-round neighbor color scratch, reused across rounds.
+	nbr []uint64
 }
 
-func (p *linialProc) Start(info local.NodeInfo) []local.Message {
+// decodeLinialColor rejects anything but a single color word.
+func decodeLinialColor(words []uint64) (uint64, bool) {
+	if len(words) != 1 {
+		return 0, false
+	}
+	return words[0], true
+}
+
+func (p *linialProc) Start(info local.NodeInfo, out *local.Outbox) {
 	p.color = uint64(info.ID)
 	p.greedyFrom = p.cfg.FixedPointPalette()
-	return broadcast(p.color, info.Degree)
+	p.nbr = make([]uint64, 0, info.Degree)
+	out.Broadcast(p.color)
 }
 
-func (p *linialProc) Step(round int, received []local.Message) ([]local.Message, bool) {
-	var nbr []uint64
-	for _, m := range received {
-		if m != nil {
-			nbr = append(nbr, m.(uint64))
+func (p *linialProc) Step(round int, in *local.Inbox, out *local.Outbox) bool {
+	nbr := p.nbr[:0]
+	for port := 0; port < in.Degree(); port++ {
+		if !in.Has(port) {
+			continue
 		}
+		c, ok := decodeLinialColor(in.Words(port))
+		if !ok {
+			panic("construct: Linial reduction received a malformed color word")
+		}
+		nbr = append(nbr, c)
 	}
 	if round <= len(p.steps) {
 		step := p.steps[round-1]
@@ -198,10 +218,11 @@ func (p *linialProc) Step(round int, received []local.Message) ([]local.Message,
 			p.color = smallestUnused(nbr)
 		}
 		if int(target) <= p.cfg.TargetColors {
-			return nil, true
+			return true
 		}
 	}
-	return broadcast(p.color, len(received)), false
+	out.Broadcast(p.color)
+	return false
 }
 
 func (p *linialProc) reduceOnce(d, pr int, nbr []uint64) uint64 {
@@ -235,14 +256,20 @@ func (p *linialProc) Output() []byte {
 	return lang.EncodeColor(int(p.color))
 }
 
-// smallestUnused returns the least color not present among the neighbors.
+// smallestUnused returns the least color not present among the
+// neighbors: a linear scan per candidate (degrees are promise-bounded by
+// Δ, so this is O(Δ²) worst case) instead of a per-call map, keeping the
+// greedy rounds allocation-free.
 func smallestUnused(nbr []uint64) uint64 {
-	used := make(map[uint64]bool, len(nbr))
-	for _, c := range nbr {
-		used[c] = true
-	}
 	for c := uint64(0); ; c++ {
-		if !used[c] {
+		used := false
+		for _, x := range nbr {
+			if x == c {
+				used = true
+				break
+			}
+		}
+		if !used {
 			return c
 		}
 	}

@@ -23,8 +23,16 @@ type EdgeLubyMatching struct{}
 // Name implements local.MessageAlgorithm.
 func (EdgeLubyMatching) Name() string { return "edge-luby-matching" }
 
-// NewProcess implements local.MessageAlgorithm.
-func (EdgeLubyMatching) NewProcess() local.Process { return &matchProc{} }
+// MsgWords implements local.WireAlgorithm: the widest message is a share
+// list of up to degree edge values at three words each (a draw is one
+// value, an announcement is a zero-word signal).
+func (EdgeLubyMatching) MsgWords(degree int) int { return 3 * degree }
+
+// NewWireProcess implements local.WireAlgorithm.
+func (EdgeLubyMatching) NewWireProcess() local.WireProcess { return &matchProc{} }
+
+// NewProcess implements the legacy local.MessageAlgorithm interface.
+func (EdgeLubyMatching) NewProcess() local.Process { return local.NewLegacyProcess(EdgeLubyMatching{}) }
 
 // matchVal totally orders edges: random word, then the drawing endpoint's
 // identity and port for tie-breaking.
@@ -45,12 +53,44 @@ func (a matchVal) less(b matchVal) bool {
 	}
 }
 
-// Phase messages. Draw: the higher endpoint ships the edge value. Share:
-// each node ships the values of all its active edges. Announce: a matched
-// node tells its neighbors.
-type matchDraw struct{ V matchVal }
-type matchShare struct{ Vals []matchVal }
-type matchAnnounce struct{}
+// Phase messages and their wire codec. Draw: the higher endpoint ships
+// the edge value — three words [R, HID, HPort]. Share: each node ships
+// the values of all its active edges — 3k words, k >= 1 values in port
+// order. Announce: a matched node tells its neighbors — a zero-word
+// signal. The three-round phase schedule (round mod 3) determines which
+// kind a received payload is.
+
+// appendMatchVal appends one edge value (three words) to port's message.
+func appendMatchVal(out *local.Outbox, port int, v matchVal) {
+	out.Append(port, v.R)
+	out.Append(port, uint64(v.HID))
+	out.Append(port, uint64(v.HPort))
+}
+
+// matchValAt reads the i-th edge value of a share or draw payload.
+func matchValAt(words []uint64, i int) matchVal {
+	return matchVal{R: words[3*i], HID: int64(words[3*i+1]), HPort: int(words[3*i+2])}
+}
+
+// decodeMatchDraw rejects anything but a single three-word edge value.
+func decodeMatchDraw(words []uint64) (matchVal, bool) {
+	if len(words) != 3 {
+		return matchVal{}, false
+	}
+	return matchValAt(words, 0), true
+}
+
+// decodeMatchShare validates a share list: a positive multiple of three
+// words. It returns the value count; values are read via matchValAt.
+func decodeMatchShare(words []uint64) (int, bool) {
+	if len(words) == 0 || len(words)%3 != 0 {
+		return 0, false
+	}
+	return len(words) / 3, true
+}
+
+// decodeMatchAnnounce rejects any announcement carrying payload words.
+func decodeMatchAnnounce(words []uint64) bool { return len(words) == 0 }
 
 type matchProc struct {
 	tape    *localrand.Tape
@@ -61,7 +101,22 @@ type matchProc struct {
 	matched int        // matched port, or -1
 }
 
-func (p *matchProc) Start(info local.NodeInfo) []local.Message {
+// sendDraws draws fresh candidates for the active ports (in port order,
+// one tape word each) and ships them.
+func (p *matchProc) sendDraws(out *local.Outbox) {
+	for port, a := range p.active {
+		if !a {
+			continue
+		}
+		cand := matchVal{R: p.tape.Uint64(), HID: p.id, HPort: port}
+		p.pending[port] = cand
+		out.Send(port, cand.R)
+		out.Append(port, uint64(cand.HID))
+		out.Append(port, uint64(cand.HPort))
+	}
+}
+
+func (p *matchProc) Start(info local.NodeInfo, out *local.Outbox) {
 	p.tape = info.Tape
 	p.id = info.ID
 	p.active = make([]bool, info.Degree)
@@ -73,86 +128,78 @@ func (p *matchProc) Start(info local.NodeInfo) []local.Message {
 	p.matched = -1
 	// Draw round: both endpoints ship candidates; the higher-identity
 	// endpoint's candidate becomes the edge value on both sides.
-	out := make([]local.Message, info.Degree)
-	for port := range out {
-		cand := matchVal{R: p.tape.Uint64(), HID: p.id, HPort: port}
-		p.pending[port] = cand
-		out[port] = matchDraw{V: cand}
-	}
-	return out
+	p.sendDraws(out)
 }
 
-func (p *matchProc) Step(round int, received []local.Message) ([]local.Message, bool) {
-	deg := len(received)
+func (p *matchProc) Step(round int, in *local.Inbox, out *local.Outbox) bool {
+	deg := in.Degree()
 	switch round % 3 {
 	case 1: // draw messages arrived; fix edge values, ship share lists
-		for port, m := range received {
-			if m == nil || !p.active[port] {
+		for port := 0; port < deg; port++ {
+			if !in.Has(port) || !p.active[port] {
 				continue
 			}
-			d := m.(matchDraw)
-			if d.V.HID > p.id {
-				p.edgeVal[port] = d.V // the neighbor is the higher endpoint
+			v, ok := decodeMatchDraw(in.Words(port))
+			if !ok {
+				panic("construct: matching received a malformed draw message")
+			}
+			if v.HID > p.id {
+				p.edgeVal[port] = v // the neighbor is the higher endpoint
 			} else {
 				p.edgeVal[port] = p.pending[port]
 			}
 		}
-		var vals []matchVal
 		for port, a := range p.active {
-			if a {
-				vals = append(vals, p.edgeVal[port])
+			if !a {
+				continue
+			}
+			for q, aq := range p.active {
+				if aq {
+					appendMatchVal(out, port, p.edgeVal[q])
+				}
 			}
 		}
-		out := make([]local.Message, deg)
-		for port, a := range p.active {
-			if a {
-				out[port] = matchShare{Vals: vals}
-			}
-		}
-		return out, false
+		return false
 	case 2: // share lists arrived; decide, announce
 		best := -1
 		for port, a := range p.active {
 			if !a {
 				continue
 			}
-			if p.isLocalMin(port, received) {
+			if p.isLocalMin(port, in) {
 				best = port
 				break // at most one edge at this node can be the local min
 			}
 		}
 		if best >= 0 {
 			p.matched = best
-			return broadcastActive(matchAnnounce{}, p.active), true
+			for port, a := range p.active {
+				if a {
+					out.Signal(port)
+				}
+			}
+			return true
 		}
-		return make([]local.Message, deg), false
+		return false
 	default: // case 0: announcements arrived; deactivate, redraw
-		for port, m := range received {
-			if m == nil {
+		for port := 0; port < deg; port++ {
+			if !in.Has(port) {
 				continue
 			}
-			if _, ok := m.(matchAnnounce); ok {
-				p.active[port] = false
+			if !decodeMatchAnnounce(in.Words(port)) {
+				panic("construct: matching received a malformed announcement")
 			}
+			p.active[port] = false
 		}
 		if !p.anyActive() {
-			return nil, true // unmatched, but no augmenting edge remains
+			return true // unmatched, but no augmenting edge remains
 		}
-		p.pending = make([]matchVal, deg)
-		out := make([]local.Message, deg)
-		for port, a := range p.active {
-			if !a {
-				continue
-			}
-			cand := matchVal{R: p.tape.Uint64(), HID: p.id, HPort: port}
-			p.pending[port] = cand
-			out[port] = matchDraw{V: cand}
-		}
-		return out, false
+		p.sendDraws(out)
+		return false
 	}
 }
 
-func (p *matchProc) isLocalMin(port int, received []local.Message) bool {
+func (p *matchProc) isLocalMin(port int, in *local.Inbox) bool {
 	v := p.edgeVal[port]
 	// Compare against our own active edges.
 	for q, a := range p.active {
@@ -164,13 +211,16 @@ func (p *matchProc) isLocalMin(port int, received []local.Message) bool {
 		}
 	}
 	// And against the neighbor's active edges.
-	m := received[port]
-	if m == nil {
+	if !in.Has(port) {
 		return false // neighbor went silent: treat as unresolved this phase
 	}
-	share := m.(matchShare)
-	for _, w := range share.Vals {
-		if w != v && w.less(v) {
+	words := in.Words(port)
+	k, ok := decodeMatchShare(words)
+	if !ok {
+		panic("construct: matching received a malformed share list")
+	}
+	for i := 0; i < k; i++ {
+		if w := matchValAt(words, i); w != v && w.less(v) {
 			return false
 		}
 	}
@@ -188,17 +238,6 @@ func (p *matchProc) anyActive() bool {
 
 func (p *matchProc) Output() []byte {
 	return lang.EncodeMatchPort(p.matched, p.matched >= 0)
-}
-
-// broadcastActive sends a payload on active ports only.
-func broadcastActive(m local.Message, active []bool) []local.Message {
-	out := make([]local.Message, len(active))
-	for port, a := range active {
-		if a {
-			out[port] = m
-		}
-	}
-	return out
 }
 
 // MaximalMatchingAlgorithm packages the edge-Luby matching.

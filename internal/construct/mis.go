@@ -17,8 +17,15 @@ type LubyMIS struct{}
 // Name implements local.MessageAlgorithm.
 func (LubyMIS) Name() string { return "luby-mis" }
 
-// NewProcess implements local.MessageAlgorithm.
-func (LubyMIS) NewProcess() local.Process { return &lubyProc{} }
+// MsgWords implements local.WireAlgorithm: a value message is two words
+// (random word, identity); a join announcement is a zero-word signal.
+func (LubyMIS) MsgWords(int) int { return 2 }
+
+// NewWireProcess implements local.WireAlgorithm.
+func (LubyMIS) NewWireProcess() local.WireProcess { return &lubyProc{} }
+
+// NewProcess implements the legacy local.MessageAlgorithm interface.
+func (LubyMIS) NewProcess() local.Process { return local.NewLegacyProcess(LubyMIS{}) }
 
 type lubyStatus int
 
@@ -41,8 +48,28 @@ func (a lubyVal) less(b lubyVal) bool {
 	return a.ID < b.ID
 }
 
-// lubyJoin announces that the sender joined the independent set.
-type lubyJoin struct{}
+// Wire codec. A value message is exactly two words [R, ID]; a join
+// announcement is a zero-word signal, so the payload length alone
+// distinguishes the two kinds.
+
+// broadcastLubyVal stages a value message on every port.
+func broadcastLubyVal(out *local.Outbox, v lubyVal) {
+	for port := 0; port < out.Degree(); port++ {
+		out.Send(port, v.R)
+		out.Append(port, uint64(v.ID))
+	}
+}
+
+// decodeLubyVal rejects anything but a two-word value message.
+func decodeLubyVal(words []uint64) (lubyVal, bool) {
+	if len(words) != 2 {
+		return lubyVal{}, false
+	}
+	return lubyVal{R: words[0], ID: int64(words[1])}, true
+}
+
+// decodeLubyJoin rejects any join announcement carrying payload words.
+func decodeLubyJoin(words []uint64) bool { return len(words) == 0 }
 
 type lubyProc struct {
 	tape   *localrand.Tape
@@ -51,23 +78,27 @@ type lubyProc struct {
 	val    lubyVal
 }
 
-func (p *lubyProc) Start(info local.NodeInfo) []local.Message {
+func (p *lubyProc) Start(info local.NodeInfo, out *local.Outbox) {
 	p.tape = info.Tape
 	p.id = info.ID
 	p.val = lubyVal{R: p.tape.Uint64(), ID: p.id}
-	return broadcast(p.val, info.Degree)
+	broadcastLubyVal(out, p.val)
 }
 
-func (p *lubyProc) Step(round int, received []local.Message) ([]local.Message, bool) {
+func (p *lubyProc) Step(round int, in *local.Inbox, out *local.Outbox) bool {
 	if round%2 == 1 {
 		// Value round just completed: join if strictly smaller than every
 		// undecided neighbor (decided neighbors are silent).
 		isMin := true
-		for _, m := range received {
-			if m == nil {
+		for port := 0; port < in.Degree(); port++ {
+			if !in.Has(port) {
 				continue
 			}
-			if v, ok := m.(lubyVal); ok && v.less(p.val) {
+			v, ok := decodeLubyVal(in.Words(port))
+			if !ok {
+				panic("construct: Luby MIS received a malformed value message")
+			}
+			if v.less(p.val) {
 				isMin = false
 				break
 			}
@@ -75,23 +106,26 @@ func (p *lubyProc) Step(round int, received []local.Message) ([]local.Message, b
 		if isMin {
 			p.status = lubyIn
 			// Final act: announce membership, then stop.
-			return broadcast(lubyJoin{}, len(received)), true
+			out.SignalAll()
+			return true
 		}
-		return make([]local.Message, len(received)), false
+		return false
 	}
 	// Announce round just completed: drop out next to a member.
-	for _, m := range received {
-		if m == nil {
+	for port := 0; port < in.Degree(); port++ {
+		if !in.Has(port) {
 			continue
 		}
-		if _, ok := m.(lubyJoin); ok {
-			p.status = lubyOut
-			return nil, true
+		if !decodeLubyJoin(in.Words(port)) {
+			panic("construct: Luby MIS received a malformed join announcement")
 		}
+		p.status = lubyOut
+		return true
 	}
 	// Still undecided: draw a fresh value for the next phase.
 	p.val = lubyVal{R: p.tape.Uint64(), ID: p.id}
-	return broadcast(p.val, len(received)), false
+	broadcastLubyVal(out, p.val)
+	return false
 }
 
 func (p *lubyProc) Output() []byte {

@@ -33,16 +33,54 @@ type MoserTardosLLL struct {
 // Name implements local.MessageAlgorithm.
 func (m MoserTardosLLL) Name() string { return fmt.Sprintf("moser-tardos-lll(phases=%d)", m.Phases) }
 
-// NewProcess implements local.MessageAlgorithm.
-func (m MoserTardosLLL) NewProcess() local.Process { return &mtProc{phases: m.Phases} }
+// MsgWords implements local.WireAlgorithm: the widest message is the
+// second violation wave, the union of the node's own violated event
+// (at most one) with one event per neighbor — degree+1 words. Bit
+// broadcasts are one word; resample commands are zero-word signals.
+func (m MoserTardosLLL) MsgWords(degree int) int { return degree + 1 }
 
-// Phase messages.
-type mtBit struct{ B byte }
-type mtViolated struct {
-	// IDs of violated events known to the sender (their centers).
-	Events []int64
+// NewWireProcess implements local.WireAlgorithm.
+func (m MoserTardosLLL) NewWireProcess() local.WireProcess { return &mtProc{phases: m.Phases} }
+
+// NewProcess implements the legacy local.MessageAlgorithm interface.
+func (m MoserTardosLLL) NewProcess() local.Process { return local.NewLegacyProcess(m) }
+
+// Wire codec. The four-round phase schedule determines the message kind:
+// bit broadcasts (one word, 0 or 1) arrive in phase round 1, violated
+// event lists (one word per event identity, any count including zero) in
+// phase rounds 2 and 3, resample commands (zero-word signals) in phase
+// round 4.
+
+// decodeMTBit rejects anything but a single 0/1 word.
+func decodeMTBit(words []uint64) (byte, bool) {
+	if len(words) != 1 || words[0] > 1 {
+		return 0, false
+	}
+	return byte(words[0]), true
 }
-type mtResample struct{}
+
+// broadcastEvents ships the violated-event set on every port. Event
+// identities are words; a violated list may be empty, which still
+// transmits (an empty announcement is how "nothing violated here"
+// propagates, exactly as the boxed mtViolated{} did).
+func broadcastEvents(out *local.Outbox, events map[int64]bool) {
+	for port := 0; port < out.Degree(); port++ {
+		out.Signal(port)
+		for e := range events {
+			out.Append(port, uint64(e))
+		}
+	}
+}
+
+// gatherEvents unions a violated payload into the seen set.
+func gatherEvents(seen map[int64]bool, words []uint64) {
+	for _, w := range words {
+		seen[int64(w)] = true
+	}
+}
+
+// decodeMTResample rejects any resample command carrying payload words.
+func decodeMTResample(words []uint64) bool { return len(words) == 0 }
 
 type mtProc struct {
 	phases int
@@ -55,31 +93,35 @@ type mtProc struct {
 	seenEvents map[int64]bool
 }
 
-func (p *mtProc) Start(info local.NodeInfo) []local.Message {
+func (p *mtProc) Start(info local.NodeInfo, out *local.Outbox) {
 	p.tape = info.Tape
 	p.id = info.ID
 	if p.tape.Bool() {
 		p.bit = 1
 	}
 	p.nbrBit = make([]byte, info.Degree)
+	p.seenEvents = make(map[int64]bool, info.Degree+1)
 	if p.phases == 0 {
-		return nil
+		return
 	}
-	return broadcast(mtBit{B: p.bit}, info.Degree)
+	out.Broadcast(uint64(p.bit))
 }
 
-func (p *mtProc) Step(round int, received []local.Message) ([]local.Message, bool) {
+func (p *mtProc) Step(round int, in *local.Inbox, out *local.Outbox) bool {
 	if p.phases == 0 {
-		return nil, true
+		return true
 	}
-	deg := len(received)
+	deg := in.Degree()
 	phaseRound := (round-1)%4 + 1
 	phase := (round-1)/4 + 1
 	switch phaseRound {
 	case 1: // bits arrived: detect own violation, announce violated events
 		p.violated = true
-		for port, m := range received {
-			b := m.(mtBit).B
+		for port := 0; port < deg; port++ {
+			b, ok := decodeMTBit(in.Words(port))
+			if !ok {
+				panic("construct: Moser-Tardos received a malformed bit")
+			}
 			p.nbrBit[port] = b
 			if b != p.bit {
 				p.violated = false
@@ -88,23 +130,27 @@ func (p *mtProc) Step(round int, received []local.Message) ([]local.Message, boo
 		if deg == 0 {
 			p.violated = false
 		}
-		p.seenEvents = make(map[int64]bool)
+		clear(p.seenEvents)
 		if p.violated {
 			p.seenEvents[p.id] = true
 		}
-		return broadcast(mtViolated{Events: eventList(p.seenEvents)}, deg), false
+		broadcastEvents(out, p.seenEvents)
+		return false
 	case 2: // first violation wave: gather, forward (reaches radius 2)
-		for _, m := range received {
-			for _, e := range m.(mtViolated).Events {
-				p.seenEvents[e] = true
+		for port := 0; port < deg; port++ {
+			if !in.Has(port) {
+				panic("construct: Moser-Tardos missing a violation wave")
 			}
+			gatherEvents(p.seenEvents, in.Words(port))
 		}
-		return broadcast(mtViolated{Events: eventList(p.seenEvents)}, deg), false
+		broadcastEvents(out, p.seenEvents)
+		return false
 	case 3: // second violation wave: select local minima, command resample
-		for _, m := range received {
-			for _, e := range m.(mtViolated).Events {
-				p.seenEvents[e] = true
+		for port := 0; port < deg; port++ {
+			if !in.Has(port) {
+				panic("construct: Moser-Tardos missing a violation wave")
 			}
+			gatherEvents(p.seenEvents, in.Words(port))
 		}
 		selected := p.violated
 		if selected {
@@ -122,39 +168,33 @@ func (p *mtProc) Step(round int, received []local.Message) ([]local.Message, boo
 			} else {
 				p.bit = 0
 			}
-			return broadcast(mtResample{}, deg), false
+			out.SignalAll()
 		}
-		return make([]local.Message, deg), false
+		return false
 	default: // case 0 mod 4: resample commands arrived; redraw, next phase
-		for _, m := range received {
-			if m == nil {
+		for port := 0; port < deg; port++ {
+			if !in.Has(port) {
 				continue
 			}
-			if _, ok := m.(mtResample); ok {
-				if p.tape.Bool() {
-					p.bit = 1
-				} else {
-					p.bit = 0
-				}
-				break // disjoint stars: at most one command possible
+			if !decodeMTResample(in.Words(port)) {
+				panic("construct: Moser-Tardos received a malformed resample command")
 			}
+			if p.tape.Bool() {
+				p.bit = 1
+			} else {
+				p.bit = 0
+			}
+			break // disjoint stars: at most one command possible
 		}
 		if phase >= p.phases {
-			return nil, true
+			return true
 		}
-		return broadcast(mtBit{B: p.bit}, deg), false
+		out.Broadcast(uint64(p.bit))
+		return false
 	}
 }
 
 func (p *mtProc) Output() []byte { return lang.EncodeColor(int(p.bit)) }
-
-func eventList(set map[int64]bool) []int64 {
-	out := make([]int64, 0, len(set))
-	for e := range set {
-		out = append(out, e)
-	}
-	return out
-}
 
 // MoserTardosAlgorithm packages the resampler.
 func MoserTardosAlgorithm(phases int) Algorithm {

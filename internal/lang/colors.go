@@ -49,11 +49,12 @@ const (
 )
 
 // EncodeSelected returns the output string for a (non-)selected node.
+// The returned slice is shared and read-only, like EncodeColor's.
 func EncodeSelected(sel bool) []byte {
 	if sel {
-		return []byte{Selected}
+		return colorBytes[Selected][:]
 	}
-	return []byte{NotSelected}
+	return colorBytes[NotSelected][:]
 }
 
 // DecodeSelected decodes a selection mark.
@@ -67,15 +68,17 @@ func DecodeSelected(y []byte) (bool, error) {
 // UnmatchedPort is the matching output for an unmatched node.
 const UnmatchedPort byte = 0xFF
 
-// EncodeMatchPort encodes "matched through port p" (p < 255) or unmatched.
+// EncodeMatchPort encodes "matched through port p" (p < 255) or
+// unmatched. The returned slice is shared and read-only, like
+// EncodeColor's.
 func EncodeMatchPort(port int, matched bool) []byte {
 	if !matched {
-		return []byte{UnmatchedPort}
+		return colorBytes[UnmatchedPort][:]
 	}
 	if port < 0 || port >= 255 {
 		panic(fmt.Sprintf("lang: match port %d out of range", port))
 	}
-	return []byte{byte(port)}
+	return colorBytes[byte(port)][:]
 }
 
 // DecodeMatchPort decodes a matching output; matched is false for the

@@ -62,6 +62,14 @@ type gossip struct {
 }
 
 // FullInfo adapts a ball-view algorithm to the message-passing interface.
+//
+// The returned algorithm is a WireAlgorithm whose payloads travel by
+// reference through the engine's ref slab rather than as slab words: the
+// gossip records of a full-information protocol are unbounded (whole
+// neighborhoods, inputs, tapes), so a fixed-width encoding would have to
+// reserve worst-case ball-sized capacity on every directed slot. The ref
+// lane keeps the old sharing behavior — one gossip record fanned out to
+// every port is a single boxed value — at the old allocation profile.
 func FullInfo(algo ViewAlgorithm) MessageAlgorithm {
 	return &fullInfoAlgo{inner: algo}
 }
@@ -70,9 +78,19 @@ type fullInfoAlgo struct{ inner ViewAlgorithm }
 
 func (a *fullInfoAlgo) Name() string { return fmt.Sprintf("full-info(%s)", a.inner.Name()) }
 
-func (a *fullInfoAlgo) NewProcess() Process {
+// MsgWords implements WireAlgorithm: gossip occupies no slab words.
+func (a *fullInfoAlgo) MsgWords(int) int { return 0 }
+
+// wireRefs marks the gossip payloads as ref-slab traffic.
+func (a *fullInfoAlgo) wireRefs() {}
+
+// NewWireProcess implements WireAlgorithm.
+func (a *fullInfoAlgo) NewWireProcess() WireProcess {
 	return &fullInfoProc{algo: a.inner, t: a.inner.Radius()}
 }
+
+// NewProcess implements the legacy MessageAlgorithm interface.
+func (a *fullInfoAlgo) NewProcess() Process { return NewLegacyProcess(a) }
 
 type fullInfoProc struct {
 	algo ViewAlgorithm
@@ -87,7 +105,7 @@ type fullInfoProc struct {
 	output     []byte
 }
 
-func (p *fullInfoProc) Start(info NodeInfo) []Message {
+func (p *fullInfoProc) Start(info NodeInfo, out *Outbox) {
 	p.info = info
 	p.basics = make(map[int64]basicRec)
 	p.recs = make(map[int64]fullRec)
@@ -97,27 +115,26 @@ func (p *fullInfoProc) Start(info NodeInfo) []Message {
 	}
 	p.basics[info.ID] = basicRec{id: info.ID, input: info.Input, tape: pristine}
 	if p.t == 0 {
-		return nil
+		return
 	}
-	// Round 1: announce self to all ports.
-	out := make([]Message, info.Degree)
-	for i := range out {
-		out[i] = p.basics[info.ID]
+	// Round 1: announce self to all ports (one boxed record, shared).
+	self := Message(p.basics[info.ID])
+	for port := 0; port < info.Degree; port++ {
+		out.sendRef(port, self)
 	}
-	return out
 }
 
-func (p *fullInfoProc) Step(round int, received []Message) ([]Message, bool) {
+func (p *fullInfoProc) Step(round int, in *Inbox, out *Outbox) bool {
 	if p.t == 0 {
 		p.output = p.algo.Output(p.reconstruct())
-		return nil, true
+		return true
 	}
 	if round == 1 {
 		// Learn neighbor identities; own record becomes complete.
-		p.nbrIDs = make([]int64, len(received))
+		p.nbrIDs = make([]int64, in.Degree())
 		p.pendBasics = nil
-		for port, m := range received {
-			b, ok := m.(basicRec)
+		for port := range p.nbrIDs {
+			b, ok := in.ref(port).(basicRec)
 			if !ok {
 				panic("local: full-info adapter received foreign message")
 			}
@@ -131,7 +148,8 @@ func (p *fullInfoProc) Step(round int, received []Message) ([]Message, bool) {
 	} else {
 		var freshRecs []fullRec
 		var freshBasics []basicRec
-		for _, m := range received {
+		for port := 0; port < in.Degree(); port++ {
+			m := in.ref(port)
 			if m == nil {
 				continue
 			}
@@ -160,17 +178,16 @@ func (p *fullInfoProc) Step(round int, received []Message) ([]Message, bool) {
 	}
 	if round == p.t {
 		p.output = p.algo.Output(p.reconstruct())
-		return nil, true
+		return true
 	}
-	// Flood the newly learned records.
-	out := make([]Message, p.info.Degree)
+	// Flood the newly learned records (one boxed gossip value, shared).
 	if len(p.pendRecs) > 0 || len(p.pendBasics) > 0 {
-		g := gossip{recs: p.pendRecs, basics: p.pendBasics}
-		for i := range out {
-			out[i] = g
+		g := Message(gossip{recs: p.pendRecs, basics: p.pendBasics})
+		for port := 0; port < p.info.Degree; port++ {
+			out.sendRef(port, g)
 		}
 	}
-	return out, false
+	return false
 }
 
 func (p *fullInfoProc) Output() []byte { return p.output }

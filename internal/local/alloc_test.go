@@ -115,3 +115,63 @@ func TestEngineReuseCutsAllocs(t *testing.T) {
 		t.Errorf("batched message path allocates %.2f per trial vs %.1f pooled", batchedM, reuse)
 	}
 }
+
+// TestWireMessageZeroAllocsPerRound enforces the wire-format acceptance
+// contract: the message round loop on the wire core allocates nothing
+// per round. Per-run costs are unavoidable (process table, result
+// slices), so the gate compares trials whose only difference is the
+// round count — 4 versus 36 rounds — on a reusable engine and batch: if
+// any allocation happened per round, the longer trial would show 32
+// rounds' worth more. Skipped under -race, whose instrumentation changes
+// allocation counts.
+func TestWireMessageZeroAllocsPerRound(t *testing.T) {
+	in := mustInstance(t, graph.Cycle(256))
+	plan, err := NewPlan(in.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := localrand.NewTapeSpace(7)
+	plans := []struct {
+		name  string
+		trial func(rounds, trial int)
+	}{
+		{"pooled", func() func(rounds, trial int) {
+			eng := plan.NewEngine()
+			return func(rounds, trial int) {
+				d := space.Draw(uint64(trial))
+				if _, err := eng.Run(in, wireMix{rounds: rounds}, &d, RunOptions{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}()},
+		{"batched", func() func(rounds, trial int) {
+			bt := plan.NewBatch(8)
+			draws := make([]localrand.Draw, 8)
+			return func(rounds, trial int) {
+				for i := range draws {
+					draws[i] = space.Draw(uint64(trial*8 + i))
+				}
+				if _, err := bt.Run(in, wireMix{rounds: rounds}, draws, RunOptions{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}()},
+	}
+	for _, p := range plans {
+		trial := 0
+		p.trial(36, trial) // warm slabs at the larger layout
+		measure := func(rounds int) float64 {
+			return testing.AllocsPerRun(30, func() {
+				p.trial(rounds, trial)
+				trial++
+			})
+		}
+		short := measure(4)
+		long := measure(36)
+		t.Logf("%s wire message allocs/op: %.1f at 4 rounds, %.1f at 36 rounds", p.name, short, long)
+		if long != short {
+			t.Errorf("%s wire message path allocates per round: %.1f allocs/op at 4 rounds vs %.1f at 36 (want equal)",
+				p.name, short, long)
+		}
+	}
+}

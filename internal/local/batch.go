@@ -32,31 +32,50 @@ type Batch struct {
 	plan  *Plan
 	width int
 
-	// Message-path scratch, allocated on first use. cur and next are the
-	// double-buffered send slabs in [slot][lane] layout: the message lane b
-	// sends on directed slot s lives at s*width+b, so one slot's lanes are
-	// contiguous and the reverse-slot walk of a delivery is shared by every
-	// lane of the batch. Each round gathers from cur into the per-node
-	// receive windows, steps, stages the new sends into next, and swaps.
-	// block is the lane count of one message pass (see msgSlabBudget);
-	// message slabs are sized and strided by it, and wider lane vectors
-	// run in successive blocks.
-	block     int
-	cur, next []Message
-	recvSlab  []Message
-	recvs     [][]Message // per-node windows into recvSlab, reused lane by lane
-	procs     []Process   // [v*block+b]
-	done      []bool      // [v*block+b]
-	tapes     []localrand.Tape
-	alive     []bool  // per-lane: still running
-	notDone   []int   // per-lane count of nodes still running
-	roundsOf  []int   // per-lane Stats.Rounds
-	msgsOf    []int64 // per-lane Stats.Messages
+	// Message-path scratch, recomputed per run (the layout depends on the
+	// algorithm's MsgWords) and reallocated only on growth. The wire slabs
+	// are the double-buffered send state in [slot][lane] layout: the
+	// message lane b sends on directed slot s occupies lens index s*B+b
+	// (0 = no message, n+1 = n payload words) and the word range starting
+	// at offW[s]*B + capW[s]*b, so one slot's lanes are contiguous and the
+	// reverse-slot walk of a delivery is shared by every lane of the
+	// batch. Each round counts arrivals out of the cur slabs, steps each
+	// process with an Inbox reading cur and an Outbox writing next, and
+	// swaps. block is the lane count of one message pass (see
+	// msgSlabBudget); slabs are sized and strided by it, and wider lane
+	// vectors run in successive blocks.
+	block    int
+	capW     []int32 // per-slot word capacity, from MsgWords by sender degree
+	offW     []int32 // per-slot word offsets (lane-0 base), prefix sums of capW
+	totalW   int     // words per lane: offW[last] + capW[last]
+	useRefs  bool    // algorithm payloads travel through the ref slabs
+	curLens  []int32
+	nextLens []int32
+	curWords []uint64
+	nextWord []uint64
+	curRefs  []Message
+	nextRefs []Message
+	procs    []WireProcess // [v*block+b]
+	done     []bool        // [v*block+b]
+	tapes    []localrand.Tape
+	alive    []bool  // per-lane: still running
+	notDone  []int   // per-lane count of nodes still running
+	roundsOf []int   // per-lane Stats.Rounds
+	msgsOf   []int64 // per-lane Stats.Messages
 	// Per-worker, per-lane round counters (delivered messages, newly
 	// finished nodes), merged serially after each round pass so the hot
-	// loop runs without atomics.
-	wkMsgs [][]int64
-	wkFin  [][]int
+	// loop runs without atomics; per-worker Inbox/Outbox scratch so the
+	// round loop allocates nothing per call.
+	wkMsgs   [][]int64
+	wkFin    [][]int
+	inboxes  []Inbox
+	outboxes []Outbox
+	// roundFn is the bound roundPass method, built once so the per-round
+	// parallelChunks dispatch does not allocate a closure; rk/rround/rwa
+	// carry the pass parameters to it.
+	roundFn func(w, vlo, vhi int)
+	rk      int
+	rround  int
 
 	// View-path scratch: skeleton views keyed by radius, shared by the
 	// construction and decision paths (decision views additionally carry
@@ -150,28 +169,82 @@ func (bt *Batch) RunInstances(ins []*lang.Instance, algo MessageAlgorithm, draws
 // streams both slabs every round, so the slabs must stay cache-resident
 // for the batch to win; lane vectors wider than the budget's block run in
 // successive full passes (lanes are independent, so the results are
-// identical either way).
-const msgSlabBudget = 128 << 10
+// identical either way). With fixed-width message words a slot-lane costs
+// 2×(8·words + 4) bytes instead of the 2×16-byte interface headers the
+// boxed slabs paid (plus their out-of-slab payloads), so the budget was
+// doubled when the wire core landed: far more lanes fit a block, and the
+// blocks they fit in are genuinely the bytes the round loop streams.
+const msgSlabBudget = 256 << 10
 
-// msgLanes returns the lane count of one message pass.
-func (bt *Batch) msgLanes() int {
-	const msgSize = 16 // interface header bytes per staged message
-	lanes := msgSlabBudget / (2 * msgSize * max(1, bt.plan.topo.NumSlots()))
-	if lanes < 1 {
-		lanes = 1
+// layoutWire computes the wire slab layout of one algorithm over the
+// plan's topology: per-slot word capacities (MsgWords of the sender's
+// degree), their prefix offsets, and the lane count of one message pass
+// under msgSlabBudget. Slices are reused across runs; recomputing is
+// O(slots) and allocation-free once grown.
+func (bt *Batch) layoutWire(wa WireAlgorithm) {
+	topo := bt.plan.topo
+	n := topo.NumNodes()
+	slots := topo.NumSlots()
+	bt.capW = sliceFor(bt.capW, slots)
+	bt.offW = sliceFor(bt.offW, slots)
+	total := 0
+	for v := 0; v < n; v++ {
+		lo, hi := topo.Slots(v)
+		if lo == hi {
+			continue
+		}
+		w := wa.MsgWords(hi - lo)
+		if w < 0 {
+			panic(fmt.Sprintf("local: %s.MsgWords(%d) = %d, need >= 0", wa.Name(), hi-lo, w))
+		}
+		for s := lo; s < hi; s++ {
+			bt.offW[s] = int32(total)
+			bt.capW[s] = int32(w)
+			total += w
+		}
 	}
-	if lanes > bt.width {
-		lanes = bt.width
+	bt.totalW = total
+	bt.useRefs = wantsRefs(wa)
+	// Bytes one lane adds to a pass: both double-buffered slabs count.
+	bytesPerLane := 2 * (8*total + 4*slots)
+	if bt.useRefs {
+		bytesPerLane += 2 * 16 * slots
 	}
-	return lanes
+	block := bt.width
+	if bytesPerLane > 0 {
+		block = msgSlabBudget / bytesPerLane
+	}
+	if block < 1 {
+		block = 1
+	}
+	if block > bt.width {
+		block = bt.width
+	}
+	bt.block = block
+}
+
+// msgLanesFor returns the lane count of one message pass of algo — how
+// many lanes of a wide vector share one round loop before the slab
+// budget forces a new pass.
+func (bt *Batch) msgLanesFor(algo MessageAlgorithm) int {
+	bt.layoutWire(wireOf(algo))
+	return bt.block
+}
+
+// sliceFor returns s resized to n elements, reusing its backing array
+// when the capacity allows (contents are then stale — callers
+// reinitialize what they read) and allocating otherwise.
+func sliceFor[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }
 
 // runBlocks drives the message core over a lane vector in slab-budget
 // blocks: lanes [lo, lo+block) share one round loop per pass.
 func (bt *Batch) runBlocks(insOf func(b int) *lang.Instance, k int, algo MessageAlgorithm, draws []localrand.Draw, opts RunOptions) ([]*Result, error) {
-	if bt.block == 0 {
-		bt.block = bt.msgLanes()
-	}
+	wa := bt.prepareWire(algo)
 	results := make([]*Result, 0, k)
 	for lo := 0; lo < k; lo += bt.block {
 		hi := lo + bt.block
@@ -185,7 +258,7 @@ func (bt *Batch) runBlocks(insOf func(b int) *lang.Instance, k int, algo Message
 		lo := lo
 		blockIns := func(b int) *lang.Instance { return insOf(lo + b) }
 		tapeOf := bt.seedTapes(hi-lo, chunk, func(b int) ids.Assignment { return blockIns(b).ID })
-		rs, err := bt.runVec(blockIns, hi-lo, algo, tapeOf, opts)
+		rs, err := bt.runVec(blockIns, hi-lo, wa, tapeOf, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -212,14 +285,29 @@ func (bt *Batch) seedTapes(k int, draws []localrand.Draw, idOf func(b int) ids.A
 	return func(b, v int) *localrand.Tape { return &tapes[b*n+v] }
 }
 
+// prepareWire resolves an algorithm onto the wire core (wireOf) and
+// computes its slab layout; callers hand the returned algorithm to
+// runVec, which assumes the layout is current — runBlocks prepares once
+// and reuses the layout across every block of a wide lane vector.
+func (bt *Batch) prepareWire(algo MessageAlgorithm) WireAlgorithm {
+	wa := wireOf(algo)
+	bt.layoutWire(wa)
+	return wa
+}
+
 // runVec is the batched round-loop core shared by every execution path:
 // Engine.Run and the single-shot wrappers are the k = 1 case. insOf
 // supplies lane b's instance (the caller has validated all lanes against
 // the plan), tapeOf supplies lane b's per-node tapes (nil for
-// deterministic lanes).
-func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, algo MessageAlgorithm, tapeOf func(b, v int) *localrand.Tape, opts RunOptions) ([]*Result, error) {
-	if bt.block == 0 {
-		bt.block = bt.msgLanes()
+// deterministic lanes), and wa comes from prepareWire on this batch (the
+// slab layout must be current). The loop runs on the wire core: native
+// WireAlgorithms stage fixed-width words straight into the send slabs
+// and the steady-state round costs zero allocations; legacy algorithms
+// run through the boxing shim on the identical loop with their payloads
+// carried by the ref slabs.
+func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorithm, tapeOf func(b, v int) *localrand.Tape, opts RunOptions) ([]*Result, error) {
+	if k > bt.block {
+		return nil, fmt.Errorf("local: %d lanes exceed the %d-lane slab block", k, bt.block)
 	}
 	topo := bt.plan.topo
 	n := bt.plan.g.N()
@@ -231,15 +319,14 @@ func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, algo MessageAlg
 	if opts.StopAfter > 0 {
 		maxRounds = opts.StopAfter
 	}
-	bt.ensureMessageState()
+	bt.ensureWireState()
 	// Drop references into algorithm state when the run ends — on the
 	// error paths too — so a pooled batch never keeps a previous
 	// execution's processes and messages alive.
 	defer func() {
 		clear(bt.procs)
-		clear(bt.cur)
-		clear(bt.next)
-		clear(bt.recvSlab)
+		clear(bt.curRefs)
+		clear(bt.nextRefs)
 	}()
 
 	procs, done := bt.procs, bt.done
@@ -252,70 +339,48 @@ func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, algo MessageAlg
 		bt.msgsOf[b] = 0
 	}
 
-	parallelFor(n, func(v int) {
-		deg := topo.Degree(v)
-		for b := 0; b < k; b++ {
-			in := insOf(b)
-			done[v*B+b] = false
-			p := algo.NewProcess()
-			procs[v*B+b] = p
-			info := NodeInfo{ID: in.ID[v], Degree: deg, Input: in.X[v]}
-			if tapeOf != nil {
-				info.Tape = tapeOf(b, v)
+	// Init + round-1 staging: every (node, lane) clears its lane's send
+	// state (the slabs are reused across runs) and lets Start stage into
+	// the cur slabs through a per-worker Outbox.
+	parallelChunks(n, func(w, vlo, vhi int) {
+		out := &bt.outboxes[w]
+		bt.bindOutbox(out, bt.curLens, bt.curWords, bt.curRefs)
+		for v := vlo; v < vhi; v++ {
+			lo, hi := topo.Slots(v)
+			deg := hi - lo
+			out.deg, out.slotLo = deg, lo
+			for b := 0; b < k; b++ {
+				in := insOf(b)
+				done[v*B+b] = false
+				p := wa.NewWireProcess()
+				procs[v*B+b] = p
+				info := NodeInfo{ID: in.ID[v], Degree: deg, Input: in.X[v]}
+				if tapeOf != nil {
+					info.Tape = tapeOf(b, v)
+				}
+				out.b = b
+				out.Reset()
+				p.Start(info, out)
 			}
-			bt.stage(bt.cur, v, b, p.Start(info))
 		}
 	})
 
 	live := k
+	bt.rk = k
+	if bt.roundFn == nil {
+		// Bind the method value once; rebuilding it per round would
+		// allocate a closure in the hot loop.
+		bt.roundFn = bt.roundPass
+	}
 	for round := 1; opts.StopAfter == 0 || round <= opts.StopAfter; round++ {
 		if round > maxRounds {
 			return nil, fmt.Errorf("%w: %d rounds on %d nodes", ErrNoHalt, maxRounds, n)
 		}
-		cur, next := bt.cur, bt.next
-		// Deliver + step, fused: the message lane b's node v sent on port p
-		// arrives across the edge at the reverse slot, so receiving is one
-		// gather over RevSlot out of cur into the node's receive window —
-		// the window is engine-owned scratch reused lane by lane — and the
-		// new sends go to next. Done nodes still receive (and their
-		// deliveries count, as in the engine) but stage nothing. Message
-		// and halting counters accumulate into worker-indexed scratch and
-		// merge serially below, so the hot loop carries no atomics.
-		parallelChunks(n, func(w, vlo, vhi int) {
-			msgRow := bt.wkMsgs[w][:k]
-			finRow := bt.wkFin[w][:k]
-			clear(msgRow)
-			clear(finRow)
-			for v := vlo; v < vhi; v++ {
-				lo, hi := topo.Slots(v)
-				window := bt.recvs[v]
-				for b := 0; b < k; b++ {
-					if !bt.alive[b] {
-						continue
-					}
-					delivered := 0
-					for s := lo; s < hi; s++ {
-						m := cur[int(topo.RevSlot[s])*B+b]
-						window[s-lo] = m
-						if m != nil {
-							delivered++
-						}
-					}
-					msgRow[b] += int64(delivered)
-					if done[v*B+b] {
-						bt.stage(next, v, b, nil)
-						continue
-					}
-					out, fin := procs[v*B+b].Step(round, window)
-					bt.stage(next, v, b, out)
-					if fin {
-						done[v*B+b] = true
-						finRow[b]++
-					}
-				}
-			}
-		})
-		bt.cur, bt.next = next, cur
+		bt.rround = round
+		parallelChunks(n, bt.roundFn)
+		bt.curLens, bt.nextLens = bt.nextLens, bt.curLens
+		bt.curWords, bt.nextWord = bt.nextWord, bt.curWords
+		bt.curRefs, bt.nextRefs = bt.nextRefs, bt.curRefs
 		// Merge and re-zero the worker rows: a worker index can go idle
 		// between runs (GOMAXPROCS shrinks, or ceil-division leaves the
 		// last chunk empty), and an idle worker's row must read as zero
@@ -361,50 +426,127 @@ func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, algo MessageAlg
 	return results, nil
 }
 
-// ensureMessageState allocates the round-loop slabs on first use.
-func (bt *Batch) ensureMessageState() {
-	if bt.procs != nil {
-		return
+// roundPass is one worker's share of one round, fused deliver + step:
+// the message lane b's node v sent on port p arrives across the edge at
+// the reverse slot, so counting arrivals is one walk over the node's
+// RevSlot window of the cur lens slab, and the Inbox reads payload words
+// from cur in place — no receive copy at all. New sends are staged into
+// next through the worker's Outbox. Done nodes still receive (and their
+// deliveries count, as always) but stage nothing. Message and halting
+// counters accumulate into worker-indexed scratch and merge serially
+// after the pass, so the hot loop carries no atomics — and, on the wire
+// path, no allocations.
+func (bt *Batch) roundPass(w, vlo, vhi int) {
+	topo := bt.plan.topo
+	k, B, round := bt.rk, bt.block, bt.rround
+	msgRow := bt.wkMsgs[w][:k]
+	finRow := bt.wkFin[w][:k]
+	clear(msgRow)
+	clear(finRow)
+	in, out := &bt.inboxes[w], &bt.outboxes[w]
+	bt.bindInbox(in, bt.curLens, bt.curWords, bt.curRefs)
+	bt.bindOutbox(out, bt.nextLens, bt.nextWord, bt.nextRefs)
+	curLens, nextLens, nextRefs := bt.curLens, bt.nextLens, bt.nextRefs
+	alive, done, procs := bt.alive, bt.done, bt.procs
+	for v := vlo; v < vhi; v++ {
+		lo, hi := topo.Slots(v)
+		deg := hi - lo
+		rev := topo.RevSlot[lo:hi]
+		in.deg, in.slot = deg, rev
+		out.deg, out.slotLo = deg, lo
+		for b := 0; b < k; b++ {
+			if !alive[b] {
+				continue
+			}
+			delivered := 0
+			for _, s := range rev {
+				if curLens[int(s)*B+b] > 0 {
+					delivered++
+				}
+			}
+			msgRow[b] += int64(delivered)
+			// Reset this lane's outgoing slots before staging: next still
+			// holds the sends of two rounds ago.
+			for s := lo; s < hi; s++ {
+				nextLens[s*B+b] = 0
+				if nextRefs != nil {
+					nextRefs[s*B+b] = nil
+				}
+			}
+			if done[v*B+b] {
+				continue
+			}
+			in.b, out.b = b, b
+			if procs[v*B+b].Step(round, in, out) {
+				done[v*B+b] = true
+				finRow[b]++
+			}
+		}
 	}
-	n := bt.plan.g.N()
-	slots := bt.plan.topo.NumSlots()
-	bt.cur = make([]Message, slots*bt.block)
-	bt.next = make([]Message, slots*bt.block)
-	bt.recvSlab = make([]Message, slots)
-	bt.recvs = make([][]Message, n)
-	for v := 0; v < n; v++ {
-		lo, hi := bt.plan.topo.Slots(v)
-		bt.recvs[v] = bt.recvSlab[lo:hi:hi]
-	}
-	bt.procs = make([]Process, n*bt.block)
-	bt.done = make([]bool, n*bt.block)
-	bt.alive = make([]bool, bt.width)
-	bt.notDone = make([]int, bt.width)
-	bt.roundsOf = make([]int, bt.width)
-	bt.msgsOf = make([]int64, bt.width)
 }
 
-// ensureWorkerScratch sizes the per-worker round counters for the current
-// worker count (GOMAXPROCS may change between runs).
+// bindInbox points a worker's Inbox at the current receive slabs; the
+// per-node fields (deg, slot window, lane) are set in the loop.
+func (bt *Batch) bindInbox(in *Inbox, lens []int32, words []uint64, refs []Message) {
+	in.B = bt.block
+	in.lens = lens
+	in.word = words
+	in.offW = bt.offW
+	in.capW = bt.capW
+	in.refs = refs
+	in.box = nil
+}
+
+// bindOutbox points a worker's Outbox at the staging slabs.
+func (bt *Batch) bindOutbox(out *Outbox, lens []int32, words []uint64, refs []Message) {
+	out.B = bt.block
+	out.lens = lens
+	out.word = words
+	out.offW = bt.offW
+	out.capW = bt.capW
+	out.refs = refs
+}
+
+// ensureWireState sizes the round-loop slabs for the current layout,
+// reusing backing arrays across runs; steady-state reuse (same algorithm
+// layout, any lane count) allocates nothing.
+func (bt *Batch) ensureWireState() {
+	n := bt.plan.g.N()
+	slots := bt.plan.topo.NumSlots()
+	B := bt.block
+	bt.curLens = sliceFor(bt.curLens, slots*B)
+	bt.nextLens = sliceFor(bt.nextLens, slots*B)
+	bt.curWords = sliceFor(bt.curWords, bt.totalW*B)
+	bt.nextWord = sliceFor(bt.nextWord, bt.totalW*B)
+	if bt.useRefs {
+		bt.curRefs = sliceFor(bt.curRefs, slots*B)
+		bt.nextRefs = sliceFor(bt.nextRefs, slots*B)
+	} else {
+		// Hand the run nil refs so the hot loop skips ref clearing; a
+		// later shim run re-allocates them.
+		bt.curRefs, bt.nextRefs = nil, nil
+	}
+	bt.procs = sliceFor(bt.procs, n*B)
+	bt.done = sliceFor(bt.done, n*B)
+	if bt.alive == nil {
+		bt.alive = make([]bool, bt.width)
+		bt.notDone = make([]int, bt.width)
+		bt.roundsOf = make([]int, bt.width)
+		bt.msgsOf = make([]int64, bt.width)
+	}
+}
+
+// ensureWorkerScratch sizes the per-worker round counters and wire
+// in/outbox scratch for the current worker count (GOMAXPROCS may change
+// between runs).
 func (bt *Batch) ensureWorkerScratch(workers int) {
 	for len(bt.wkMsgs) < workers {
 		bt.wkMsgs = append(bt.wkMsgs, make([]int64, bt.width))
 		bt.wkFin = append(bt.wkFin, make([]int, bt.width))
 	}
-}
-
-// stage copies a process's outgoing messages into lane b's send slots of
-// node v, padding (or truncating) to the node's degree like the engine
-// always has.
-func (bt *Batch) stage(slab []Message, v, b int, out []Message) {
-	lo, hi := bt.plan.topo.Slots(v)
-	B := bt.block
-	for s := lo; s < hi; s++ {
-		if p := s - lo; p < len(out) {
-			slab[s*B+b] = out[p]
-		} else {
-			slab[s*B+b] = nil
-		}
+	if len(bt.inboxes) < workers {
+		bt.inboxes = sliceFor(bt.inboxes, workers)
+		bt.outboxes = sliceFor(bt.outboxes, workers)
 	}
 }
 

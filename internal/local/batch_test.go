@@ -304,15 +304,15 @@ func TestPlanDistFromCached(t *testing.T) {
 // results must still be per-lane identical to pooled runs (the blocks are
 // stitched in lane order).
 func TestBatchMessageBlocking(t *testing.T) {
-	g := graph.Cycle(600) // 1200 slots: a 4-lane vector needs 2+ passes
+	g := graph.Cycle(1200) // 2400 slots: a 4-lane vector needs 2+ passes
 	in := mustInstance(t, g)
 	plan, err := NewPlan(g)
 	if err != nil {
 		t.Fatal(err)
 	}
 	bt := plan.NewBatch(4)
-	if bt.msgLanes() >= 4 {
-		t.Fatalf("fixture too small: block %d does not split 4 lanes", bt.msgLanes())
+	if lanes := bt.msgLanesFor(tapeXOR{rounds: 3}); lanes >= 4 {
+		t.Fatalf("fixture too small: block %d does not split 4 lanes", lanes)
 	}
 	eng := plan.NewEngine()
 	space := localrand.NewTapeSpace(44)

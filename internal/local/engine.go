@@ -9,9 +9,19 @@ import (
 	"rlnc/internal/localrand"
 )
 
-// Message is an arbitrary payload exchanged in one round. The LOCAL model
-// places no bound on message size (§2.1.1), so payloads are free-form;
-// algorithms define their own message types.
+// Message is an arbitrary payload exchanged in one round on the legacy
+// boxed transport. The LOCAL model places no bound on message size
+// (§2.1.1), so payloads are free-form; algorithms define their own
+// message types.
+//
+// Message and Process are the compatibility surface of the message
+// engine, not its core: every execution runs on the wire-format round
+// loop (WireProcess, wire.go), which reads and writes messages as
+// fixed-width 64-bit words placed directly in the engine's send slabs.
+// A legacy Process runs through a boxing shim that carries its payloads
+// by reference over that same loop — semantics and Stats are identical,
+// but each boxed payload costs an allocation the wire path does not pay.
+// Algorithms on hot Monte-Carlo paths should implement WireAlgorithm.
 type Message any
 
 // NodeInfo is the static information a node holds when an execution
@@ -25,9 +35,18 @@ type NodeInfo struct {
 	Tape *localrand.Tape
 }
 
-// Process is the per-node state machine of a message-passing algorithm.
-// The engine creates one Process per node; a Process must not share
-// mutable state with other Processes (they run concurrently).
+// Process is the legacy per-node state machine of a message-passing
+// algorithm: messages are staged as []Message slices of interface-boxed
+// payloads. The engine creates one Process per node; a Process must not
+// share mutable state with other Processes (they run concurrently).
+//
+// Implementations of Process execute through the boxing shim over the
+// wire core (see wire.go): correct, byte-identical to the old boxed
+// engine, but paying one allocation per boxed payload per round. New
+// algorithms — and any algorithm inside a trial loop — should implement
+// WireProcess/WireAlgorithm instead and encode their messages as
+// fixed-width words; a WireAlgorithm still satisfies this interface via
+// NewLegacyProcess for callers that need the boxed form.
 type Process interface {
 	// Start receives the node's static information and returns the
 	// messages to send in round 1, indexed by port (nil entries send

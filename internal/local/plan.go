@@ -156,7 +156,7 @@ func (e *Engine) Run(in *lang.Instance, algo MessageAlgorithm, draw *localrand.D
 	if draws := e.drawsOf(draw); draws != nil {
 		tapeOf = e.bt.seedTapes(1, draws, func(int) ids.Assignment { return in.ID })
 	}
-	rs, err := e.bt.runVec(func(int) *lang.Instance { return in }, 1, algo, tapeOf, opts)
+	rs, err := e.bt.runVec(func(int) *lang.Instance { return in }, 1, e.bt.prepareWire(algo), tapeOf, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +174,7 @@ func (e *Engine) runWithTapes(in *lang.Instance, algo MessageAlgorithm, tapeOf f
 	if tapeOf != nil {
 		vec = func(_, v int) *localrand.Tape { return tapeOf(v) }
 	}
-	rs, err := e.bt.runVec(func(int) *lang.Instance { return in }, 1, algo, vec, opts)
+	rs, err := e.bt.runVec(func(int) *lang.Instance { return in }, 1, e.bt.prepareWire(algo), vec, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -5,8 +5,16 @@
 // Two equivalent programming interfaces are provided, mirroring the
 // simulation argument of §2.1.1:
 //
-//   - the message-passing interface (Process/MessageAlgorithm) runs an
-//     explicit round loop with one goroutine per batch of nodes;
+//   - the message-passing interface runs an explicit round loop with one
+//     goroutine per batch of nodes. Its native form is the wire-format
+//     interface (WireProcess/WireAlgorithm, wire.go): messages are
+//     fixed-width 64-bit words written straight into the engine's send
+//     slabs, so a round allocates nothing. The legacy boxed interface
+//     (Process/MessageAlgorithm) remains as a compatibility layer — a
+//     boxing shim runs legacy Processes on the same round loop with
+//     payloads carried by reference, and NewLegacyProcess runs a
+//     WireAlgorithm through the legacy API — with byte-identical outputs
+//     and Stats on every transport;
 //   - the ball-view interface (ViewAlgorithm) computes each node's output
 //     directly as a function of its ball B_G(v,t).
 //

@@ -1,0 +1,435 @@
+package local
+
+// This file defines the wire-format message core: the zero-allocation
+// fast path of the message engine. Messages are sequences of fixed-width
+// 64-bit words staged straight into the engine's [slot][lane] send slabs
+// — no per-round slices, no interface boxing. The layering is
+//
+//	WireProcess  — native wire algorithms; words in the slabs (this file)
+//	boxing shim  — legacy Process implementations run on the same round
+//	               loop with their payloads carried by reference
+//	               (shimAlgo/shimProc below)
+//	legacy shim  — a WireAlgorithm used through the legacy Process API
+//	               has its words boxed into wireMsg payloads
+//	               (NewLegacyProcess below)
+//
+// so one round loop (batch.go runVec) executes every algorithm, and only
+// the payload transport differs. The equivalence contract is exact: an
+// algorithm produces byte-identical outputs and Stats on every transport
+// at equal seeds.
+
+// WireProcess is the wire-format per-node state machine of a
+// message-passing algorithm: the zero-allocation counterpart of Process.
+// Received messages are read from the Inbox as fixed-width 64-bit words;
+// outgoing messages are staged into the Outbox, which writes directly
+// into the engine's send slab for the node's directed-edge slots.
+//
+// Inbox and Outbox are engine-owned scratch, valid only for the duration
+// of the call that hands them over — a WireProcess must not retain them.
+// Word payloads read through Inbox.Words are likewise valid only during
+// the call and must be treated as read-only.
+type WireProcess interface {
+	// Start receives the node's static information and stages the
+	// messages of round 1 into out (staging nothing sends nothing).
+	Start(info NodeInfo, out *Outbox)
+	// Step reads the messages that arrived in round r from in and stages
+	// the messages of round r+1 into out. Returning done = true fixes the
+	// node's output; the node sends nothing afterwards but neighbors may
+	// keep running.
+	Step(round int, in *Inbox, out *Outbox) (done bool)
+	// Output returns the node's final output string, exactly as
+	// Process.Output does.
+	Output() []byte
+}
+
+// WireAlgorithm creates the wire-format per-node processes of a
+// distributed algorithm and declares the slab capacity its messages
+// need. Engines prefer this interface: an algorithm that implements it
+// runs with its message words written straight into the send slabs,
+// bypassing the boxed legacy transport entirely.
+type WireAlgorithm interface {
+	Name() string
+	NewWireProcess() WireProcess
+	// MsgWords bounds the number of 64-bit words of any single message a
+	// node of the given degree stages in one round. The engine sizes the
+	// per-slot slab capacity from it (it must be a pure function of the
+	// degree); Outbox panics if a message exceeds the bound.
+	MsgWords(degree int) int
+}
+
+// refCarrier marks wire algorithms whose payloads travel by reference
+// through the engine's ref slab instead of as slab words: the boxing
+// shim for legacy Processes and the full-information adapter, whose
+// gossip records are unbounded. Internal on purpose — out-of-tree
+// fat-message algorithms use the legacy Process API, which routes
+// through the shim.
+type refCarrier interface{ wireRefs() }
+
+// wantsRefs reports whether wa's messages need the ref slab.
+func wantsRefs(wa WireAlgorithm) bool {
+	_, ok := wa.(refCarrier)
+	return ok
+}
+
+// wireOf adapts any MessageAlgorithm to the wire core: native
+// WireAlgorithms pass through, legacy algorithms are wrapped in the
+// boxing shim, which transports their payloads by reference through the
+// same round loop.
+func wireOf(algo MessageAlgorithm) WireAlgorithm {
+	if wa, ok := algo.(WireAlgorithm); ok {
+		return wa
+	}
+	return shimAlgo{inner: algo}
+}
+
+// Inbox is the received side of one node in one round: one message per
+// port, read as fixed-width words. The port-to-slot indirection and the
+// lens/words slabs are engine-owned; an Inbox is valid only for the
+// duration of the Step call it is passed to.
+type Inbox struct {
+	deg  int
+	b, B int     // lane and lane stride
+	slot []int32 // per-port receive slot (the node's RevSlot window)
+	lens []int32 // [slot*B+b]: 0 = no message, n+1 = n payload words
+	word []uint64
+	offW []int32 // per-slot word offsets (lane-0 base, in words)
+	capW []int32 // per-slot word capacities
+	refs []Message
+	box  [][]uint64 // legacy transport payloads; nil on the slab path
+}
+
+// Degree returns the number of ports (the node's degree).
+func (in *Inbox) Degree() int { return in.deg }
+
+// Has reports whether a message arrived on port. Zero-word messages
+// (pure signals) are present but have no payload.
+func (in *Inbox) Has(port int) bool {
+	return in.lens[int(in.slot[port])*in.B+in.b] > 0
+}
+
+// Len returns the payload word count of the message on port, or -1 if no
+// message arrived.
+func (in *Inbox) Len(port int) int {
+	return int(in.lens[int(in.slot[port])*in.B+in.b]) - 1
+}
+
+// Word returns the first payload word of the message on port; ok is
+// false if no message arrived or the message has no payload.
+func (in *Inbox) Word(port int) (word uint64, ok bool) {
+	s := int(in.slot[port])
+	if in.lens[s*in.B+in.b] < 2 {
+		return 0, false
+	}
+	if in.box != nil {
+		return in.box[port][0], true
+	}
+	return in.word[int(in.offW[s])*in.B+int(in.capW[s])*in.b], true
+}
+
+// Words returns the payload words of the message on port — nil if no
+// message arrived or the message has no payload (Has distinguishes the
+// two). The slice is engine-owned scratch: read-only, valid only for the
+// duration of the call it was handed over in.
+func (in *Inbox) Words(port int) []uint64 {
+	s := int(in.slot[port])
+	n := int(in.lens[s*in.B+in.b]) - 1
+	if n <= 0 {
+		return nil
+	}
+	if in.box != nil {
+		return in.box[port]
+	}
+	base := int(in.offW[s])*in.B + int(in.capW[s])*in.b
+	return in.word[base : base+n : base+n]
+}
+
+// ref returns the by-reference payload of the message on port (boxing
+// shim and full-information transport), or nil if no message arrived.
+func (in *Inbox) ref(port int) Message {
+	s := int(in.slot[port])
+	if in.lens[s*in.B+in.b] == 0 {
+		return nil
+	}
+	return in.refs[s*in.B+in.b]
+}
+
+// Outbox is the sending side of one node in one round: it stages
+// messages for the node's ports by writing words directly into the
+// engine's send slab. Staging is cumulative within the round — Send
+// starts (or restarts) a message, Append extends it — and a port with
+// nothing staged sends nothing. An Outbox is engine-owned scratch, valid
+// only for the duration of the Start/Step call it is passed to.
+type Outbox struct {
+	deg    int
+	b, B   int // lane and lane stride
+	slotLo int // the node's first directed slot
+	lens   []int32
+	word   []uint64
+	offW   []int32
+	capW   []int32
+	refs   []Message
+}
+
+// Degree returns the number of ports (the node's degree).
+func (out *Outbox) Degree() int { return out.deg }
+
+// Signal stages a zero-word message on port: presence without payload
+// (the wire form of an empty announcement struct).
+func (out *Outbox) Signal(port int) {
+	out.lens[(out.slotLo+port)*out.B+out.b] = 1
+}
+
+// Send stages a one-word message on port, replacing anything staged
+// there this round.
+func (out *Outbox) Send(port int, word uint64) {
+	s := out.slotLo + port
+	if out.capW[s] < 1 {
+		panic("local: Send on a zero-capacity wire slot (MsgWords bound too small)")
+	}
+	out.word[int(out.offW[s])*out.B+int(out.capW[s])*out.b] = word
+	out.lens[s*out.B+out.b] = 2
+}
+
+// Append appends one payload word to the message staged on port,
+// starting a fresh one-word message if nothing is staged yet. It panics
+// when the message would exceed the algorithm's MsgWords bound.
+func (out *Outbox) Append(port int, word uint64) {
+	s := out.slotLo + port
+	li := s*out.B + out.b
+	n := int(out.lens[li])
+	if n == 0 {
+		n = 1
+	}
+	if n-1 >= int(out.capW[s]) {
+		panic("local: wire message exceeds the algorithm's MsgWords bound")
+	}
+	out.word[int(out.offW[s])*out.B+int(out.capW[s])*out.b+n-1] = word
+	out.lens[li] = int32(n + 1)
+}
+
+// Broadcast stages the same one-word message on every port.
+func (out *Outbox) Broadcast(word uint64) {
+	for p := 0; p < out.deg; p++ {
+		out.Send(p, word)
+	}
+}
+
+// SignalAll stages a zero-word message on every port.
+func (out *Outbox) SignalAll() {
+	for p := 0; p < out.deg; p++ {
+		out.Signal(p)
+	}
+}
+
+// Reset clears everything staged this round (all ports).
+func (out *Outbox) Reset() {
+	for p := 0; p < out.deg; p++ {
+		s := out.slotLo + p
+		out.lens[s*out.B+out.b] = 0
+		if out.refs != nil {
+			out.refs[s*out.B+out.b] = nil
+		}
+	}
+}
+
+// sendRef stages a by-reference message on port: the transport of the
+// boxing shim and the full-information adapter, whose payloads have no
+// fixed-width encoding.
+func (out *Outbox) sendRef(port int, m Message) {
+	s := out.slotLo + port
+	out.refs[s*out.B+out.b] = m
+	out.lens[s*out.B+out.b] = 1
+}
+
+// NewLoopback builds a connected Outbox/Inbox pair over a single node of
+// the given degree and per-message word capacity: a message staged on
+// outbox port p reads back on inbox port p. It exists so wire codec
+// tests (encode → decode round-trips) can exercise the exact staging and
+// reading machinery the engine uses, without running an engine.
+func NewLoopback(deg, msgWords int) (*Outbox, *Inbox) {
+	lens := make([]int32, deg)
+	words := make([]uint64, deg*msgWords)
+	offW := make([]int32, deg)
+	capW := make([]int32, deg)
+	slots := make([]int32, deg)
+	refs := make([]Message, deg)
+	for i := 0; i < deg; i++ {
+		offW[i] = int32(i * msgWords)
+		capW[i] = int32(msgWords)
+		slots[i] = int32(i)
+	}
+	out := &Outbox{deg: deg, B: 1, lens: lens, word: words, offW: offW, capW: capW, refs: refs}
+	in := &Inbox{deg: deg, B: 1, slot: slots, lens: lens, word: words, offW: offW, capW: capW, refs: refs}
+	return out, in
+}
+
+// --- Boxing shim: legacy Process implementations on the wire core -----------
+
+// shimAlgo adapts a legacy MessageAlgorithm to the wire engine. Its
+// messages occupy no slab words; the boxed payloads travel by reference
+// through the engine's ref slab, which is exactly the allocation profile
+// the legacy engine had.
+type shimAlgo struct{ inner MessageAlgorithm }
+
+func (a shimAlgo) Name() string     { return a.inner.Name() }
+func (a shimAlgo) MsgWords(int) int { return 0 }
+func (a shimAlgo) wireRefs()        {}
+func (a shimAlgo) NewWireProcess() WireProcess {
+	return &shimProc{inner: a.inner.NewProcess()}
+}
+
+// shimProc runs one legacy Process on the wire round loop: it gathers
+// the by-reference payloads into a reusable receive window, calls the
+// legacy Step, and stages the returned messages back by reference.
+type shimProc struct {
+	inner Process
+	win   []Message // engine-owned scratch handed to the legacy Step
+}
+
+func (p *shimProc) Start(info NodeInfo, out *Outbox) {
+	p.win = make([]Message, info.Degree)
+	p.stage(out, p.inner.Start(info))
+}
+
+func (p *shimProc) Step(round int, in *Inbox, out *Outbox) bool {
+	for port := range p.win {
+		p.win[port] = in.ref(port)
+	}
+	msgs, done := p.inner.Step(round, p.win)
+	p.stage(out, msgs)
+	return done
+}
+
+// stage sends the non-nil messages of a legacy send slice, padding (or
+// truncating) to the node's degree like the legacy engine always has.
+func (p *shimProc) stage(out *Outbox, msgs []Message) {
+	n := len(msgs)
+	if n > out.deg {
+		n = out.deg
+	}
+	for port := 0; port < n; port++ {
+		if msgs[port] != nil {
+			out.sendRef(port, msgs[port])
+		}
+	}
+}
+
+func (p *shimProc) Output() []byte { return p.inner.Output() }
+
+// --- Legacy shim: WireAlgorithms through the legacy Process API -------------
+
+// wireMsg is the boxed form a wire message takes on the legacy
+// transport: the payload words of one message. Zero-word signals box as
+// an empty wireMsg, preserving presence.
+type wireMsg struct{ words []uint64 }
+
+// Boxed strips algo of its wire fast path: executions transport its
+// messages as boxed wireMsg payloads through the legacy Process API.
+// Outputs and Stats are byte-identical to the wire path at equal seeds —
+// Boxed is the reference baseline the wire benchmarks and equivalence
+// tests compare against, and a measure of what out-of-tree legacy
+// Process implementations pay.
+func Boxed(wa WireAlgorithm) MessageAlgorithm { return boxedAlgo{wa: wa} }
+
+type boxedAlgo struct{ wa WireAlgorithm }
+
+func (a boxedAlgo) Name() string        { return a.wa.Name() }
+func (a boxedAlgo) NewProcess() Process { return NewLegacyProcess(a.wa) }
+
+// NewLegacyProcess wraps a fresh WireProcess of wa as a legacy Process:
+// staged words are boxed into wireMsg payloads (copied out, because the
+// staging buffer is per-process scratch), by-reference payloads pass
+// through unchanged. Migrated algorithms use it to keep satisfying the
+// legacy MessageAlgorithm interface with one line. The send slice is a
+// reused per-process buffer, as the legacy engine contract allows.
+func NewLegacyProcess(wa WireAlgorithm) Process {
+	return &legacyProc{wa: wa, wp: wa.NewWireProcess()}
+}
+
+type legacyProc struct {
+	wa   WireAlgorithm
+	wp   WireProcess
+	deg  int
+	cap  int
+	in   Inbox
+	out  Outbox
+	send []Message
+}
+
+func (p *legacyProc) Start(info NodeInfo) []Message {
+	deg := info.Degree
+	p.deg = deg
+	p.cap = p.wa.MsgWords(deg)
+	slots := make([]int32, deg)
+	offW := make([]int32, deg)
+	capW := make([]int32, deg)
+	for i := 0; i < deg; i++ {
+		slots[i] = int32(i)
+		offW[i] = int32(i * p.cap)
+		capW[i] = int32(p.cap)
+	}
+	p.in = Inbox{
+		deg: deg, B: 1, slot: slots,
+		lens: make([]int32, deg),
+		refs: make([]Message, deg),
+		box:  make([][]uint64, deg),
+	}
+	p.out = Outbox{
+		deg: deg, B: 1,
+		lens: make([]int32, deg),
+		word: make([]uint64, deg*p.cap),
+		offW: offW, capW: capW,
+		refs: make([]Message, deg),
+	}
+	p.send = make([]Message, deg)
+	p.wp.Start(info, &p.out)
+	return p.flush()
+}
+
+func (p *legacyProc) Step(round int, received []Message) ([]Message, bool) {
+	for port := 0; port < p.deg; port++ {
+		var m Message
+		if port < len(received) {
+			m = received[port]
+		}
+		if m == nil {
+			p.in.lens[port] = 0
+			p.in.box[port] = nil
+			p.in.refs[port] = nil
+			continue
+		}
+		p.in.refs[port] = m
+		if wm, ok := m.(wireMsg); ok {
+			p.in.lens[port] = int32(len(wm.words) + 1)
+			p.in.box[port] = wm.words
+		} else {
+			p.in.lens[port] = 1
+			p.in.box[port] = nil
+		}
+	}
+	done := p.wp.Step(round, &p.in, &p.out)
+	return p.flush(), done
+}
+
+// flush converts the staged outbox into a legacy send slice and resets
+// the staging state for the next round.
+func (p *legacyProc) flush() []Message {
+	for port := 0; port < p.deg; port++ {
+		n := int(p.out.lens[port])
+		switch {
+		case n == 0:
+			p.send[port] = nil
+		case p.out.refs[port] != nil:
+			p.send[port] = p.out.refs[port]
+			p.out.refs[port] = nil
+		default:
+			words := make([]uint64, n-1)
+			copy(words, p.out.word[port*p.cap:])
+			p.send[port] = wireMsg{words: words}
+		}
+		p.out.lens[port] = 0
+	}
+	return p.send
+}
+
+func (p *legacyProc) Output() []byte { return p.wp.Output() }

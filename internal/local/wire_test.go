@@ -1,0 +1,283 @@
+package local
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rlnc/internal/graph"
+	"rlnc/internal/localrand"
+)
+
+// wireMix is a wire-native test algorithm exercising every Outbox verb:
+// each round a node mixes the first words it received into its state,
+// sends the state word on even ports, appends a second word (the round)
+// on ports divisible by 4, and signals (zero words) on odd ports. The
+// output is the folded state, so any transport discrepancy — presence,
+// word content, payload length — changes the bytes.
+type wireMix struct{ rounds int }
+
+func (w wireMix) Name() string                { return fmt.Sprintf("wire-mix(%d)", w.rounds) }
+func (w wireMix) MsgWords(int) int            { return 2 }
+func (w wireMix) NewWireProcess() WireProcess { return &wireMixProc{rounds: w.rounds} }
+func (w wireMix) NewProcess() Process         { return NewLegacyProcess(w) }
+
+type wireMixProc struct {
+	rounds int
+	state  uint64
+}
+
+func (p *wireMixProc) send(out *Outbox) {
+	for port := 0; port < out.Degree(); port++ {
+		switch {
+		case port%4 == 0:
+			out.Send(port, p.state)
+			out.Append(port, p.state>>32)
+		case port%2 == 0:
+			out.Send(port, p.state)
+		default:
+			out.Signal(port)
+		}
+	}
+}
+
+func (p *wireMixProc) Start(info NodeInfo, out *Outbox) {
+	p.state = uint64(info.ID) * 0x9e3779b97f4a7c15
+	if info.Tape != nil {
+		p.state ^= info.Tape.Uint64()
+	}
+	p.send(out)
+}
+
+func (p *wireMixProc) Step(round int, in *Inbox, out *Outbox) bool {
+	for port := 0; port < in.Degree(); port++ {
+		if !in.Has(port) {
+			p.state = p.state*3 + 1
+			continue
+		}
+		for _, w := range in.Words(port) {
+			p.state ^= w + uint64(in.Len(port))
+		}
+	}
+	if round >= p.rounds {
+		return true
+	}
+	p.send(out)
+	return false
+}
+
+func (p *wireMixProc) Output() []byte { return encode64(int64(p.state)) }
+
+// TestWireMatchesBoxedTransport pins the transport-equivalence contract
+// of the wire core on every graph family: the same algorithm run
+// natively (words in the slabs) and through Boxed (the legacy []Message
+// transport, words boxed into payloads) must produce byte-identical
+// outputs and identical Stats at equal seeds, single-shot and batched.
+func TestWireMatchesBoxedTransport(t *testing.T) {
+	space := localrand.NewTapeSpace(81)
+	for name, g := range testFamilies(t) {
+		t.Run(name, func(t *testing.T) {
+			in := mustInstance(t, g)
+			algo := wireMix{rounds: 4}
+			draw := space.Draw(9)
+			wire, err := RunMessage(in, algo, &draw, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			boxed, err := RunMessage(in, Boxed(algo), &draw, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			expectSameResult(t, "boxed vs wire", wire, boxed)
+
+			plan, err := NewPlan(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bt := plan.NewBatch(3)
+			draws := drawRange(space, 20, 3)
+			wireLanes, err := bt.Run(in, algo, draws, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			boxedLanes, err := bt.Run(in, Boxed(algo), draws, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for b := range draws {
+				expectSameResult(t, fmt.Sprintf("lane %d boxed vs wire", b), wireLanes[b], boxedLanes[b])
+			}
+		})
+	}
+}
+
+// TestWireLoopback exercises the Outbox staging verbs and Inbox readers
+// through the loopback pair, without an engine.
+func TestWireLoopback(t *testing.T) {
+	out, in := NewLoopback(4, 3)
+
+	// Port 0: nothing staged.
+	if in.Has(0) {
+		t.Error("port 0: phantom message")
+	}
+	if got := in.Len(0); got != -1 {
+		t.Errorf("port 0: Len = %d, want -1", got)
+	}
+	if _, ok := in.Word(0); ok {
+		t.Error("port 0: Word on absent message")
+	}
+	if in.Words(0) != nil {
+		t.Error("port 0: Words on absent message")
+	}
+
+	// Port 1: zero-word signal.
+	out.Signal(1)
+	if !in.Has(1) || in.Len(1) != 0 {
+		t.Errorf("port 1: Has=%v Len=%d, want present empty", in.Has(1), in.Len(1))
+	}
+	if _, ok := in.Word(1); ok {
+		t.Error("port 1: Word on empty message")
+	}
+
+	// Port 2: one word, then replaced, then extended.
+	out.Send(2, 7)
+	out.Send(2, 9)
+	out.Append(2, 11)
+	if w, ok := in.Word(2); !ok || w != 9 {
+		t.Errorf("port 2: Word = %d,%v, want 9,true", w, ok)
+	}
+	words := in.Words(2)
+	if len(words) != 2 || words[0] != 9 || words[1] != 11 {
+		t.Errorf("port 2: Words = %v, want [9 11]", words)
+	}
+
+	// Port 3: Append onto an empty port starts a message.
+	out.Append(3, 5)
+	if w := in.Words(3); len(w) != 1 || w[0] != 5 {
+		t.Errorf("port 3: Words = %v, want [5]", w)
+	}
+
+	// Appending beyond the MsgWords capacity must panic.
+	out.Append(3, 6)
+	out.Append(3, 7)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Append beyond capacity did not panic")
+			}
+		}()
+		out.Append(3, 8)
+	}()
+
+	// Reset clears every staged message.
+	out.Reset()
+	for port := 0; port < 4; port++ {
+		if in.Has(port) {
+			t.Errorf("port %d: message survived Reset", port)
+		}
+	}
+}
+
+// TestLegacyProcessTransport pins the legacy shim path in isolation: a
+// WireAlgorithm used through NewLegacyProcess must behave exactly like
+// the legacy Processes the engine has always run — including presence of
+// zero-word signals as non-nil payloads.
+func TestLegacyProcessTransport(t *testing.T) {
+	in := mustInstance(t, graph.Cycle(6))
+	algo := wireMix{rounds: 3}
+	proc := algo.NewProcess()
+	msgs := proc.Start(NodeInfo{ID: in.ID[0], Degree: 2})
+	if len(msgs) != 2 {
+		t.Fatalf("legacy Start staged %d ports, want 2", len(msgs))
+	}
+	// Port 0 sends two words, port 1 a zero-word signal; both non-nil.
+	wm, ok := msgs[0].(wireMsg)
+	if !ok || len(wm.words) != 2 {
+		t.Fatalf("port 0: payload %#v, want a 2-word wireMsg", msgs[0])
+	}
+	sig, ok := msgs[1].(wireMsg)
+	if !ok || len(sig.words) != 0 {
+		t.Fatalf("port 1: payload %#v, want an empty wireMsg", msgs[1])
+	}
+}
+
+// TestWireStatsCountSignals pins that zero-word signals are delivered
+// messages: a signal-only algorithm must report the same Stats.Messages
+// as its boxed form, and a nonzero count.
+func TestWireStatsCountSignals(t *testing.T) {
+	in := mustInstance(t, graph.Cycle(5))
+	algo := wireMix{rounds: 2}
+	wire, err := RunMessage(in, algo, nil, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxed, err := RunMessage(in, Boxed(algo), nil, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire.Stats.Messages == 0 {
+		t.Error("wire run counted no messages")
+	}
+	if wire.Stats != boxed.Stats {
+		t.Errorf("wire Stats %+v != boxed Stats %+v", wire.Stats, boxed.Stats)
+	}
+}
+
+// TestWireBlockSplitting runs a wire-native algorithm over a lane vector
+// wider than one slab block and pins per-lane equivalence with the
+// pooled engine (the wire counterpart of TestBatchMessageBlocking).
+func TestWireBlockSplitting(t *testing.T) {
+	g := graph.Cycle(4000) // 8000 slots: 2-word wire messages split 8 lanes
+	in := mustInstance(t, g)
+	plan, err := NewPlan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := plan.NewBatch(8)
+	algo := wireMix{rounds: 2}
+	if lanes := bt.msgLanesFor(algo); lanes >= 8 {
+		t.Fatalf("fixture too small: block %d does not split 8 lanes", lanes)
+	}
+	space := localrand.NewTapeSpace(83)
+	draws := drawRange(space, 0, 8)
+	results, err := bt.Run(in, algo, draws, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := plan.NewEngine()
+	for b := range draws {
+		want, err := eng.Run(in, algo, &draws[b], RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		expectSameResult(t, fmt.Sprintf("blocked lane %d", b), want, results[b])
+	}
+}
+
+// TestWireOutputsStable pins that outputs survive the engine's
+// no-retention cleanup: output bytes must remain valid after the next
+// run reuses the batch.
+func TestWireOutputsStable(t *testing.T) {
+	in := mustInstance(t, graph.Cycle(8))
+	plan := MustPlan(in.G)
+	eng := plan.NewEngine()
+	space := localrand.NewTapeSpace(85)
+	d0 := space.Draw(0)
+	first, err := eng.Run(in, wireMix{rounds: 3}, &d0, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := make([][]byte, len(first.Y))
+	for v := range first.Y {
+		snapshot[v] = bytes.Clone(first.Y[v])
+	}
+	d1 := space.Draw(1)
+	if _, err := eng.Run(in, wireMix{rounds: 3}, &d1, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for v := range first.Y {
+		if !bytes.Equal(first.Y[v], snapshot[v]) {
+			t.Fatalf("node %d: output mutated by a later run", v)
+		}
+	}
+}

@@ -113,6 +113,16 @@ type (
 	Process          = local.Process
 	RunOptions       = local.RunOptions
 
+	// WireAlgorithm/WireProcess are the wire-format message interface:
+	// messages as fixed-width 64-bit words staged straight into the
+	// engine's send slabs (Inbox to read, Outbox to write), running with
+	// zero allocations per round. Process/MessageAlgorithm remain as the
+	// boxed legacy transport over the same round loop.
+	WireAlgorithm = local.WireAlgorithm
+	WireProcess   = local.WireProcess
+	Inbox         = local.Inbox
+	Outbox        = local.Outbox
+
 	// Plan is the reusable execution layout of one graph: CSR adjacency,
 	// the reverse-port delivery table, and the per-radius ball cache.
 	// Plans are concurrency-safe and shared by all engines built on them.
@@ -143,6 +153,12 @@ var (
 	// MessageAsView simulates a t-round message algorithm inside a
 	// radius-(t+1) ball.
 	MessageAsView = local.MessageAsView
+	// Boxed strips a WireAlgorithm of its wire fast path, forcing the
+	// legacy boxed transport — the baseline the wire benchmarks compare
+	// against. NewLegacyProcess adapts one of its processes to the
+	// legacy Process interface.
+	Boxed            = local.Boxed
+	NewLegacyProcess = local.NewLegacyProcess
 )
 
 // Randomness: tape spaces model Rand(A) of §3; fixing a draw σ while
