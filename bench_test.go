@@ -244,6 +244,63 @@ func BenchmarkTrialBatchedMessage(b *testing.B) {
 	}
 }
 
+// benchTrialSharded runs the message-path trial of
+// BenchmarkTrialBatchedMessage through a sharded executor: the same
+// retry-coloring vectors, cut into `shards` node ranges with per-round
+// cut exchange over in-process links. Outputs are byte-identical to the
+// batched run (asserted before timing; pinned exhaustively by
+// internal/shardtest), so the sharded/batched time ratio is the
+// orchestration + exchange overhead a single machine pays to exercise
+// the multi-machine execution path.
+func benchTrialSharded(b *testing.B, shards int) {
+	const width = 32
+	in, _, _ := benchTrialFixture(b)
+	algo := construct.RetryColoring{Q: 3, T: 2}
+	space := localrand.NewTapeSpace(19)
+	plan := local.MustPlan(in.G)
+	sh, err := plan.NewSharded(width, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bt := plan.NewBatch(width)
+	draws := make([]localrand.Draw, width)
+	for i := range draws {
+		draws[i] = space.Draw(uint64(i))
+	}
+	want, err := construct.RunBatch(algo, bt, in, draws)
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, err := construct.RunSharded(algo, sh, in, draws)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range draws {
+		for v := range want[i] {
+			if string(want[i][v]) != string(got[i][v]) {
+				b.Fatalf("lane %d node %d: sharded output differs from batched", i, v)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += width {
+		k := width
+		if left := b.N - done; left < k {
+			k = left
+		}
+		for j := 0; j < k; j++ {
+			draws[j] = space.Draw(uint64(done + j))
+		}
+		if _, err := construct.RunSharded(algo, sh, in, draws[:k]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrialSharded2(b *testing.B) { benchTrialSharded(b, 2) }
+func BenchmarkTrialSharded4(b *testing.B) { benchTrialSharded(b, 4) }
+
 // BenchmarkTrialPooledMessage is the pooled-engine baseline of
 // BenchmarkTrialBatchedMessage.
 func BenchmarkTrialPooledMessage(b *testing.B) {

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	rlnc list
-//	rlnc run E1 E4 ...      [-quick] [-seed N]
-//	rlnc run all            [-quick] [-seed N]
+//	rlnc run E1 E4 ...      [-quick] [-seed N] [-shards N]
+//	rlnc run all            [-quick] [-seed N] [-shards N]
 //	rlnc graph -family cycle -n 12
 //	rlnc sim -algo cv -n 64 [-seed N]
 package main
@@ -61,7 +61,7 @@ func usage() {
 
 commands:
   list                         list the experiment suite
-  run <id>... | all            run experiments (flags: -quick, -seed N)
+  run <id>... | all            run experiments (flags: -quick, -seed N, -shards N)
   graph -family F -n N         describe a graph family instance
   sim -algo A -n N             run a construction algorithm on a ring
 
@@ -79,6 +79,7 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced trial counts")
 	seed := fs.Uint64("seed", 1, "tape-space seed")
+	shards := fs.Int("shards", 1, "run message-algorithm trials on a sharded engine of N shards (byte-identical per-trial outputs)")
 	var idArgs []string
 	for _, a := range args {
 		if strings.HasPrefix(a, "-") {
@@ -104,7 +105,7 @@ func cmdRun(args []string) error {
 			exps = append(exps, e)
 		}
 	}
-	cfg := report.Config{Quick: *quick, Seed: *seed}
+	cfg := report.Config{Quick: *quick, Seed: *seed, Shards: *shards}
 	failed := 0
 	for _, e := range exps {
 		fmt.Printf("=== %s — %s\n    reproduces %s\n\n", e.ID(), e.Title(), e.PaperRef())

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 )
 
@@ -63,6 +64,26 @@ func TestRunExperimentGolden(t *testing.T) {
 		return cmdRun([]string{"E2", "-quick", "-seed", "7"})
 	})
 	expectGolden(t, "run_E2_quick_seed7.golden", out)
+}
+
+// TestRunExperimentGoldenSharded is the end-to-end shard-equivalence
+// differential at the CLI: `run E2 -shards 2` (and 4) must reproduce the
+// committed unsharded golden byte for byte — the sharded engine may not
+// change a single digit of a published table. GOMAXPROCS is pinned to 1
+// for the duration so the Monte-Carlo chunk boundaries (and hence the
+// float accumulation order) match the unsharded golden exactly.
+func TestRunExperimentGoldenSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment table in -short mode")
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	for _, shards := range []string{"2", "4"} {
+		out := captureStdout(t, func() error {
+			return cmdRun([]string{"E2", "-quick", "-seed", "7", "-shards", shards})
+		})
+		expectGolden(t, "run_E2_quick_seed7.golden", out)
+	}
 }
 
 // TestSimGolden pins the sim subcommand for every migrated message

@@ -125,6 +125,10 @@ func mustCVColor(in *local.Inbox, port int) uint64 {
 	return c
 }
 
+// ResetProcess implements local.ResetProcess, keeping the reduction
+// schedule while dropping all execution state.
+func (p *cvProc) ResetProcess() { *p = cvProc{reductions: p.reductions} }
+
 func (p *cvProc) Start(info local.NodeInfo, out *local.Outbox) {
 	if info.Degree != 2 {
 		panic("construct: Cole-Vishkin requires a cycle (degree 2 everywhere)")

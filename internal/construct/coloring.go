@@ -56,6 +56,17 @@ func (r RetryColoring) RunBatch(bt *local.Batch, ins []*lang.Instance, draws []l
 	return mc.RunBatch(bt, ins, draws)
 }
 
+// RunShardedInstances implements ShardRunner.
+func (r RetryColoring) RunShardedInstances(sh *local.Sharded, ins []*lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
+	mc := MessageConstruction{Algo: retryAlgo{q: r.Q, t: r.T}}
+	return mc.RunShardedInstances(sh, ins, draws)
+}
+
+// RetryMessage exposes the retry coloring's message-passing core as a
+// local.MessageAlgorithm (it is also a WireAlgorithm), for harnesses
+// that drive engines directly — the shard-equivalence suite above all.
+func RetryMessage(q, t int) local.MessageAlgorithm { return retryAlgo{q: q, t: t} }
+
 type retryAlgo struct{ q, t int }
 
 func (a retryAlgo) Name() string { return fmt.Sprintf("retry-%d-coloring(T=%d)", a.q, a.t) }
@@ -85,6 +96,10 @@ func decodeRetryColor(words []uint64, q int) (int, bool) {
 	}
 	return int(words[0]), true
 }
+
+// ResetProcess implements local.ResetProcess, keeping the palette and
+// round configuration while dropping all execution state.
+func (p *retryProc) ResetProcess() { *p = retryProc{q: p.q, t: p.t} }
 
 func (p *retryProc) Start(info local.NodeInfo, out *local.Outbox) {
 	p.tape = info.Tape

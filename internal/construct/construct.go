@@ -89,6 +89,36 @@ func RunBatchInstances(a Algorithm, bt *local.Batch, ins []*lang.Instance, draws
 	return ys, nil
 }
 
+// ShardRunner is the sharded execution path of a construction
+// algorithm: RunShardedInstances behaves exactly like RunBatch's
+// instance form but executes the lane vector across the Sharded's
+// shards, with byte-identical outputs.
+type ShardRunner interface {
+	RunShardedInstances(sh *local.Sharded, ins []*lang.Instance, draws []localrand.Draw) ([][][]byte, error)
+}
+
+// RunSharded executes len(draws) independent trials of a on one shared
+// instance across the shards. Algorithms without a sharded path — pure
+// ball-view constructions, whose work is embarrassingly node-local and
+// gains nothing from a cut exchange — fall back to the Sharded's
+// companion unsharded batch; outputs are identical either way.
+func RunSharded(a Algorithm, sh *local.Sharded, in *lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
+	ins := make([]*lang.Instance, len(draws))
+	for b := range ins {
+		ins[b] = in
+	}
+	return RunShardedInstances(a, sh, ins, draws)
+}
+
+// RunShardedInstances is RunSharded with per-lane instances (all over
+// the sharded executor's plan graph).
+func RunShardedInstances(a Algorithm, sh *local.Sharded, ins []*lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
+	if r, ok := a.(ShardRunner); ok {
+		return r.RunShardedInstances(sh, ins, draws)
+	}
+	return RunBatchInstances(a, sh.Unsharded(), ins, draws)
+}
+
 // ViewConstruction adapts a ball-view algorithm.
 type ViewConstruction struct {
 	Algo local.ViewAlgorithm
@@ -142,6 +172,20 @@ func (a MessageConstruction) RunOn(eng *local.Engine, in *lang.Instance, draw *l
 // RunBatch implements BatchRunner.
 func (a MessageConstruction) RunBatch(bt *local.Batch, ins []*lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
 	rs, err := bt.RunInstances(ins, a.Algo, draws, a.Opts)
+	if err != nil {
+		return nil, err
+	}
+	ys := make([][][]byte, len(rs))
+	for b, r := range rs {
+		ys[b] = r.Y
+	}
+	return ys, nil
+}
+
+// RunShardedInstances implements ShardRunner: the lane vector runs
+// across the Sharded's shards with per-round cut exchange.
+func (a MessageConstruction) RunShardedInstances(sh *local.Sharded, ins []*lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
+	rs, err := sh.RunInstances(ins, a.Algo, draws, a.Opts)
 	if err != nil {
 		return nil, err
 	}
@@ -216,6 +260,40 @@ func (p Pipeline) RunBatch(bt *local.Batch, ins []*lang.Instance, draws []localr
 			}
 		}
 		y, err := RunBatchInstances(stage, bt, cur, subs)
+		if err != nil {
+			return nil, fmt.Errorf("construct: stage %d (%s): %w", i, stage.Name(), err)
+		}
+		ys = y
+		for b := range cur {
+			cur[b] = &lang.Instance{G: cur[b].G, X: y[b], ID: cur[b].ID}
+		}
+	}
+	return ys, nil
+}
+
+// RunShardedInstances implements ShardRunner: every stage runs its lane
+// vector across the shards (message stages sharded, view stages on the
+// companion batch), with stage outputs threading into the next stage's
+// inputs exactly as RunBatch does.
+func (p Pipeline) RunShardedInstances(sh *local.Sharded, ins []*lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
+	if len(p.Stages) == 0 {
+		return nil, fmt.Errorf("construct: empty pipeline")
+	}
+	k := len(ins)
+	cur := make([]*lang.Instance, k)
+	copy(cur, ins)
+	var subs []localrand.Draw
+	if draws != nil {
+		subs = make([]localrand.Draw, k)
+	}
+	var ys [][][]byte
+	for i, stage := range p.Stages {
+		if draws != nil {
+			for b := range subs {
+				subs[b] = draws[b].Derive(uint64(i))
+			}
+		}
+		y, err := RunShardedInstances(stage, sh, cur, subs)
 		if err != nil {
 			return nil, fmt.Errorf("construct: stage %d (%s): %w", i, stage.Name(), err)
 		}

@@ -39,6 +39,10 @@ type greedyMISProc struct {
 	decided bool
 }
 
+// ResetProcess implements local.ResetProcess, keeping the palette size
+// while dropping all execution state.
+func (p *greedyMISProc) ResetProcess() { *p = greedyMISProc{q: p.q} }
+
 // decodeGreedyJoin rejects any join announcement carrying payload words.
 func decodeGreedyJoin(words []uint64) bool { return len(words) == 0 }
 

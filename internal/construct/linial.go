@@ -185,10 +185,22 @@ func decodeLinialColor(words []uint64) (uint64, bool) {
 	return words[0], true
 }
 
+// ResetProcess implements local.ResetProcess, keeping the reduction
+// schedule and the neighbor scratch capacity while dropping all
+// execution state.
+func (p *linialProc) ResetProcess() {
+	p.color, p.greedyFrom = 0, 0
+	p.nbr = p.nbr[:0]
+}
+
 func (p *linialProc) Start(info local.NodeInfo, out *local.Outbox) {
 	p.color = uint64(info.ID)
 	p.greedyFrom = p.cfg.FixedPointPalette()
-	p.nbr = make([]uint64, 0, info.Degree)
+	if cap(p.nbr) < info.Degree {
+		p.nbr = make([]uint64, 0, info.Degree)
+	} else {
+		p.nbr = p.nbr[:0]
+	}
 	out.Broadcast(p.color)
 }
 

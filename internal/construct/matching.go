@@ -116,15 +116,35 @@ func (p *matchProc) sendDraws(out *local.Outbox) {
 	}
 }
 
+// ResetProcess implements local.ResetProcess: the per-port buffers keep
+// their capacity (Start reinitializes their contents), everything else —
+// the tape above all — is dropped.
+func (p *matchProc) ResetProcess() {
+	p.tape = nil
+	p.id = 0
+	p.matched = -1
+}
+
+// reuseSlice returns s resized to n elements, reusing its backing array
+// when the capacity allows; the caller reinitializes the contents.
+func reuseSlice[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
 func (p *matchProc) Start(info local.NodeInfo, out *local.Outbox) {
 	p.tape = info.Tape
 	p.id = info.ID
-	p.active = make([]bool, info.Degree)
+	p.active = reuseSlice(p.active, info.Degree)
 	for i := range p.active {
 		p.active[i] = true
 	}
-	p.edgeVal = make([]matchVal, info.Degree)
-	p.pending = make([]matchVal, info.Degree)
+	p.edgeVal = reuseSlice(p.edgeVal, info.Degree)
+	clear(p.edgeVal)
+	p.pending = reuseSlice(p.pending, info.Degree)
+	clear(p.pending)
 	p.matched = -1
 	// Draw round: both endpoints ship candidates; the higher-identity
 	// endpoint's candidate becomes the edge value on both sides.

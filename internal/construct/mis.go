@@ -78,6 +78,11 @@ type lubyProc struct {
 	val    lubyVal
 }
 
+// ResetProcess implements local.ResetProcess: engines pool Luby process
+// tables across trials instead of allocating one per (node, lane) per
+// run.
+func (p *lubyProc) ResetProcess() { *p = lubyProc{} }
+
 func (p *lubyProc) Start(info local.NodeInfo, out *local.Outbox) {
 	p.tape = info.Tape
 	p.id = info.ID

@@ -93,14 +93,29 @@ type mtProc struct {
 	seenEvents map[int64]bool
 }
 
+// ResetProcess implements local.ResetProcess: the neighbor-bit buffer
+// and the event set keep their storage (Start reinitializes them), the
+// tape and execution state are dropped.
+func (p *mtProc) ResetProcess() {
+	p.tape = nil
+	p.id = 0
+	p.bit = 0
+	p.violated = false
+}
+
 func (p *mtProc) Start(info local.NodeInfo, out *local.Outbox) {
 	p.tape = info.Tape
 	p.id = info.ID
 	if p.tape.Bool() {
 		p.bit = 1
 	}
-	p.nbrBit = make([]byte, info.Degree)
-	p.seenEvents = make(map[int64]bool, info.Degree+1)
+	p.nbrBit = reuseSlice(p.nbrBit, info.Degree)
+	clear(p.nbrBit)
+	if p.seenEvents == nil {
+		p.seenEvents = make(map[int64]bool, info.Degree+1)
+	} else {
+		clear(p.seenEvents)
+	}
 	if p.phases == 0 {
 		return
 	}

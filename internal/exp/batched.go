@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"rlnc/internal/construct"
 	"rlnc/internal/lang"
 	"rlnc/internal/local"
 	"rlnc/internal/localrand"
@@ -18,25 +19,51 @@ const trialBatchWidth = 32
 // experiments that condition a decider's randomness on a construction
 // draw) and per-lane decision instances. It is the per-worker state of
 // mc.RunBatched/MeanBatched, playing the role a bare *local.Engine plays
-// for mc.RunWith.
+// for mc.RunWith. When the run is sharded (Config.Shards > 1), sh is the
+// worker group's sharded executor and message-algorithm constructions
+// route through it — byte-identical outputs, exercised across the cut.
 type trialBatch struct {
 	bt     *local.Batch
+	sh     *local.Sharded
 	draws  []localrand.Draw
 	draws2 []localrand.Draw
 	dis    []*lang.DecisionInstance
 }
 
 // newTrialBatch returns the per-worker state constructor for trial loops
-// over the given plan.
-func newTrialBatch(plan *local.Plan) func() *trialBatch {
+// over the given plan; shards > 1 equips each worker group with a
+// sharded executor (clamped to the graph's node count).
+func newTrialBatch(plan *local.Plan, shards int) func() *trialBatch {
 	return func() *trialBatch {
-		return &trialBatch{
-			bt:     plan.NewBatch(trialBatchWidth),
+		s := &trialBatch{
 			draws:  make([]localrand.Draw, trialBatchWidth),
 			draws2: make([]localrand.Draw, trialBatchWidth),
 			dis:    make([]*lang.DecisionInstance, trialBatchWidth),
 		}
+		if n := plan.Graph().N(); shards > n {
+			shards = n
+		}
+		if shards > 1 {
+			sh, err := plan.NewSharded(trialBatchWidth, shards)
+			if err == nil {
+				s.sh = sh
+				s.bt = sh.Unsharded()
+				return s
+			}
+		}
+		s.bt = plan.NewBatch(trialBatchWidth)
+		return s
 	}
+}
+
+// construct runs one construction lane vector on the worker's engine:
+// sharded when the trial state carries a sharded executor, batched
+// otherwise. Outputs are byte-identical either way.
+func (s *trialBatch) construct(algo construct.Algorithm, in *lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
+	if s.sh != nil {
+		return construct.RunSharded(algo, s.sh, in, draws)
+	}
+	return construct.RunBatch(algo, s.bt, in, draws)
 }
 
 // lanes fills the primary draw lanes for trials [lo, hi): lane i carries
@@ -70,10 +97,21 @@ func (s *trialBatch) decisions(in *lang.Instance, ys [][][]byte) []*lang.Decisio
 
 // runBatched is the batched analogue of mc.RunWith over one plan.
 func runBatched(trials int, plan *local.Plan, f func(s *trialBatch, lo, hi int, out []bool)) mc.Estimate {
-	return mc.RunBatched(trials, trialBatchWidth, newTrialBatch(plan), f)
+	return mc.RunBatched(trials, trialBatchWidth, newTrialBatch(plan, 1), f)
 }
 
 // meanBatched is the batched analogue of mc.MeanWith over one plan.
 func meanBatched(trials int, plan *local.Plan, f func(s *trialBatch, lo, hi int, out []float64)) (mean, stderr float64) {
-	return mc.MeanBatched(trials, trialBatchWidth, newTrialBatch(plan), f)
+	return mc.MeanBatched(trials, trialBatchWidth, newTrialBatch(plan, 1), f)
+}
+
+// meanSharded is meanBatched with the trial chunks distributed across
+// shard groups of `shards` shards each (mc.MeanSharded); shards <= 1
+// falls back to the plain batched pool. Message constructions then run
+// on sharded engines with byte-identical per-trial outputs.
+func meanSharded(trials int, plan *local.Plan, shards int, f func(s *trialBatch, lo, hi int, out []float64)) (mean, stderr float64) {
+	if shards <= 1 {
+		return meanBatched(trials, plan, f)
+	}
+	return mc.MeanSharded(trials, trialBatchWidth, shards, newTrialBatch(plan, shards), f)
 }

@@ -45,9 +45,13 @@ func (e e10) Run(cfg report.Config) (*report.Result, error) {
 		return func(n int) float64 {
 			in := cycleInstance(n, 1)
 			plan := local.MustPlan(in.G)
-			m, _ := meanBatched(nTrials, plan, func(s *trialBatch, lo, hi int, out []float64) {
+			// cfg.Shards > 1 runs the message constructions across shard
+			// groups; every trial's outputs are byte-identical to the
+			// unsharded run (the table too, when the worker chunking
+			// coincides — see report.Config.Shards).
+			m, _ := meanSharded(nTrials, plan, cfg.Shards, func(s *trialBatch, lo, hi int, out []float64) {
 				draws := s.lanes(space, lo, hi, func(t int) uint64 { return tag<<32 | uint64(t) })
-				ys, err := construct.RunBatch(runner, s.bt, in, draws)
+				ys, err := s.construct(runner, in, draws)
 				if err != nil {
 					for i := range out {
 						out[i] = float64(n)

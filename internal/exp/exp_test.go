@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
@@ -41,6 +42,39 @@ func TestAllExperimentsQuick(t *testing.T) {
 				t.Errorf("%s: rendered output does not mention the experiment id", e.ID())
 			}
 		})
+	}
+}
+
+// TestShardedExperimentsMatchUnsharded runs the sharded-capable
+// experiments (E2 and E10, the two message-construction trial loops)
+// with Config.Shards set and requires the rendered tables to match the
+// unsharded run byte for byte: sharding is an execution topology, never
+// a result change. GOMAXPROCS is pinned to 1 so the Monte-Carlo chunk
+// boundaries — and hence the floating-point accumulation order — agree.
+func TestShardedExperimentsMatchUnsharded(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	for _, id := range []string{"E2", "E10"} {
+		e, ok := report.ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		render := func(shards int) string {
+			res, err := e.Run(report.Config{Quick: true, Seed: 7, Shards: shards})
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", id, shards, err)
+			}
+			var sb strings.Builder
+			res.Render(&sb)
+			return sb.String()
+		}
+		want := render(1)
+		for _, shards := range []int{2, 3} {
+			if got := render(shards); got != want {
+				t.Errorf("%s: sharded (%d) output differs from unsharded:\n--- unsharded ---\n%s\n--- sharded ---\n%s",
+					id, shards, want, got)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Partition is a contiguous node partition of a topology: shard i owns
+// the nodes [Bounds[i], Bounds[i+1]) — and, because CSR slots are grouped
+// by node, exactly the directed slots
+// [Offsets[Bounds[i]], Offsets[Bounds[i+1]]). A shard boundary is
+// therefore a cut in Offsets, which is what makes a shard handoff a copy
+// of contiguous slot ranges rather than a scatter-gather.
+//
+// Bounds is monotonically non-decreasing with Bounds[0] == 0 and
+// Bounds[len-1] == NumNodes(); every shard must be non-empty (strictly
+// increasing bounds). A Partition is plain data — build one by hand for
+// adversarial cut placements, or with Topology.PartitionBySlots for a
+// balanced one.
+type Partition struct {
+	Bounds []int32
+}
+
+// NumShards returns the number of shards.
+func (p Partition) NumShards() int { return len(p.Bounds) - 1 }
+
+// Shard returns the half-open node range [lo, hi) of shard i.
+func (p Partition) Shard(i int) (lo, hi int) {
+	return int(p.Bounds[i]), int(p.Bounds[i+1])
+}
+
+// ShardOf returns the shard owning node v.
+func (p Partition) ShardOf(v int) int {
+	return sort.Search(p.NumShards(), func(i int) bool { return int(p.Bounds[i+1]) > v })
+}
+
+// PartitionBySlots cuts the topology into `shards` contiguous non-empty
+// node ranges balanced by directed-slot count — the per-round unit of
+// work a shard streams. The cut before shard i lands at the first node
+// whose slot offset reaches i/shards of all slots, nudged so that every
+// shard keeps at least one node.
+func (t *Topology) PartitionBySlots(shards int) (Partition, error) {
+	n := t.NumNodes()
+	if shards < 1 {
+		return Partition{}, fmt.Errorf("graph: %d shards, need >= 1", shards)
+	}
+	if shards > n {
+		return Partition{}, fmt.Errorf("graph: %d shards for %d nodes", shards, n)
+	}
+	total := len(t.Nbrs)
+	bounds := make([]int32, shards+1)
+	bounds[shards] = int32(n)
+	v := 0
+	for i := 1; i < shards; i++ {
+		target := (total * i) / shards
+		for v < n && int(t.Offsets[v]) < target {
+			v++
+		}
+		// Keep every shard non-empty: at least one node past the previous
+		// bound, at least shards-i nodes left for the shards after us.
+		if min := int(bounds[i-1]) + 1; v < min {
+			v = min
+		}
+		if max := n - (shards - i); v > max {
+			v = max
+		}
+		bounds[i] = int32(v)
+	}
+	return Partition{Bounds: bounds}, nil
+}
+
+// CheckPartition validates a partition against the topology: bounds from
+// 0 to NumNodes(), strictly increasing (no empty shards).
+func (t *Topology) CheckPartition(p Partition) error {
+	if len(p.Bounds) < 2 {
+		return fmt.Errorf("graph: partition needs >= 2 bounds, got %d", len(p.Bounds))
+	}
+	if p.Bounds[0] != 0 {
+		return fmt.Errorf("graph: partition starts at node %d, want 0", p.Bounds[0])
+	}
+	if got, want := p.Bounds[len(p.Bounds)-1], int32(t.NumNodes()); got != want {
+		return fmt.Errorf("graph: partition ends at node %d, want %d", got, want)
+	}
+	for i := 1; i < len(p.Bounds); i++ {
+		if p.Bounds[i] <= p.Bounds[i-1] {
+			return fmt.Errorf("graph: partition bound %d (%d) not above bound %d (%d)",
+				i, p.Bounds[i], i-1, p.Bounds[i-1])
+		}
+	}
+	return nil
+}
+
+// RandomPartition returns a uniformly random contiguous partition of n
+// nodes into `shards` non-empty ranges (clamped to [1, n]). The
+// shard-equivalence fuzz harness uses it to sweep adversarial cut
+// placements the balanced partitioner would never produce.
+func RandomPartition(n, shards int, rng *rand.Rand) Partition {
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	// Choose shards-1 distinct interior cut points.
+	cutSet := make(map[int]bool, shards-1)
+	for len(cutSet) < shards-1 {
+		cutSet[1+rng.Intn(n-1)] = true
+	}
+	bounds := make([]int32, 0, shards+1)
+	bounds = append(bounds, 0)
+	for v := 1; v < n; v++ {
+		if cutSet[v] {
+			bounds = append(bounds, int32(v))
+		}
+	}
+	bounds = append(bounds, int32(n))
+	return Partition{Bounds: bounds}
+}
+
+// CutSlots returns, for every ordered shard pair, the directed slots cut
+// by the partition: CutSlots(p)[i][j] lists — in ascending slot order —
+// the slots owned by shard i (messages staged by shard-i senders) whose
+// receiving endpoint lives in shard j. These are exactly the slot ranges
+// shard i must ship to shard j each round, and the ascending order makes
+// the handoff a fixed sequence of contiguous [slot][lane] block copies.
+// Diagonal entries (i == j) are nil: intra-shard delivery never leaves
+// the shard.
+func (t *Topology) CutSlots(p Partition) [][][]int32 {
+	shards := p.NumShards()
+	shardOf := make([]int32, t.NumNodes())
+	for i := 0; i < shards; i++ {
+		lo, hi := p.Shard(i)
+		for v := lo; v < hi; v++ {
+			shardOf[v] = int32(i)
+		}
+	}
+	cuts := make([][][]int32, shards)
+	for i := range cuts {
+		cuts[i] = make([][]int32, shards)
+	}
+	for i := 0; i < shards; i++ {
+		lo, hi := p.Shard(i)
+		for s := int(t.Offsets[lo]); s < int(t.Offsets[hi]); s++ {
+			j := int(shardOf[t.Nbrs[s]])
+			if j != i {
+				cuts[i][j] = append(cuts[i][j], int32(s))
+			}
+		}
+	}
+	return cuts
+}

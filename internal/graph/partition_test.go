@@ -1,0 +1,191 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkPartitionInvariants asserts the structural contract every
+// partition consumer (the sharded engine above all) relies on.
+func checkPartitionInvariants(t *testing.T, topo *Topology, p Partition) {
+	t.Helper()
+	if err := topo.CheckPartition(p); err != nil {
+		t.Fatal(err)
+	}
+	n := topo.NumNodes()
+	seen := 0
+	for i := 0; i < p.NumShards(); i++ {
+		lo, hi := p.Shard(i)
+		if hi <= lo {
+			t.Fatalf("shard %d empty: [%d, %d)", i, lo, hi)
+		}
+		seen += hi - lo
+		for v := lo; v < hi; v++ {
+			if got := p.ShardOf(v); got != i {
+				t.Fatalf("ShardOf(%d) = %d, want %d", v, got, i)
+			}
+		}
+	}
+	if seen != n {
+		t.Fatalf("shards cover %d nodes, want %d", seen, n)
+	}
+}
+
+func TestPartitionBySlots(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		g      *Graph
+		shards int
+	}{
+		{"cycle-2", Cycle(10), 2},
+		{"cycle-3", Cycle(10), 3},
+		{"cycle-all", Cycle(10), 10},
+		{"star-2", Star(9), 2}, // one hub owns half the slots
+		{"star-4", Star(9), 4},
+		{"grid-5", Grid(4, 5), 5},
+		{"single", Path(1), 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, err := tc.g.Topology()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := topo.PartitionBySlots(tc.shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.NumShards() != tc.shards {
+				t.Fatalf("NumShards = %d, want %d", p.NumShards(), tc.shards)
+			}
+			checkPartitionInvariants(t, topo, p)
+		})
+	}
+
+	topo, err := Cycle(5).Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.PartitionBySlots(0); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := topo.PartitionBySlots(6); err == nil {
+		t.Error("more shards than nodes accepted")
+	}
+}
+
+func TestCheckPartitionRejectsMalformed(t *testing.T) {
+	topo, err := Cycle(6).Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, bounds := range map[string][]int32{
+		"too-few-bounds": {0},
+		"bad-start":      {1, 6},
+		"bad-end":        {0, 5},
+		"empty-shard":    {0, 3, 3, 6},
+		"decreasing":     {0, 4, 2, 6},
+	} {
+		if err := topo.CheckPartition(Partition{Bounds: bounds}); err == nil {
+			t.Errorf("%s: malformed partition %v accepted", name, bounds)
+		}
+	}
+}
+
+// TestCutSlots pins the cut definition against a hand-checked cycle:
+// with C_6 split [0..3) and [3..6), the cut carries exactly the four
+// directed slots of the two boundary edges {2,3} and {5,0}.
+func TestCutSlots(t *testing.T) {
+	g := Cycle(6)
+	topo, err := g.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Partition{Bounds: []int32{0, 3, 6}}
+	cuts := topo.CutSlots(p)
+	countSlots := func(list []int32) int { return len(list) }
+	if got := countSlots(cuts[0][1]) + countSlots(cuts[1][0]); got != 4 {
+		t.Fatalf("cycle cut carries %d directed slots, want 4", got)
+	}
+	if cuts[0][0] != nil || cuts[1][1] != nil {
+		t.Error("diagonal cut entries must be nil")
+	}
+	// Every cut slot of cuts[i][j] is owned by shard i and received in j.
+	for i := range cuts {
+		for j := range cuts[i] {
+			prev := int32(-1)
+			for _, s := range cuts[i][j] {
+				if s <= prev {
+					t.Fatalf("cuts[%d][%d] not ascending: %v", i, j, cuts[i][j])
+				}
+				prev = s
+				if own := p.ShardOf(int(ownerOf(topo, int(s)))); own != i {
+					t.Fatalf("slot %d in cuts[%d][%d] owned by shard %d", s, i, j, own)
+				}
+				if recv := p.ShardOf(int(topo.Nbrs[s])); recv != j {
+					t.Fatalf("slot %d in cuts[%d][%d] received in shard %d", s, i, j, recv)
+				}
+			}
+		}
+	}
+}
+
+// ownerOf returns the node owning directed slot s.
+func ownerOf(topo *Topology, s int) int32 {
+	for v := 0; v < topo.NumNodes(); v++ {
+		lo, hi := topo.Slots(v)
+		if s >= lo && s < hi {
+			return int32(v)
+		}
+	}
+	return -1
+}
+
+// Property: on random connected graphs with random contiguous
+// partitions, every cross-shard directed slot appears in exactly one cut
+// list and intra-shard slots in none — the exchange ships each cut edge
+// once.
+func TestCutSlotsCoverProperty(t *testing.T) {
+	f := func(seed uint64, rawN, rawShards uint8) bool {
+		n := int(rawN%20) + 3
+		g, err := ConnectedGNP(n, 0.3, seed)
+		if err != nil {
+			return true
+		}
+		topo, err := g.Topology()
+		if err != nil {
+			return false
+		}
+		shards := int(rawShards)%n + 1
+		p := RandomPartition(topo.NumNodes(), shards, rand.New(rand.NewSource(int64(seed))))
+		if err := topo.CheckPartition(p); err != nil {
+			return false
+		}
+		cuts := topo.CutSlots(p)
+		listed := make(map[int32]int)
+		for i := range cuts {
+			for _, list := range cuts[i] {
+				for _, s := range list {
+					listed[s]++
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			lo, hi := topo.Slots(v)
+			for s := lo; s < hi; s++ {
+				cross := p.ShardOf(v) != p.ShardOf(int(topo.Nbrs[s]))
+				want := 0
+				if cross {
+					want = 1
+				}
+				if listed[int32(s)] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -3,6 +3,7 @@
 package local
 
 import (
+	"fmt"
 	"testing"
 
 	"rlnc/internal/graph"
@@ -113,6 +114,78 @@ func TestEngineReuseCutsAllocs(t *testing.T) {
 	t.Logf("batched message allocs per trial: %.2f (pooled %.1f)", batchedM, reuse)
 	if batchedM > reuse {
 		t.Errorf("batched message path allocates %.2f per trial vs %.1f pooled", batchedM, reuse)
+	}
+}
+
+// stripReset wraps a wire algorithm so its processes lose the
+// ResetProcess extension: the pooling gate's control group.
+type stripReset struct{ inner WireAlgorithm }
+
+func (a stripReset) Name() string        { return a.inner.Name() }
+func (a stripReset) MsgWords(d int) int  { return a.inner.MsgWords(d) }
+func (a stripReset) NewProcess() Process { return NewLegacyProcess(a) }
+func (a stripReset) NewWireProcess() WireProcess {
+	return plainProc{a.inner.NewWireProcess()}
+}
+
+// plainProc hides the concrete process behind the bare WireProcess
+// method set, so the ResetProcess type assertion fails.
+type plainProc struct{ WireProcess }
+
+// TestProcessPoolingCutsAllocs enforces the ResetProcess contract: on an
+// algorithm whose processes implement it, back-to-back runs of one batch
+// reset and reuse the per-(node, lane) process table, so the per-trial
+// allocation count must drop measurably against the identical algorithm
+// with the extension stripped — at byte-identical outputs and Stats.
+// Skipped under -race, whose instrumentation changes allocation counts.
+func TestProcessPoolingCutsAllocs(t *testing.T) {
+	in := mustInstance(t, graph.Cycle(256))
+	plan, err := NewPlan(in.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := localrand.NewTapeSpace(11)
+	const width = 4
+	algo := wireMix{rounds: 4}
+
+	// Equivalence first: pooled reuse must not change a byte.
+	pooledBt := plan.NewBatch(width)
+	plainBt := plan.NewBatch(width)
+	for rep := 0; rep < 3; rep++ {
+		draws := drawRange(space, rep*width, width)
+		pooled, err := pooledBt.Run(in, algo, draws, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := plainBt.Run(in, stripReset{inner: algo}, draws, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := range draws {
+			expectSameResult(t, fmt.Sprintf("rep %d lane %d pooled vs plain", rep, b), plain[b], pooled[b])
+		}
+	}
+
+	trial := 0
+	measure := func(bt *Batch, a MessageAlgorithm) float64 {
+		draws := make([]localrand.Draw, width)
+		run := func() {
+			for i := range draws {
+				draws[i] = space.Draw(uint64(1000 + trial))
+				trial++
+			}
+			if _, err := bt.Run(in, a, draws, RunOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm slabs and the process table
+		return testing.AllocsPerRun(20, run) / width
+	}
+	pooledAllocs := measure(pooledBt, algo)
+	plainAllocs := measure(plainBt, stripReset{inner: algo})
+	t.Logf("message allocs per trial: pooled %.1f, unpooled %.1f", pooledAllocs, plainAllocs)
+	if pooledAllocs > 0.75*plainAllocs {
+		t.Errorf("process pooling allocates %.1f per trial vs %.1f unpooled; want ≥ 25%% fewer", pooledAllocs, plainAllocs)
 	}
 }
 

@@ -70,12 +70,26 @@ type Batch struct {
 	wkFin    [][]int
 	inboxes  []Inbox
 	outboxes []Outbox
-	// roundFn is the bound roundPass method, built once so the per-round
-	// parallelChunks dispatch does not allocate a closure; rk/rround/rwa
-	// carry the pass parameters to it.
+	// roundFn/startFn are the bound roundPass/startPass methods, built
+	// once so the per-round parallelChunks dispatch does not allocate a
+	// closure; rk/rround/rwa/rins/rtape carry the pass parameters to
+	// them. The sharded orchestrator drives the same two passes directly
+	// over a shard's node range (see sharded.go), which is why the
+	// parameters live on the batch rather than in closures.
 	roundFn func(w, vlo, vhi int)
+	startFn func(w, vlo, vhi int)
 	rk      int
 	rround  int
+	rwa     WireAlgorithm
+	rins    func(b int) *lang.Instance
+	rtape   func(b, v int) *localrand.Tape
+	// procAlgo is the algorithm whose process table survives in procs
+	// between runs: non-nil only when its processes implement
+	// ResetProcess, in which case startPass resets and reuses them
+	// instead of allocating n×lanes fresh processes per trial. rpool is
+	// the per-run flag startPass reads.
+	procAlgo WireAlgorithm
+	rpool    bool
 
 	// View-path scratch: skeleton views keyed by radius, shared by the
 	// construction and decision paths (decision views additionally carry
@@ -309,7 +323,6 @@ func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorith
 	if k > bt.block {
 		return nil, fmt.Errorf("local: %d lanes exceed the %d-lane slab block", k, bt.block)
 	}
-	topo := bt.plan.topo
 	n := bt.plan.g.N()
 	B := bt.block
 	maxRounds := opts.MaxRounds
@@ -322,14 +335,18 @@ func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorith
 	bt.ensureWireState()
 	// Drop references into algorithm state when the run ends — on the
 	// error paths too — so a pooled batch never keeps a previous
-	// execution's processes and messages alive.
+	// execution's processes and messages alive. The process table is the
+	// one deliberate exception: when the algorithm's processes implement
+	// ResetProcess the table is kept and reset in place next run.
 	defer func() {
-		clear(bt.procs)
+		if bt.procAlgo == nil {
+			clear(bt.procs)
+		}
 		clear(bt.curRefs)
 		clear(bt.nextRefs)
+		bt.rins, bt.rtape, bt.rwa = nil, nil, nil
 	}()
 
-	procs, done := bt.procs, bt.done
 	workers := maxWorkers(n)
 	bt.ensureWorkerScratch(workers)
 	for b := 0; b < k; b++ {
@@ -342,31 +359,14 @@ func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorith
 	// Init + round-1 staging: every (node, lane) clears its lane's send
 	// state (the slabs are reused across runs) and lets Start stage into
 	// the cur slabs through a per-worker Outbox.
-	parallelChunks(n, func(w, vlo, vhi int) {
-		out := &bt.outboxes[w]
-		bt.bindOutbox(out, bt.curLens, bt.curWords, bt.curRefs)
-		for v := vlo; v < vhi; v++ {
-			lo, hi := topo.Slots(v)
-			deg := hi - lo
-			out.deg, out.slotLo = deg, lo
-			for b := 0; b < k; b++ {
-				in := insOf(b)
-				done[v*B+b] = false
-				p := wa.NewWireProcess()
-				procs[v*B+b] = p
-				info := NodeInfo{ID: in.ID[v], Degree: deg, Input: in.X[v]}
-				if tapeOf != nil {
-					info.Tape = tapeOf(b, v)
-				}
-				out.b = b
-				out.Reset()
-				p.Start(info, out)
-			}
-		}
-	})
+	bt.preparePools(wa)
+	bt.rk, bt.rwa, bt.rins, bt.rtape = k, wa, insOf, tapeOf
+	if bt.startFn == nil {
+		bt.startFn = bt.startPass
+	}
+	parallelChunks(n, bt.startFn)
 
 	live := k
-	bt.rk = k
 	if bt.roundFn == nil {
 		// Bind the method value once; rebuilding it per round would
 		// allocate a closure in the hot loop.
@@ -411,6 +411,7 @@ func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorith
 	}
 
 	ys := make([][]byte, k*n)
+	procs := bt.procs
 	parallelFor(n, func(v int) {
 		for b := 0; b < k; b++ {
 			ys[b*n+v] = procs[v*B+b].Output()
@@ -424,6 +425,60 @@ func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorith
 		}
 	}
 	return results, nil
+}
+
+// preparePools decides whether this run's process table can be pooled:
+// when the algorithm changed since the last run, the stale table is
+// dropped and one probe process determines whether the new algorithm's
+// processes implement ResetProcess. Steady-state trial loops (same
+// algorithm back to back) skip the probe entirely and reuse the table.
+func (bt *Batch) preparePools(wa WireAlgorithm) {
+	if !sameAlgo(bt.procAlgo, wa) {
+		clear(bt.procs)
+		bt.procAlgo = nil
+		if _, ok := wa.NewWireProcess().(ResetProcess); ok {
+			bt.procAlgo = wa
+		}
+	}
+	bt.rpool = bt.procAlgo != nil
+}
+
+// startPass is one worker's share of the init + round-1 staging: every
+// (node, lane) clears its lane's send state (the slabs are reused across
+// runs), obtains a process — pooled and reset in place when the
+// algorithm supports it, freshly created otherwise — and lets Start
+// stage into the cur slabs through the worker's Outbox. Pass parameters
+// arrive via rk/rwa/rins/rtape, exactly like roundPass's.
+func (bt *Batch) startPass(w, vlo, vhi int) {
+	topo := bt.plan.topo
+	k, B, wa := bt.rk, bt.block, bt.rwa
+	insOf, tapeOf, pool := bt.rins, bt.rtape, bt.rpool
+	procs, done := bt.procs, bt.done
+	out := &bt.outboxes[w]
+	bt.bindOutbox(out, bt.curLens, bt.curWords, bt.curRefs)
+	for v := vlo; v < vhi; v++ {
+		lo, hi := topo.Slots(v)
+		deg := hi - lo
+		out.deg, out.slotLo = deg, lo
+		for b := 0; b < k; b++ {
+			in := insOf(b)
+			done[v*B+b] = false
+			p := procs[v*B+b]
+			if rp, ok := p.(ResetProcess); ok && pool {
+				rp.ResetProcess()
+			} else {
+				p = wa.NewWireProcess()
+				procs[v*B+b] = p
+			}
+			info := NodeInfo{ID: in.ID[v], Degree: deg, Input: in.X[v]}
+			if tapeOf != nil {
+				info.Tape = tapeOf(b, v)
+			}
+			out.b = b
+			out.Reset()
+			p.Start(info, out)
+		}
+	}
 }
 
 // roundPass is one worker's share of one round, fused deliver + step:

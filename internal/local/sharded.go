@@ -1,0 +1,654 @@
+package local
+
+import (
+	"errors"
+	"fmt"
+
+	"rlnc/internal/graph"
+	"rlnc/internal/ids"
+	"rlnc/internal/lang"
+	"rlnc/internal/localrand"
+)
+
+// This file implements sharded batch execution: one LOCAL round run
+// cooperatively by several shards, each owning a contiguous node range of
+// the plan's CSR layout (a cut in Topology.Offsets) and executing the
+// full lane vector over its own range with the ordinary Batch machinery —
+// startPass and roundPass are reused unchanged, driven over the shard's
+// node window instead of the whole graph. The only thing a shard cannot
+// resolve locally is a RevSlot entry that crosses a cut: those slots'
+// send state is exchanged once per round as contiguous [slot][lane]
+// lens+words block copies (PR 3's flat wire words need no serialization),
+// shipped over a ShardLink. The in-process link is a Go channel; the
+// interface is the seam where a real network transport slots in.
+//
+// The contract is the repository's usual one, extended across the cut:
+// every lane of a sharded run — outputs, Stats, and errors — is
+// byte-identical to the unsharded Batch at equal seeds, for every shard
+// count and every cut placement. internal/shardtest enforces it
+// differentially across all message algorithms and graph families.
+
+// CutBlock is one round's handoff on one directed shard pair: for each
+// cut slot, in ascending slot order, the k-lane lens range and the
+// capW·k-lane word range of the sender's send slab, flattened back to
+// back. Lens and Words are exactly the bytes a real transport would put
+// on the wire. Refs carries by-reference payloads (the boxing shim for
+// legacy Processes and the full-information adapter) and only works on
+// in-process links; wire-native algorithms leave it empty.
+type CutBlock struct {
+	Lens  []int32
+	Words []uint64
+	Refs  []Message
+}
+
+// ShardLink ships cut blocks across one directed shard pair: the sending
+// shard calls Send once per round, the receiving shard Recv once per
+// round, strictly in round order. The block's backing arrays stay owned
+// by the sender, which will not touch them again until after the
+// receiver's next Recv on this link returns — so an in-process link may
+// hand the block through zero-copy, while a network link would serialize
+// Lens/Words (both fixed-width) during Send. Errors abort the sharded
+// run.
+type ShardLink interface {
+	Send(round int, block CutBlock) error
+	Recv(round int) (CutBlock, error)
+}
+
+// LinkFactory builds the link that carries the given cut slots from
+// shard `from` to shard `to`. The returned link is shared by both
+// endpoint shards of an in-process run (the sender calls Send, the
+// receiver Recv); a transport factory would instead return the two ends
+// of a connection keyed by (from, to). The factory is invoked once per
+// Run, before the first round.
+type LinkFactory func(from, to int, cut []int32) ShardLink
+
+// errShardAborted reports an exchange cut short by a failing peer shard.
+var errShardAborted = errors.New("local: sharded exchange aborted")
+
+// chanLink is the in-process ShardLink: a one-slot channel. The
+// per-round consensus barrier guarantees at most one block is in flight
+// per link, so Send never blocks; abort unblocks a Recv whose peer died
+// mid-round instead of deadlocking the run.
+type chanLink struct {
+	ch    chan CutBlock
+	abort <-chan struct{}
+}
+
+func (l *chanLink) Send(round int, block CutBlock) error {
+	select {
+	case l.ch <- block:
+		return nil
+	case <-l.abort:
+		return errShardAborted
+	}
+}
+
+func (l *chanLink) Recv(round int) (CutBlock, error) {
+	select {
+	case b := <-l.ch:
+		return b, nil
+	case <-l.abort:
+		return CutBlock{}, errShardAborted
+	}
+}
+
+// Sharded executes message algorithms over a partitioned plan: shard i
+// runs the full lane vector over its node range as an ordinary Batch
+// pass, and cross-shard deliveries are resolved by the per-round cut
+// exchange. It is the multi-machine execution shape run in one process —
+// the Batch is the per-machine engine, the ShardLink the network.
+//
+// Like a Batch, a Sharded is one caller's private scratch: it is NOT
+// safe for concurrent use. Concurrency across trials comes from one
+// Sharded per worker group (mc.RunSharded); concurrency within a trial
+// comes from the per-shard goroutines themselves.
+type Sharded struct {
+	plan   *Plan
+	width  int
+	part   graph.Partition
+	cuts   [][][]int32
+	links  LinkFactory // nil: in-process channel links
+	shards []*shardExec
+
+	// Orchestrator-owned per-run state: the shared tape slab (one row per
+	// lane, read by each node's owning shard), the lane bookkeeping
+	// identical to Batch.runVec's, the shared report channel, and the
+	// abort latch that unblocks links when a shard dies.
+	tapes    []localrand.Tape
+	alive    []bool
+	notDone  []int
+	roundsOf []int
+	msgsOf   []int64
+	reports  chan shardReport
+	abort    chan struct{}
+}
+
+// shardExec is one shard of a Sharded: its node range, its private Batch
+// (full-size slabs indexed by global slot, of which the shard writes
+// only its own range plus the installed remote cut slots), and its link
+// ports. ctrl carries the orchestrator's per-round commands.
+type shardExec struct {
+	idx    int
+	lo, hi int
+	bt     *Batch
+	out    []shardPort
+	in     []shardPort
+	ctrl   chan shardCmd
+}
+
+// shardPort is one direction of one cut: the slots it carries and the
+// link that ships them. buf is the send-side staging block, reused every
+// round (the receiver has always consumed round r before the sender
+// stages r+1 — the consensus barrier between rounds guarantees it).
+type shardPort struct {
+	peer int
+	cut  []int32
+	link ShardLink
+	buf  CutBlock
+}
+
+// shardCmd is one orchestrator command: execute round `round` (run =
+// true), or finish — collecting outputs first when collect is set.
+type shardCmd struct {
+	round   int
+	run     bool
+	collect bool
+}
+
+// shardReport is one shard's answer to a command: the per-lane delivered
+// and newly-finished counts of the round it just ran (nil on the finish
+// ack), an exchange error, or a recovered panic to re-raise.
+type shardReport struct {
+	from     int
+	msgs     []int64
+	fins     []int
+	err      error
+	panicked any
+}
+
+// NewSharded partitions the plan into `shards` contiguous slot-balanced
+// node ranges (Topology.PartitionBySlots) and returns the sharded
+// executor with lane capacity `width`.
+func (p *Plan) NewSharded(width, shards int) (*Sharded, error) {
+	part, err := p.topo.PartitionBySlots(shards)
+	if err != nil {
+		return nil, fmt.Errorf("local: %w", err)
+	}
+	return p.NewShardedPartition(width, part)
+}
+
+// NewShardedPartition is NewSharded with an explicit cut placement; the
+// equivalence harness uses it to sweep adversarial partitions. The
+// partition must be a valid contiguous node partition of the plan's
+// topology.
+func (p *Plan) NewShardedPartition(width int, part graph.Partition) (*Sharded, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("local: sharded width %d, need >= 1", width)
+	}
+	if err := p.topo.CheckPartition(part); err != nil {
+		return nil, fmt.Errorf("local: %w", err)
+	}
+	s := &Sharded{
+		plan:  p,
+		width: width,
+		part:  part,
+		cuts:  p.topo.CutSlots(part),
+	}
+	for i := 0; i < part.NumShards(); i++ {
+		lo, hi := part.Shard(i)
+		sh := &shardExec{idx: i, lo: lo, hi: hi, bt: p.NewBatch(width)}
+		s.shards = append(s.shards, sh)
+	}
+	// Ports are persistent (their staging buffers amortize across runs);
+	// links are installed per run by buildLinks.
+	for i := range s.shards {
+		for j := range s.shards {
+			if len(s.cuts[i][j]) == 0 {
+				continue
+			}
+			s.shards[i].out = append(s.shards[i].out, shardPort{peer: j, cut: s.cuts[i][j]})
+			s.shards[j].in = append(s.shards[j].in, shardPort{peer: i, cut: s.cuts[i][j]})
+		}
+	}
+	return s, nil
+}
+
+// SetLinkFactory installs a transport for the cut exchange; nil restores
+// the in-process channel links. Call before Run.
+func (s *Sharded) SetLinkFactory(f LinkFactory) { s.links = f }
+
+// Plan returns the plan the sharded executor runs on.
+func (s *Sharded) Plan() *Plan { return s.plan }
+
+// Width returns the lane capacity.
+func (s *Sharded) Width() int { return s.width }
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return s.part.NumShards() }
+
+// Partition returns the node partition.
+func (s *Sharded) Partition() graph.Partition { return s.part }
+
+// Unsharded returns a companion Batch on the same plan with the same
+// lane capacity, for execution paths that have no sharded form (pure
+// ball-view trials above all). It shares scratch with shard 0, so use it
+// and the Sharded from the same goroutine, never concurrently.
+func (s *Sharded) Unsharded() *Batch { return s.shards[0].bt }
+
+// Run executes one message-passing trial per draw across the shards,
+// returning one Result per lane, byte-identical — outputs, Stats, and
+// errors — to Batch.Run at equal seeds. len(draws) may be any
+// 1..Width().
+func (s *Sharded) Run(in *lang.Instance, algo MessageAlgorithm, draws []localrand.Draw, opts RunOptions) ([]*Result, error) {
+	bt0 := s.shards[0].bt
+	if err := bt0.lanes(len(draws)); err != nil {
+		return nil, err
+	}
+	if err := bt0.checkInstance(in); err != nil {
+		return nil, err
+	}
+	return s.runBlocks(func(int) *lang.Instance { return in }, len(draws), algo, draws, opts)
+}
+
+// RunInstances is Run with per-lane instances (all over the plan's
+// graph); a nil draws runs every lane deterministically.
+func (s *Sharded) RunInstances(ins []*lang.Instance, algo MessageAlgorithm, draws []localrand.Draw, opts RunOptions) ([]*Result, error) {
+	bt0 := s.shards[0].bt
+	if err := bt0.lanes(len(ins)); err != nil {
+		return nil, err
+	}
+	if draws != nil && len(draws) != len(ins) {
+		return nil, fmt.Errorf("local: %d draws for %d lanes", len(draws), len(ins))
+	}
+	for _, in := range ins {
+		if err := bt0.checkInstance(in); err != nil {
+			return nil, err
+		}
+	}
+	return s.runBlocks(func(b int) *lang.Instance { return ins[b] }, len(ins), algo, draws, opts)
+}
+
+// buildLinks installs fresh links for a run: in-process channels wired
+// to this run's abort latch by default, the caller's transport
+// otherwise.
+func (s *Sharded) buildLinks() {
+	factory := s.links
+	if factory == nil {
+		abort := s.abort
+		factory = func(from, to int, cut []int32) ShardLink {
+			return &chanLink{ch: make(chan CutBlock, 1), abort: abort}
+		}
+	}
+	for i := range s.shards {
+		for oi := range s.shards[i].out {
+			port := &s.shards[i].out[oi]
+			link := factory(i, port.peer, port.cut)
+			port.link = link
+			// Hand the receiving end the same link object.
+			in := s.shards[port.peer].in
+			for ii := range in {
+				if in[ii].peer == i {
+					in[ii].link = link
+				}
+			}
+		}
+	}
+}
+
+// seedTapes reseeds the first k rows of the shared tape slab — row b
+// holds lane b's per-node tapes under draws[b] — and returns the
+// lane-aware accessor every shard reads (a node's tapes are touched only
+// by its owning shard, so the slab needs no further coordination).
+func (s *Sharded) seedTapes(k int, draws []localrand.Draw, idOf func(b int) ids.Assignment) func(b, v int) *localrand.Tape {
+	if draws == nil {
+		return nil
+	}
+	n := s.plan.g.N()
+	if s.tapes == nil {
+		s.tapes = make([]localrand.Tape, s.width*n)
+	}
+	for b := 0; b < k; b++ {
+		draws[b].TapeVecInto(s.tapes[b*n:(b+1)*n], idOf(b))
+	}
+	tapes := s.tapes
+	return func(b, v int) *localrand.Tape { return &tapes[b*n+v] }
+}
+
+// ensureLaneState sizes the orchestrator's lane bookkeeping.
+func (s *Sharded) ensureLaneState() {
+	if s.alive == nil {
+		s.alive = make([]bool, s.width)
+		s.notDone = make([]int, s.width)
+		s.roundsOf = make([]int, s.width)
+		s.msgsOf = make([]int64, s.width)
+	}
+}
+
+// runBlocks drives the sharded core over a lane vector in slab-budget
+// blocks, exactly like Batch.runBlocks: the per-shard layouts are
+// computed from the same algorithm over the same topology, so every
+// shard agrees on the block size and the lane split matches the
+// unsharded batch block for block.
+func (s *Sharded) runBlocks(insOf func(b int) *lang.Instance, k int, algo MessageAlgorithm, draws []localrand.Draw, opts RunOptions) ([]*Result, error) {
+	wa := wireOf(algo)
+	for _, sh := range s.shards {
+		sh.bt.layoutWire(wa)
+	}
+	block := s.shards[0].bt.block
+	s.ensureLaneState()
+	s.abort = make(chan struct{})
+	s.reports = make(chan shardReport, len(s.shards))
+	s.buildLinks()
+	results := make([]*Result, 0, k)
+	for lo := 0; lo < k; lo += block {
+		hi := lo + block
+		if hi > k {
+			hi = k
+		}
+		var chunk []localrand.Draw
+		if draws != nil {
+			chunk = draws[lo:hi]
+		}
+		lo := lo
+		blockIns := func(b int) *lang.Instance { return insOf(lo + b) }
+		tapeOf := s.seedTapes(hi-lo, chunk, func(b int) ids.Assignment { return blockIns(b).ID })
+		rs, err := s.runVec(blockIns, hi-lo, wa, tapeOf, opts)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, rs...)
+	}
+	return results, nil
+}
+
+// runVec runs one execution vector of k lanes across the shards. It is
+// the orchestrator side of Batch.runVec's round loop: shards execute
+// startPass/roundPass over their node ranges on their own goroutines,
+// and the per-round merge — message counts, halting consensus, the lane
+// liveness that every shard's next pass reads — happens here, once,
+// exactly as the unsharded loop merges its worker rows. Round count
+// semantics, the ErrNoHalt budget, and StopAfter match Batch.runVec
+// decision for decision.
+func (s *Sharded) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorithm, tapeOf func(b, v int) *localrand.Tape, opts RunOptions) ([]*Result, error) {
+	n := s.plan.g.N()
+	if k > s.shards[0].bt.block {
+		return nil, fmt.Errorf("local: %d lanes exceed the %d-lane slab block", k, s.shards[0].bt.block)
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 2*n + 64
+	}
+	if opts.StopAfter > 0 {
+		maxRounds = opts.StopAfter
+	}
+	for b := 0; b < k; b++ {
+		s.alive[b] = true
+		s.notDone[b] = n
+		s.roundsOf[b] = 0
+		s.msgsOf[b] = 0
+	}
+	ys := make([][]byte, k*n)
+	dead := make([]bool, len(s.shards))
+	var panicked any
+	var linkErr error
+	aborted := false
+	closeAbort := func() {
+		if !aborted {
+			aborted = true
+			close(s.abort)
+		}
+	}
+	for _, sh := range s.shards {
+		sh.ctrl = make(chan shardCmd, 1)
+		go sh.run(s, insOf, k, wa, tapeOf, ys)
+	}
+	liveShards := len(s.shards)
+
+	// gather collects one report per live shard, in arrival order (a
+	// shard blocked on a dead peer's block reports only after the abort
+	// latch trips, which happens when the failing shard's own report is
+	// read here — so arrival order is the only safe order). Counts are
+	// summed exactly like the unsharded worker-row merge.
+	gather := func(counts bool) {
+		for got := 0; got < liveShards; got++ {
+			rep := <-s.reports
+			switch {
+			case rep.panicked != nil:
+				dead[rep.from] = true
+				if panicked == nil {
+					panicked = rep.panicked
+				}
+				closeAbort()
+			case rep.err != nil:
+				if linkErr == nil {
+					linkErr = rep.err
+				}
+				closeAbort()
+			case counts && rep.msgs != nil:
+				for b := 0; b < k; b++ {
+					s.msgsOf[b] += rep.msgs[b]
+					s.notDone[b] -= rep.fins[b]
+				}
+			}
+		}
+		liveShards = 0
+		for _, d := range dead {
+			if !d {
+				liveShards++
+			}
+		}
+	}
+	broadcast := func(cmd shardCmd) {
+		for si, sh := range s.shards {
+			if !dead[si] {
+				sh.ctrl <- cmd
+			}
+		}
+	}
+	finish := func(collect bool) {
+		broadcast(shardCmd{run: false, collect: collect})
+		gather(false)
+		if panicked != nil {
+			panic(panicked)
+		}
+	}
+
+	live := k
+	var runErr error
+	for round := 1; opts.StopAfter == 0 || round <= opts.StopAfter; round++ {
+		if round > maxRounds {
+			runErr = fmt.Errorf("%w: %d rounds on %d nodes", ErrNoHalt, maxRounds, n)
+			break
+		}
+		broadcast(shardCmd{round: round, run: true})
+		gather(true)
+		if panicked != nil {
+			finish(false)
+		}
+		if linkErr != nil {
+			runErr = fmt.Errorf("local: sharded exchange: %w", linkErr)
+			break
+		}
+		for b := 0; b < k; b++ {
+			if !s.alive[b] {
+				continue
+			}
+			s.roundsOf[b] = round
+			if s.notDone[b] == 0 {
+				s.alive[b] = false
+				live--
+			}
+		}
+		if live == 0 {
+			break
+		}
+	}
+	finish(runErr == nil && linkErr == nil)
+	if runErr != nil {
+		return nil, runErr
+	}
+	results := make([]*Result, k)
+	for b := 0; b < k; b++ {
+		results[b] = &Result{
+			Y:     ys[b*n : (b+1)*n : (b+1)*n],
+			Stats: Stats{Rounds: s.roundsOf[b], Messages: s.msgsOf[b]},
+		}
+	}
+	return results, nil
+}
+
+// run is one shard's execution loop: init + round-1 staging over its own
+// node range, then one exchange + pass + swap per orchestrator command.
+// The Batch passes are the unsharded ones — worker 0 over [lo, hi) — and
+// the shared alive slice (orchestrator-written between rounds, command
+// channels provide the happens-before) stands in for the batch's own.
+func (sh *shardExec) run(s *Sharded, insOf func(b int) *lang.Instance, k int, wa WireAlgorithm, tapeOf func(b, v int) *localrand.Tape, ys [][]byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.cleanup()
+			s.reports <- shardReport{from: sh.idx, panicked: r}
+		}
+	}()
+	bt := sh.bt
+	n := s.plan.g.N()
+	bt.ensureWireState()
+	bt.ensureWorkerScratch(1)
+	bt.alive = s.alive
+	bt.preparePools(wa)
+	bt.rk, bt.rwa, bt.rins, bt.rtape = k, wa, insOf, tapeOf
+	bt.startPass(0, sh.lo, sh.hi)
+	for {
+		cmd := <-sh.ctrl
+		if !cmd.run {
+			if cmd.collect {
+				B := bt.block
+				for v := sh.lo; v < sh.hi; v++ {
+					for b := 0; b < k; b++ {
+						ys[b*n+v] = bt.procs[v*B+b].Output()
+					}
+				}
+			}
+			// Cleanup strictly before the ack: the ack releases the
+			// orchestrator, which may immediately hand this batch to the
+			// next execution vector's goroutine.
+			sh.cleanup()
+			s.reports <- shardReport{from: sh.idx}
+			return
+		}
+		if err := sh.exchange(cmd.round, k); err != nil {
+			s.reports <- shardReport{from: sh.idx, err: err}
+			continue
+		}
+		bt.rround = cmd.round
+		bt.roundPass(0, sh.lo, sh.hi)
+		bt.curLens, bt.nextLens = bt.nextLens, bt.curLens
+		bt.curWords, bt.nextWord = bt.nextWord, bt.curWords
+		bt.curRefs, bt.nextRefs = bt.nextRefs, bt.curRefs
+		s.reports <- shardReport{from: sh.idx, msgs: bt.wkMsgs[0][:k], fins: bt.wkFin[0][:k]}
+	}
+}
+
+// cleanup is the unsharded runVec's no-retention cleanup, per shard: a
+// pooled shard batch never keeps a previous execution's processes or
+// messages alive (the pooled process table is the deliberate exception,
+// as in Batch.runVec).
+func (sh *shardExec) cleanup() {
+	bt := sh.bt
+	if bt.procAlgo == nil {
+		clear(bt.procs)
+	}
+	clear(bt.curRefs)
+	clear(bt.nextRefs)
+	bt.rins, bt.rtape, bt.rwa = nil, nil, nil
+}
+
+// exchange performs one round's cut handoff: pack and send the cur-slab
+// ranges every peer reads from this shard, then receive and install the
+// ranges this shard reads from every peer. Sends never block (one-slot
+// links, one block in flight), so the fixed send-then-receive order
+// cannot deadlock.
+func (sh *shardExec) exchange(round, k int) error {
+	bt := sh.bt
+	for oi := range sh.out {
+		port := &sh.out[oi]
+		bt.packCut(port.cut, k, &port.buf)
+		if err := port.link.Send(round, port.buf); err != nil {
+			return err
+		}
+	}
+	for ii := range sh.in {
+		port := &sh.in[ii]
+		blk, err := port.link.Recv(round)
+		if err != nil {
+			return err
+		}
+		if err := bt.installCut(port.cut, k, blk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// packCut flattens the cut slots' [slot][lane] ranges out of the current
+// send slabs into blk, reusing its backing arrays. Lens rows are k lanes
+// per slot; word rows are capW[s]·k per slot — both contiguous in the
+// slab, so each slot is two copies.
+func (bt *Batch) packCut(cut []int32, k int, blk *CutBlock) {
+	B := bt.block
+	lens := blk.Lens[:0]
+	words := blk.Words[:0]
+	for _, s := range cut {
+		li := int(s) * B
+		lens = append(lens, bt.curLens[li:li+k]...)
+		if w := int(bt.capW[s]); w > 0 {
+			base := int(bt.offW[s]) * B
+			words = append(words, bt.curWords[base:base+w*k]...)
+		}
+	}
+	blk.Lens, blk.Words = lens, words
+	blk.Refs = blk.Refs[:0]
+	if bt.curRefs != nil {
+		refs := blk.Refs
+		for _, s := range cut {
+			li := int(s) * B
+			refs = append(refs, bt.curRefs[li:li+k]...)
+		}
+		blk.Refs = refs
+	}
+}
+
+// installCut writes a received block into the current receive slabs at
+// the cut slots' global indices — the shard-side half of the gather: the
+// subsequent roundPass reads these slots through RevSlot exactly as if a
+// local sender had staged them.
+func (bt *Batch) installCut(cut []int32, k int, blk CutBlock) error {
+	if len(blk.Lens) != len(cut)*k {
+		return fmt.Errorf("local: cut block carries %d lens for %d slots × %d lanes", len(blk.Lens), len(cut), k)
+	}
+	B := bt.block
+	li0, w0, r0 := 0, 0, 0
+	for _, s := range cut {
+		li := int(s) * B
+		copy(bt.curLens[li:li+k], blk.Lens[li0:li0+k])
+		li0 += k
+		if w := int(bt.capW[s]); w > 0 {
+			base := int(bt.offW[s]) * B
+			if w0+w*k > len(blk.Words) {
+				return fmt.Errorf("local: cut block word section truncated at slot %d", s)
+			}
+			copy(bt.curWords[base:base+w*k], blk.Words[w0:w0+w*k])
+			w0 += w * k
+		}
+	}
+	if bt.curRefs != nil && len(blk.Refs) > 0 {
+		if len(blk.Refs) != len(cut)*k {
+			return fmt.Errorf("local: cut block carries %d refs for %d slots × %d lanes", len(blk.Refs), len(cut), k)
+		}
+		for _, s := range cut {
+			li := int(s) * B
+			copy(bt.curRefs[li:li+k], blk.Refs[r0:r0+k])
+			r0 += k
+		}
+	}
+	return nil
+}

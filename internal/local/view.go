@@ -22,7 +22,7 @@
 // exact) and MessageAsView (t-round message algorithm → view algorithm of
 // radius t+1, exact) witness the equivalence; see adapter.go.
 //
-// Both interfaces execute through a three-level layering:
+// Both interfaces execute through a four-level layering:
 //
 //   - Plan (plan.go) is the reusable, concurrency-safe layout of one
 //     graph: the CSR-flattened adjacency, the reverse-port delivery
@@ -35,14 +35,29 @@
 //     view skeletons refilled once per pass, so the round scheduling,
 //     the reverse-slot gather, the halting checks, and the view assembly
 //     amortize across the whole vector. Lane b is byte-identical to a
-//     lone execution of the same (instance, draw).
+//     lone execution of the same (instance, draw). Algorithms whose
+//     processes implement ResetProcess additionally have their
+//     per-(node, lane) process table pooled across back-to-back runs.
 //   - Engine (plan.go) is the one-lane case of the same core: a Batch of
 //     width 1 with scalar wrappers. RunView and RunMessage are
 //     single-shot wrappers building a transient Engine.
+//   - Sharded (sharded.go) is the multi-machine shape of the message
+//     path run in one process: the plan's CSR layout is partitioned into
+//     contiguous node ranges (a shard boundary is a cut in
+//     Topology.Offsets), each shard runs the full lane vector over its
+//     range with the same startPass/roundPass core, and cross-shard
+//     RevSlot deliveries are resolved once per round by exchanging the
+//     cut slots' contiguous [slot][lane] lens+words blocks over
+//     ShardLinks — Go channels in process, a real transport behind the
+//     same interface later. Every lane is byte-identical (outputs,
+//     Stats, errors) to the unsharded Batch at equal seeds, for every
+//     shard count and cut placement; internal/shardtest enforces the
+//     contract differentially.
 //
 // Monte-Carlo trial loops hold a Plan and give each worker its own Batch
-// (mc.RunBatched hands workers contiguous trial chunks) or Engine
-// (mc.RunWith hands one index at a time), which removes all steady-state
+// (mc.RunBatched hands workers contiguous trial chunks), Engine
+// (mc.RunWith hands one index at a time), or Sharded (mc.RunSharded
+// hands chunks to shard groups), which removes all steady-state
 // allocations from the trial loop.
 //
 // Everything an Engine or Batch passes to algorithm code is

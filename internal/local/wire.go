@@ -1,5 +1,7 @@
 package local
 
+import "reflect"
+
 // This file defines the wire-format message core: the zero-allocation
 // fast path of the message engine. Messages are sequences of fixed-width
 // 64-bit words staged straight into the engine's [slot][lane] send slabs
@@ -55,6 +57,42 @@ type WireAlgorithm interface {
 	// per-slot slab capacity from it (it must be a pure function of the
 	// degree); Outbox panics if a message exceeds the bound.
 	MsgWords(degree int) int
+}
+
+// ResetProcess is an optional extension of WireProcess: a process that
+// can return to its just-created state. When every process of an
+// algorithm implements it, engines pool the per-(node, lane) process
+// table across back-to-back executions of that algorithm — the dominant
+// remaining per-trial allocation on message paths — resetting each entry
+// in place instead of allocating n×lanes fresh processes per run.
+// Outputs must stay byte-identical: ResetProcess followed by Start must
+// behave exactly like NewWireProcess followed by Start. Because a pooled
+// process serves many trials, the slice Output returns must remain valid
+// after the process is reset and reused — return freshly allocated or
+// immutable storage (the lang.Encode* tables), never a per-process
+// buffer a later trial would overwrite.
+type ResetProcess interface {
+	WireProcess
+	// ResetProcess restores the process to its pre-Start state. It must
+	// drop every reference the previous execution planted — tapes,
+	// message payloads, neighbor scratch — so a pooled table does not
+	// keep a finished trial's state alive.
+	ResetProcess()
+}
+
+// sameAlgo reports whether two wire algorithms are the same value; it is
+// how a batch detects back-to-back runs of one algorithm when deciding
+// to pool the process table. Uncomparable dynamic types (closures inside
+// adapter structs) never compare equal — they simply never pool.
+func sameAlgo(a, b WireAlgorithm) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	ta := reflect.TypeOf(a)
+	if ta != reflect.TypeOf(b) || !ta.Comparable() {
+		return false
+	}
+	return a == b
 }
 
 // refCarrier marks wire algorithms whose payloads travel by reference

@@ -41,6 +41,10 @@ func (p *wireMixProc) send(out *Outbox) {
 	}
 }
 
+// ResetProcess implements ResetProcess so the pooling tests can exercise
+// the reset-and-reuse path with a native wire algorithm.
+func (p *wireMixProc) ResetProcess() { *p = wireMixProc{rounds: p.rounds} }
+
 func (p *wireMixProc) Start(info NodeInfo, out *Outbox) {
 	p.state = uint64(info.ID) * 0x9e3779b97f4a7c15
 	if info.Tape != nil {

@@ -133,10 +133,39 @@ func RunWith[S any](trials int, newState func() S, f func(s S, trial int) bool) 
 // derive all randomness from the trial index, so the estimate is
 // identical to Run's for the same per-trial predicate.
 func RunBatched[S any](trials, batch int, newState func() S, f func(s S, lo, hi int, out []bool)) Estimate {
+	return runBatchedWorkers(trials, batch, runtime.GOMAXPROCS(0), newState, f)
+}
+
+// RunSharded is RunBatched for sharded execution state: the intended S
+// is a *local.Sharded of `shards` shards, whose every trial vector
+// already runs on that many goroutines. The pool is therefore sized at
+// GOMAXPROCS/shards shard groups (at least one) instead of GOMAXPROCS
+// scalar workers, so trial chunks distribute across groups without
+// oversubscribing the machine — and the estimate stays bit-identical to
+// RunBatched's for the same per-trial predicate, because chunking only
+// moves which group evaluates which trial index.
+func RunSharded[S any](trials, batch, shards int, newState func() S, f func(s S, lo, hi int, out []bool)) Estimate {
+	return runBatchedWorkers(trials, batch, shardGroups(shards), newState, f)
+}
+
+// shardGroups sizes the worker pool for shard-group execution.
+func shardGroups(shards int) int {
+	if shards < 1 {
+		shards = 1
+	}
+	groups := runtime.GOMAXPROCS(0) / shards
+	if groups < 1 {
+		groups = 1
+	}
+	return groups
+}
+
+// runBatchedWorkers is the shared chunk-distribution core of RunBatched
+// and RunSharded.
+func runBatchedWorkers[S any](trials, batch, workers int, newState func() S, f func(s S, lo, hi int, out []bool)) Estimate {
 	if batch < 1 {
 		batch = 1
 	}
-	workers := runtime.GOMAXPROCS(0)
 	counts := make([]int, workers)
 	forEachWorker(trials, workers, func(w, lo, hi int) {
 		s := newState()
@@ -205,10 +234,24 @@ func MeanWith[S any](trials int, newState func() S, f func(s S, trial int) float
 // standard error are bit-identical to MeanWith's for the same per-trial
 // observable.
 func MeanBatched[S any](trials, batch int, newState func() S, f func(s S, lo, hi int, out []float64)) (mean, stderr float64) {
+	return meanBatchedWorkers(trials, batch, runtime.GOMAXPROCS(0), newState, f)
+}
+
+// MeanSharded is MeanBatched with shard-group pool sizing; see
+// RunSharded. The summation order within a worker follows trial order
+// and the cross-worker reduction is fixed, so estimates stay
+// bit-identical to MeanBatched's whenever the chunk boundaries coincide
+// — and statistically identical regardless, since trials derive all
+// randomness from their index.
+func MeanSharded[S any](trials, batch, shards int, newState func() S, f func(s S, lo, hi int, out []float64)) (mean, stderr float64) {
+	return meanBatchedWorkers(trials, batch, shardGroups(shards), newState, f)
+}
+
+// meanBatchedWorkers is the shared core of MeanBatched and MeanSharded.
+func meanBatchedWorkers[S any](trials, batch, workers int, newState func() S, f func(s S, lo, hi int, out []float64)) (mean, stderr float64) {
 	if batch < 1 {
 		batch = 1
 	}
-	workers := runtime.GOMAXPROCS(0)
 	sums := make([]float64, workers)
 	sqs := make([]float64, workers)
 	forEachWorker(trials, workers, func(w, lo, hi int) {

@@ -209,6 +209,75 @@ func TestRunBatchedMatchesRun(t *testing.T) {
 	}
 }
 
+// TestRunShardedMatchesRun pins that shard-group distribution changes
+// only which worker evaluates which chunk: success counts are integers,
+// so the estimate is exact at every shard count, including shard counts
+// above GOMAXPROCS (one group) and below (several groups).
+func TestRunShardedMatchesRun(t *testing.T) {
+	pred := func(trial int) bool { return trial%5 == 0 || trial%11 == 3 }
+	for _, trials := range []int{1, 47, 500} {
+		for _, shards := range []int{1, 2, 4, 64} {
+			want := Run(trials, pred)
+			got := RunSharded(trials, 8, shards, func() struct{} { return struct{}{} },
+				func(_ struct{}, lo, hi int, out []bool) {
+					for i := lo; i < hi; i++ {
+						out[i-lo] = pred(i)
+					}
+				})
+			if got != want {
+				t.Errorf("trials=%d shards=%d: %v, want %v", trials, shards, got, want)
+			}
+		}
+	}
+}
+
+// TestRunShardedPoolSize pins the group sizing: with S-shard state each
+// group occupies S goroutines, so the pool must shrink to
+// GOMAXPROCS/S groups (floored at one). Worker indices are observed
+// through the per-worker state constructor.
+func TestRunShardedPoolSize(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	for _, shards := range []int{1, 2, procs, 4 * procs} {
+		wantMax := procs / shards
+		if wantMax < 1 {
+			wantMax = 1
+		}
+		var states atomic.Int64
+		RunSharded(1000, 8, shards, func() struct{} {
+			states.Add(1)
+			return struct{}{}
+		}, func(_ struct{}, lo, hi int, out []bool) {})
+		if got := states.Load(); got > int64(wantMax) {
+			t.Errorf("shards=%d: %d worker states, want <= %d", shards, got, wantMax)
+		}
+	}
+}
+
+// TestMeanShardedMatchesMean pins the sharded mean harness against the
+// scalar one at one worker group (shards >= GOMAXPROCS forces a single
+// group, whose chunk accumulation order equals sequential trial order).
+func TestMeanShardedMatchesMean(t *testing.T) {
+	obs := func(trial int) float64 { return float64(trial%13) * 0.29 }
+	trials := 300
+	wantMean := 0.0
+	for i := 0; i < trials; i++ {
+		wantMean += obs(i)
+	}
+	wantMean /= float64(trials)
+	gotMean, gotSE := MeanSharded(trials, 8, 4*runtime.GOMAXPROCS(0), func() struct{} { return struct{}{} },
+		func(_ struct{}, lo, hi int, out []float64) {
+			for i := lo; i < hi; i++ {
+				out[i-lo] = obs(i)
+			}
+		})
+	if gotMean != wantMean {
+		t.Errorf("mean %v, want %v", gotMean, wantMean)
+	}
+	if gotSE <= 0 {
+		t.Errorf("stderr %v, want > 0", gotSE)
+	}
+}
+
 // TestMeanBatchedMatchesMean pins bit-identical mean and stderr: the
 // batched harness accumulates per-worker sums in the same trial order as
 // MeanWith, so floating-point results agree exactly.

@@ -140,6 +140,15 @@ type Config struct {
 	Quick bool
 	// Seed feeds every tape space the experiment creates.
 	Seed uint64
+	// Shards, when > 1, runs message-algorithm trial loops on a sharded
+	// engine of that many shards (clamped per graph to its node count).
+	// Every trial's outputs are byte-identical to the unsharded run;
+	// aggregated tables are additionally byte-identical whenever the
+	// Monte-Carlo worker chunking coincides (shard groups shrink the
+	// pool, which can regroup float accumulation — pin GOMAXPROCS to
+	// one, as the golden tests do, for exact table equality). The knob
+	// exists to exercise the multi-machine execution path end to end.
+	Shards int
 }
 
 // Experiment is one entry of the per-experiment index in DESIGN.md.

@@ -12,7 +12,11 @@
 //     RunView/RunMessage are single-shot wrappers over this layer;
 //     Monte-Carlo trial loops build one Plan per instance and hand each
 //     trial-pool worker its own Engine (mc.RunWith), which eliminates
-//     steady-state allocations from the trial loop;
+//     steady-state allocations from the trial loop. A Batch is the
+//     vectorized worker scratch, and a Sharded runs the message path
+//     across a contiguous partition of the plan's CSR layout with
+//     per-round cut-block exchange — the multi-machine execution shape,
+//     byte-identical to the unsharded engines;
 //   - distributed languages: LCL languages via excluded bad balls,
 //     global languages (AMOS, Majority), the F_k promise, and the ε-slack
 //     / f-resilient relaxations of §1.1 and Definition 1;
@@ -137,6 +141,19 @@ type (
 	// vector; an Engine is the width-1 case. Not safe for concurrent use —
 	// trial pools hold one Batch per worker (see mc.RunBatched).
 	Batch = local.Batch
+	// Sharded runs the message path across a contiguous node partition
+	// of the plan's CSR layout: one Batch per shard on its own
+	// goroutine, cross-shard deliveries exchanged per round as
+	// contiguous [slot][lane] cut blocks over ShardLinks (Go channels in
+	// process; a transport slots in via Sharded.SetLinkFactory). Every
+	// lane is byte-identical to the unsharded Batch at equal seeds.
+	Sharded   = local.Sharded
+	ShardLink = local.ShardLink
+	CutBlock  = local.CutBlock
+	// ResetProcess is the reset-and-reuse extension of WireProcess:
+	// engines pool the per-(node, lane) process table across trials of
+	// one algorithm when its processes implement it.
+	ResetProcess = local.ResetProcess
 )
 
 var (
