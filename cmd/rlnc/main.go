@@ -1,22 +1,62 @@
 // Command rlnc drives the Randomized Local Network Computing
 // reproduction: it lists and runs the experiment suite E1–E15 (one per
 // quantitative statement of the paper, see DESIGN.md §5), inspects graph
-// families, and runs individual construction algorithms.
+// families, runs individual construction algorithms, and hosts shard
+// workers for multi-process sharded execution.
 //
 // Usage:
 //
 //	rlnc list
-//	rlnc run E1 E4 ...      [-quick] [-seed N] [-shards N]
-//	rlnc run all            [-quick] [-seed N] [-shards N]
+//	rlnc run E1 E4 ...      [-quick] [-seed N] [-shards N] [-transport T]
+//	rlnc run all            [-quick] [-seed N] [-shards N] [-transport T]
 //	rlnc graph -family cycle -n 12
 //	rlnc sim -algo cv -n 64 [-seed N]
+//	rlnc shard-worker -connect HOST:PORT [-listen ADDR]
+//
+// # Sharded transports
+//
+// With -shards N > 1, message-algorithm trial loops run on a sharded
+// engine whose per-round cut exchange travels over the transport named
+// by -transport:
+//
+//	chan          in-process channel links (default; zero-copy)
+//	tcp-loopback  framed byte streams over loopback TCP sockets inside
+//	              this process — the full codec/kernel path, one process
+//	tcp           N real `rlnc shard-worker` OS processes: this process
+//	              spawns them, ships each one its shard of the job over a
+//	              gob control stream, and the workers exchange cut blocks
+//	              directly with each other over TCP
+//
+// Per-trial outputs are byte-identical across all transports; rendered
+// tables additionally match the unsharded run whenever the Monte-Carlo
+// worker chunking coincides (pin GOMAXPROCS=1 for exact equality, as CI
+// does when diffing against the committed goldens).
+//
+// # The shard-worker protocol
+//
+// `rlnc shard-worker -connect HOST:PORT` dials the orchestrator's
+// control listener and serves jobs until the control connection closes.
+// On its control stream the worker (1) announces the address of its data
+// listener, (2) receives jobs — CSR adjacency, partition bounds, its
+// shard index, an algorithm registry key with flat int64 parameters, the
+// peers' data addresses — and acks each after dialing/accepting the
+// direct worker-to-worker TCP data links for its cuts, then (3) executes
+// runs: per-run instances and draw seeds, followed by one command per
+// round carrying the lane-liveness vector, each answered with per-lane
+// delivered/finished counts (and collected outputs on the final
+// command). Cut blocks cross the data links as the framed, versioned
+// byte encoding of internal/local's codec. Randomness ships as draw
+// seeds, so worker-side tapes are bit-identical to in-process ones.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/exec"
 	"strings"
+	"time"
 
 	"rlnc/internal/construct"
 	"rlnc/internal/exp"
@@ -43,6 +83,8 @@ func main() {
 		err = cmdGraph(os.Args[2:])
 	case "sim":
 		err = cmdSim(os.Args[2:])
+	case "shard-worker":
+		err = cmdShardWorker(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -61,9 +103,12 @@ func usage() {
 
 commands:
   list                         list the experiment suite
-  run <id>... | all            run experiments (flags: -quick, -seed N, -shards N)
+  run <id>... | all            run experiments
+                               (flags: -quick, -seed N, -shards N,
+                                -transport chan|tcp-loopback|tcp)
   graph -family F -n N         describe a graph family instance
   sim -algo A -n N             run a construction algorithm on a ring
+  shard-worker -connect ADDR   host one shard for a tcp-transport run
 
 `)
 }
@@ -80,6 +125,7 @@ func cmdRun(args []string) error {
 	quick := fs.Bool("quick", false, "reduced trial counts")
 	seed := fs.Uint64("seed", 1, "tape-space seed")
 	shards := fs.Int("shards", 1, "run message-algorithm trials on a sharded engine of N shards (byte-identical per-trial outputs)")
+	transport := fs.String("transport", "chan", "sharded cut-exchange transport: chan (in-process links), tcp-loopback (byte streams over loopback sockets), tcp (N shard-worker OS processes)")
 	var idArgs []string
 	for _, a := range args {
 		if strings.HasPrefix(a, "-") {
@@ -106,6 +152,36 @@ func cmdRun(args []string) error {
 		}
 	}
 	cfg := report.Config{Quick: *quick, Seed: *seed, Shards: *shards}
+	switch *transport {
+	case "chan", "":
+		// Default in-process channel links.
+	case "tcp-loopback":
+		cfg.NewSharded = func(plan *local.Plan, width, shards int) (*local.Sharded, error) {
+			sh, err := plan.NewSharded(width, shards)
+			if err != nil {
+				return nil, err
+			}
+			sh.UseTCPLoopback()
+			return sh, nil
+		}
+	case "tcp":
+		if *shards < 2 {
+			return fmt.Errorf("run: -transport tcp needs -shards >= 2")
+		}
+		pool, stop, err := startWorkerProcesses(*shards)
+		if err != nil {
+			return fmt.Errorf("run: start shard workers: %w", err)
+		}
+		defer stop()
+		cfg.NewSharded = func(plan *local.Plan, width, shards int) (*local.Sharded, error) {
+			if shards != pool.Size() {
+				return nil, fmt.Errorf("rlnc: %d shards requested from a %d-worker pool", shards, pool.Size())
+			}
+			return plan.NewShardedRemote(width, pool)
+		}
+	default:
+		return fmt.Errorf("run: unknown transport %q (chan, tcp-loopback, tcp)", *transport)
+	}
 	failed := 0
 	for _, e := range exps {
 		fmt.Printf("=== %s — %s\n    reproduces %s\n\n", e.ID(), e.Title(), e.PaperRef())
@@ -123,6 +199,88 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("%d experiment(s) had failing checks", failed)
 	}
 	return nil
+}
+
+// cmdShardWorker hosts one shard of a tcp-transport run: it dials the
+// orchestrator's control listener and serves jobs until the control
+// connection closes (see the package comment for the protocol).
+func cmdShardWorker(args []string) error {
+	fs := flag.NewFlagSet("shard-worker", flag.ExitOnError)
+	connect := fs.String("connect", "", "orchestrator control address (required)")
+	listen := fs.String("listen", "", "data-link listen address (default: loopback ephemeral)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *connect == "" {
+		return fmt.Errorf("shard-worker: -connect is required")
+	}
+	ctrl, err := net.DialTimeout("tcp", *connect, 30*time.Second)
+	if err != nil {
+		return fmt.Errorf("shard-worker: %w", err)
+	}
+	defer ctrl.Close()
+	return local.ServeShard(ctrl, *listen)
+}
+
+// startWorkerProcesses spawns n `rlnc shard-worker` OS processes wired
+// back to this process's control listener and assembles their pool; stop
+// shuts the pool down and reaps the processes.
+func startWorkerProcesses(n int) (pool *local.WorkerPool, stop func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ln.Close()
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, nil, err
+	}
+	var procs []*exec.Cmd
+	reap := func() {
+		for _, p := range procs {
+			p.Wait()
+		}
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe, "shard-worker", "-connect", ln.Addr().String())
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			for _, p := range procs {
+				p.Process.Kill()
+			}
+			reap()
+			return nil, nil, err
+		}
+		procs = append(procs, cmd)
+	}
+	workers := make([]*local.WorkerConn, n)
+	for i := 0; i < n; i++ {
+		if d, ok := ln.(*net.TCPListener); ok {
+			d.SetDeadline(time.Now().Add(30 * time.Second))
+		}
+		conn, err := ln.Accept()
+		if err == nil {
+			workers[i], err = local.NewWorkerConn(conn, 30*time.Second)
+		}
+		if err != nil {
+			for _, w := range workers[:i] {
+				w.Close()
+			}
+			for _, p := range procs {
+				p.Process.Kill()
+			}
+			reap()
+			return nil, nil, err
+		}
+	}
+	pool = local.NewWorkerPool(workers)
+	stop = func() {
+		// Closing the control connections is the workers' shutdown signal;
+		// reap so no zombies outlive the run.
+		pool.Close()
+		reap()
+	}
+	return pool, stop, nil
 }
 
 func cmdGraph(args []string) error {

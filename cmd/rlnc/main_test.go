@@ -2,12 +2,28 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"testing"
 )
+
+// TestMain doubles as the shard-worker entry point: `-transport tcp`
+// spawns os.Executable() — under `go test` that is this test binary, so
+// the dispatch below lets the golden tests exercise the real N-process
+// execution path, worker processes included.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == "shard-worker" {
+		if err := cmdShardWorker(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "rlnc: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 // captureStdout runs fn with os.Stdout redirected into a buffer and
 // returns everything it printed.
@@ -83,6 +99,28 @@ func TestRunExperimentGoldenSharded(t *testing.T) {
 			return cmdRun([]string{"E2", "-quick", "-seed", "7", "-shards", shards})
 		})
 		expectGolden(t, "run_E2_quick_seed7.golden", out)
+	}
+}
+
+// TestRunExperimentGoldenTransports is the transport differential at
+// the CLI: `run E2 -shards 2` must reproduce the committed unsharded
+// golden byte for byte over every cut-exchange transport — the
+// in-process loopback-TCP links and the real N-process shard-worker
+// path alike. GOMAXPROCS is pinned for the chunk boundaries, as in
+// TestRunExperimentGoldenSharded.
+func TestRunExperimentGoldenTransports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment table in -short mode")
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	for _, transport := range []string{"tcp-loopback", "tcp"} {
+		t.Run(transport, func(t *testing.T) {
+			out := captureStdout(t, func() error {
+				return cmdRun([]string{"E2", "-quick", "-seed", "7", "-shards", "2", "-transport", transport})
+			})
+			expectGolden(t, "run_E2_quick_seed7.golden", out)
+		})
 	}
 }
 

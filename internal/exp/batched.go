@@ -6,6 +6,7 @@ import (
 	"rlnc/internal/local"
 	"rlnc/internal/localrand"
 	"rlnc/internal/mc"
+	"rlnc/internal/report"
 )
 
 // trialBatchWidth is the lane count the experiment trial loops hand to
@@ -32,8 +33,18 @@ type trialBatch struct {
 
 // newTrialBatch returns the per-worker state constructor for trial loops
 // over the given plan; shards > 1 equips each worker group with a
-// sharded executor (clamped to the graph's node count).
-func newTrialBatch(plan *local.Plan, shards int) func() *trialBatch {
+// sharded executor (clamped to the graph's node count), built by the
+// injected provider when one is set — that is how `rlnc run -transport`
+// swaps the in-process channel links for loopback-TCP links or a
+// shard-worker process pool. A provider that refuses (a worker pool
+// serves one group at a time) degrades the group to a plain batch,
+// which the sharding contract keeps byte-identical.
+func newTrialBatch(plan *local.Plan, shards int, provider func(plan *local.Plan, width, shards int) (*local.Sharded, error)) func() *trialBatch {
+	if provider == nil {
+		provider = func(plan *local.Plan, width, shards int) (*local.Sharded, error) {
+			return plan.NewSharded(width, shards)
+		}
+	}
 	return func() *trialBatch {
 		s := &trialBatch{
 			draws:  make([]localrand.Draw, trialBatchWidth),
@@ -44,7 +55,7 @@ func newTrialBatch(plan *local.Plan, shards int) func() *trialBatch {
 			shards = n
 		}
 		if shards > 1 {
-			sh, err := plan.NewSharded(trialBatchWidth, shards)
+			sh, err := provider(plan, trialBatchWidth, shards)
 			if err == nil {
 				s.sh = sh
 				s.bt = sh.Unsharded()
@@ -54,6 +65,16 @@ func newTrialBatch(plan *local.Plan, shards int) func() *trialBatch {
 		s.bt = plan.NewBatch(trialBatchWidth)
 		return s
 	}
+}
+
+// Close releases the worker's sharded executor (transport links, worker
+// pool leases); the mc harness closes trial states when their worker
+// retires.
+func (s *trialBatch) Close() error {
+	if s.sh != nil {
+		return s.sh.Close()
+	}
+	return nil
 }
 
 // construct runs one construction lane vector on the worker's engine:
@@ -97,21 +118,22 @@ func (s *trialBatch) decisions(in *lang.Instance, ys [][][]byte) []*lang.Decisio
 
 // runBatched is the batched analogue of mc.RunWith over one plan.
 func runBatched(trials int, plan *local.Plan, f func(s *trialBatch, lo, hi int, out []bool)) mc.Estimate {
-	return mc.RunBatched(trials, trialBatchWidth, newTrialBatch(plan, 1), f)
+	return mc.RunBatched(trials, trialBatchWidth, newTrialBatch(plan, 1, nil), f)
 }
 
 // meanBatched is the batched analogue of mc.MeanWith over one plan.
 func meanBatched(trials int, plan *local.Plan, f func(s *trialBatch, lo, hi int, out []float64)) (mean, stderr float64) {
-	return mc.MeanBatched(trials, trialBatchWidth, newTrialBatch(plan, 1), f)
+	return mc.MeanBatched(trials, trialBatchWidth, newTrialBatch(plan, 1, nil), f)
 }
 
 // meanSharded is meanBatched with the trial chunks distributed across
-// shard groups of `shards` shards each (mc.MeanSharded); shards <= 1
-// falls back to the plain batched pool. Message constructions then run
-// on sharded engines with byte-identical per-trial outputs.
-func meanSharded(trials int, plan *local.Plan, shards int, f func(s *trialBatch, lo, hi int, out []float64)) (mean, stderr float64) {
-	if shards <= 1 {
+// shard groups of cfg.Shards shards each (mc.MeanSharded), built through
+// cfg.NewSharded when a transport was injected; cfg.Shards <= 1 falls
+// back to the plain batched pool. Message constructions then run on
+// sharded engines with byte-identical per-trial outputs.
+func meanSharded(trials int, plan *local.Plan, cfg report.Config, f func(s *trialBatch, lo, hi int, out []float64)) (mean, stderr float64) {
+	if cfg.Shards <= 1 {
 		return meanBatched(trials, plan, f)
 	}
-	return mc.MeanSharded(trials, trialBatchWidth, shards, newTrialBatch(plan, shards), f)
+	return mc.MeanSharded(trials, trialBatchWidth, cfg.Shards, newTrialBatch(plan, cfg.Shards, cfg.NewSharded), f)
 }

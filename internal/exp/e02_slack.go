@@ -31,12 +31,12 @@ func (e2) PaperRef() string {
 // trialBatchWidth through one batched engine per worker — or, when
 // shards > 1, through one sharded executor per worker group, with
 // byte-identical per-trial outputs.
-func meanBadFraction(n, T, nTrials int, seed uint64, shards int) (float64, float64) {
+func meanBadFraction(n, T, nTrials int, seed uint64, cfg report.Config) (float64, float64) {
 	l := lang.ProperColoring(3)
 	in := cycleInstance(n, 1)
 	space := localrand.NewTapeSpace(seed)
 	plan := local.MustPlan(in.G)
-	return meanSharded(nTrials, plan, shards, func(s *trialBatch, lo, hi int, out []float64) {
+	return meanSharded(nTrials, plan, cfg, func(s *trialBatch, lo, hi int, out []float64) {
 		draws := s.lanes(space, lo, hi, func(t int) uint64 { return uint64(t) })
 		ys, err := s.construct(construct.RetryColoring{Q: 3, T: T}, in, draws)
 		if err != nil {
@@ -61,7 +61,7 @@ func (e e2) Run(cfg report.Config) (*report.Result, error) {
 		"n", "mean bad fraction", "stderr", "analytic 5/9")
 	flat := true
 	for _, n := range pick(cfg, []int{600, 2400, 9600, 38400}, []int{300, 1200}) {
-		mean, se := meanBadFraction(n, 0, nTrials, cfg.Seed^0xE2A, cfg.Shards)
+		mean, se := meanBadFraction(n, 0, nTrials, cfg.Seed^0xE2A, cfg)
 		ta.AddRow(n, fmt.Sprintf("%.4f", mean), fmt.Sprintf("%.4f", se), fmt.Sprintf("%.4f", 5.0/9))
 		if math.Abs(mean-5.0/9) > 0.03 {
 			flat = false
@@ -77,7 +77,7 @@ func (e e2) Run(cfg report.Config) (*report.Result, error) {
 	}
 	var fractions []float64
 	for _, T := range pick(cfg, []int{0, 1, 2, 3, 4, 6, 8}, []int{0, 2, 4}) {
-		mean, se := meanBadFraction(nB, T, nTrials, cfg.Seed^0xE2B, cfg.Shards)
+		mean, se := meanBadFraction(nB, T, nTrials, cfg.Seed^0xE2B, cfg)
 		tb.AddRow(T, fmt.Sprintf("%.4f", mean), fmt.Sprintf("%.4f", se))
 		fractions = append(fractions, mean)
 	}
@@ -93,7 +93,7 @@ func (e e2) Run(cfg report.Config) (*report.Result, error) {
 		"ε", "rounds at n=600", "rounds at n=4800")
 	roundsFor := func(eps float64, n int) int {
 		for T := 0; T <= 16; T++ {
-			mean, _ := meanBadFraction(n, T, nTrials, cfg.Seed^0xE2C, cfg.Shards)
+			mean, _ := meanBadFraction(n, T, nTrials, cfg.Seed^0xE2C, cfg)
 			if mean <= eps {
 				return T
 			}

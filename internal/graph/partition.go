@@ -118,6 +118,93 @@ func RandomPartition(n, shards int, rng *rand.Rand) Partition {
 	return Partition{Bounds: bounds}
 }
 
+// ShardSlots is the compacted slot space of one shard under a partition:
+// the per-shard global→local slot remap that lets a shard allocate
+// engine slabs covering only what it actually touches — its own slot
+// window plus the remote halo it reads — instead of the whole graph.
+//
+// Local slot coordinates are laid out as
+//
+//	[0, NumOwn())        the shard's own global window [SlotLo, SlotHi),
+//	                     in ascending global order (local = global−SlotLo)
+//	[NumOwn(), NumLocal()) the halo: remote cut slots this shard reads,
+//	                     grouped by owning shard in ascending shard order
+//	                     and ascending slot order within a group — exactly
+//	                     the order of Topology.CutSlots' cuts[j][i] lists,
+//	                     so one peer's halo segment is contiguous.
+//
+// Rev is the delivery wiring in local coordinates: Rev[p] is the local
+// slot holding the message arriving on the shard's own slot SlotLo+p
+// (the remap of Topology.RevSlot, which by the cut construction always
+// lands in the own window or the halo). HaloDeg[h] is the degree of the
+// remote node owning halo slot h — slab layouts size a slot's message
+// capacity from its sender's degree, and the sender of a halo slot lives
+// on another shard.
+type ShardSlots struct {
+	NodeLo, NodeHi int
+	SlotLo, SlotHi int32
+	Halo           []int32 // global ids of the halo slots, in local order
+	HaloOff        []int32 // len shards+1: halo group of peer j is Halo[HaloOff[j]:HaloOff[j+1]]
+	HaloDeg        []int32 // degree of the owning node of each halo slot
+	Rev            []int32 // len NumOwn(): local index of the reverse slot
+}
+
+// NumOwn returns the number of slots the shard owns.
+func (w *ShardSlots) NumOwn() int { return int(w.SlotHi - w.SlotLo) }
+
+// NumLocal returns the total local slot count (own window + halo).
+func (w *ShardSlots) NumLocal() int { return w.NumOwn() + len(w.Halo) }
+
+// HaloLocal returns the local index of the first halo slot of peer j's
+// group (meaningful only when the group is non-empty).
+func (w *ShardSlots) HaloLocal(j int) int { return w.NumOwn() + int(w.HaloOff[j]) }
+
+// ShardSlots computes shard's compacted slot space under p. cuts must be
+// t.CutSlots(p); callers building every shard's window share one cut
+// table. The partition is assumed valid (CheckPartition).
+func (t *Topology) ShardSlots(p Partition, cuts [][][]int32, shard int) ShardSlots {
+	lo, hi := p.Shard(shard)
+	w := ShardSlots{
+		NodeLo: lo, NodeHi: hi,
+		SlotLo: t.Offsets[lo], SlotHi: t.Offsets[hi],
+	}
+	shards := p.NumShards()
+	w.HaloOff = make([]int32, shards+1)
+	for j := 0; j < shards; j++ {
+		w.HaloOff[j+1] = w.HaloOff[j] + int32(len(cuts[j][shard]))
+		w.Halo = append(w.Halo, cuts[j][shard]...)
+	}
+	own := w.NumOwn()
+	// localOf maps the halo's global slots to their local indices; own
+	// slots need no table (local = global − SlotLo).
+	localOf := make(map[int32]int32, len(w.Halo))
+	w.HaloDeg = make([]int32, len(w.Halo))
+	for h, s := range w.Halo {
+		localOf[s] = int32(own + h)
+		// The owner of global slot s is the node whose slot window
+		// contains s.
+		v := sort.Search(t.NumNodes(), func(v int) bool { return t.Offsets[v+1] > s })
+		w.HaloDeg[h] = t.Offsets[v+1] - t.Offsets[v]
+	}
+	w.Rev = make([]int32, own)
+	for p := 0; p < own; p++ {
+		r := t.RevSlot[int(w.SlotLo)+p]
+		if r >= w.SlotLo && r < w.SlotHi {
+			w.Rev[p] = r - w.SlotLo
+			continue
+		}
+		local, ok := localOf[r]
+		if !ok {
+			// CutSlots lists every remote slot whose receiver lives in
+			// this shard, so a miss means the partition and cut table
+			// disagree — a caller bug, not a data condition.
+			panic(fmt.Sprintf("graph: reverse slot %d of shard %d is neither owned nor in the halo", r, shard))
+		}
+		w.Rev[p] = local
+	}
+	return w
+}
+
 // CutSlots returns, for every ordered shard pair, the directed slots cut
 // by the partition: CutSlots(p)[i][j] lists — in ascending slot order —
 // the slots owned by shard i (messages staged by shard-i senders) whose

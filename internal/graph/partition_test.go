@@ -141,6 +141,91 @@ func ownerOf(topo *Topology, s int) int32 {
 	return -1
 }
 
+// TestShardSlots pins the compacted slot remap: for every shard of
+// several graph × partition fixtures, the window's own range matches the
+// node bounds, the halo is exactly the union of the incoming cut lists
+// (grouped by peer, ascending), HaloDeg matches the owning node's
+// degree, and Rev remaps Topology.RevSlot faithfully — the delivery a
+// compacted shard resolves through local coordinates is the same edge
+// the global table names.
+func TestShardSlots(t *testing.T) {
+	fixtures := []struct {
+		name   string
+		g      *Graph
+		shards int
+	}{
+		{"cycle-2", Cycle(12), 2},
+		{"cycle-4", Cycle(12), 4},
+		{"star-3", Star(9), 3},
+		{"grid-4", Grid(4, 5), 4},
+		{"all", Cycle(7), 7},
+	}
+	for _, tc := range fixtures {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, err := tc.g.Topology()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := topo.PartitionBySlots(tc.shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cuts := topo.CutSlots(p)
+			totalLocal := 0
+			for i := 0; i < p.NumShards(); i++ {
+				w := topo.ShardSlots(p, cuts, i)
+				lo, hi := p.Shard(i)
+				if w.NodeLo != lo || w.NodeHi != hi {
+					t.Fatalf("shard %d node window [%d,%d), want [%d,%d)", i, w.NodeLo, w.NodeHi, lo, hi)
+				}
+				if w.SlotLo != topo.Offsets[lo] || w.SlotHi != topo.Offsets[hi] {
+					t.Fatalf("shard %d slot window [%d,%d)", i, w.SlotLo, w.SlotHi)
+				}
+				totalLocal += w.NumLocal()
+				// Halo = incoming cut lists, grouped by peer in order.
+				h := 0
+				for j := 0; j < p.NumShards(); j++ {
+					if int(w.HaloOff[j]) != h {
+						t.Fatalf("shard %d halo offset of peer %d = %d, want %d", i, j, w.HaloOff[j], h)
+					}
+					for _, s := range cuts[j][i] {
+						if w.Halo[h] != s {
+							t.Fatalf("shard %d halo[%d] = %d, want cut slot %d of peer %d", i, h, w.Halo[h], s, j)
+						}
+						if own := ownerOf(topo, int(s)); w.HaloDeg[h] != topo.Offsets[own+1]-topo.Offsets[own] {
+							t.Fatalf("shard %d halo[%d] degree %d, want owner degree", i, h, w.HaloDeg[h])
+						}
+						h++
+					}
+				}
+				if h != len(w.Halo) {
+					t.Fatalf("shard %d halo has %d slots, cut lists name %d", i, len(w.Halo), h)
+				}
+				// Rev remaps the global reverse table: resolve the local
+				// index back to a global slot and compare.
+				globalOf := func(local int32) int32 {
+					if int(local) < w.NumOwn() {
+						return w.SlotLo + local
+					}
+					return w.Halo[int(local)-w.NumOwn()]
+				}
+				for q := 0; q < w.NumOwn(); q++ {
+					want := topo.RevSlot[int(w.SlotLo)+q]
+					if got := globalOf(w.Rev[q]); got != want {
+						t.Fatalf("shard %d Rev[%d] resolves to global %d, want %d", i, q, got, want)
+					}
+				}
+			}
+			// Compaction is real: summed local slot spaces stay well under
+			// shards × global slots (each cut slot is duplicated once as a
+			// halo entry, never more).
+			if max := topo.NumSlots() * p.NumShards(); tc.shards > 1 && totalLocal >= max {
+				t.Fatalf("no compaction: %d total local slots vs %d uncompacted", totalLocal, max)
+			}
+		})
+	}
+}
+
 // Property: on random connected graphs with random contiguous
 // partitions, every cross-shard directed slot appears in exactly one cut
 // list and intra-shard slots in none — the exchange ships each cut edge

@@ -3,6 +3,7 @@ package local
 import (
 	"fmt"
 
+	"rlnc/internal/graph"
 	"rlnc/internal/ids"
 	"rlnc/internal/lang"
 	"rlnc/internal/localrand"
@@ -31,6 +32,21 @@ import (
 type Batch struct {
 	plan  *Plan
 	width int
+
+	// win, when non-nil, makes this batch one shard's compacted window:
+	// its wire slabs cover only the shard's own slot range plus the
+	// remote halo it reads (graph.ShardSlots), indexed by the window's
+	// local slot coordinates — global slot s of the own range lives at
+	// local s−slotBase, halo slots after the own range. slotBase and
+	// revTab are the coordinate shift the passes apply: for a full batch
+	// slotBase is 0 and revTab is the topology's global RevSlot table, so
+	// the unsharded round loop pays a constant subtract-zero and nothing
+	// else. Windowed batches must only ever be driven over the window's
+	// node range (the sharded orchestrator does); procs/done/tapes stay
+	// globally node-indexed so collection code is shared.
+	win      *graph.ShardSlots
+	slotBase int
+	revTab   []int32
 
 	// Message-path scratch, recomputed per run (the layout depends on the
 	// algorithm's MsgWords) and reallocated only on growth. The wire slabs
@@ -116,7 +132,28 @@ func (p *Plan) NewBatch(width int) *Batch {
 	if width < 1 {
 		panic(fmt.Sprintf("local: batch width %d, need >= 1", width))
 	}
-	return &Batch{plan: p, width: width}
+	return &Batch{plan: p, width: width, revTab: p.topo.RevSlot}
+}
+
+// newWindowBatch returns a batch whose wire slabs are compacted to one
+// shard's slot window plus its halo. Only the sharded orchestrator and
+// the shard-worker protocol build these; they drive the passes strictly
+// over the window's node range.
+func (p *Plan) newWindowBatch(width int, win *graph.ShardSlots) *Batch {
+	bt := p.NewBatch(width)
+	bt.win = win
+	bt.slotBase = int(win.SlotLo)
+	bt.revTab = win.Rev
+	return bt
+}
+
+// localSlots returns the batch's slot-space size: the full topology for
+// an unwindowed batch, own range + halo for a shard window.
+func (bt *Batch) localSlots() int {
+	if bt.win != nil {
+		return bt.win.NumLocal()
+	}
+	return bt.plan.topo.NumSlots()
 }
 
 // Plan returns the plan the batch executes on.
@@ -197,12 +234,15 @@ const msgSlabBudget = 256 << 10
 // O(slots) and allocation-free once grown.
 func (bt *Batch) layoutWire(wa WireAlgorithm) {
 	topo := bt.plan.topo
-	n := topo.NumNodes()
-	slots := topo.NumSlots()
+	vlo, vhi := 0, topo.NumNodes()
+	slots := bt.localSlots()
+	if bt.win != nil {
+		vlo, vhi = bt.win.NodeLo, bt.win.NodeHi
+	}
 	bt.capW = sliceFor(bt.capW, slots)
 	bt.offW = sliceFor(bt.offW, slots)
 	total := 0
-	for v := 0; v < n; v++ {
+	for v := vlo; v < vhi; v++ {
 		lo, hi := topo.Slots(v)
 		if lo == hi {
 			continue
@@ -212,8 +252,24 @@ func (bt *Batch) layoutWire(wa WireAlgorithm) {
 			panic(fmt.Sprintf("local: %s.MsgWords(%d) = %d, need >= 0", wa.Name(), hi-lo, w))
 		}
 		for s := lo; s < hi; s++ {
-			bt.offW[s] = int32(total)
-			bt.capW[s] = int32(w)
+			bt.offW[s-bt.slotBase] = int32(total)
+			bt.capW[s-bt.slotBase] = int32(w)
+			total += w
+		}
+	}
+	if bt.win != nil {
+		// Halo slots: their senders live on other shards, so the word
+		// capacity comes from the window's recorded sender degrees — the
+		// same MsgWords the owning shard computes, keeping both sides of
+		// a cut in exact layout agreement.
+		own := bt.win.NumOwn()
+		for h, deg := range bt.win.HaloDeg {
+			w := wa.MsgWords(int(deg))
+			if w < 0 {
+				panic(fmt.Sprintf("local: %s.MsgWords(%d) = %d, need >= 0", wa.Name(), deg, w))
+			}
+			bt.offW[own+h] = int32(total)
+			bt.capW[own+h] = int32(w)
 			total += w
 		}
 	}
@@ -235,6 +291,27 @@ func (bt *Batch) layoutWire(wa WireAlgorithm) {
 		block = bt.width
 	}
 	bt.block = block
+}
+
+// SlabBytesFor reports the byte footprint of the double-buffered wire
+// slabs one pass of algo streams on this batch — the memory a shard (or
+// an unsharded batch) actually pays per lane block under its current
+// slot space. It computes the algorithm's layout as a side effect, like
+// a run would. The sharded compaction gate compares per-shard windows
+// against the full batch through it.
+func (bt *Batch) SlabBytesFor(algo MessageAlgorithm) int {
+	bt.layoutWire(wireOf(algo))
+	return bt.slabBytes()
+}
+
+// slabBytes is SlabBytesFor under the already-computed layout.
+func (bt *Batch) slabBytes() int {
+	slots := bt.localSlots()
+	perLane := 2 * (8*bt.totalW + 4*slots)
+	if bt.useRefs {
+		perLane += 2 * 16 * slots
+	}
+	return perLane * bt.block
 }
 
 // msgLanesFor returns the lane count of one message pass of algo — how
@@ -459,7 +536,7 @@ func (bt *Batch) startPass(w, vlo, vhi int) {
 	for v := vlo; v < vhi; v++ {
 		lo, hi := topo.Slots(v)
 		deg := hi - lo
-		out.deg, out.slotLo = deg, lo
+		out.deg, out.slotLo = deg, lo-bt.slotBase
 		for b := 0; b < k; b++ {
 			in := insOf(b)
 			done[v*B+b] = false
@@ -503,12 +580,15 @@ func (bt *Batch) roundPass(w, vlo, vhi int) {
 	bt.bindOutbox(out, bt.nextLens, bt.nextWord, bt.nextRefs)
 	curLens, nextLens, nextRefs := bt.curLens, bt.nextLens, bt.nextRefs
 	alive, done, procs := bt.alive, bt.done, bt.procs
+	base := bt.slotBase
 	for v := vlo; v < vhi; v++ {
 		lo, hi := topo.Slots(v)
 		deg := hi - lo
-		rev := topo.RevSlot[lo:hi]
+		// revTab is already in the batch's local slot coordinates (the
+		// global table for a full batch, the window remap for a shard).
+		rev := bt.revTab[lo-base : hi-base]
 		in.deg, in.slot = deg, rev
-		out.deg, out.slotLo = deg, lo
+		out.deg, out.slotLo = deg, lo-base
 		for b := 0; b < k; b++ {
 			if !alive[b] {
 				continue
@@ -522,7 +602,7 @@ func (bt *Batch) roundPass(w, vlo, vhi int) {
 			msgRow[b] += int64(delivered)
 			// Reset this lane's outgoing slots before staging: next still
 			// holds the sends of two rounds ago.
-			for s := lo; s < hi; s++ {
+			for s := lo - base; s < hi-base; s++ {
 				nextLens[s*B+b] = 0
 				if nextRefs != nil {
 					nextRefs[s*B+b] = nil
@@ -567,8 +647,13 @@ func (bt *Batch) bindOutbox(out *Outbox, lens []int32, words []uint64, refs []Me
 // layout, any lane count) allocates nothing.
 func (bt *Batch) ensureWireState() {
 	n := bt.plan.g.N()
-	slots := bt.plan.topo.NumSlots()
+	slots := bt.localSlots()
 	B := bt.block
+	if bt.revTab == nil {
+		// Engines embed a zero-value Batch; a full batch's delivery table
+		// is the topology's global one.
+		bt.revTab = bt.plan.topo.RevSlot
+	}
 	bt.curLens = sliceFor(bt.curLens, slots*B)
 	bt.nextLens = sliceFor(bt.nextLens, slots*B)
 	bt.curWords = sliceFor(bt.curWords, bt.totalW*B)

@@ -1,0 +1,403 @@
+package local
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"rlnc/internal/graph"
+	"rlnc/internal/lang"
+	"rlnc/internal/localrand"
+)
+
+// TestFrameRoundTrip pins the codec: lens, words, and gob-portable refs
+// survive encode → decode byte for byte, including empty sections and
+// reused decode buffers.
+func TestFrameRoundTrip(t *testing.T) {
+	blocks := []CutBlock{
+		{},
+		{Lens: []int32{0, 2, 1}, Words: []uint64{7, ^uint64(0)}},
+		{Lens: []int32{1}, Words: nil},
+		{
+			Lens:  []int32{2, 0},
+			Words: []uint64{42},
+			Refs:  []Message{wireMsg{Words: []uint64{1, 2, 3}}, nil},
+		},
+	}
+	var blk CutBlock
+	var scratch []byte
+	for round, want := range blocks {
+		frame, err := appendFrame(nil, round, want)
+		if err != nil {
+			t.Fatalf("round %d: encode: %v", round, err)
+		}
+		scratch, err = readFrame(bytes.NewReader(frame), round, &blk, scratch)
+		if err != nil {
+			t.Fatalf("round %d: decode: %v", round, err)
+		}
+		if len(blk.Lens) != len(want.Lens) || len(blk.Words) != len(want.Words) {
+			t.Fatalf("round %d: shape %d/%d, want %d/%d", round, len(blk.Lens), len(blk.Words), len(want.Lens), len(want.Words))
+		}
+		for i := range want.Lens {
+			if blk.Lens[i] != want.Lens[i] {
+				t.Fatalf("round %d: lens[%d] = %d, want %d", round, i, blk.Lens[i], want.Lens[i])
+			}
+		}
+		for i := range want.Words {
+			if blk.Words[i] != want.Words[i] {
+				t.Fatalf("round %d: words[%d] = %d, want %d", round, i, blk.Words[i], want.Words[i])
+			}
+		}
+		if len(want.Refs) > 0 {
+			if len(blk.Refs) != len(want.Refs) {
+				t.Fatalf("round %d: %d refs, want %d", round, len(blk.Refs), len(want.Refs))
+			}
+			wm := blk.Refs[0].(wireMsg)
+			if len(wm.Words) != 3 || wm.Words[2] != 3 {
+				t.Fatalf("round %d: ref payload %#v", round, blk.Refs[0])
+			}
+			if blk.Refs[1] != nil {
+				t.Fatalf("round %d: nil ref decoded as %#v", round, blk.Refs[1])
+			}
+		}
+	}
+}
+
+// unregisteredPayload is a ref payload gob cannot encode (never
+// registered), driving the in-process-only error path.
+type unregisteredPayload struct{ V int }
+
+// TestFrameRefsInProcessOnly pins the explicit error for boxed payloads
+// that cannot cross a byte stream.
+func TestFrameRefsInProcessOnly(t *testing.T) {
+	_, err := appendFrame(nil, 1, CutBlock{
+		Lens: []int32{1},
+		Refs: []Message{unregisteredPayload{V: 7}},
+	})
+	if !errors.Is(err, ErrRefsNotPortable) {
+		t.Fatalf("unregistered ref payload encoded: err = %v", err)
+	}
+}
+
+// corruptFrame returns a valid frame with fn applied to its bytes.
+func corruptFrame(t *testing.T, fn func(f []byte) []byte) []byte {
+	t.Helper()
+	f, err := appendFrame(nil, 3, CutBlock{Lens: []int32{2, 0}, Words: []uint64{9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fn(f)
+}
+
+// TestFrameMalformed pins every malformed-frame class to a descriptive
+// ErrFrame: truncated header, bad magic, wrong version byte, oversized
+// declared sections, truncated payload, and a round mismatch.
+func TestFrameMalformed(t *testing.T) {
+	cases := map[string]struct {
+		frame []byte
+		round int
+		want  string
+	}{
+		"truncated-header": {
+			frame: corruptFrame(t, func(f []byte) []byte { return f[:frameHdrLen-5] }),
+			round: 3, want: "truncated header",
+		},
+		"bad-magic": {
+			frame: corruptFrame(t, func(f []byte) []byte { f[0] = 'X'; return f }),
+			round: 3, want: "bad magic",
+		},
+		"wrong-version": {
+			frame: corruptFrame(t, func(f []byte) []byte { f[4] = 9; return f }),
+			round: 3, want: "version 9",
+		},
+		"reserved-bytes": {
+			frame: corruptFrame(t, func(f []byte) []byte { f[6] = 1; return f }),
+			round: 3, want: "reserved",
+		},
+		"oversized": {
+			frame: corruptFrame(t, func(f []byte) []byte {
+				binary.LittleEndian.PutUint32(f[16:20], 1<<30)
+				return f
+			}),
+			round: 3, want: "oversized",
+		},
+		"truncated-payload": {
+			frame: corruptFrame(t, func(f []byte) []byte { return f[:len(f)-3] }),
+			round: 3, want: "truncated payload",
+		},
+		"round-mismatch": {
+			frame: corruptFrame(t, func(f []byte) []byte { return f }),
+			round: 4, want: "round 3 arrived in round 4",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			var blk CutBlock
+			_, err := readFrame(bytes.NewReader(tc.frame), tc.round, &blk, nil)
+			if !errors.Is(err, ErrFrame) {
+				t.Fatalf("err = %v, want ErrFrame", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err %q does not describe %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestInstallCutRejectsMismatch pins the engine-side shape validation: a
+// decoded block whose lens or words disagree with the receiver's layout
+// returns a descriptive error instead of corrupting slabs or panicking.
+func TestInstallCutRejectsMismatch(t *testing.T) {
+	g := graph.Cycle(8)
+	plan := MustPlan(g)
+	sh, err := plan.NewSharded(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := mustInstance(t, g)
+	// One clean run computes the layout and slabs.
+	if _, err := sh.Run(in, wireMix{rounds: 2}, drawRange(localrand.NewTapeSpace(3), 0, 2), RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	bt := sh.shards[1].bt
+	port := sh.shards[1].in[0]
+	k := 2
+	if err := bt.installCut(port.haloLo, len(port.cut), k, CutBlock{Lens: []int32{1}}); err == nil ||
+		!strings.Contains(err.Error(), "lens") {
+		t.Fatalf("short lens accepted: %v", err)
+	}
+	lens := make([]int32, len(port.cut)*k)
+	if err := bt.installCut(port.haloLo, len(port.cut), k, CutBlock{Lens: lens, Words: make([]uint64, 1)}); err == nil ||
+		!strings.Contains(err.Error(), "words") {
+		t.Fatalf("word-count mismatch accepted: %v", err)
+	}
+}
+
+// TestShardedTCPLoopback runs the sharded engine over real loopback TCP
+// links — the framed byte-stream transport end to end — and pins
+// byte-identical results against the unsharded batch, reuse across
+// back-to-back runs included.
+func TestShardedTCPLoopback(t *testing.T) {
+	space := localrand.NewTapeSpace(41)
+	for name, g := range testFamilies(t) {
+		t.Run(name, func(t *testing.T) {
+			in := mustInstance(t, g)
+			plan := MustPlan(g)
+			bt := plan.NewBatch(3)
+			sh, err := plan.NewSharded(3, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh.UseTCPLoopback()
+			defer sh.Close()
+			lo := 0
+			for rep, k := range []int{3, 2} {
+				draws := drawRange(space, lo, k)
+				want, err := bt.Run(in, wireMix{rounds: 4}, draws, RunOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sh.Run(in, wireMix{rounds: 4}, draws, RunOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for b := 0; b < k; b++ {
+					expectSameResult(t, fmt.Sprintf("tcp rep %d lane %d", rep, b), want[b], got[b])
+				}
+				lo += k
+			}
+		})
+	}
+}
+
+// TestShardedTCPRefsPayloads pins the gob ref path over a byte stream:
+// a legacy boxed algorithm whose payloads are engine wireMsg values
+// crosses the TCP cut byte-identically, while an algorithm with
+// unregistered payload types aborts with the in-process-only error.
+func TestShardedTCPRefsPayloads(t *testing.T) {
+	g := graph.Cycle(10)
+	in := mustInstance(t, g)
+	plan := MustPlan(g)
+	space := localrand.NewTapeSpace(43)
+
+	// Boxed wire algorithm: payloads box as gob-registered wireMsg.
+	sh, err := plan.NewSharded(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.UseTCPLoopback()
+	defer sh.Close()
+	boxed := Boxed(wireMix{rounds: 3})
+	draws := drawRange(space, 0, 2)
+	want, err := plan.NewBatch(2).Run(in, boxed, draws, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sh.Run(in, boxed, draws, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range draws {
+		expectSameResult(t, fmt.Sprintf("boxed tcp lane %d", b), want[b], got[b])
+	}
+
+	// tapeXOR's payloads are plain uint64s boxed through the shim — a
+	// gob builtin, so they cross the byte stream byte-identically.
+	xdraws := drawRange(space, 4, 2)
+	want, err = plan.NewBatch(2).Run(in, tapeXOR{rounds: 2}, xdraws, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = sh.Run(in, tapeXOR{rounds: 2}, xdraws, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range xdraws {
+		expectSameResult(t, fmt.Sprintf("legacy tcp lane %d", b), want[b], got[b])
+	}
+
+	// A payload type gob has never seen must be refused with the explicit
+	// in-process-only error, and the run must abort cleanly.
+	if _, err := sh.Run(in, structPayloadAlgo{}, drawRange(space, 8, 2), RunOptions{}); err == nil ||
+		!errors.Is(err, ErrRefsNotPortable) {
+		t.Fatalf("unregistered ref payloads crossed TCP: err = %v", err)
+	}
+	// The same algorithm over in-process links runs fine: the refs path
+	// is in-process-only, not broken.
+	sh2, err := plan.NewSharded(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh2.Run(in, structPayloadAlgo{}, drawRange(space, 8, 2), RunOptions{}); err != nil {
+		t.Fatalf("in-process run of struct payloads: %v", err)
+	}
+}
+
+// structPayloadAlgo is a legacy algorithm whose payloads are an
+// unregistered struct type: portable nowhere but in process.
+type structPayloadAlgo struct{}
+
+func (structPayloadAlgo) Name() string        { return "struct-payload" }
+func (structPayloadAlgo) NewProcess() Process { return &structPayloadProc{} }
+
+type structPayloadProc struct{ sum int }
+
+func (p *structPayloadProc) Start(info NodeInfo) []Message {
+	out := make([]Message, info.Degree)
+	for i := range out {
+		out[i] = unregisteredPayload{V: int(info.ID)}
+	}
+	return out
+}
+
+func (p *structPayloadProc) Step(round int, received []Message) ([]Message, bool) {
+	for _, m := range received {
+		if m != nil {
+			p.sum += m.(unregisteredPayload).V
+		}
+	}
+	return nil, true
+}
+
+func (p *structPayloadProc) Output() []byte { return encode64(int64(p.sum)) }
+
+// TestShardedTCPRecoversAfterAbort pins the pooled-connection hygiene of
+// the loopback transport: a run that dies mid-round (one shard panics,
+// its peer's Recv hits the link deadline) may strand stale or partial
+// frames in the pooled sockets, so the next run must get fresh
+// connections — and byte-identical results — instead of round-mismatch
+// errors off the poisoned streams.
+func TestShardedTCPRecoversAfterAbort(t *testing.T) {
+	g := graph.Cycle(10)
+	in := mustInstance(t, g)
+	plan := MustPlan(g)
+	sh, err := plan.NewSharded(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.SetLinkTimeout(200 * time.Millisecond)
+	sh.UseTCPLoopback()
+	defer sh.Close()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected the node panic to re-raise")
+			}
+		}()
+		sh.RunInstances([]*lang.Instance{in}, panicOnNode{node: in.ID[7]}, nil, RunOptions{})
+	}()
+
+	draws := drawRange(localrand.NewTapeSpace(61), 0, 2)
+	want, err := plan.NewBatch(2).Run(in, wireMix{rounds: 3}, draws, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sh.Run(in, wireMix{rounds: 3}, draws, RunOptions{})
+	if err != nil {
+		t.Fatalf("run after aborted TCP run: %v", err)
+	}
+	for b := range draws {
+		expectSameResult(t, fmt.Sprintf("post-abort lane %d", b), want[b], got[b])
+	}
+}
+
+// TestInstallCutRejectsOversizedLens pins the value-level validation: a
+// structurally valid frame whose lens entry exceeds the slot's word
+// capacity must be refused — the Inbox would otherwise read past the
+// slot's words (or panic) on delivery.
+func TestInstallCutRejectsOversizedLens(t *testing.T) {
+	g := graph.Cycle(8)
+	plan := MustPlan(g)
+	sh, err := plan.NewSharded(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := mustInstance(t, g)
+	if _, err := sh.Run(in, wireMix{rounds: 2}, drawRange(localrand.NewTapeSpace(9), 0, 2), RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	bt := sh.shards[1].bt
+	port := sh.shards[1].in[0]
+	k := 2
+	lens := make([]int32, len(port.cut)*k)
+	words := 0
+	for i := range port.cut {
+		words += int(bt.capW[port.haloLo+i]) * k
+	}
+	lens[0] = bt.capW[port.haloLo] + 2 // one word past the slot capacity
+	err = bt.installCut(port.haloLo, len(port.cut), k, CutBlock{Lens: lens, Words: make([]uint64, words)})
+	if err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("oversized len accepted: %v", err)
+	}
+}
+
+// TestShardedGarbageStream pins the decode → abort path end to end: a
+// link whose byte stream is garbage aborts the sharded run with a
+// descriptive frame error — no panic, no hang.
+func TestShardedGarbageStream(t *testing.T) {
+	g := graph.Cycle(8)
+	in := mustInstance(t, g)
+	plan := MustPlan(g)
+	sh, err := plan.NewSharded(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.SetLinkFactory(func(from, to int, cut []int32) ShardLink {
+		recvA, recvB := net.Pipe()
+		go recvB.Write([]byte("this is not a cut block frame, not even close!!"))
+		sendA, sendB := net.Pipe()
+		go io.Copy(io.Discard, sendB)
+		return StreamLink(sendA, recvA, 200*time.Millisecond)
+	})
+	_, err = sh.Run(in, wireMix{rounds: 2}, drawRange(localrand.NewTapeSpace(5), 0, 2), RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("garbage stream: err = %v, want a frame error", err)
+	}
+}

@@ -3,6 +3,7 @@ package local
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"rlnc/internal/graph"
 	"rlnc/internal/ids"
@@ -15,12 +16,17 @@ import (
 // the plan's CSR layout (a cut in Topology.Offsets) and executing the
 // full lane vector over its own range with the ordinary Batch machinery —
 // startPass and roundPass are reused unchanged, driven over the shard's
-// node window instead of the whole graph. The only thing a shard cannot
+// node window on a compacted slab window: each shard's slabs cover only
+// its own slot range plus the remote halo it reads, through the
+// global→local remap of graph.ShardSlots, so shard memory scales with
+// the shard rather than the whole graph. The only thing a shard cannot
 // resolve locally is a RevSlot entry that crosses a cut: those slots'
 // send state is exchanged once per round as contiguous [slot][lane]
-// lens+words block copies (PR 3's flat wire words need no serialization),
-// shipped over a ShardLink. The in-process link is a Go channel; the
-// interface is the seam where a real network transport slots in.
+// lens+words block copies (flat wire words need no serialization in
+// process), shipped over a ShardLink. Three transports implement the
+// seam: the in-process one-slot channel below (zero-copy, deadline
+// backstop), framed byte streams over any net.Conn (codec.go,
+// transport.go), and shard-worker OS processes (remote.go, worker.go).
 //
 // The contract is the repository's usual one, extended across the cut:
 // every lane of a sharded run — outputs, Stats, and errors — is
@@ -65,13 +71,27 @@ type LinkFactory func(from, to int, cut []int32) ShardLink
 // errShardAborted reports an exchange cut short by a failing peer shard.
 var errShardAborted = errors.New("local: sharded exchange aborted")
 
+// ErrLinkTimeout reports a link operation that exceeded its deadline —
+// the cancel path that keeps a shard from blocking forever on a peer
+// that died without tripping the abort latch (a custom link with no
+// abort wiring, a remote process that vanished).
+var ErrLinkTimeout = errors.New("local: shard link deadline exceeded")
+
+// DefaultLinkTimeout bounds how long a built-in link waits for its peer.
+// One Recv spans at most the peer's previous round pass plus scheduling
+// noise, so the default is generous; Sharded.SetLinkTimeout overrides it
+// (0 disables the deadline entirely).
+const DefaultLinkTimeout = 30 * time.Second
+
 // chanLink is the in-process ShardLink: a one-slot channel. The
 // per-round consensus barrier guarantees at most one block is in flight
 // per link, so Send never blocks; abort unblocks a Recv whose peer died
-// mid-round instead of deadlocking the run.
+// mid-round instead of deadlocking the run, and the deadline is the
+// backstop for links built without an abort latch.
 type chanLink struct {
-	ch    chan CutBlock
-	abort <-chan struct{}
+	ch      chan CutBlock
+	abort   <-chan struct{}
+	timeout time.Duration
 }
 
 func (l *chanLink) Send(round int, block CutBlock) error {
@@ -80,6 +100,21 @@ func (l *chanLink) Send(round int, block CutBlock) error {
 		return nil
 	case <-l.abort:
 		return errShardAborted
+	default:
+	}
+	var expired <-chan time.Time
+	if l.timeout > 0 {
+		tm := time.NewTimer(l.timeout)
+		defer tm.Stop()
+		expired = tm.C
+	}
+	select {
+	case l.ch <- block:
+		return nil
+	case <-l.abort:
+		return errShardAborted
+	case <-expired:
+		return fmt.Errorf("%w: send of round %d waited %v", ErrLinkTimeout, round, l.timeout)
 	}
 }
 
@@ -89,6 +124,21 @@ func (l *chanLink) Recv(round int) (CutBlock, error) {
 		return b, nil
 	case <-l.abort:
 		return CutBlock{}, errShardAborted
+	default:
+	}
+	var expired <-chan time.Time
+	if l.timeout > 0 {
+		tm := time.NewTimer(l.timeout)
+		defer tm.Stop()
+		expired = tm.C
+	}
+	select {
+	case b := <-l.ch:
+		return b, nil
+	case <-l.abort:
+		return CutBlock{}, errShardAborted
+	case <-expired:
+		return CutBlock{}, fmt.Errorf("%w: recv of round %d waited %v", ErrLinkTimeout, round, l.timeout)
 	}
 }
 
@@ -110,6 +160,30 @@ type Sharded struct {
 	links  LinkFactory // nil: in-process channel links
 	shards []*shardExec
 
+	// block is the common lane count of one sharded pass: the minimum of
+	// the shards' compacted slab blocks, so every shard agrees on the
+	// lane split of an execution vector (lanes are independent, so any
+	// agreed split is byte-identical to the unsharded batch lane for
+	// lane). Recomputed per run from the algorithm's layout.
+	block int
+	// full is the lazily built companion Batch Unsharded returns — the
+	// shard batches are compacted windows now and cannot stand in for a
+	// whole-graph engine.
+	full *Batch
+	// linkTimeout is the deadline handed to built-in links (and exported
+	// to transports through LinkTimeout); closeLinks tears down an
+	// installed transport's resources on Close.
+	linkTimeout time.Duration
+	closeLinks  func()
+
+	// Remote mode (remote.go): the shards run as worker processes from
+	// this pool; remoteJob/remoteKey/remoteParams identify the job the
+	// workers currently hold for this executor.
+	remote       *WorkerPool
+	remoteJob    int64
+	remoteKey    string
+	remoteParams []int64
+
 	// Orchestrator-owned per-run state: the shared tape slab (one row per
 	// lane, read by each node's owning shard), the lane bookkeeping
 	// identical to Batch.runVec's, the shared report channel, and the
@@ -123,13 +197,14 @@ type Sharded struct {
 	abort    chan struct{}
 }
 
-// shardExec is one shard of a Sharded: its node range, its private Batch
-// (full-size slabs indexed by global slot, of which the shard writes
-// only its own range plus the installed remote cut slots), and its link
+// shardExec is one shard of a Sharded: its node range, its private
+// windowed Batch (slabs compacted to the shard's own slot range plus the
+// remote halo it reads, indexed by window-local slot), and its link
 // ports. ctrl carries the orchestrator's per-round commands.
 type shardExec struct {
 	idx    int
 	lo, hi int
+	win    *graph.ShardSlots
 	bt     *Batch
 	out    []shardPort
 	in     []shardPort
@@ -140,11 +215,15 @@ type shardExec struct {
 // link that ships them. buf is the send-side staging block, reused every
 // round (the receiver has always consumed round r before the sender
 // stages r+1 — the consensus barrier between rounds guarantees it).
+// haloLo is the receiver-side local slot of the cut's first entry: a
+// peer's halo segment is contiguous in the compacted window, so an
+// install is a walk from haloLo.
 type shardPort struct {
-	peer int
-	cut  []int32
-	link ShardLink
-	buf  CutBlock
+	peer   int
+	cut    []int32
+	haloLo int
+	link   ShardLink
+	buf    CutBlock
 }
 
 // shardCmd is one orchestrator command: execute round `round` (run =
@@ -189,25 +268,31 @@ func (p *Plan) NewShardedPartition(width int, part graph.Partition) (*Sharded, e
 		return nil, fmt.Errorf("local: %w", err)
 	}
 	s := &Sharded{
-		plan:  p,
-		width: width,
-		part:  part,
-		cuts:  p.topo.CutSlots(part),
+		plan:        p,
+		width:       width,
+		part:        part,
+		cuts:        p.topo.CutSlots(part),
+		linkTimeout: DefaultLinkTimeout,
 	}
 	for i := 0; i < part.NumShards(); i++ {
 		lo, hi := part.Shard(i)
-		sh := &shardExec{idx: i, lo: lo, hi: hi, bt: p.NewBatch(width)}
+		win := p.topo.ShardSlots(part, s.cuts, i)
+		sh := &shardExec{idx: i, lo: lo, hi: hi, win: &win, bt: p.newWindowBatch(width, &win)}
 		s.shards = append(s.shards, sh)
 	}
 	// Ports are persistent (their staging buffers amortize across runs);
-	// links are installed per run by buildLinks.
+	// links are installed per run by buildLinks. An in-port's halo base
+	// comes from the receiver's window: peer i's cut slots occupy one
+	// contiguous local segment there.
 	for i := range s.shards {
 		for j := range s.shards {
 			if len(s.cuts[i][j]) == 0 {
 				continue
 			}
 			s.shards[i].out = append(s.shards[i].out, shardPort{peer: j, cut: s.cuts[i][j]})
-			s.shards[j].in = append(s.shards[j].in, shardPort{peer: i, cut: s.cuts[i][j]})
+			s.shards[j].in = append(s.shards[j].in, shardPort{
+				peer: i, cut: s.cuts[i][j], haloLo: s.shards[j].win.HaloLocal(i),
+			})
 		}
 	}
 	return s, nil
@@ -216,6 +301,34 @@ func (p *Plan) NewShardedPartition(width int, part graph.Partition) (*Sharded, e
 // SetLinkFactory installs a transport for the cut exchange; nil restores
 // the in-process channel links. Call before Run.
 func (s *Sharded) SetLinkFactory(f LinkFactory) { s.links = f }
+
+// SetTransport installs a link factory together with the teardown Close
+// runs — the form transports with real resources (sockets, worker
+// processes) use.
+func (s *Sharded) SetTransport(f LinkFactory, close func()) {
+	s.links = f
+	s.closeLinks = close
+}
+
+// SetLinkTimeout sets the deadline built-in links apply to each Send and
+// Recv (DefaultLinkTimeout initially; 0 disables). Transports installed
+// through a factory read it via LinkTimeout.
+func (s *Sharded) SetLinkTimeout(d time.Duration) { s.linkTimeout = d }
+
+// LinkTimeout returns the configured per-operation link deadline.
+func (s *Sharded) LinkTimeout() time.Duration { return s.linkTimeout }
+
+// Close tears down an installed transport's resources (a no-op for the
+// in-process channel links). The Sharded itself remains usable with the
+// default links afterwards.
+func (s *Sharded) Close() error {
+	if s.closeLinks != nil {
+		s.closeLinks()
+		s.closeLinks = nil
+		s.links = nil
+	}
+	return nil
+}
 
 // Plan returns the plan the sharded executor runs on.
 func (s *Sharded) Plan() *Plan { return s.plan }
@@ -231,9 +344,28 @@ func (s *Sharded) Partition() graph.Partition { return s.part }
 
 // Unsharded returns a companion Batch on the same plan with the same
 // lane capacity, for execution paths that have no sharded form (pure
-// ball-view trials above all). It shares scratch with shard 0, so use it
-// and the Sharded from the same goroutine, never concurrently.
-func (s *Sharded) Unsharded() *Batch { return s.shards[0].bt }
+// ball-view trials above all). The shard batches are compacted windows,
+// so the companion is a separate full batch, built lazily and reused;
+// use it and the Sharded from the same goroutine, never concurrently.
+func (s *Sharded) Unsharded() *Batch {
+	if s.full == nil {
+		s.full = s.plan.NewBatch(s.width)
+	}
+	return s.full
+}
+
+// ShardSlabBytes reports, per shard, the wire-slab byte footprint one
+// pass of algo would stream on that shard's compacted window — the
+// memory a shard machine actually pays. The compaction gate compares it
+// against Unsharded().SlabBytesFor, which is what every shard paid when
+// shards held full-size global-slot slabs.
+func (s *Sharded) ShardSlabBytes(algo MessageAlgorithm) []int {
+	bytes := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		bytes[i] = sh.bt.SlabBytesFor(algo)
+	}
+	return bytes
+}
 
 // Run executes one message-passing trial per draw across the shards,
 // returning one Result per lane, byte-identical — outputs, Stats, and
@@ -247,7 +379,23 @@ func (s *Sharded) Run(in *lang.Instance, algo MessageAlgorithm, draws []localran
 	if err := bt0.checkInstance(in); err != nil {
 		return nil, err
 	}
+	if s.remote != nil && !s.remotable(algo) {
+		return s.Unsharded().Run(in, algo, draws, opts)
+	}
 	return s.runBlocks(func(int) *lang.Instance { return in }, len(draws), algo, draws, opts)
+}
+
+// remotable reports whether algo can cross to the worker processes; an
+// algorithm that cannot runs on the local companion batch instead
+// (byte-identical by the sharding contract).
+func (s *Sharded) remotable(algo MessageAlgorithm) bool {
+	ra, ok := algo.(RemoteAlgorithm)
+	if !ok {
+		return false
+	}
+	key, params := ra.RemoteSpec()
+	_, err := remoteAlgoFor(key, params)
+	return err == nil
 }
 
 // RunInstances is Run with per-lane instances (all over the plan's
@@ -265,6 +413,9 @@ func (s *Sharded) RunInstances(ins []*lang.Instance, algo MessageAlgorithm, draw
 			return nil, err
 		}
 	}
+	if s.remote != nil && !s.remotable(algo) {
+		return s.Unsharded().RunInstances(ins, algo, draws, opts)
+	}
 	return s.runBlocks(func(b int) *lang.Instance { return ins[b] }, len(ins), algo, draws, opts)
 }
 
@@ -275,8 +426,9 @@ func (s *Sharded) buildLinks() {
 	factory := s.links
 	if factory == nil {
 		abort := s.abort
+		timeout := s.linkTimeout
 		factory = func(from, to int, cut []int32) ShardLink {
-			return &chanLink{ch: make(chan CutBlock, 1), abort: abort}
+			return &chanLink{ch: make(chan CutBlock, 1), abort: abort, timeout: timeout}
 		}
 	}
 	for i := range s.shards {
@@ -325,20 +477,24 @@ func (s *Sharded) ensureLaneState() {
 }
 
 // runBlocks drives the sharded core over a lane vector in slab-budget
-// blocks, exactly like Batch.runBlocks: the per-shard layouts are
-// computed from the same algorithm over the same topology, so every
-// shard agrees on the block size and the lane split matches the
-// unsharded batch block for block.
+// blocks, exactly like Batch.runBlocks. Compacted windows give every
+// shard its own slab budget block, so the orchestrator takes the
+// minimum and imposes it on all shards — any agreed lane split is
+// byte-identical to the unsharded batch lane for lane, because lanes
+// are independent.
 func (s *Sharded) runBlocks(insOf func(b int) *lang.Instance, k int, algo MessageAlgorithm, draws []localrand.Draw, opts RunOptions) ([]*Result, error) {
 	wa := wireOf(algo)
-	for _, sh := range s.shards {
-		sh.bt.layoutWire(wa)
-	}
-	block := s.shards[0].bt.block
+	block := s.layoutShards(wa)
 	s.ensureLaneState()
 	s.abort = make(chan struct{})
 	s.reports = make(chan shardReport, len(s.shards))
-	s.buildLinks()
+	if s.remote != nil {
+		if err := s.ensureRemoteJob(algo.(RemoteAlgorithm)); err != nil {
+			return nil, err
+		}
+	} else {
+		s.buildLinks()
+	}
 	results := make([]*Result, 0, k)
 	for lo := 0; lo < k; lo += block {
 		hi := lo + block
@@ -351,14 +507,36 @@ func (s *Sharded) runBlocks(insOf func(b int) *lang.Instance, k int, algo Messag
 		}
 		lo := lo
 		blockIns := func(b int) *lang.Instance { return insOf(lo + b) }
-		tapeOf := s.seedTapes(hi-lo, chunk, func(b int) ids.Assignment { return blockIns(b).ID })
-		rs, err := s.runVec(blockIns, hi-lo, wa, tapeOf, opts)
+		var tapeOf func(b, v int) *localrand.Tape
+		if s.remote == nil {
+			// Remote workers seed their own node windows from the shipped
+			// draw seeds; the orchestrator never materializes tapes.
+			tapeOf = s.seedTapes(hi-lo, chunk, func(b int) ids.Assignment { return blockIns(b).ID })
+		}
+		rs, err := s.runVec(blockIns, hi-lo, wa, tapeOf, chunk, opts)
 		if err != nil {
 			return nil, err
 		}
 		results = append(results, rs...)
 	}
 	return results, nil
+}
+
+// layoutShards computes every shard's wire layout for wa and imposes
+// the common (minimum) lane block on all of them, returning it.
+func (s *Sharded) layoutShards(wa WireAlgorithm) int {
+	block := 0
+	for _, sh := range s.shards {
+		sh.bt.layoutWire(wa)
+		if block == 0 || sh.bt.block < block {
+			block = sh.bt.block
+		}
+	}
+	for _, sh := range s.shards {
+		sh.bt.block = block
+	}
+	s.block = block
+	return block
 }
 
 // runVec runs one execution vector of k lanes across the shards. It is
@@ -369,10 +547,10 @@ func (s *Sharded) runBlocks(insOf func(b int) *lang.Instance, k int, algo Messag
 // exactly as the unsharded loop merges its worker rows. Round count
 // semantics, the ErrNoHalt budget, and StopAfter match Batch.runVec
 // decision for decision.
-func (s *Sharded) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorithm, tapeOf func(b, v int) *localrand.Tape, opts RunOptions) ([]*Result, error) {
+func (s *Sharded) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorithm, tapeOf func(b, v int) *localrand.Tape, chunk []localrand.Draw, opts RunOptions) ([]*Result, error) {
 	n := s.plan.g.N()
-	if k > s.shards[0].bt.block {
-		return nil, fmt.Errorf("local: %d lanes exceed the %d-lane slab block", k, s.shards[0].bt.block)
+	if k > s.block {
+		return nil, fmt.Errorf("local: %d lanes exceed the %d-lane slab block", k, s.block)
 	}
 	maxRounds := opts.MaxRounds
 	if maxRounds == 0 {
@@ -398,9 +576,19 @@ func (s *Sharded) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorit
 			close(s.abort)
 		}
 	}
-	for _, sh := range s.shards {
-		sh.ctrl = make(chan shardCmd, 1)
-		go sh.run(s, insOf, k, wa, tapeOf, ys)
+	if s.remote != nil {
+		if err := s.beginRemoteRun(insOf, k, chunk); err != nil {
+			return nil, err
+		}
+		for i, sh := range s.shards {
+			sh.ctrl = make(chan shardCmd, 1)
+			go s.remoteDrive(i, k, n, ys)
+		}
+	} else {
+		for _, sh := range s.shards {
+			sh.ctrl = make(chan shardCmd, 1)
+			go sh.run(s, insOf, k, wa, tapeOf, ys)
+		}
 	}
 	liveShards := len(s.shards)
 
@@ -487,6 +675,11 @@ func (s *Sharded) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorit
 	if runErr != nil {
 		return nil, runErr
 	}
+	if linkErr != nil {
+		// A failure surfacing only in the final gather (a worker dying at
+		// collection, above all) must not pass for a clean run.
+		return nil, fmt.Errorf("local: sharded exchange: %w", linkErr)
+	}
 	results := make([]*Result, k)
 	for b := 0; b < k; b++ {
 		results[b] = &Result{
@@ -521,12 +714,7 @@ func (sh *shardExec) run(s *Sharded, insOf func(b int) *lang.Instance, k int, wa
 		cmd := <-sh.ctrl
 		if !cmd.run {
 			if cmd.collect {
-				B := bt.block
-				for v := sh.lo; v < sh.hi; v++ {
-					for b := 0; b < k; b++ {
-						ys[b*n+v] = bt.procs[v*B+b].Output()
-					}
-				}
+				sh.collectInto(ys, k, n)
 			}
 			// Cleanup strictly before the ack: the ack releases the
 			// orchestrator, which may immediately hand this batch to the
@@ -535,16 +723,40 @@ func (sh *shardExec) run(s *Sharded, insOf func(b int) *lang.Instance, k int, wa
 			s.reports <- shardReport{from: sh.idx}
 			return
 		}
-		if err := sh.exchange(cmd.round, k); err != nil {
+		if err := sh.execRound(cmd.round, k); err != nil {
 			s.reports <- shardReport{from: sh.idx, err: err}
 			continue
 		}
-		bt.rround = cmd.round
-		bt.roundPass(0, sh.lo, sh.hi)
-		bt.curLens, bt.nextLens = bt.nextLens, bt.curLens
-		bt.curWords, bt.nextWord = bt.nextWord, bt.curWords
-		bt.curRefs, bt.nextRefs = bt.nextRefs, bt.curRefs
 		s.reports <- shardReport{from: sh.idx, msgs: bt.wkMsgs[0][:k], fins: bt.wkFin[0][:k]}
+	}
+}
+
+// execRound is one shard's round: the cut exchange, the round pass over
+// the shard's node window, and the slab swap. The shard-worker protocol
+// drives the same method from a control connection instead of the
+// in-process ctrl channel.
+func (sh *shardExec) execRound(round, k int) error {
+	bt := sh.bt
+	if err := sh.exchange(round, k); err != nil {
+		return err
+	}
+	bt.rround = round
+	bt.roundPass(0, sh.lo, sh.hi)
+	bt.curLens, bt.nextLens = bt.nextLens, bt.curLens
+	bt.curWords, bt.nextWord = bt.nextWord, bt.curWords
+	bt.curRefs, bt.nextRefs = bt.nextRefs, bt.curRefs
+	return nil
+}
+
+// collectInto gathers the shard's node window outputs: ys[b*n+v] for
+// every lane b and owned node v (n is the global node count).
+func (sh *shardExec) collectInto(ys [][]byte, k, n int) {
+	bt := sh.bt
+	B := bt.block
+	for v := sh.lo; v < sh.hi; v++ {
+		for b := 0; b < k; b++ {
+			ys[b*n+v] = bt.procs[v*B+b].Output()
+		}
 	}
 }
 
@@ -582,7 +794,7 @@ func (sh *shardExec) exchange(round, k int) error {
 		if err != nil {
 			return err
 		}
-		if err := bt.installCut(port.cut, k, blk); err != nil {
+		if err := bt.installCut(port.haloLo, len(port.cut), k, blk); err != nil {
 			return err
 		}
 	}
@@ -590,19 +802,22 @@ func (sh *shardExec) exchange(round, k int) error {
 }
 
 // packCut flattens the cut slots' [slot][lane] ranges out of the current
-// send slabs into blk, reusing its backing arrays. Lens rows are k lanes
-// per slot; word rows are capW[s]·k per slot — both contiguous in the
-// slab, so each slot is two copies.
+// send slabs into blk, reusing its backing arrays. The cut lists global
+// slots the sender owns, so each maps to the window-local slot
+// s−slotBase; lens rows are k lanes per slot, word rows capW·k per slot
+// — both contiguous in the slab, so each slot is two copies.
 func (bt *Batch) packCut(cut []int32, k int, blk *CutBlock) {
 	B := bt.block
+	base := bt.slotBase
 	lens := blk.Lens[:0]
 	words := blk.Words[:0]
 	for _, s := range cut {
-		li := int(s) * B
+		sl := int(s) - base
+		li := sl * B
 		lens = append(lens, bt.curLens[li:li+k]...)
-		if w := int(bt.capW[s]); w > 0 {
-			base := int(bt.offW[s]) * B
-			words = append(words, bt.curWords[base:base+w*k]...)
+		if w := int(bt.capW[sl]); w > 0 {
+			wbase := int(bt.offW[sl]) * B
+			words = append(words, bt.curWords[wbase:wbase+w*k]...)
 		}
 	}
 	blk.Lens, blk.Words = lens, words
@@ -610,7 +825,7 @@ func (bt *Batch) packCut(cut []int32, k int, blk *CutBlock) {
 	if bt.curRefs != nil {
 		refs := blk.Refs
 		for _, s := range cut {
-			li := int(s) * B
+			li := (int(s) - base) * B
 			refs = append(refs, bt.curRefs[li:li+k]...)
 		}
 		blk.Refs = refs
@@ -618,34 +833,52 @@ func (bt *Batch) packCut(cut []int32, k int, blk *CutBlock) {
 }
 
 // installCut writes a received block into the current receive slabs at
-// the cut slots' global indices — the shard-side half of the gather: the
-// subsequent roundPass reads these slots through RevSlot exactly as if a
-// local sender had staged them.
-func (bt *Batch) installCut(cut []int32, k int, blk CutBlock) error {
-	if len(blk.Lens) != len(cut)*k {
-		return fmt.Errorf("local: cut block carries %d lens for %d slots × %d lanes", len(blk.Lens), len(cut), k)
+// the receiver's halo segment [haloLo, haloLo+ncut) — the shard-side
+// half of the gather: the subsequent roundPass reads these local slots
+// through the window's Rev table exactly as if a local sender had staged
+// them. Shape violations (a malformed or truncated frame that survived
+// the codec) are reported, not panicked: they abort the sharded run
+// with a descriptive error.
+func (bt *Batch) installCut(haloLo, ncut, k int, blk CutBlock) error {
+	if len(blk.Lens) != ncut*k {
+		return fmt.Errorf("local: cut block carries %d lens for %d slots × %d lanes", len(blk.Lens), ncut, k)
 	}
 	B := bt.block
+	wantW := 0
+	for i := 0; i < ncut; i++ {
+		wantW += int(bt.capW[haloLo+i]) * k
+	}
+	if len(blk.Words) != wantW {
+		return fmt.Errorf("local: cut block carries %d words, layout expects %d for %d slots × %d lanes", len(blk.Words), wantW, ncut, k)
+	}
 	li0, w0, r0 := 0, 0, 0
-	for _, s := range cut {
-		li := int(s) * B
+	for i := 0; i < ncut; i++ {
+		sl := haloLo + i
+		li := sl * B
+		// Clamp the lens values, not just the section shapes: a
+		// structurally valid frame carrying an oversized len would
+		// otherwise make the Inbox read past the slot's word capacity —
+		// silent wrong delivery at best, a bounds panic at worst. Local
+		// packCut can never produce one; byte-stream peers can.
+		for _, l := range blk.Lens[li0 : li0+k] {
+			if l < 0 || l > bt.capW[sl]+1 {
+				return fmt.Errorf("local: cut block len %d exceeds slot capacity %d words", l-1, bt.capW[sl])
+			}
+		}
 		copy(bt.curLens[li:li+k], blk.Lens[li0:li0+k])
 		li0 += k
-		if w := int(bt.capW[s]); w > 0 {
-			base := int(bt.offW[s]) * B
-			if w0+w*k > len(blk.Words) {
-				return fmt.Errorf("local: cut block word section truncated at slot %d", s)
-			}
+		if w := int(bt.capW[sl]); w > 0 {
+			base := int(bt.offW[sl]) * B
 			copy(bt.curWords[base:base+w*k], blk.Words[w0:w0+w*k])
 			w0 += w * k
 		}
 	}
 	if bt.curRefs != nil && len(blk.Refs) > 0 {
-		if len(blk.Refs) != len(cut)*k {
-			return fmt.Errorf("local: cut block carries %d refs for %d slots × %d lanes", len(blk.Refs), len(cut), k)
+		if len(blk.Refs) != ncut*k {
+			return fmt.Errorf("local: cut block carries %d refs for %d slots × %d lanes", len(blk.Refs), ncut, k)
 		}
-		for _, s := range cut {
-			li := int(s) * B
+		for i := 0; i < ncut; i++ {
+			li := (haloLo + i) * B
 			copy(bt.curRefs[li:li+k], blk.Refs[r0:r0+k])
 			r0 += k
 		}

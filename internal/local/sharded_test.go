@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"rlnc/internal/graph"
 	"rlnc/internal/lang"
@@ -233,6 +234,126 @@ func TestShardedBlockSplitting(t *testing.T) {
 	}
 	for b := range draws {
 		expectSameResult(t, fmt.Sprintf("blocked lane %d", b), want[b], got[b])
+	}
+}
+
+// panicOnNode panics inside Start on one specific node — its shard dies
+// before it ever sends, which is exactly the failure that used to leave
+// the peer shard blocked in Recv forever when the installed links knew
+// nothing of the abort latch.
+type panicOnNode struct{ node int64 }
+
+func (a panicOnNode) Name() string { return "panic-on-node" }
+func (a panicOnNode) NewProcess() Process {
+	return &panicProc{node: a.node}
+}
+
+type panicProc struct{ node int64 }
+
+func (p *panicProc) Start(info NodeInfo) []Message {
+	if info.ID == p.node {
+		panic("node detonated")
+	}
+	return make([]Message, info.Degree)
+}
+
+func (p *panicProc) Step(round int, received []Message) ([]Message, bool) {
+	return nil, true
+}
+
+func (p *panicProc) Output() []byte { return nil }
+
+// dropSends swallows every Send, so the peer's Recv sees silence.
+type dropSends struct{ inner ShardLink }
+
+func (l dropSends) Send(round int, b CutBlock) error { return nil }
+func (l dropSends) Recv(round int) (CutBlock, error) { return l.inner.Recv(round) }
+
+// TestShardedLinkDeadline pins the deadline/cancel path of the built-in
+// links: a peer that never sends cannot block the run forever. With a
+// custom factory that wires neither the abort latch nor a working peer,
+// the configured timeout converts the would-be deadlock into a clean
+// ErrLinkTimeout abort.
+func TestShardedLinkDeadline(t *testing.T) {
+	g := graph.Cycle(10)
+	in := mustInstance(t, g)
+	plan := MustPlan(g)
+	sh, err := plan.NewSharded(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sends are dropped on the floor, so every Recv faces a permanently
+	// silent peer with no abort latch wired — only the deadline can end
+	// the wait.
+	sh.SetLinkFactory(func(from, to int, cut []int32) ShardLink {
+		return dropSends{&chanLink{ch: make(chan CutBlock, 1), timeout: 50 * time.Millisecond}}
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := sh.Run(in, wireMix{rounds: 3}, drawRange(localrand.NewTapeSpace(7), 0, 2), RunOptions{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrLinkTimeout) {
+			t.Fatalf("silent peer: err = %v, want ErrLinkTimeout", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sharded run hung on a silent peer despite the link deadline")
+	}
+
+	// The same Sharded recovers with default links afterwards.
+	sh.SetLinkFactory(nil)
+	draws := drawRange(localrand.NewTapeSpace(7), 4, 2)
+	want, err := plan.NewBatch(2).Run(in, wireMix{rounds: 3}, draws, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sh.Run(in, wireMix{rounds: 3}, draws, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range draws {
+		expectSameResult(t, fmt.Sprintf("after-deadline lane %d", b), want[b], got[b])
+	}
+}
+
+// TestShardedPanicWithUnwiredLinks pins the regression the deadline
+// exists for: shard 1 panics before sending round 2, the custom links
+// know nothing of the abort latch, and shard 0 sits in Recv. The
+// deadline unblocks shard 0, the orchestrator gathers both reports, and
+// the panic is re-raised — previously this hung forever.
+func TestShardedPanicWithUnwiredLinks(t *testing.T) {
+	g := graph.Cycle(10)
+	in := mustInstance(t, g)
+	plan := MustPlan(g)
+	sh, err := plan.NewSharded(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := make(map[[2]int]ShardLink)
+	sh.SetLinkFactory(func(from, to int, cut []int32) ShardLink {
+		key := [2]int{from, to}
+		if l, ok := links[key]; ok {
+			return l
+		}
+		l := &chanLink{ch: make(chan CutBlock, 1), timeout: 50 * time.Millisecond}
+		links[key] = l
+		return l
+	})
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		sh.RunInstances([]*lang.Instance{in}, panicOnNode{node: in.ID[7]}, nil, RunOptions{})
+		done <- nil
+	}()
+	select {
+	case r := <-done:
+		if r == nil {
+			t.Fatal("expected the node panic to re-raise")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sharded run hung on a panicking peer despite the link deadline")
 	}
 }
 

@@ -42,17 +42,29 @@
 //     width 1 with scalar wrappers. RunView and RunMessage are
 //     single-shot wrappers building a transient Engine.
 //   - Sharded (sharded.go) is the multi-machine shape of the message
-//     path run in one process: the plan's CSR layout is partitioned into
-//     contiguous node ranges (a shard boundary is a cut in
-//     Topology.Offsets), each shard runs the full lane vector over its
-//     range with the same startPass/roundPass core, and cross-shard
-//     RevSlot deliveries are resolved once per round by exchanging the
-//     cut slots' contiguous [slot][lane] lens+words blocks over
-//     ShardLinks — Go channels in process, a real transport behind the
-//     same interface later. Every lane is byte-identical (outputs,
-//     Stats, errors) to the unsharded Batch at equal seeds, for every
-//     shard count and cut placement; internal/shardtest enforces the
-//     contract differentially.
+//     path: the plan's CSR layout is partitioned into contiguous node
+//     ranges (a shard boundary is a cut in Topology.Offsets), and each
+//     shard runs the full lane vector over its range with the same
+//     startPass/roundPass core on a *compacted window* — its slabs cover
+//     only its own slot range plus the remote halo it reads, via the
+//     per-shard global→local remap of graph.ShardSlots, so per-shard
+//     slab memory scales with the shard, not the graph (the
+//     TestShardSlabCompaction gate pins ≥40% savings at 4 balanced
+//     shards). Cross-shard RevSlot deliveries are resolved once per
+//     round by exchanging the cut slots' contiguous [slot][lane]
+//     lens+words blocks over ShardLinks. Three transports implement the
+//     seam: in-process one-slot channels (sharded.go; zero-copy, with a
+//     deadline backstop), framed byte streams over any net.Conn
+//     (codec.go + transport.go: a versioned little-endian frame per
+//     round per cut pair, loopback-TCP LinkFactory included, per-link
+//     read/write deadlines), and the shard-worker protocol (remote.go +
+//     worker.go: each shard is a real OS process — `rlnc shard-worker` —
+//     receiving its job over a gob control stream and exchanging cut
+//     blocks peer-to-peer over TCP). Every lane is byte-identical
+//     (outputs, Stats, errors) to the unsharded Batch at equal seeds,
+//     for every shard count, cut placement, and transport;
+//     internal/shardtest enforces the contract differentially, TCP
+//     links included.
 //
 // Monte-Carlo trial loops hold a Plan and give each worker its own Batch
 // (mc.RunBatched hands workers contiguous trial chunks), Engine

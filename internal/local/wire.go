@@ -359,7 +359,7 @@ func (p *shimProc) Output() []byte { return p.inner.Output() }
 // wireMsg is the boxed form a wire message takes on the legacy
 // transport: the payload words of one message. Zero-word signals box as
 // an empty wireMsg, preserving presence.
-type wireMsg struct{ words []uint64 }
+type wireMsg struct{ Words []uint64 }
 
 // Boxed strips algo of its wire fast path: executions transport its
 // messages as boxed wireMsg payloads through the legacy Process API.
@@ -438,8 +438,8 @@ func (p *legacyProc) Step(round int, received []Message) ([]Message, bool) {
 		}
 		p.in.refs[port] = m
 		if wm, ok := m.(wireMsg); ok {
-			p.in.lens[port] = int32(len(wm.words) + 1)
-			p.in.box[port] = wm.words
+			p.in.lens[port] = int32(len(wm.Words) + 1)
+			p.in.box[port] = wm.Words
 		} else {
 			p.in.lens[port] = 1
 			p.in.box[port] = nil
@@ -463,7 +463,7 @@ func (p *legacyProc) flush() []Message {
 		default:
 			words := make([]uint64, n-1)
 			copy(words, p.out.word[port*p.cap:])
-			p.send[port] = wireMsg{words: words}
+			p.send[port] = wireMsg{Words: words}
 		}
 		p.out.lens[port] = 0
 	}

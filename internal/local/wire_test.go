@@ -196,11 +196,11 @@ func TestLegacyProcessTransport(t *testing.T) {
 	}
 	// Port 0 sends two words, port 1 a zero-word signal; both non-nil.
 	wm, ok := msgs[0].(wireMsg)
-	if !ok || len(wm.words) != 2 {
+	if !ok || len(wm.Words) != 2 {
 		t.Fatalf("port 0: payload %#v, want a 2-word wireMsg", msgs[0])
 	}
 	sig, ok := msgs[1].(wireMsg)
-	if !ok || len(sig.words) != 0 {
+	if !ok || len(sig.Words) != 0 {
 		t.Fatalf("port 1: payload %#v, want an empty wireMsg", msgs[1])
 	}
 }

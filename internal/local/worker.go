@@ -1,0 +1,420 @@
+package local
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"rlnc/internal/graph"
+	"rlnc/internal/lang"
+	"rlnc/internal/localrand"
+)
+
+// This file is the worker half of the shard-worker protocol (see
+// remote.go for the orchestrator and the message catalogue): ServeShard
+// turns the current process into one shard of a remote Sharded. The
+// worker rebuilds the job's graph and its compacted slot window from the
+// shipped CSR adjacency, establishes direct TCP data links to its peer
+// workers, and then drives the very same shardExec machinery the
+// in-process orchestrator uses — startPass, execRound, collectInto — one
+// control command at a time. `rlnc shard-worker` is the process entry
+// point.
+
+// dataPreambleLen is the fixed-width connection preamble a dialing
+// worker writes before its first frame: magic "rlSW", the job id, and
+// the directed pair. Fixed width (no gob) so the receiving side cannot
+// over-read into the first cut-block frame.
+const dataPreambleLen = 4 + 8 + 4 + 4
+
+// writeDataPreamble identifies a fresh data connection.
+func writeDataPreamble(conn net.Conn, job int64, from, to int32) error {
+	var b [dataPreambleLen]byte
+	copy(b[0:4], "rlSW")
+	binary.LittleEndian.PutUint64(b[4:12], uint64(job))
+	binary.LittleEndian.PutUint32(b[12:16], uint32(from))
+	binary.LittleEndian.PutUint32(b[16:20], uint32(to))
+	_, err := conn.Write(b[:])
+	return err
+}
+
+// readDataPreamble parses a peer's preamble.
+func readDataPreamble(conn net.Conn) (job int64, from, to int32, err error) {
+	var b [dataPreambleLen]byte
+	if _, err = io.ReadFull(conn, b[:]); err != nil {
+		return 0, 0, 0, err
+	}
+	if string(b[0:4]) != "rlSW" {
+		return 0, 0, 0, fmt.Errorf("local: bad data-link preamble magic %q", b[0:4])
+	}
+	job = int64(binary.LittleEndian.Uint64(b[4:12]))
+	from = int32(binary.LittleEndian.Uint32(b[12:16]))
+	to = int32(binary.LittleEndian.Uint32(b[16:20]))
+	return job, from, to, nil
+}
+
+// shardWorker is one serving worker's state: the control codecs, the
+// data listener peers dial, and the current job and run.
+type shardWorker struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+	ln  net.Listener
+
+	job *workerJob
+	run *workerRun
+}
+
+// workerJob is one (graph, partition, algorithm) job: the rebuilt plan,
+// this shard's executor with its windowed batch, and the data
+// connections backing its links.
+type workerJob struct {
+	id      int64
+	g       *graph.Graph
+	wa      WireAlgorithm
+	width   int
+	timeout time.Duration
+	sh      *shardExec
+	conns   []net.Conn
+}
+
+// workerRun is one execution vector in flight: lane count, the
+// per-lane instances and liveness, and any setup failure to report on
+// the next command.
+type workerRun struct {
+	k        int
+	insts    []*lang.Instance
+	alive    []bool
+	tapes    []localrand.Tape
+	errText  string
+	panicked string
+}
+
+// ServeShard serves shard jobs on the control connection until the
+// orchestrator closes it, hosting one shard of a remote Sharded per job.
+// listenAddr is the address the data listener binds ("" selects a
+// loopback ephemeral port); its resolved address is reported to the
+// orchestrator in the hello and relayed to peer workers.
+func ServeShard(ctrl net.Conn, listenAddr string) error {
+	if listenAddr == "" {
+		listenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return fmt.Errorf("local: shard worker listen: %w", err)
+	}
+	w := &shardWorker{
+		enc: gob.NewEncoder(ctrl),
+		dec: gob.NewDecoder(ctrl),
+		ln:  ln,
+	}
+	defer w.teardownJob()
+	defer ln.Close()
+	if err := w.enc.Encode(&helloMsg{DataAddr: ln.Addr().String()}); err != nil {
+		return fmt.Errorf("local: shard worker hello: %w", err)
+	}
+	for {
+		var msg ctrlMsg
+		if err := w.dec.Decode(&msg); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil // orderly shutdown: orchestrator hung up
+			}
+			return fmt.Errorf("local: shard worker control: %w", err)
+		}
+		switch {
+		case msg.Job != nil:
+			ready := &reportMsg{}
+			if err := w.setupJob(msg.Job); err != nil {
+				ready.Err = err.Error()
+			}
+			if err := w.enc.Encode(&workerMsg{Ready: ready}); err != nil {
+				return err
+			}
+		case msg.Run != nil:
+			w.beginRun(msg.Run)
+		case msg.Cmd != nil:
+			if err := w.enc.Encode(&workerMsg{Report: w.execCmd(msg.Cmd)}); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// teardownJob closes the current job's data connections.
+func (w *shardWorker) teardownJob() {
+	if w.job == nil {
+		return
+	}
+	for _, c := range w.job.conns {
+		c.Close()
+	}
+	w.job = nil
+	w.run = nil
+}
+
+// setupJob rebuilds the job's graph, window, and shard executor, and
+// establishes the data links to its peers.
+func (w *shardWorker) setupJob(spec *jobSpec) error {
+	w.teardownJob()
+	n := len(spec.Offsets) - 1
+	if n < 1 || int(spec.Offsets[n]) != len(spec.Nbrs) {
+		return fmt.Errorf("local: job %d ships a malformed CSR adjacency", spec.Job)
+	}
+	adj := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		adj[v] = spec.Nbrs[spec.Offsets[v]:spec.Offsets[v+1]]
+	}
+	g, err := graph.FromAdjacency(adj)
+	if err != nil {
+		return fmt.Errorf("local: job %d adjacency: %w", spec.Job, err)
+	}
+	plan, err := NewPlan(g)
+	if err != nil {
+		return err
+	}
+	part := graph.Partition{Bounds: spec.Bounds}
+	if err := plan.topo.CheckPartition(part); err != nil {
+		return fmt.Errorf("local: job %d partition: %w", spec.Job, err)
+	}
+	me := int(spec.Shard)
+	if me < 0 || me >= part.NumShards() || part.NumShards() != len(spec.Peers) {
+		return fmt.Errorf("local: job %d names shard %d of %d with %d peers", spec.Job, me, part.NumShards(), len(spec.Peers))
+	}
+	algo, err := remoteAlgoFor(spec.AlgoKey, spec.AlgoParams)
+	if err != nil {
+		return err
+	}
+	cuts := plan.topo.CutSlots(part)
+	win := plan.topo.ShardSlots(part, cuts, me)
+	lo, hi := part.Shard(me)
+	sh := &shardExec{idx: me, lo: lo, hi: hi, win: &win, bt: plan.newWindowBatch(int(spec.Width), &win)}
+	for j := 0; j < part.NumShards(); j++ {
+		if len(cuts[me][j]) > 0 {
+			sh.out = append(sh.out, shardPort{peer: j, cut: cuts[me][j]})
+		}
+		if len(cuts[j][me]) > 0 {
+			sh.in = append(sh.in, shardPort{peer: j, cut: cuts[j][me], haloLo: win.HaloLocal(j)})
+		}
+	}
+	job := &workerJob{
+		id:      spec.Job,
+		g:       g,
+		wa:      wireOf(algo),
+		width:   int(spec.Width),
+		timeout: time.Duration(spec.TimeoutMS) * time.Millisecond,
+		sh:      sh,
+	}
+	if err := job.connectLinks(w.ln, spec.Peers); err != nil {
+		for _, c := range job.conns {
+			c.Close()
+		}
+		return err
+	}
+	w.job = job
+	return nil
+}
+
+// connectLinks establishes the job's data connections: one dialed TCP
+// connection per out-cut (identified by a fixed preamble) and one
+// accepted connection per in-cut, matched to its port by the preamble's
+// sender shard. Dials never wait on accepts (the listener backlog holds
+// them), so the symmetric setup cannot deadlock.
+func (j *workerJob) connectLinks(ln net.Listener, peers []string) error {
+	deadline := time.Now().Add(j.timeout + 5*time.Second)
+	for oi := range j.sh.out {
+		port := &j.sh.out[oi]
+		conn, err := net.DialTimeout("tcp", peers[port.peer], j.timeout+5*time.Second)
+		if err != nil {
+			return fmt.Errorf("local: dial peer shard %d: %w", port.peer, err)
+		}
+		j.conns = append(j.conns, conn)
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		conn.SetWriteDeadline(deadline)
+		if err := writeDataPreamble(conn, j.id, int32(j.sh.idx), int32(port.peer)); err != nil {
+			return fmt.Errorf("local: preamble to peer shard %d: %w", port.peer, err)
+		}
+		conn.SetWriteDeadline(time.Time{})
+		port.link = StreamLink(conn, nil, j.timeout)
+	}
+	pending := len(j.sh.in)
+	for pending > 0 {
+		type deadliner interface{ SetDeadline(time.Time) error }
+		if d, ok := ln.(deadliner); ok {
+			d.SetDeadline(deadline)
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("local: accept peer data link: %w", err)
+		}
+		conn.SetReadDeadline(deadline)
+		job, from, to, err := readDataPreamble(conn)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("local: peer data-link preamble: %w", err)
+		}
+		if job != j.id || int(to) != j.sh.idx {
+			// A connection from a stale job (or a confused peer): drop it
+			// and keep waiting for the current job's links.
+			conn.Close()
+			continue
+		}
+		matched := false
+		for ii := range j.sh.in {
+			port := &j.sh.in[ii]
+			if port.peer == int(from) && port.link == nil {
+				conn.SetReadDeadline(time.Time{})
+				if tc, ok := conn.(*net.TCPConn); ok {
+					tc.SetNoDelay(true)
+				}
+				port.link = StreamLink(nil, conn, j.timeout)
+				j.conns = append(j.conns, conn)
+				matched = true
+				pending--
+				break
+			}
+		}
+		if !matched {
+			conn.Close()
+			return fmt.Errorf("local: unexpected data link from shard %d", from)
+		}
+	}
+	return nil
+}
+
+// beginRun stands one execution vector up: instances, draws, tapes, and
+// the startPass staging. Failures (including panics out of the
+// algorithm's Start) are parked and reported on the next command, which
+// is when the orchestrator listens.
+func (w *shardWorker) beginRun(rs *runSpec) {
+	run := &workerRun{}
+	w.run = run
+	defer func() {
+		if r := recover(); r != nil {
+			run.panicked = fmt.Sprint(r)
+		}
+	}()
+	if w.job == nil {
+		run.errText = "local: run before any job"
+		return
+	}
+	j := w.job
+	bt, sh := j.sh.bt, j.sh
+	k := int(rs.K)
+	if k < 1 || k > j.width {
+		run.errText = fmt.Sprintf("local: run of %d lanes on width %d", k, j.width)
+		return
+	}
+	bt.layoutWire(j.wa)
+	if int(rs.Block) > bt.block || int(rs.Block) < k {
+		run.errText = fmt.Sprintf("local: run block %d outside [%d, %d]", rs.Block, k, bt.block)
+		return
+	}
+	bt.block = int(rs.Block)
+	run.k = k
+	if len(rs.Lane) != k {
+		run.errText = fmt.Sprintf("local: %d lane indices for %d lanes", len(rs.Lane), k)
+		return
+	}
+	run.insts = make([]*lang.Instance, len(rs.Insts))
+	for i, ip := range rs.Insts {
+		x := ip.X
+		if x == nil {
+			x = make([][]byte, j.g.N())
+		}
+		in, err := lang.NewInstance(j.g, x, ip.ID)
+		if err != nil {
+			run.errText = fmt.Sprintf("local: run instance %d: %v", i, err)
+			return
+		}
+		run.insts[i] = in
+	}
+	insOf := func(b int) *lang.Instance { return run.insts[rs.Lane[b]] }
+	for _, li := range rs.Lane {
+		if int(li) < 0 || int(li) >= len(run.insts) {
+			run.errText = fmt.Sprintf("local: run lane instance index %d out of %d", li, len(run.insts))
+			return
+		}
+	}
+	var tapeOf func(b, v int) *localrand.Tape
+	if rs.HasDraws {
+		if len(rs.Draws) != k {
+			run.errText = fmt.Sprintf("local: %d draw seeds for %d lanes", len(rs.Draws), k)
+			return
+		}
+		nwin := sh.hi - sh.lo
+		run.tapes = make([]localrand.Tape, k*nwin)
+		for b := 0; b < k; b++ {
+			d := localrand.DrawFromSeed(rs.Draws[b])
+			d.TapeVecInto(run.tapes[b*nwin:(b+1)*nwin], insOf(b).ID[sh.lo:sh.hi])
+		}
+		lo, tapes := sh.lo, run.tapes
+		tapeOf = func(b, v int) *localrand.Tape { return &tapes[b*nwin+(v-lo)] }
+	}
+	run.alive = make([]bool, j.width)
+	for b := 0; b < k; b++ {
+		run.alive[b] = true
+	}
+	bt.ensureWireState()
+	bt.ensureWorkerScratch(1)
+	bt.alive = run.alive
+	bt.preparePools(j.wa)
+	bt.rk, bt.rwa, bt.rins, bt.rtape = k, j.wa, insOf, tapeOf
+	bt.startPass(0, sh.lo, sh.hi)
+}
+
+// execCmd executes one orchestrator command against the current run and
+// returns its report.
+func (w *shardWorker) execCmd(cmd *cmdMsg) (rep *reportMsg) {
+	rep = &reportMsg{}
+	run := w.run
+	if run == nil {
+		rep.Err = "local: command before any run"
+		return rep
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			rep = &reportMsg{Panicked: fmt.Sprint(r)}
+		}
+	}()
+	sh := w.job.sh
+	bt := sh.bt
+	if !cmd.Run {
+		if run.errText == "" && run.panicked == "" && cmd.Collect {
+			nwin := sh.hi - sh.lo
+			B := bt.block
+			rep.Out = make([][]byte, run.k*nwin)
+			for v := sh.lo; v < sh.hi; v++ {
+				for b := 0; b < run.k; b++ {
+					rep.Out[b*nwin+(v-sh.lo)] = bt.procs[v*B+b].Output()
+				}
+			}
+		}
+		sh.cleanup()
+		w.run = nil
+		return rep
+	}
+	switch {
+	case run.panicked != "":
+		rep.Panicked = run.panicked
+	case run.errText != "":
+		rep.Err = run.errText
+	case len(cmd.Alive) != run.k:
+		rep.Err = fmt.Sprintf("local: liveness vector carries %d lanes, want %d", len(cmd.Alive), run.k)
+	default:
+		copy(run.alive[:run.k], cmd.Alive)
+		if err := sh.execRound(int(cmd.Round), run.k); err != nil {
+			rep.Err = err.Error()
+			return rep
+		}
+		rep.Msgs = bt.wkMsgs[0][:run.k]
+		rep.Fins = make([]int32, run.k)
+		for b, f := range bt.wkFin[0][:run.k] {
+			rep.Fins[b] = int32(f)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,216 @@
+package local
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"rlnc/internal/graph"
+	"rlnc/internal/lang"
+	"rlnc/internal/localrand"
+)
+
+// The worker protocol is exercised here without OS processes: each
+// "worker" is ServeShard on its own goroutine behind a real connection
+// pair, with the data links still real loopback TCP sockets — the full
+// codec and connection machinery of a multi-process run, minus exec.
+
+func init() {
+	RegisterRemoteAlgorithm("test-wiremix", func(params []int64) (MessageAlgorithm, error) {
+		if len(params) != 1 {
+			return nil, errors.New("test-wiremix wants one param")
+		}
+		return wireMix{rounds: int(params[0])}, nil
+	})
+	RegisterRemoteAlgorithm("test-floodmin", func(params []int64) (MessageAlgorithm, error) {
+		return floodMin{t: int(params[0])}, nil
+	})
+	RegisterRemoteAlgorithm("test-panic-on-node", func(params []int64) (MessageAlgorithm, error) {
+		return panicOnNode{node: params[0]}, nil
+	})
+}
+
+// RemoteSpec makes the package's test algorithms process-portable.
+func (a wireMix) RemoteSpec() (string, []int64)     { return "test-wiremix", []int64{int64(a.rounds)} }
+func (a floodMin) RemoteSpec() (string, []int64)    { return "test-floodmin", []int64{int64(a.t)} }
+func (a panicOnNode) RemoteSpec() (string, []int64) { return "test-panic-on-node", []int64{a.node} }
+
+// startWorkerPool spins n in-process workers and returns their pool;
+// cleanup shuts them down.
+func startWorkerPool(t *testing.T, n int) *WorkerPool {
+	t.Helper()
+	workers := make([]*WorkerConn, n)
+	for i := 0; i < n; i++ {
+		orch, worker := net.Pipe()
+		go func() { ServeShard(worker, "") }()
+		w, err := NewWorkerConn(orch, 5*time.Second)
+		if err != nil {
+			t.Fatalf("worker %d hello: %v", i, err)
+		}
+		workers[i] = w
+	}
+	pool := NewWorkerPool(workers)
+	t.Cleanup(pool.Close)
+	return pool
+}
+
+// TestRemoteShardedEquivalence is the protocol's tentpole contract:
+// every lane of a worker-hosted sharded run — outputs, Stats, errors —
+// is byte-identical to the unsharded Batch at equal seeds, across graph
+// families, ragged tails, and back-to-back reuse on one pool.
+func TestRemoteShardedEquivalence(t *testing.T) {
+	const width = 3
+	pool := startWorkerPool(t, 3)
+	space := localrand.NewTapeSpace(51)
+	lo := 0
+	for name, g := range testFamilies(t) {
+		t.Run(name, func(t *testing.T) {
+			in := mustInstance(t, g)
+			plan := MustPlan(g)
+			bt := plan.NewBatch(width)
+			sh, err := plan.NewShardedRemote(width, pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sh.Close()
+			for rep, k := range []int{width, width - 1} {
+				draws := drawRange(space, lo, k)
+				want, err := bt.Run(in, wireMix{rounds: 4}, draws, RunOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sh.Run(in, wireMix{rounds: 4}, draws, RunOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for b := 0; b < k; b++ {
+					expectSameResult(t, fmt.Sprintf("remote rep %d lane %d", rep, b), want[b], got[b])
+				}
+				lo += k
+			}
+		})
+	}
+}
+
+// TestRemoteShardedAlgorithmSwitch pins job re-shipping: one pool serves
+// successive Shardeds over different graphs and algorithms, deterministic
+// runs included, each byte-identical to the local engines.
+func TestRemoteShardedAlgorithmSwitch(t *testing.T) {
+	pool := startWorkerPool(t, 2)
+	space := localrand.NewTapeSpace(53)
+	for i, g := range []*graph.Graph{graph.Cycle(14), graph.Grid(4, 4), graph.Cycle(9)} {
+		in := mustInstance(t, g)
+		plan := MustPlan(g)
+		sh, err := plan.NewShardedRemote(2, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Randomized wire algorithm.
+		draws := drawRange(space, i*4, 2)
+		want, err := plan.NewBatch(2).Run(in, wireMix{rounds: 3}, draws, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sh.Run(in, wireMix{rounds: 3}, draws, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := range draws {
+			expectSameResult(t, fmt.Sprintf("graph %d wire lane %d", i, b), want[b], got[b])
+		}
+
+		// Deterministic algorithm on the same pool: a new job mid-Sharded.
+		wantDet, err := RunMessage(in, floodMin{t: 2}, nil, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotDet, err := sh.RunInstances([]*lang.Instance{in, in}, floodMin{t: 2}, nil, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := range gotDet {
+			expectSameResult(t, fmt.Sprintf("graph %d det lane %d", i, b), wantDet, gotDet[b])
+		}
+		sh.Close()
+	}
+}
+
+// TestRemoteShardedFallbacks pins the degradation contract: a pool in
+// use refuses a second Sharded; a non-portable algorithm transparently
+// runs on the local companion batch with identical results.
+func TestRemoteShardedFallbacks(t *testing.T) {
+	pool := startWorkerPool(t, 2)
+	g := graph.Cycle(12)
+	in := mustInstance(t, g)
+	plan := MustPlan(g)
+	sh, err := plan.NewShardedRemote(2, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.NewShardedRemote(2, pool); err == nil {
+		t.Fatal("busy pool handed out twice")
+	}
+
+	// tapeXOR has no RemoteSpec: the remote Sharded must fall back to its
+	// local companion batch, byte-identically.
+	space := localrand.NewTapeSpace(55)
+	draws := drawRange(space, 0, 2)
+	want, err := plan.NewBatch(2).Run(in, tapeXOR{rounds: 3}, draws, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sh.Run(in, tapeXOR{rounds: 3}, draws, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range draws {
+		expectSameResult(t, fmt.Sprintf("fallback lane %d", b), want[b], got[b])
+	}
+
+	sh.Close()
+	// Released pool serves again.
+	sh2, err := plan.NewShardedRemote(2, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh2.Close()
+}
+
+// TestRemoteShardedWorkerPanic pins failure containment across the
+// process boundary: an algorithm panicking inside a worker surfaces as a
+// descriptive error on the orchestrator — no hang, no orchestrator
+// panic — and the pool stays usable.
+func TestRemoteShardedWorkerPanic(t *testing.T) {
+	pool := startWorkerPool(t, 2)
+	g := graph.Cycle(10)
+	in := mustInstance(t, g)
+	plan := MustPlan(g)
+	sh, err := plan.NewShardedRemote(1, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dead shard's peer unblocks via its data-link deadline; keep the
+	// test snappy.
+	sh.SetLinkTimeout(300 * time.Millisecond)
+	_, err = sh.RunInstances([]*lang.Instance{in}, panicOnNode{node: in.ID[7]}, nil, RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "detonated") {
+		t.Fatalf("worker panic surfaced as %v, want a detonation error", err)
+	}
+
+	// Same executor, clean algorithm: the pool recovers.
+	draws := drawRange(localrand.NewTapeSpace(57), 0, 1)
+	want, err := plan.NewBatch(1).Run(in, wireMix{rounds: 2}, draws, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sh.Run(in, wireMix{rounds: 2}, draws, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectSameResult(t, "after-panic", want[0], got[0])
+	sh.Close()
+}

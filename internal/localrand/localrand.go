@@ -161,3 +161,12 @@ func (d Draw) tapeSeed(nodeID int64) uint64 {
 func (d Draw) Derive(tag uint64) Draw {
 	return Draw{seed: mix64(d.seed + splitmixGamma*(tag+1))}
 }
+
+// Seed returns the draw's identifying word. Together with DrawFromSeed
+// it is the wire form of a draw: a shard-worker process handed the seed
+// reconstructs σ exactly, so every node's tape is bit-identical on both
+// sides of the process boundary.
+func (d Draw) Seed() uint64 { return d.seed }
+
+// DrawFromSeed reconstructs the draw identified by seed (see Draw.Seed).
+func DrawFromSeed(seed uint64) Draw { return Draw{seed: seed} }

@@ -217,3 +217,22 @@ func TestTapeVecIntoMatchesTapeInto(t *testing.T) {
 	}()
 	d.TapeVecInto(row[:2], ids)
 }
+
+// TestDrawSeedRoundTrip pins the wire form of a draw: DrawFromSeed(σ.Seed())
+// reproduces σ's per-node tapes bit for bit — what lets a shard-worker
+// process reconstruct the orchestrator's randomness exactly.
+func TestDrawSeedRoundTrip(t *testing.T) {
+	space := NewTapeSpace(17)
+	for idx := uint64(0); idx < 8; idx++ {
+		want := space.Draw(idx)
+		got := DrawFromSeed(want.Seed())
+		for _, id := range []int64{0, 1, 7, 1 << 40} {
+			a, b := want.Tape(id), got.Tape(id)
+			for w := 0; w < 8; w++ {
+				if x, y := a.Uint64(), b.Uint64(); x != y {
+					t.Fatalf("draw %d id %d word %d: %x vs %x after seed round-trip", idx, id, w, x, y)
+				}
+			}
+		}
+	}
+}

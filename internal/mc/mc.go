@@ -7,6 +7,7 @@ package mc
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"sync"
@@ -148,6 +149,16 @@ func RunSharded[S any](trials, batch, shards int, newState func() S, f func(s S,
 	return runBatchedWorkers(trials, batch, shardGroups(shards), newState, f)
 }
 
+// closeState releases a worker state that holds external resources
+// (sockets, worker-process leases): states implementing io.Closer are
+// closed when their worker retires, so transports injected through
+// trial-state constructors cannot leak across a trial sweep.
+func closeState(s any) {
+	if c, ok := s.(io.Closer); ok {
+		c.Close()
+	}
+}
+
 // shardGroups sizes the worker pool for shard-group execution.
 func shardGroups(shards int) int {
 	if shards < 1 {
@@ -169,6 +180,7 @@ func runBatchedWorkers[S any](trials, batch, workers int, newState func() S, f f
 	counts := make([]int, workers)
 	forEachWorker(trials, workers, func(w, lo, hi int) {
 		s := newState()
+		defer closeState(s)
 		out := make([]bool, batch)
 		for start := lo; start < hi; start += batch {
 			end := start + batch
@@ -256,6 +268,7 @@ func meanBatchedWorkers[S any](trials, batch, workers int, newState func() S, f 
 	sqs := make([]float64, workers)
 	forEachWorker(trials, workers, func(w, lo, hi int) {
 		s := newState()
+		defer closeState(s)
 		out := make([]float64, batch)
 		for start := lo; start < hi; start += batch {
 			end := start + batch

@@ -9,6 +9,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"rlnc/internal/local"
 )
 
 // Table is a titled grid of cells.
@@ -149,6 +151,14 @@ type Config struct {
 	// one, as the golden tests do, for exact table equality). The knob
 	// exists to exercise the multi-machine execution path end to end.
 	Shards int
+	// NewSharded, when set, builds the sharded executors the trial loops
+	// use instead of the default in-process one — the CLI injects the
+	// loopback-TCP transport and the shard-worker process pool through
+	// it (`rlnc run -transport ...`). A provider may refuse (a worker
+	// pool serves one executor at a time); the trial loop then falls
+	// back to a plain batch, which the sharding contract keeps
+	// byte-identical. Executors are Closed when their worker retires.
+	NewSharded func(plan *local.Plan, width, shards int) (*local.Sharded, error)
 }
 
 // Experiment is one entry of the per-experiment index in DESIGN.md.

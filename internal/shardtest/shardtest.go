@@ -98,12 +98,43 @@ func ShardCounts(n int) []int {
 	return counts
 }
 
+// Transport equips a sharded executor with a cut-exchange transport for
+// one equivalence sweep and returns the cleanup to run when that
+// executor is done. A nil Transport keeps the in-process channel links.
+type Transport func(sh *local.Sharded) (cleanup func())
+
+// TCPTransport is the loopback-TCP byte-stream transport: every cut pair
+// becomes a real socket carrying the framed CutBlock codec, so the
+// differential exercises the exact serialize → kernel → deserialize path
+// a multi-machine deployment pays.
+func TCPTransport(sh *local.Sharded) func() {
+	sh.UseTCPLoopback()
+	return func() { sh.Close() }
+}
+
 // Equivalence runs the full differential for one case: unsharded Batch
 // versus Sharded at every ShardCounts entry with balanced cuts, plus
 // `randomCuts` randomized partitions seeded from seed — asserting
 // byte-identical Results lane for lane, across a full batch and a
 // ragged tail on the same executors (back-to-back reuse included).
 func Equivalence(t *testing.T, c Case, seed uint64, randomCuts int) {
+	t.Helper()
+	equivalence(t, c, seed, randomCuts, 0, nil)
+}
+
+// EquivalenceTransport is Equivalence over an installed transport. The
+// shard sweep is capped (balanced counts up to 4, random cuts up to 6
+// shards) so transports with per-link resources — one socket pair per
+// directed cut — stay within sane file-descriptor budgets; the cut
+// *placements* still vary adversarially.
+func EquivalenceTransport(t *testing.T, c Case, seed uint64, randomCuts int, tr Transport) {
+	t.Helper()
+	equivalence(t, c, seed, randomCuts, 6, tr)
+}
+
+// equivalence is the shared differential core; maxShards > 0 caps the
+// partition sweep for resource-bounded transports.
+func equivalence(t *testing.T, c Case, seed uint64, randomCuts, maxShards int, tr Transport) {
 	t.Helper()
 	const width = 3
 	g := c.In.G
@@ -114,8 +145,17 @@ func Equivalence(t *testing.T, c Case, seed uint64, randomCuts int) {
 		t.Fatal(err)
 	}
 
+	counts := ShardCounts(g.N())
+	if maxShards > 0 {
+		counts = nil
+		for _, s := range []int{2, 3, 4} {
+			if s <= g.N() && s <= maxShards {
+				counts = append(counts, s)
+			}
+		}
+	}
 	parts := make(map[string]graph.Partition)
-	for _, shards := range ShardCounts(g.N()) {
+	for _, shards := range counts {
 		p, err := topo.PartitionBySlots(shards)
 		if err != nil {
 			t.Fatal(err)
@@ -124,7 +164,11 @@ func Equivalence(t *testing.T, c Case, seed uint64, randomCuts int) {
 	}
 	rng := rand.New(rand.NewSource(int64(seed)))
 	for i := 0; i < randomCuts; i++ {
-		shards := 2 + rng.Intn(g.N()-1)
+		bound := g.N() - 1
+		if maxShards > 0 && bound > maxShards-1 {
+			bound = maxShards - 1
+		}
+		shards := 2 + rng.Intn(bound)
 		parts[fmt.Sprintf("random-%d", i)] = graph.RandomPartition(g.N(), shards, rng)
 	}
 
@@ -133,6 +177,11 @@ func Equivalence(t *testing.T, c Case, seed uint64, randomCuts int) {
 		sh, err := plan.NewShardedPartition(width, part)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
+		}
+		if tr != nil {
+			if cleanup := tr(sh); cleanup != nil {
+				defer cleanup()
+			}
 		}
 		// The draw cursor restarts per partition so the (partition, draw)
 		// pairing is deterministic regardless of map iteration order — a

@@ -58,6 +58,81 @@ func TestShardEquivalenceMatrix(t *testing.T) {
 	}
 }
 
+// TestShardEquivalenceMatrixTCP reruns the seven-algorithm × six-family
+// differential with the cut exchange on real loopback TCP sockets: the
+// framed CutBlock codec, per-link deadlines, and the byte-stream
+// transport must reproduce the unsharded engine bit for bit everywhere
+// the in-process links do. This is the CI gate of the shard-transport
+// job.
+func TestShardEquivalenceMatrixTCP(t *testing.T) {
+	seed := uint64(2003)
+	for name, g := range Families(t) {
+		in := Instance(t, g)
+		generic := []Case{
+			{Name: name, Algo: construct.RetryMessage(3, 4), In: in, Random: true},
+			{Name: name, Algo: construct.LubyMIS{}, In: in, Random: true},
+			{Name: name, Algo: construct.EdgeLubyMatching{}, In: in, Random: true},
+			{Name: name, Algo: construct.MoserTardosLLL{Phases: 2}, In: in, Random: true},
+		}
+		for _, c := range generic {
+			c := c
+			t.Run(fmt.Sprintf("%s/%s", name, c.Algo.Name()), func(t *testing.T) {
+				EquivalenceTransport(t, c, seed, 2, TCPTransport)
+			})
+			seed++
+		}
+	}
+	ring := Instance(t, graph.Cycle(24))
+	cycleCases := []Case{
+		{Name: "cycle", Algo: construct.ColeVishkin{MaxIDBits: 8}, In: ring},
+		{Name: "cycle", Algo: construct.LinialReduction{MaxDegree: 2, MaxIDBits: 8, TargetColors: 3}, In: ring},
+		{Name: "cycle", Algo: construct.GreedyMISFromColoring{Q: 3}, In: ColoredInstance(t, 24, 3)},
+	}
+	for _, c := range cycleCases {
+		c := c
+		t.Run(fmt.Sprintf("cycle/%s", c.Algo.Name()), func(t *testing.T) {
+			EquivalenceTransport(t, c, seed, 2, TCPTransport)
+		})
+		seed++
+	}
+}
+
+// TestShardSlabCompaction is the memory gate of the compacted-halo
+// layout: at 4 balanced shards, the average per-shard wire-slab
+// footprint must be at least 40% below the full-size global-slot slabs
+// every shard used to hold — on every family of the harness fixture.
+// (Individual shards may come close to the full size — a star's hub
+// shard reads nearly every slot — but the per-machine average is what a
+// deployment provisions for.)
+func TestShardSlabCompaction(t *testing.T) {
+	algo := construct.RetryMessage(3, 4)
+	for name, g := range Families(t) {
+		t.Run(name, func(t *testing.T) {
+			plan := local.MustPlan(g)
+			sh, err := plan.NewSharded(3, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := sh.Unsharded().SlabBytesFor(algo)
+			per := sh.ShardSlabBytes(algo)
+			total := 0
+			for i, b := range per {
+				if b > full {
+					t.Errorf("shard %d slab %d B exceeds the uncompacted %d B", i, b, full)
+				}
+				total += b
+			}
+			uncompacted := len(per) * full
+			t.Logf("%s: per-shard %v B, uncompacted %d B/shard (%.0f%% saved on average)",
+				name, per, full, 100*(1-float64(total)/float64(uncompacted)))
+			if total*100 > uncompacted*60 {
+				t.Errorf("compaction saves only %.0f%%, want >= 40%%: per-shard %v vs full %d",
+					100*(1-float64(total)/float64(uncompacted)), per, full)
+			}
+		})
+	}
+}
+
 // TestShardEquivalenceFullInfo covers the ref-slab cut path: the
 // full-information adapter's gossip records cross shard boundaries by
 // reference through CutBlock.Refs.

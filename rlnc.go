@@ -142,14 +142,28 @@ type (
 	// trial pools hold one Batch per worker (see mc.RunBatched).
 	Batch = local.Batch
 	// Sharded runs the message path across a contiguous node partition
-	// of the plan's CSR layout: one Batch per shard on its own
-	// goroutine, cross-shard deliveries exchanged per round as
-	// contiguous [slot][lane] cut blocks over ShardLinks (Go channels in
-	// process; a transport slots in via Sharded.SetLinkFactory). Every
-	// lane is byte-identical to the unsharded Batch at equal seeds.
+	// of the plan's CSR layout: one compacted-window Batch per shard
+	// (slabs cover the shard's own slot range plus its remote halo),
+	// cross-shard deliveries exchanged per round as contiguous
+	// [slot][lane] cut blocks over ShardLinks. Transports: in-process
+	// channels (default), framed byte streams over any net.Conn
+	// (StreamLink / TCPLoopback), or shard-worker OS processes
+	// (WorkerPool + Plan.NewShardedRemote, hosted by `rlnc
+	// shard-worker`). Every lane is byte-identical to the unsharded
+	// Batch at equal seeds on every transport.
 	Sharded   = local.Sharded
 	ShardLink = local.ShardLink
 	CutBlock  = local.CutBlock
+	// TCPLoopback builds ShardLinks as framed byte streams over real
+	// loopback TCP sockets — the full serialize → kernel → deserialize
+	// path of a deployment, in one process.
+	TCPLoopback = local.TCPLoopback
+	// WorkerPool is a fixed set of shard-worker processes backing remote
+	// sharded executors (Plan.NewShardedRemote); RemoteAlgorithm is the
+	// portability hook an algorithm implements to cross the process
+	// boundary.
+	WorkerPool      = local.WorkerPool
+	RemoteAlgorithm = local.RemoteAlgorithm
 	// ResetProcess is the reset-and-reuse extension of WireProcess:
 	// engines pool the per-(node, lane) process table across trials of
 	// one algorithm when its processes implement it.
@@ -164,6 +178,18 @@ var (
 	// adjacency case that NewPlan reports.
 	NewPlan  = local.NewPlan
 	MustPlan = local.MustPlan
+	// StreamLink wraps byte-stream connections as a ShardLink carrying
+	// the framed, versioned CutBlock codec; NewTCPLoopback builds the
+	// loopback-TCP LinkFactory; ServeShard turns the current process
+	// into one shard of a remote executor (the `rlnc shard-worker`
+	// entry point), and NewWorkerPool/NewWorkerConn assemble the
+	// orchestrator's side.
+	StreamLink              = local.StreamLink
+	NewTCPLoopback          = local.NewTCPLoopback
+	ServeShard              = local.ServeShard
+	NewWorkerPool           = local.NewWorkerPool
+	NewWorkerConn           = local.NewWorkerConn
+	RegisterRemoteAlgorithm = local.RegisterRemoteAlgorithm
 	// FullInfo turns a radius-t view algorithm into a t-round
 	// message-passing algorithm (§2.1.1 simulation).
 	FullInfo = local.FullInfo
