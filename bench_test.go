@@ -56,6 +56,7 @@ func BenchmarkExpE13(b *testing.B) { benchExperiment(b, "E13") }
 func BenchmarkExpE14(b *testing.B) { benchExperiment(b, "E14") }
 func BenchmarkExpE15(b *testing.B) { benchExperiment(b, "E15") }
 func BenchmarkExpE16(b *testing.B) { benchExperiment(b, "E16") }
+func BenchmarkExpE17(b *testing.B) { benchExperiment(b, "E17") }
 
 // Substrate micro-benchmarks.
 
@@ -242,6 +243,45 @@ func BenchmarkTrialBatchedMessage(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchTrialFaulty is BenchmarkTrialBatchedMessage with a FaultPlan
+// armed on the batch: the 0.05-drop plan measures the cost of the fault
+// round path (per-slot tape draws plus suppressed deliveries), and the
+// zero plan pins the disarm contract — an armed-but-empty plan must
+// stay within noise of the fault-free benchmark, because the round loop
+// never enters the fault path.
+func benchTrialFaulty(b *testing.B, fp *local.FaultPlan) {
+	const width = 32
+	in, _, _ := benchTrialFixture(b)
+	algo := construct.RetryColoring{Q: 3, T: 2}
+	space := localrand.NewTapeSpace(19)
+	plan := local.MustPlan(in.G)
+	bt := plan.NewBatch(width)
+	bt.SetFault(fp)
+	draws := make([]localrand.Draw, width)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += width {
+		k := width
+		if left := b.N - done; left < k {
+			k = left
+		}
+		for j := 0; j < k; j++ {
+			draws[j] = space.Draw(uint64(done + j))
+		}
+		if _, err := construct.RunBatch(algo, bt, in, draws[:k]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrialFaulty32(b *testing.B) {
+	benchTrialFaulty(b, &local.FaultPlan{Seed: 23, Drop: 0.05})
+}
+
+func BenchmarkTrialFaultyZeroPlan32(b *testing.B) {
+	benchTrialFaulty(b, &local.FaultPlan{Seed: 23})
 }
 
 // benchTrialSharded runs the message-path trial of
@@ -590,7 +630,7 @@ func TestFacadeSmoke(t *testing.T) {
 	}}), nil, RunOptions{}); err != nil || len(res.Y) != 12 {
 		t.Fatalf("facade Plan/Engine broken: %v", err)
 	}
-	if len(Experiments()) != 16 {
+	if len(Experiments()) != 17 {
 		t.Fatalf("facade lists %d experiments", len(Experiments()))
 	}
 	if _, ok := ExperimentByID("E7"); !ok {

@@ -1,17 +1,35 @@
 // Command rlnc drives the Randomized Local Network Computing
-// reproduction: it lists and runs the experiment suite E1–E15 (one per
-// quantitative statement of the paper, see DESIGN.md §5), inspects graph
-// families, runs individual construction algorithms, and hosts shard
-// workers for multi-process sharded execution.
+// reproduction: it lists and runs the experiment suite E1–E17 (one per
+// quantitative statement of the paper, see DESIGN.md §5, plus the E17
+// fault-injection study), inspects graph families, runs individual
+// construction algorithms, and hosts shard workers for multi-process
+// sharded execution.
 //
 // Usage:
 //
 //	rlnc list
 //	rlnc run E1 E4 ...      [-quick] [-seed N] [-shards N] [-transport T]
+//	                        [-drop P] [-delay P] [-crash P] [-crash-from R]
+//	                        [-crash-until R] [-fault-seed N]
 //	rlnc run all            [-quick] [-seed N] [-shards N] [-transport T]
 //	rlnc graph -family cycle -n 12
 //	rlnc sim -algo cv -n 64 [-seed N]
 //	rlnc shard-worker -connect HOST:PORT [-listen ADDR]
+//
+// # Fault injection
+//
+// The -drop/-delay/-crash flags assemble a local.FaultPlan and arm it on
+// every trial executor of the run (report.Config.Fault): each message
+// independently dropped with probability -drop or held one round with
+// probability -delay, each live node crashing per round with probability
+// -crash from round -crash-from on (recovering at -crash-until, or
+// frozen for good when 0). Fault decisions come from a dedicated tape
+// seeded by -fault-seed, decoupled from the experiment seed and keyed by
+// (round, edge slot, lane), so faulty runs are exactly reproducible and
+// per-trial outputs stay byte-identical across batch widths, shard
+// counts, and transports. All-zero rates reproduce fault-free runs bit
+// for bit. Experiment E17 sweeps this axis systematically — degradation
+// of the E2/E3/E4 quantities against drop and crash rates.
 //
 // # Sharded transports
 //
@@ -126,6 +144,12 @@ func cmdRun(args []string) error {
 	seed := fs.Uint64("seed", 1, "tape-space seed")
 	shards := fs.Int("shards", 1, "run message-algorithm trials on a sharded engine of N shards (byte-identical per-trial outputs)")
 	transport := fs.String("transport", "chan", "sharded cut-exchange transport: chan (in-process links), tcp-loopback (byte streams over loopback sockets), tcp (N shard-worker OS processes)")
+	drop := fs.Float64("drop", 0, "fault injection: per-message drop probability in [0,1]")
+	delay := fs.Float64("delay", 0, "fault injection: per-message one-round delay probability in [0,1]")
+	crash := fs.Float64("crash", 0, "fault injection: per-node per-round crash probability in [0,1]")
+	crashFrom := fs.Int("crash-from", 1, "fault injection: first round crashes may fire (with -crash)")
+	crashUntil := fs.Int("crash-until", 0, "fault injection: crashed nodes recover at this round (0: crashes are permanent)")
+	faultSeed := fs.Uint64("fault-seed", 0, "fault injection: seed of the fault tape (decoupled from -seed)")
 	var idArgs []string
 	for _, a := range args {
 		if strings.HasPrefix(a, "-") {
@@ -152,6 +176,16 @@ func cmdRun(args []string) error {
 		}
 	}
 	cfg := report.Config{Quick: *quick, Seed: *seed, Shards: *shards}
+	if *drop > 0 || *delay > 0 || *crash > 0 {
+		cfg.Fault = &local.FaultPlan{
+			Seed:       *faultSeed,
+			Drop:       *drop,
+			Delay:      *delay,
+			CrashP:     *crash,
+			CrashFrom:  *crashFrom,
+			CrashUntil: *crashUntil,
+		}
+	}
 	switch *transport {
 	case "chan", "":
 		// Default in-process channel links.

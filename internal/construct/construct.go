@@ -26,6 +26,75 @@ type Algorithm interface {
 	Run(in *lang.Instance, draw *localrand.Draw) ([][]byte, error)
 }
 
+// Exec is the package's one execution handle: the Run verb dispatches a
+// construction algorithm to whichever execution shape the handle holds.
+// Set Sh for sharded execution, Bt for a vectorized batch, Eng for
+// pooled per-trial runs; the zero Exec runs single-shot. Precedence is
+// Sh > Bt > Eng, and each shape falls back gracefully for algorithms
+// that do not implement its fast path (see RunOn, RunBatchInstances,
+// RunShardedInstances — now thin deprecated wrappers over this handle).
+// Outputs are byte-identical across shapes at equal draws.
+type Exec struct {
+	// Eng, when set, runs lanes one at a time on the reusable engine.
+	Eng *local.Engine
+	// Bt, when set, runs the whole lane vector through the batch; it
+	// takes precedence over Eng.
+	Bt *local.Batch
+	// Sh, when set, runs the lane vector across the shards (falling back
+	// to the Sharded's companion batch for view-only algorithms); it
+	// takes precedence over Bt and Eng.
+	Sh *local.Sharded
+}
+
+// Run executes len(draws) independent trials of a on one shared
+// instance — the standard Monte-Carlo chunk shape. Lane b runs in under
+// draws[b]; out[b] is lane b's global output.
+func (x Exec) Run(a Algorithm, in *lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
+	ins := make([]*lang.Instance, len(draws))
+	for b := range ins {
+		ins[b] = in
+	}
+	return x.RunInstances(a, ins, draws)
+}
+
+// RunInstances is Run with per-lane instances (all over the handle's
+// plan graph); pipelines use it to thread lane-varying inputs between
+// stages. nil draws run every lane deterministically.
+func (x Exec) RunInstances(a Algorithm, ins []*lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
+	switch {
+	case x.Sh != nil:
+		if r, ok := a.(ShardRunner); ok {
+			return r.RunShardedInstances(x.Sh, ins, draws)
+		}
+		return Exec{Bt: x.Sh.Unsharded()}.RunInstances(a, ins, draws)
+	case x.Bt != nil:
+		if r, ok := a.(BatchRunner); ok {
+			return r.RunBatch(x.Bt, ins, draws)
+		}
+	}
+	// Scalar shapes (and batch-less algorithms): one lane at a time,
+	// pooled when the handle carries an engine.
+	ys := make([][][]byte, len(ins))
+	for b, in := range ins {
+		var sub *localrand.Draw
+		if draws != nil {
+			sub = &draws[b]
+		}
+		var y [][]byte
+		var err error
+		if x.Eng != nil {
+			y, err = runOn(a, x.Eng, in, sub)
+		} else {
+			y, err = a.Run(in, sub)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ys[b] = y
+	}
+	return ys, nil
+}
+
 // EngineRunner is the pooled execution path of a construction algorithm:
 // RunOn behaves exactly like Run but executes on the caller's reusable
 // engine, so trial loops amortize execution scratch across trials. The
@@ -37,7 +106,15 @@ type EngineRunner interface {
 // RunOn executes a on the pooled engine when it supports pooling and
 // falls back to the single-shot Run otherwise; outputs are identical
 // either way.
+//
+// Deprecated: use Exec{Eng: eng}.Run with a one-lane draw vector.
 func RunOn(a Algorithm, eng *local.Engine, in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
+	return runOn(a, eng, in, draw)
+}
+
+// runOn is the scalar dispatch core shared by the Exec handle and the
+// deprecated RunOn wrapper.
+func runOn(a Algorithm, eng *local.Engine, in *lang.Instance, draw *localrand.Draw) ([][]byte, error) {
 	if r, ok := a.(EngineRunner); ok {
 		return r.RunOn(eng, in, draw)
 	}
@@ -59,34 +136,19 @@ type BatchRunner interface {
 // instance through the batch — the standard Monte-Carlo chunk shape —
 // falling back to single-shot runs for algorithms without a batched
 // path. Outputs are identical either way.
+//
+// Deprecated: use Exec{Bt: bt}.Run.
 func RunBatch(a Algorithm, bt *local.Batch, in *lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
-	ins := make([]*lang.Instance, len(draws))
-	for b := range ins {
-		ins[b] = in
-	}
-	return RunBatchInstances(a, bt, ins, draws)
+	return Exec{Bt: bt}.Run(a, in, draws)
 }
 
 // RunBatchInstances is RunBatch with per-lane instances (all over the
 // batch's plan graph); pipelines use it to thread lane-varying inputs
 // between stages.
+//
+// Deprecated: use Exec{Bt: bt}.RunInstances.
 func RunBatchInstances(a Algorithm, bt *local.Batch, ins []*lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
-	if r, ok := a.(BatchRunner); ok {
-		return r.RunBatch(bt, ins, draws)
-	}
-	ys := make([][][]byte, len(ins))
-	for b, in := range ins {
-		var sub *localrand.Draw
-		if draws != nil {
-			sub = &draws[b]
-		}
-		y, err := a.Run(in, sub)
-		if err != nil {
-			return nil, err
-		}
-		ys[b] = y
-	}
-	return ys, nil
+	return Exec{Bt: bt}.RunInstances(a, ins, draws)
 }
 
 // ShardRunner is the sharded execution path of a construction
@@ -102,21 +164,18 @@ type ShardRunner interface {
 // ball-view constructions, whose work is embarrassingly node-local and
 // gains nothing from a cut exchange — fall back to the Sharded's
 // companion unsharded batch; outputs are identical either way.
+//
+// Deprecated: use Exec{Sh: sh}.Run.
 func RunSharded(a Algorithm, sh *local.Sharded, in *lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
-	ins := make([]*lang.Instance, len(draws))
-	for b := range ins {
-		ins[b] = in
-	}
-	return RunShardedInstances(a, sh, ins, draws)
+	return Exec{Sh: sh}.Run(a, in, draws)
 }
 
 // RunShardedInstances is RunSharded with per-lane instances (all over
 // the sharded executor's plan graph).
+//
+// Deprecated: use Exec{Sh: sh}.RunInstances.
 func RunShardedInstances(a Algorithm, sh *local.Sharded, ins []*lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
-	if r, ok := a.(ShardRunner); ok {
-		return r.RunShardedInstances(sh, ins, draws)
-	}
-	return RunBatchInstances(a, sh.Unsharded(), ins, draws)
+	return Exec{Sh: sh}.RunInstances(a, ins, draws)
 }
 
 // ViewConstruction adapts a ball-view algorithm.
@@ -259,7 +318,7 @@ func (p Pipeline) RunBatch(bt *local.Batch, ins []*lang.Instance, draws []localr
 				subs[b] = draws[b].Derive(uint64(i))
 			}
 		}
-		y, err := RunBatchInstances(stage, bt, cur, subs)
+		y, err := Exec{Bt: bt}.RunInstances(stage, cur, subs)
 		if err != nil {
 			return nil, fmt.Errorf("construct: stage %d (%s): %w", i, stage.Name(), err)
 		}
@@ -293,7 +352,7 @@ func (p Pipeline) RunShardedInstances(sh *local.Sharded, ins []*lang.Instance, d
 				subs[b] = draws[b].Derive(uint64(i))
 			}
 		}
-		y, err := RunShardedInstances(stage, sh, cur, subs)
+		y, err := Exec{Sh: sh}.RunInstances(stage, cur, subs)
 		if err != nil {
 			return nil, fmt.Errorf("construct: stage %d (%s): %w", i, stage.Name(), err)
 		}
@@ -320,7 +379,7 @@ func (p Pipeline) run(eng *local.Engine, in *lang.Instance, draw *localrand.Draw
 		}
 		var err error
 		if eng != nil {
-			y, err = RunOn(stage, eng, cur, sub)
+			y, err = runOn(stage, eng, cur, sub)
 		} else {
 			y, err = stage.Run(cur, sub)
 		}

@@ -29,26 +29,29 @@ type Decider interface {
 	Verdict(v *local.View) bool
 }
 
+// oneDraw lifts an optional scalar draw into the vector shape the Exec
+// verbs take.
+func oneDraw(draw *localrand.Draw) []localrand.Draw {
+	if draw == nil {
+		return nil
+	}
+	return []localrand.Draw{*draw}
+}
+
 // Verdicts runs the decider at every node; draw carries the decider's
 // randomness (nil for deterministic deciders).
+//
+// Deprecated: use Exec.Verdicts — the zero Exec is this computation.
 func Verdicts(di *lang.DecisionInstance, d Decider, draw *localrand.Draw) []bool {
-	n := di.G.N()
-	out := make([]bool, n)
-	local.ParallelFor(n, func(v int) {
-		out[v] = d.Verdict(local.DecisionView(di, v, d.Radius(), draw))
-	})
-	return out
+	return Exec{}.Verdicts([]*lang.DecisionInstance{di}, d, oneDraw(draw))[0]
 }
 
 // Accepts reports whether every node outputs true — the acceptance rule of
 // §2.2.1.
+//
+// Deprecated: use Exec.Accepts.
 func Accepts(di *lang.DecisionInstance, d Decider, draw *localrand.Draw) bool {
-	for _, ok := range Verdicts(di, d, draw) {
-		if !ok {
-			return false
-		}
-	}
-	return true
+	return Exec{}.Accepts([]*lang.DecisionInstance{di}, d, oneDraw(draw))[0]
 }
 
 // RejectSet returns the nodes voting false: the set Reject(u, σ′) of the
@@ -65,20 +68,26 @@ func RejectSet(di *lang.DecisionInstance, d Decider, draw *localrand.Draw) []int
 
 // AcceptsFarFrom reports whether the decider outputs true at every node at
 // distance greater than far from u — "D accepts (G,(x,y)) far from u" in
-// §3. Nodes within distance far of u are ignored. It is the single-shot
-// wrapper over the pooled path (a transient plan and engine); callers
-// evaluating many trials against one source should hold an engine or
-// batch themselves so the plan's distance column and ball cache survive
-// across trials.
+// §3. Nodes within distance far of u are ignored.
+//
+// Deprecated: use Exec.AcceptsFarFrom; callers evaluating many trials
+// against one source should hold an Exec with an engine or batch so the
+// plan's distance column and ball cache survive across trials.
 func AcceptsFarFrom(di *lang.DecisionInstance, d Decider, draw *localrand.Draw, u, far int) bool {
-	return AcceptsFarFromWith(local.MustPlan(di.G).NewEngine(), di, d, draw, u, far)
+	return Exec{}.AcceptsFarFrom([]*lang.DecisionInstance{di}, d, oneDraw(draw), u, far)[0]
 }
 
 // VerdictsWith is Verdicts on a pooled engine: decision views are
 // assembled on the engine's cached balls instead of being extracted per
-// node per call, which is what Monte-Carlo trial loops want. The verdicts
-// are identical to Verdicts'.
+// node per call. The verdicts are identical to Verdicts'.
+//
+// Deprecated: use Exec{Eng: eng}.Verdicts.
 func VerdictsWith(eng *local.Engine, di *lang.DecisionInstance, d Decider, draw *localrand.Draw) []bool {
+	return verdictsPooled(eng, di, d, draw)
+}
+
+// verdictsPooled is the pooled-engine core of the Verdicts verb.
+func verdictsPooled(eng *local.Engine, di *lang.DecisionInstance, d Decider, draw *localrand.Draw) []bool {
 	out := make([]bool, di.G.N())
 	eng.ForEachDecisionView(di, d.Radius(), draw, func(v int, view *local.View) {
 		out[v] = d.Verdict(view)
@@ -87,38 +96,36 @@ func VerdictsWith(eng *local.Engine, di *lang.DecisionInstance, d Decider, draw 
 }
 
 // AcceptsWith is Accepts on a pooled engine; see VerdictsWith.
+//
+// Deprecated: use Exec{Eng: eng}.Accepts.
 func AcceptsWith(eng *local.Engine, di *lang.DecisionInstance, d Decider, draw *localrand.Draw) bool {
-	for _, ok := range VerdictsWith(eng, di, d, draw) {
-		if !ok {
-			return false
-		}
-	}
-	return true
+	return Exec{Eng: eng}.Accepts([]*lang.DecisionInstance{di}, d, oneDraw(draw))[0]
 }
 
 // AcceptsFarFromWith is AcceptsFarFrom on a pooled engine; see
-// VerdictsWith. The hop distances from u are read from the plan's cache
-// (they depend only on the graph and the source), so trial loops pay the
-// BFS once per source instead of once per trial.
+// VerdictsWith.
+//
+// Deprecated: use Exec{Eng: eng}.AcceptsFarFrom.
 func AcceptsFarFromWith(eng *local.Engine, di *lang.DecisionInstance, d Decider, draw *localrand.Draw, u, far int) bool {
-	dist := eng.Plan().DistFrom(u)
-	verdicts := VerdictsWith(eng, di, d, draw)
-	for v, ok := range verdicts {
-		if dist[v] > far && !ok {
-			return false
-		}
-	}
-	return true
+	return Exec{Eng: eng}.AcceptsFarFrom([]*lang.DecisionInstance{di}, d, oneDraw(draw), u, far)[0]
 }
 
 // VerdictsBatch is VerdictsWith over a vector of trials: lane b holds the
 // verdicts of dis[b] under draws[b] (nil draws for deterministic
-// deciders). Decision views are assembled once per batch on the batch's
-// cached balls — lanes that share identity and input columns with their
-// predecessor pay only the candidate-output column and the tape binding —
-// and every lane's verdicts are identical to VerdictsWith's for the same
-// (instance, draw).
+// deciders).
+//
+// Deprecated: use Exec{Bt: bt}.Verdicts.
 func VerdictsBatch(bt *local.Batch, dis []*lang.DecisionInstance, d Decider, draws []localrand.Draw) [][]bool {
+	return verdictsBatch(bt, dis, d, draws)
+}
+
+// verdictsBatch is the batched core of the Verdicts verb: decision views
+// are assembled once per batch on the batch's cached balls — lanes that
+// share identity and input columns with their predecessor pay only the
+// candidate-output column and the tape binding — and every lane's
+// verdicts are identical to the pooled core's for the same (instance,
+// draw).
+func verdictsBatch(bt *local.Batch, dis []*lang.DecisionInstance, d Decider, draws []localrand.Draw) [][]bool {
 	k := len(dis)
 	n := bt.Plan().Graph().N()
 	slab := make([]bool, k*n)
@@ -135,37 +142,18 @@ func VerdictsBatch(bt *local.Batch, dis []*lang.DecisionInstance, d Decider, dra
 }
 
 // AcceptsBatch is Accepts over a vector of trials; see VerdictsBatch.
+//
+// Deprecated: use Exec{Bt: bt}.Accepts.
 func AcceptsBatch(bt *local.Batch, dis []*lang.DecisionInstance, d Decider, draws []localrand.Draw) []bool {
-	verdicts := VerdictsBatch(bt, dis, d, draws)
-	acc := make([]bool, len(verdicts))
-	for b, row := range verdicts {
-		acc[b] = true
-		for _, ok := range row {
-			if !ok {
-				acc[b] = false
-				break
-			}
-		}
-	}
-	return acc
+	return Exec{Bt: bt}.Accepts(dis, d, draws)
 }
 
 // AcceptsFarFromBatch is AcceptsFarFrom over a vector of trials; see
-// VerdictsBatch. The distance column of u comes from the plan's cache.
+// VerdictsBatch.
+//
+// Deprecated: use Exec{Bt: bt}.AcceptsFarFrom.
 func AcceptsFarFromBatch(bt *local.Batch, dis []*lang.DecisionInstance, d Decider, draws []localrand.Draw, u, far int) []bool {
-	dist := bt.Plan().DistFrom(u)
-	verdicts := VerdictsBatch(bt, dis, d, draws)
-	acc := make([]bool, len(verdicts))
-	for b, row := range verdicts {
-		acc[b] = true
-		for v, ok := range row {
-			if dist[v] > far && !ok {
-				acc[b] = false
-				break
-			}
-		}
-	}
-	return acc
+	return Exec{Bt: bt}.AcceptsFarFrom(dis, d, draws, u, far)
 }
 
 // LCLDecider is the canonical deterministic decider for an LCL language:

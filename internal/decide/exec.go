@@ -1,0 +1,111 @@
+package decide
+
+import (
+	"rlnc/internal/lang"
+	"rlnc/internal/local"
+	"rlnc/internal/localrand"
+)
+
+// Exec is the package's one execution handle: the three decision verbs —
+// Verdicts, Accepts, AcceptsFarFrom — are methods on it, and the handle
+// decides how the decision views are assembled. Set Bt for vectorized
+// trials on a reusable batch, Eng for pooled per-trial execution on a
+// reusable engine; the zero Exec builds a transient engine per call (the
+// single-shot convenience). The legacy free functions — the
+// {Verdicts,Accepts,AcceptsFarFrom}{,With,Batch} enumeration — are thin
+// deprecated wrappers over this handle, with identical verdicts.
+//
+// All verbs take trial vectors: lane b evaluates dis[b] under draws[b]
+// (nil draws for deterministic deciders). Single-trial callers pass
+// one-element slices; every lane's verdicts are identical to a
+// single-shot evaluation of the same (instance, draw).
+type Exec struct {
+	// Eng, when set, assembles decision views on the engine's cached
+	// balls, one lane at a time.
+	Eng *local.Engine
+	// Bt, when set, assembles all lanes' views in one pass on the batch's
+	// cached balls; it takes precedence over Eng.
+	Bt *local.Batch
+}
+
+// engine resolves the pooled engine of a non-batched handle, building a
+// transient one for the zero Exec.
+func (x Exec) engine(di *lang.DecisionInstance) *local.Engine {
+	if x.Eng != nil {
+		return x.Eng
+	}
+	return local.MustPlan(di.G).NewEngine()
+}
+
+// Verdicts evaluates the decider at every node of every lane: out[b][v]
+// is node v's verdict on dis[b] under draws[b].
+func (x Exec) Verdicts(dis []*lang.DecisionInstance, d Decider, draws []localrand.Draw) [][]bool {
+	if len(dis) == 0 {
+		return nil
+	}
+	if x.Bt != nil {
+		return verdictsBatch(x.Bt, dis, d, draws)
+	}
+	eng := x.engine(dis[0])
+	out := make([][]bool, len(dis))
+	for b, di := range dis {
+		var draw *localrand.Draw
+		if draws != nil {
+			draw = &draws[b]
+		}
+		out[b] = verdictsPooled(eng, di, d, draw)
+	}
+	return out
+}
+
+// Accepts reports, per lane, whether every node outputs true — the
+// acceptance rule of §2.2.1.
+func (x Exec) Accepts(dis []*lang.DecisionInstance, d Decider, draws []localrand.Draw) []bool {
+	verdicts := x.Verdicts(dis, d, draws)
+	acc := make([]bool, len(verdicts))
+	for b, row := range verdicts {
+		acc[b] = allTrue(row)
+	}
+	return acc
+}
+
+// AcceptsFarFrom reports, per lane, whether the decider outputs true at
+// every node at distance greater than far from u — "D accepts (G,(x,y))
+// far from u" in §3. The distance column of u comes from the plan's
+// cache, so trial sweeps pay the BFS once per source.
+func (x Exec) AcceptsFarFrom(dis []*lang.DecisionInstance, d Decider, draws []localrand.Draw, u, far int) []bool {
+	if len(dis) == 0 {
+		return nil
+	}
+	var dist []int
+	var verdicts [][]bool
+	if x.Bt != nil {
+		dist = x.Bt.Plan().DistFrom(u)
+		verdicts = verdictsBatch(x.Bt, dis, d, draws)
+	} else {
+		eng := x.engine(dis[0])
+		dist = eng.Plan().DistFrom(u)
+		verdicts = Exec{Eng: eng}.Verdicts(dis, d, draws)
+	}
+	acc := make([]bool, len(verdicts))
+	for b, row := range verdicts {
+		acc[b] = true
+		for v, ok := range row {
+			if dist[v] > far && !ok {
+				acc[b] = false
+				break
+			}
+		}
+	}
+	return acc
+}
+
+// allTrue reports whether every verdict in the row is true.
+func allTrue(row []bool) bool {
+	for _, ok := range row {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -86,7 +86,7 @@ func estimate(di *lang.DecisionInstance, trials int, drawAt func(trial int) loca
 // Accepts(di, d, drawAt(trial)).
 func acceptEstimate(di *lang.DecisionInstance, d Decider, trials int, drawAt func(trial int) localrand.Draw, want func(accept bool) bool) mc.Estimate {
 	return estimate(di, trials, drawAt, func(s *guaranteeScratch, k int) []bool {
-		return AcceptsBatch(s.bt, s.dis[:k], d, s.draws[:k])
+		return Exec{Bt: s.bt}.Accepts(s.dis[:k], d, s.draws[:k])
 	}, want)
 }
 
@@ -125,7 +125,7 @@ func AcceptFarFromProbability(di *lang.DecisionInstance, d Decider, space *local
 	return estimate(di, trials,
 		func(trial int) localrand.Draw { return space.Draw(uint64(trial)) },
 		func(s *guaranteeScratch, k int) []bool {
-			return AcceptsFarFromBatch(s.bt, s.dis[:k], d, s.draws[:k], u, far)
+			return Exec{Bt: s.bt}.AcceptsFarFrom(s.dis[:k], d, s.draws[:k], u, far)
 		},
 		func(acc bool) bool { return acc })
 }

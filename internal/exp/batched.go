@@ -77,14 +77,30 @@ func (s *trialBatch) Close() error {
 	return nil
 }
 
-// construct runs one construction lane vector on the worker's engine:
-// sharded when the trial state carries a sharded executor, batched
-// otherwise. Outputs are byte-identical either way.
-func (s *trialBatch) construct(algo construct.Algorithm, in *lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
+// SetFault arms the fault plan on the worker's executor (the sharded
+// one when present — it propagates to the companion batch), making
+// trialBatch a fault-capable state for mc.Executor's Fault option.
+func (s *trialBatch) SetFault(f *local.FaultPlan) {
 	if s.sh != nil {
-		return construct.RunSharded(algo, s.sh, in, draws)
+		s.sh.SetFault(f)
+		return
 	}
-	return construct.RunBatch(algo, s.bt, in, draws)
+	s.bt.SetFault(f)
+}
+
+// exec is the worker's construction handle: sharded when the trial
+// state carries a sharded executor, batched otherwise. Outputs are
+// byte-identical either way.
+func (s *trialBatch) exec() construct.Exec {
+	if s.sh != nil {
+		return construct.Exec{Sh: s.sh}
+	}
+	return construct.Exec{Bt: s.bt}
+}
+
+// construct runs one construction lane vector on the worker's engine.
+func (s *trialBatch) construct(algo construct.Algorithm, in *lang.Instance, draws []localrand.Draw) ([][][]byte, error) {
+	return s.exec().Run(algo, in, draws)
 }
 
 // lanes fills the primary draw lanes for trials [lo, hi): lane i carries
@@ -116,24 +132,45 @@ func (s *trialBatch) decisions(in *lang.Instance, ys [][][]byte) []*lang.Decisio
 	return s.dis[:len(ys)]
 }
 
+// executor assembles the mc.Executor of a config-driven trial loop over
+// one plan: cfg.Shards > 1 distributes the trial chunks across shard
+// groups of that many shards each (built through cfg.NewSharded when a
+// transport was injected), and cfg.Fault arms the fault plan on every
+// worker's executor via trialBatch.SetFault. Message constructions then
+// run on sharded engines with byte-identical per-trial outputs.
+func executor(trials int, plan *local.Plan, cfg report.Config) mc.Executor[*trialBatch] {
+	x := mc.Executor[*trialBatch]{Trials: trials, Batch: trialBatchWidth, Fault: cfg.Fault}
+	if cfg.Shards > 1 {
+		x.Shards = cfg.Shards
+		x.NewState = newTrialBatch(plan, cfg.Shards, cfg.NewSharded)
+	} else {
+		x.NewState = newTrialBatch(plan, 1, nil)
+	}
+	return x
+}
+
 // runBatched is the batched analogue of mc.RunWith over one plan.
 func runBatched(trials int, plan *local.Plan, f func(s *trialBatch, lo, hi int, out []bool)) mc.Estimate {
-	return mc.RunBatched(trials, trialBatchWidth, newTrialBatch(plan, 1, nil), f)
+	return mc.Executor[*trialBatch]{
+		Trials: trials, Batch: trialBatchWidth, NewState: newTrialBatch(plan, 1, nil),
+	}.Run(f)
 }
 
 // meanBatched is the batched analogue of mc.MeanWith over one plan.
 func meanBatched(trials int, plan *local.Plan, f func(s *trialBatch, lo, hi int, out []float64)) (mean, stderr float64) {
-	return mc.MeanBatched(trials, trialBatchWidth, newTrialBatch(plan, 1, nil), f)
+	return mc.Executor[*trialBatch]{
+		Trials: trials, Batch: trialBatchWidth, NewState: newTrialBatch(plan, 1, nil),
+	}.Mean(f)
 }
 
-// meanSharded is meanBatched with the trial chunks distributed across
-// shard groups of cfg.Shards shards each (mc.MeanSharded), built through
-// cfg.NewSharded when a transport was injected; cfg.Shards <= 1 falls
-// back to the plain batched pool. Message constructions then run on
-// sharded engines with byte-identical per-trial outputs.
+// runSharded is runBatched driven by the config's shard and fault axes;
+// see executor.
+func runSharded(trials int, plan *local.Plan, cfg report.Config, f func(s *trialBatch, lo, hi int, out []bool)) mc.Estimate {
+	return executor(trials, plan, cfg).Run(f)
+}
+
+// meanSharded is meanBatched driven by the config's shard and fault
+// axes; see executor.
 func meanSharded(trials int, plan *local.Plan, cfg report.Config, f func(s *trialBatch, lo, hi int, out []float64)) (mean, stderr float64) {
-	if cfg.Shards <= 1 {
-		return meanBatched(trials, plan, f)
-	}
-	return mc.MeanSharded(trials, trialBatchWidth, cfg.Shards, newTrialBatch(plan, cfg.Shards, cfg.NewSharded), f)
+	return executor(trials, plan, cfg).Mean(f)
 }

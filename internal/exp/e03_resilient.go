@@ -70,7 +70,7 @@ func (e e3) Run(cfg report.Config) (*report.Result, error) {
 			plan := local.MustPlan(in.G)
 			mean, _ := meanBatched(nTrials, plan, func(s *trialBatch, lo, hi int, out []float64) {
 				draws := s.lanes(space, lo, hi, func(t int) uint64 { return uint64(T)<<32 | uint64(t) })
-				ys, err := construct.RunBatch(construct.RetryColoring{Q: 3, T: T}, s.bt, in, draws)
+				ys, err := s.construct(construct.RetryColoring{Q: 3, T: T}, in, draws)
 				if err != nil {
 					for i := range out {
 						out[i] = float64(n)

@@ -63,7 +63,7 @@ func (e e11) Run(cfg report.Config) (*report.Result, error) {
 				for i := range draws {
 					s.dis[i] = di
 				}
-				for i, acc := range decide.AcceptsBatch(s.bt, s.dis[:len(draws)], d, draws) {
+				for i, acc := range (decide.Exec{Bt: s.bt}).Accepts(s.dis[:len(draws)], d, draws) {
 					out[i] = acc == inL
 				}
 			})
@@ -81,7 +81,7 @@ func (e e11) Run(cfg report.Config) (*report.Result, error) {
 			for i := range draws {
 				s.dis[i] = diMono
 			}
-			for i, acc := range decide.AcceptsBatch(s.bt, s.dis[:len(draws)], d, draws) {
+			for i, acc := range (decide.Exec{Bt: s.bt}).Accepts(s.dis[:len(draws)], d, draws) {
 				out[i] = acc == inL
 			}
 		})
@@ -101,7 +101,7 @@ func (e e11) Run(cfg report.Config) (*report.Result, error) {
 		plan := local.MustPlan(in.G)
 		est := runBatched(trials(cfg, 400, 60), plan, func(s *trialBatch, lo, hi int, out []bool) {
 			draws := s.lanes(space, lo, hi, func(t int) uint64 { return uint64(n)<<34 | uint64(t) })
-			ys, err := construct.RunBatch(construct.RandomColoring(3), s.bt, in, draws)
+			ys, err := s.construct(construct.RandomColoring(3), in, draws)
 			if err != nil {
 				return
 			}

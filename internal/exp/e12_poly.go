@@ -56,7 +56,7 @@ func (e e12) Run(cfg report.Config) (*report.Result, error) {
 			plan := local.MustPlan(in.G)
 			mean, _ := meanBatched(nTrials, plan, func(s *trialBatch, lo, hi int, out []float64) {
 				draws := s.lanes(space, lo, hi, func(t int) uint64 { return uint64(a.t)<<40 | uint64(n)<<8 | uint64(t) })
-				ys, err := construct.RunBatch(construct.RetryColoring{Q: 3, T: a.t}, s.bt, in, draws)
+				ys, err := s.construct(construct.RetryColoring{Q: 3, T: a.t}, in, draws)
 				if err != nil {
 					for i := range out {
 						out[i] = float64(n)

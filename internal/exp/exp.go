@@ -1,8 +1,8 @@
-// Package exp implements the experiment suite E1–E15: one experiment per
-// quantitative statement of the paper, as indexed in DESIGN.md §5. Each
-// experiment emits the paper-shaped table plus programmatic checks that
-// the measured shape matches the claim; EXPERIMENTS.md records the
-// outcomes.
+// Package exp implements the experiment suite E1–E17: one experiment per
+// quantitative statement of the paper, as indexed in DESIGN.md §5, plus
+// the E17 fault-injection degradation study. Each experiment emits the
+// paper-shaped table plus programmatic checks that the measured shape
+// matches the claim; EXPERIMENTS.md records the outcomes.
 package exp
 
 import (

@@ -16,8 +16,8 @@ import (
 // assertion that the measured shapes match the paper's claims.
 func TestAllExperimentsQuick(t *testing.T) {
 	exps := All()
-	if len(exps) != 16 {
-		t.Fatalf("registered experiments = %d, want 16", len(exps))
+	if len(exps) != 17 {
+		t.Fatalf("registered experiments = %d, want 17", len(exps))
 	}
 	for _, e := range exps {
 		e := e

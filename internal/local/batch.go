@@ -107,6 +107,21 @@ type Batch struct {
 	procAlgo WireAlgorithm
 	rpool    bool
 
+	// Fault state (fault.go): defFault is the executor default a run
+	// falls back to when RunOptions.Fault is nil; fault is the armed
+	// per-run plan (nil = fault-free fast path), ftape its positional
+	// randomness, flane the per-lane fault identities (draw seeds), fsev
+	// the per-global-slot severed-from rounds of the surgery schedule,
+	// and the held slabs the one-round retention state of Delay plans.
+	defFault  *FaultPlan
+	fault     *FaultPlan
+	ftape     localrand.FaultTape
+	flane     []uint64
+	fsev      []int32
+	heldLens  []int32
+	heldWords []uint64
+	heldRefs  []Message
+
 	// View-path scratch: skeleton views keyed by radius, shared by the
 	// construction and decision paths (decision views additionally carry
 	// the candidate-output column Y), plus the per-lane column tables and
@@ -349,7 +364,7 @@ func (bt *Batch) runBlocks(insOf func(b int) *lang.Instance, k int, algo Message
 		lo := lo
 		blockIns := func(b int) *lang.Instance { return insOf(lo + b) }
 		tapeOf := bt.seedTapes(hi-lo, chunk, func(b int) ids.Assignment { return blockIns(b).ID })
-		rs, err := bt.runVec(blockIns, hi-lo, wa, tapeOf, opts)
+		rs, err := bt.runVec(blockIns, hi-lo, wa, tapeOf, chunk, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -390,13 +405,14 @@ func (bt *Batch) prepareWire(algo MessageAlgorithm) WireAlgorithm {
 // Engine.Run and the single-shot wrappers are the k = 1 case. insOf
 // supplies lane b's instance (the caller has validated all lanes against
 // the plan), tapeOf supplies lane b's per-node tapes (nil for
-// deterministic lanes), and wa comes from prepareWire on this batch (the
-// slab layout must be current). The loop runs on the wire core: native
-// WireAlgorithms stage fixed-width words straight into the send slabs
-// and the steady-state round costs zero allocations; legacy algorithms
-// run through the boxing shim on the identical loop with their payloads
-// carried by the ref slabs.
-func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorithm, tapeOf func(b, v int) *localrand.Tape, opts RunOptions) ([]*Result, error) {
+// deterministic lanes), draws carries the lanes' draw identities (read
+// only by the fault seam; nil for deterministic lanes), and wa comes
+// from prepareWire on this batch (the slab layout must be current). The
+// loop runs on the wire core: native WireAlgorithms stage fixed-width
+// words straight into the send slabs and the steady-state round costs
+// zero allocations; legacy algorithms run through the boxing shim on the
+// identical loop with their payloads carried by the ref slabs.
+func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorithm, tapeOf func(b, v int) *localrand.Tape, draws []localrand.Draw, opts RunOptions) ([]*Result, error) {
 	if k > bt.block {
 		return nil, fmt.Errorf("local: %d lanes exceed the %d-lane slab block", k, bt.block)
 	}
@@ -409,6 +425,7 @@ func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorith
 	if opts.StopAfter > 0 {
 		maxRounds = opts.StopAfter
 	}
+	bt.installFault(bt.effectiveFault(opts), draws, k)
 	bt.ensureWireState()
 	// Drop references into algorithm state when the run ends — on the
 	// error paths too — so a pooled batch never keeps a previous
@@ -421,6 +438,7 @@ func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorith
 		}
 		clear(bt.curRefs)
 		clear(bt.nextRefs)
+		clear(bt.heldRefs)
 		bt.rins, bt.rtape, bt.rwa = nil, nil, nil
 	}()
 
@@ -568,7 +586,15 @@ func (bt *Batch) startPass(w, vlo, vhi int) {
 // counters accumulate into worker-indexed scratch and merge serially
 // after the pass, so the hot loop carries no atomics — and, on the wire
 // path, no allocations.
+//
+// An armed fault plan dispatches to faultPass (fault.go), the same walk
+// with the plan applied receiver-side; a fault-free run pays exactly one
+// predictable nil check here and nothing else.
 func (bt *Batch) roundPass(w, vlo, vhi int) {
+	if bt.fault != nil {
+		bt.faultPass(w, vlo, vhi)
+		return
+	}
 	topo := bt.plan.topo
 	k, B, round := bt.rk, bt.block, bt.rround
 	msgRow := bt.wkMsgs[w][:k]
@@ -658,6 +684,7 @@ func (bt *Batch) ensureWireState() {
 	bt.nextLens = sliceFor(bt.nextLens, slots*B)
 	bt.curWords = sliceFor(bt.curWords, bt.totalW*B)
 	bt.nextWord = sliceFor(bt.nextWord, bt.totalW*B)
+	bt.ensureHeldSlabs(slots, B)
 	if bt.useRefs {
 		bt.curRefs = sliceFor(bt.curRefs, slots*B)
 		bt.nextRefs = sliceFor(bt.nextRefs, slots*B)

@@ -105,6 +105,13 @@ type RunOptions struct {
 	// (the completion time of a LOCAL algorithm is deterministic,
 	// §2.1.2). Fixed-round algorithms must have valid outputs then.
 	StopAfter int
+	// Fault, when non-nil and enabled, injects the plan's faults —
+	// message drop/delay, node crashes, topology surgery — into the run
+	// (see fault.go). It overrides any executor default installed with
+	// SetFault; nil falls back to that default, and a nil-or-zero
+	// effective plan runs the unperturbed fast path. Every execution
+	// shape honors the same plan byte-identically at equal fault seeds.
+	Fault *FaultPlan
 }
 
 // RunMessage executes a message-passing algorithm on an instance. A nil

@@ -152,11 +152,12 @@ func (e *Engine) Run(in *lang.Instance, algo MessageAlgorithm, draw *localrand.D
 	if err := e.bt.checkInstance(in); err != nil {
 		return nil, err
 	}
+	draws := e.drawsOf(draw)
 	var tapeOf func(b, v int) *localrand.Tape
-	if draws := e.drawsOf(draw); draws != nil {
+	if draws != nil {
 		tapeOf = e.bt.seedTapes(1, draws, func(int) ids.Assignment { return in.ID })
 	}
-	rs, err := e.bt.runVec(func(int) *lang.Instance { return in }, 1, e.bt.prepareWire(algo), tapeOf, opts)
+	rs, err := e.bt.runVec(func(int) *lang.Instance { return in }, 1, e.bt.prepareWire(algo), tapeOf, draws, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +175,7 @@ func (e *Engine) runWithTapes(in *lang.Instance, algo MessageAlgorithm, tapeOf f
 	if tapeOf != nil {
 		vec = func(_, v int) *localrand.Tape { return tapeOf(v) }
 	}
-	rs, err := e.bt.runVec(func(int) *lang.Instance { return in }, 1, e.bt.prepareWire(algo), vec, opts)
+	rs, err := e.bt.runVec(func(int) *lang.Instance { return in }, 1, e.bt.prepareWire(algo), vec, nil, opts)
 	if err != nil {
 		return nil, err
 	}

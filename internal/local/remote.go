@@ -113,6 +113,19 @@ type runSpec struct {
 	Lane     []int32
 	Draws    []uint64 // draw seeds; empty + !HasDraws = deterministic
 	HasDraws bool
+
+	// Fault plan, flattened: RunOptions never cross the process boundary,
+	// so an enabled effective FaultPlan ships as plain fields with the run
+	// and the worker reconstructs an identical plan. Surgery crosses as
+	// (Round, U, Z) int64 triples. HasFault false = unperturbed run.
+	HasFault        bool
+	FaultSeed       uint64
+	FaultDrop       float64
+	FaultDelay      float64
+	FaultCrashP     float64
+	FaultCrashFrom  int32
+	FaultCrashUntil int32
+	FaultCuts       []int64
 }
 
 // cmdMsg is one orchestrator command: execute round Round (Run), or
@@ -335,8 +348,10 @@ func int64SliceEq(a, b []int64) bool {
 }
 
 // beginRemoteRun ships one execution vector's inputs: deduplicated
-// instances, per-lane indices, and draw seeds.
-func (s *Sharded) beginRemoteRun(insOf func(b int) *lang.Instance, k int, draws []localrand.Draw) error {
+// instances, per-lane indices, draw seeds, and the effective fault plan
+// (flattened; workers rebuild it so faulty sharded-remote runs stay
+// byte-identical to local ones).
+func (s *Sharded) beginRemoteRun(insOf func(b int) *lang.Instance, k int, draws []localrand.Draw, fault *FaultPlan) error {
 	rs := &runSpec{K: int32(k), Block: int32(s.block), Lane: make([]int32, k)}
 	idxOf := make(map[*lang.Instance]int32, 1)
 	for b := 0; b < k; b++ {
@@ -354,6 +369,18 @@ func (s *Sharded) beginRemoteRun(insOf func(b int) *lang.Instance, k int, draws 
 		rs.Draws = make([]uint64, k)
 		for b := 0; b < k; b++ {
 			rs.Draws[b] = draws[b].Seed()
+		}
+	}
+	if fault.Enabled() {
+		rs.HasFault = true
+		rs.FaultSeed = fault.Seed
+		rs.FaultDrop = fault.Drop
+		rs.FaultDelay = fault.Delay
+		rs.FaultCrashP = fault.CrashP
+		rs.FaultCrashFrom = int32(fault.CrashFrom)
+		rs.FaultCrashUntil = int32(fault.CrashUntil)
+		for _, c := range fault.Surgery {
+			rs.FaultCuts = append(rs.FaultCuts, int64(c.Round), int64(c.U), int64(c.Z))
 		}
 	}
 	for i, w := range s.remote.workers {

@@ -176,6 +176,13 @@ type Sharded struct {
 	linkTimeout time.Duration
 	closeLinks  func()
 
+	// defFault is the executor-default fault plan (SetFault, fault.go): a
+	// run obeys RunOptions.Fault when set and this otherwise. The
+	// orchestrator resolves the effective plan once per execution vector
+	// and arms identical fault state on every shard batch — or ships the
+	// plan inside runSpec when the shards are worker processes.
+	defFault *FaultPlan
+
 	// Remote mode (remote.go): the shards run as worker processes from
 	// this pool; remoteJob/remoteKey/remoteParams identify the job the
 	// workers currently hold for this executor.
@@ -350,6 +357,7 @@ func (s *Sharded) Partition() graph.Partition { return s.part }
 func (s *Sharded) Unsharded() *Batch {
 	if s.full == nil {
 		s.full = s.plan.NewBatch(s.width)
+		s.full.SetFault(s.defFault)
 	}
 	return s.full
 }
@@ -576,8 +584,13 @@ func (s *Sharded) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorit
 			close(s.abort)
 		}
 	}
+	// The effective fault plan is resolved once here, so every shard —
+	// in-process batch or worker process — arms identical fault state;
+	// decisions are keyed on global coordinates, making faulty sharded
+	// runs byte-identical to faulty unsharded ones.
+	eff := s.effectiveFault(opts)
 	if s.remote != nil {
-		if err := s.beginRemoteRun(insOf, k, chunk); err != nil {
+		if err := s.beginRemoteRun(insOf, k, chunk, eff); err != nil {
 			return nil, err
 		}
 		for i, sh := range s.shards {
@@ -586,6 +599,7 @@ func (s *Sharded) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorit
 		}
 	} else {
 		for _, sh := range s.shards {
+			sh.bt.installFault(eff, chunk, k)
 			sh.ctrl = make(chan shardCmd, 1)
 			go sh.run(s, insOf, k, wa, tapeOf, ys)
 		}
@@ -771,6 +785,7 @@ func (sh *shardExec) cleanup() {
 	}
 	clear(bt.curRefs)
 	clear(bt.nextRefs)
+	clear(bt.heldRefs)
 	bt.rins, bt.rtape, bt.rwa = nil, nil, nil
 }
 

@@ -66,11 +66,36 @@
 //     internal/shardtest enforces the contract differentially, TCP
 //     links included.
 //
+// # Fault injection
+//
+// Faults are a first-class engine seam (fault.go): a FaultPlan is a
+// seeded schedule of per-round message drops and one-round delays, node
+// crashes with optional recovery windows, and mid-run topology surgery
+// (EdgeCut; CutForSubdivision pairs a cut with its twice-subdivided
+// comparison graph). A plan is armed durably with SetFault — on an
+// Engine, a Batch, or a Sharded, which propagates it to every shard and
+// its companion batch — or per run through RunOptions.Fault. The
+// implementation lives once in the shared round core: an armed batch
+// routes roundPass through its fault sibling, which suppresses or holds
+// receive slots and freezes crashed lanes' nodes before the delivered
+// counts are taken, so Engine, Batch, Sharded, and the remote
+// shard-worker path (the plan ships inside the job spec) all honor the
+// same plan byte-identically. Fault decisions come from a dedicated
+// fault tape keyed by shape-invariant coordinates — (round, global
+// directed slot, per-lane fault identity) — never from the algorithm's
+// tapes, so arming a plan perturbs no algorithmic randomness, faulty
+// runs are exactly reproducible, and per-lane outputs are byte-identical
+// across batch widths, shard counts, and transports (the faulty half of
+// internal/shardtest pins this differentially). A nil or zero plan takes
+// the fault path nowhere and reproduces fault-free runs bit for bit at
+// zero cost.
+//
 // Monte-Carlo trial loops hold a Plan and give each worker its own Batch
-// (mc.RunBatched hands workers contiguous trial chunks), Engine
-// (mc.RunWith hands one index at a time), or Sharded (mc.RunSharded
+// (mc.Executor with a Batch width hands workers contiguous trial
+// chunks), Engine (width 1, one index at a time), or Sharded (Shards > 0
 // hands chunks to shard groups), which removes all steady-state
-// allocations from the trial loop.
+// allocations from the trial loop; the Executor's Fault option arms a
+// FaultPlan on every worker's executor.
 //
 // Everything an Engine or Batch passes to algorithm code is
 // engine-owned scratch with a uniform contract: the received slice of

@@ -339,6 +339,38 @@ func (w *shardWorker) beginRun(rs *runSpec) {
 			return
 		}
 	}
+	// Reconstruct the effective fault plan (or disarm any previous run's).
+	// Lane identities come from the same draw seeds the tapes use, so a
+	// faulty remote shard makes byte-identical fault decisions to its
+	// in-process twin.
+	if rs.HasFault {
+		f := &FaultPlan{
+			Seed:       rs.FaultSeed,
+			Drop:       rs.FaultDrop,
+			Delay:      rs.FaultDelay,
+			CrashP:     rs.FaultCrashP,
+			CrashFrom:  int(rs.FaultCrashFrom),
+			CrashUntil: int(rs.FaultCrashUntil),
+		}
+		if len(rs.FaultCuts)%3 != 0 {
+			run.errText = fmt.Sprintf("local: %d fault cut words, want a multiple of 3", len(rs.FaultCuts))
+			return
+		}
+		for i := 0; i < len(rs.FaultCuts); i += 3 {
+			f.Surgery = append(f.Surgery, EdgeCut{
+				Round: int(rs.FaultCuts[i]),
+				U:     int(rs.FaultCuts[i+1]),
+				Z:     int(rs.FaultCuts[i+2]),
+			})
+		}
+		var seeds []uint64
+		if rs.HasDraws {
+			seeds = rs.Draws
+		}
+		bt.installFaultSeeds(f, seeds, k)
+	} else {
+		bt.installFaultSeeds(nil, nil, k)
+	}
 	var tapeOf func(b, v int) *localrand.Tape
 	if rs.HasDraws {
 		if len(rs.Draws) != k {

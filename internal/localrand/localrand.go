@@ -156,6 +156,44 @@ func (d Draw) tapeSeed(nodeID int64) uint64 {
 	return mix64(d.seed ^ mix64(uint64(nodeID)+0x5bf0_3635))
 }
 
+// FaultTape is the dedicated randomness of a fault plan: a positionally
+// addressed pseudo-random function over event coordinates, rather than a
+// sequentially consumed stream. Fault decisions (drop this delivery?
+// crash this node?) are keyed by where and when they happen — (channel,
+// round, slot, lane identity) — so the same seed reproduces the same
+// faults regardless of iteration order, batch width, shard count, or
+// process boundary: the property that keeps faulty runs byte-identical
+// across every execution shape. It is deliberately separate from
+// TapeSpace: fault randomness must not perturb the algorithms' Rand(A)
+// draws, so conditioning experiments keep their meaning under faults.
+type FaultTape struct {
+	seed uint64
+}
+
+// NewFaultTape returns the fault tape identified by seed.
+func NewFaultTape(seed uint64) FaultTape {
+	return FaultTape{seed: mix64(seed ^ 0x7f4a_7c15_9e37_79b9)}
+}
+
+// Word returns the pseudo-random word at coordinates (channel, a, b, c):
+// a chained SplitMix64 walk, so permuting or offsetting coordinates
+// yields independent words (no xor-style commutative collisions).
+func (t FaultTape) Word(channel, a, b, c uint64) uint64 {
+	h := mix64(t.seed + splitmixGamma*(channel+1))
+	h = mix64(h + splitmixGamma*(a+1))
+	h = mix64(h + splitmixGamma*(b+1))
+	return mix64(h + splitmixGamma*(c+1))
+}
+
+// Bernoulli reports a probability-p event at the given coordinates,
+// using the same uniform mapping as Source.Float64.
+func (t FaultTape) Bernoulli(p float64, channel, a, b, c uint64) bool {
+	if p <= 0 {
+		return false
+	}
+	return float64(t.Word(channel, a, b, c)>>11)/(1<<53) < p
+}
+
 // Derive returns a sub-draw labeled by the given tag, for algorithms that
 // need several independent per-node streams (e.g. one per round).
 func (d Draw) Derive(tag uint64) Draw {

@@ -93,60 +93,43 @@ func forEachWorker(trials, workers int, body func(w, lo, hi int)) {
 // Run executes trials of f on a worker pool; f receives the trial index
 // and must derive all randomness from it (e.g. as a tape-space draw
 // index). The aggregate is independent of scheduling.
+//
+// Deprecated: use Executor — Executor[struct{}]{Trials: trials}.Run with
+// a Scalar body is the same computation.
 func Run(trials int, f func(trial int) bool) Estimate {
-	return RunWith(trials, func() struct{} { return struct{}{} },
-		func(_ struct{}, trial int) bool { return f(trial) })
+	return Executor[struct{}]{Trials: trials}.
+		Run(Scalar(func(_ struct{}, trial int) bool { return f(trial) }))
 }
 
 // RunWith is Run with per-worker state: newState is called once per
 // worker and its value is passed to every trial that worker executes.
 // The intended state is a reusable *local.Engine, so the O(n + m)
-// execution scratch is set up once per worker instead of once per trial;
-// any resettable scratch (buffers, scratch graphs) works the same way.
-// Trials must still derive all randomness from the trial index — state
-// only carries reusable scratch, never statistics — so the estimate is
-// identical to Run's for the same f.
+// execution scratch is set up once per worker instead of once per trial.
+//
+// Deprecated: use Executor with NewState and a Scalar body.
 func RunWith[S any](trials int, newState func() S, f func(s S, trial int) bool) Estimate {
-	workers := runtime.GOMAXPROCS(0)
-	counts := make([]int, workers)
-	forEachWorker(trials, workers, func(w, lo, hi int) {
-		s := newState()
-		for i := lo; i < hi; i++ {
-			if f(s, i) {
-				counts[w]++
-			}
-		}
-	})
-	succ := 0
-	for _, c := range counts {
-		succ += c
-	}
-	return Estimate{Trials: trials, Successes: succ}
+	return Executor[S]{Trials: trials, NewState: newState}.Run(Scalar(f))
 }
 
 // RunBatched is RunWith with vectorized trials: instead of one index at a
 // time, each worker hands f a contiguous trial chunk [lo, hi) of at most
 // batch indices and a result slice out of length hi-lo to fill (out[i]
 // reports trial lo+i). The intended state is a reusable *local.Batch of
-// width batch, so a whole chunk of trials runs through one engine pass
-// and the per-round scheduling amortizes across the chunk; workers with a
-// ragged tail (hi-lo < batch) reuse the same state. Trials must still
-// derive all randomness from the trial index, so the estimate is
-// identical to Run's for the same per-trial predicate.
+// width batch, so a whole chunk of trials runs through one engine pass.
+//
+// Deprecated: use Executor with Batch set.
 func RunBatched[S any](trials, batch int, newState func() S, f func(s S, lo, hi int, out []bool)) Estimate {
-	return runBatchedWorkers(trials, batch, runtime.GOMAXPROCS(0), newState, f)
+	return Executor[S]{Trials: trials, Batch: batch, NewState: newState}.Run(f)
 }
 
 // RunSharded is RunBatched for sharded execution state: the intended S
 // is a *local.Sharded of `shards` shards, whose every trial vector
-// already runs on that many goroutines. The pool is therefore sized at
-// GOMAXPROCS/shards shard groups (at least one) instead of GOMAXPROCS
-// scalar workers, so trial chunks distribute across groups without
-// oversubscribing the machine — and the estimate stays bit-identical to
-// RunBatched's for the same per-trial predicate, because chunking only
-// moves which group evaluates which trial index.
+// already runs on that many goroutines, so the pool is sized at
+// GOMAXPROCS/shards shard groups instead of GOMAXPROCS scalar workers.
+//
+// Deprecated: use Executor with Batch and Shards set.
 func RunSharded[S any](trials, batch, shards int, newState func() S, f func(s S, lo, hi int, out []bool)) Estimate {
-	return runBatchedWorkers(trials, batch, shardGroups(shards), newState, f)
+	return Executor[S]{Trials: trials, Batch: batch, Shards: shards, NewState: newState}.Run(f)
 }
 
 // closeState releases a worker state that holds external resources
@@ -206,57 +189,37 @@ func runBatchedWorkers[S any](trials, batch, workers int, newState func() S, f f
 
 // Mean runs trials of a real-valued observable and returns its sample
 // mean and standard error.
+//
+// Deprecated: use Executor — Executor[struct{}]{Trials: trials}.Mean
+// with a ScalarMean body is the same computation.
 func Mean(trials int, f func(trial int) float64) (mean, stderr float64) {
-	return MeanWith(trials, func() struct{} { return struct{}{} },
-		func(_ struct{}, trial int) float64 { return f(trial) })
+	return Executor[struct{}]{Trials: trials}.
+		Mean(ScalarMean(func(_ struct{}, trial int) float64 { return f(trial) }))
 }
 
 // MeanWith is Mean with per-worker state; see RunWith.
+//
+// Deprecated: use Executor with NewState and a ScalarMean body.
 func MeanWith[S any](trials int, newState func() S, f func(s S, trial int) float64) (mean, stderr float64) {
-	workers := runtime.GOMAXPROCS(0)
-	sums := make([]float64, workers)
-	sqs := make([]float64, workers)
-	forEachWorker(trials, workers, func(w, lo, hi int) {
-		s := newState()
-		for i := lo; i < hi; i++ {
-			v := f(s, i)
-			sums[w] += v
-			sqs[w] += v * v
-		}
-	})
-	var sum, sq float64
-	for w := range sums {
-		sum += sums[w]
-		sq += sqs[w]
-	}
-	n := float64(trials)
-	mean = sum / n
-	variance := sq/n - mean*mean
-	if variance < 0 {
-		variance = 0
-	}
-	if trials > 1 {
-		stderr = math.Sqrt(variance / (n - 1))
-	}
-	return mean, stderr
+	return Executor[S]{Trials: trials, NewState: newState}.Mean(ScalarMean(f))
 }
 
 // MeanBatched is MeanWith with vectorized trials; see RunBatched. Each
 // worker accumulates its chunk's values in trial order, so the mean and
 // standard error are bit-identical to MeanWith's for the same per-trial
 // observable.
+//
+// Deprecated: use Executor with Batch set.
 func MeanBatched[S any](trials, batch int, newState func() S, f func(s S, lo, hi int, out []float64)) (mean, stderr float64) {
-	return meanBatchedWorkers(trials, batch, runtime.GOMAXPROCS(0), newState, f)
+	return Executor[S]{Trials: trials, Batch: batch, NewState: newState}.Mean(f)
 }
 
 // MeanSharded is MeanBatched with shard-group pool sizing; see
-// RunSharded. The summation order within a worker follows trial order
-// and the cross-worker reduction is fixed, so estimates stay
-// bit-identical to MeanBatched's whenever the chunk boundaries coincide
-// — and statistically identical regardless, since trials derive all
-// randomness from their index.
+// RunSharded.
+//
+// Deprecated: use Executor with Batch and Shards set.
 func MeanSharded[S any](trials, batch, shards int, newState func() S, f func(s S, lo, hi int, out []float64)) (mean, stderr float64) {
-	return meanBatchedWorkers(trials, batch, shardGroups(shards), newState, f)
+	return Executor[S]{Trials: trials, Batch: batch, Shards: shards, NewState: newState}.Mean(f)
 }
 
 // meanBatchedWorkers is the shared core of MeanBatched and MeanSharded.

@@ -151,6 +151,15 @@ type Config struct {
 	// one, as the golden tests do, for exact table equality). The knob
 	// exists to exercise the multi-machine execution path end to end.
 	Shards int
+	// Fault, when non-nil and enabled, arms the fault plan on every trial
+	// executor the experiment builds — batched and sharded alike — so the
+	// whole sweep runs under the same seeded drop/delay/crash schedule
+	// (`rlnc run -drop/-delay/-crash ...`). Faulty trials stay
+	// deterministic: the plan's fault tape is keyed by (round, global
+	// slot, lane), so per-trial outputs are byte-identical across batch
+	// widths and shard counts, exactly like the fault-free path. A nil or
+	// zero plan reproduces fault-free runs bit for bit.
+	Fault *local.FaultPlan
 	// NewSharded, when set, builds the sharded executors the trial loops
 	// use instead of the default in-process one — the CLI injects the
 	// loopback-TCP transport and the shard-worker process pool through

@@ -26,7 +26,17 @@
 //     maximal matching, weak coloring, retry coloring, Moser–Tardos LLL;
 //   - the Theorem 1 machinery: boosting parameters, disjoint unions,
 //     gluing, order-invariance, and the Ramsey extraction of Appendix A;
-//   - the experiment suite E1–E15 (see DESIGN.md §5 and EXPERIMENTS.md).
+//   - fault injection: a FaultPlan is a seeded per-round schedule of
+//     message drops/delays, node crashes (with optional recovery), and
+//     mid-run edge cuts, armed on any engine shape via SetFault or
+//     RunOptions.Fault and implemented once in the shared round core —
+//     faulty runs stay deterministic and byte-identical across batch
+//     widths, shard counts, and transports;
+//   - unified executors: mc.Executor (trial loops), decide.Exec
+//     (decision verbs), and construct.Exec (construction runs) each give
+//     one options-struct entry point per verb over the engine shapes;
+//   - the experiment suite E1–E17 (see DESIGN.md §5 and EXPERIMENTS.md;
+//     E17 is the fault-injection degradation study).
 //
 // See examples/ for runnable programs and cmd/rlnc for the CLI.
 package rlnc
@@ -41,6 +51,7 @@ import (
 	"rlnc/internal/lang"
 	"rlnc/internal/local"
 	"rlnc/internal/localrand"
+	"rlnc/internal/mc"
 	"rlnc/internal/orderinv"
 	"rlnc/internal/relax"
 	"rlnc/internal/report"
@@ -168,6 +179,16 @@ type (
 	// engines pool the per-(node, lane) process table across trials of
 	// one algorithm when its processes implement it.
 	ResetProcess = local.ResetProcess
+	// FaultPlan is the first-class fault model: a seeded schedule of
+	// message drops, one-round delays, node crashes (with optional
+	// recovery), and mid-run topology surgery (EdgeCut), armed on an
+	// Engine, Batch, or Sharded via SetFault or per-run via
+	// RunOptions.Fault. Fault decisions come from a dedicated tape keyed
+	// by (round, edge slot, lane), so faulty runs are deterministic and
+	// byte-identical across every execution shape, including remote
+	// shard workers. The zero plan is fault-free and costs nothing.
+	FaultPlan = local.FaultPlan
+	EdgeCut   = local.EdgeCut
 )
 
 var (
@@ -202,6 +223,11 @@ var (
 	// legacy Process interface.
 	Boxed            = local.Boxed
 	NewLegacyProcess = local.NewLegacyProcess
+	// CutForSubdivision performs the Theorem-2-style surgery step: it
+	// severs edge {u,z} at the given round and returns the twice-
+	// subdivided comparison graph (graph.SubdivideTwice) whose relay
+	// nodes stand in for the cut edge.
+	CutForSubdivision = local.CutForSubdivision
 )
 
 // Randomness: tape spaces model Rand(A) of §3; fixing a draw σ while
@@ -265,6 +291,22 @@ var (
 	RamseyExtract   = orderinv.Extract
 )
 
+// Unified executors: one options-struct entry point per verb, each
+// dispatching over the engine shapes (and each carrying the fault axis).
+type (
+	// Executor runs Monte-Carlo trial loops: Trials/Batch/Shards/Fault
+	// options, Run for success estimates, Mean for scalar averages.
+	Executor[S any] = mc.Executor[S]
+	// MCEstimate is a Monte-Carlo success estimate with Wilson bounds.
+	MCEstimate = mc.Estimate
+	// DecideExec evaluates deciders: Verdicts, Accepts, AcceptsFarFrom
+	// over trial vectors on an engine, a batch, or transiently.
+	DecideExec = decide.Exec
+	// ConstructExec runs construction algorithms: Run and RunInstances
+	// over an engine, a batch, or a sharded executor.
+	ConstructExec = construct.Exec
+)
+
 // Experiments.
 type (
 	Experiment       = report.Experiment
@@ -272,7 +314,7 @@ type (
 	ExperimentResult = report.Result
 )
 
-// Experiments returns the registered suite E1–E15 in order.
+// Experiments returns the registered suite E1–E17 in order.
 func Experiments() []report.Experiment { return exp.All() }
 
 // ExperimentByID looks up one experiment (e.g. "E5").
