@@ -1,0 +1,88 @@
+// Command profsum summarizes a pprof CPU profile as a top-N table of
+// cumulative function cost, for CI artifact summaries:
+//
+//	profsum -top 20 trial32.pprof wire32.pprof
+//
+// For each profile it prints the functions ranked by cumulative time —
+// the time spent in a function or anything it called, the number that
+// says where a round-trip actually goes — alongside flat time (samples
+// with the function on top of the stack). The parser reads the gzipped
+// profile.proto stream directly with no dependencies, so CI can render
+// summaries without a `go tool pprof` invocation per artifact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	top := flag.Int("top", 20, "number of functions to print per profile")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: profsum [-top N] profile.pprof [profile.pprof ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	code := 0
+	for _, path := range flag.Args() {
+		if err := summarize(os.Stdout, path, *top); err != nil {
+			fmt.Fprintf(os.Stderr, "profsum: %s: %v\n", path, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// summarize renders one profile's top-N table.
+func summarize(w *os.File, path string, top int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prof, err := parseProfile(raw)
+	if err != nil {
+		return err
+	}
+	rows, total, unit := prof.byFunction()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].cum != rows[j].cum {
+			return rows[i].cum > rows[j].cum
+		}
+		return rows[i].name < rows[j].name
+	})
+	if top < len(rows) {
+		rows = rows[:top]
+	}
+	fmt.Fprintf(w, "%s: %s total across %d samples, %d functions\n",
+		path, quantity(total, unit), len(prof.samples), len(prof.functions))
+	fmt.Fprintf(w, "%12s %7s %12s %7s  %s\n", "cum", "cum%", "flat", "flat%", "function")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12s %6.1f%% %12s %6.1f%%  %s\n",
+			quantity(r.cum, unit), pct(r.cum, total),
+			quantity(r.flat, unit), pct(r.flat, total), r.name)
+	}
+	return nil
+}
+
+// pct guards the zero-total edge (an empty profile).
+func pct(v, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(v) / float64(total)
+}
+
+// quantity renders a sample value in its unit; nanoseconds — the CPU
+// profile's value unit — become seconds, anything else prints raw.
+func quantity(v int64, unit string) string {
+	if unit == "nanoseconds" {
+		return fmt.Sprintf("%.3fs", float64(v)/1e9)
+	}
+	return fmt.Sprintf("%d %s", v, unit)
+}

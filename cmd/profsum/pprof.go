@@ -1,0 +1,347 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// This file is a minimal reader for the pprof profile.proto wire
+// format — just the fields a CPU-time summary needs: sample stacks and
+// values, the location → line → function graph, and the string table.
+// It understands both packed and unpacked repeated scalars, skips every
+// field it does not know, and depends on nothing outside the standard
+// library.
+
+// profile is the decoded subset of a pprof profile.
+type profile struct {
+	strings    []string
+	sampleType []valueType // parallel to each sample's value vector
+	samples    []sample
+	locations  map[uint64]location
+	functions  map[uint64]string // id → name
+}
+
+// valueType is one (type, unit) pair of the profile's value vector,
+// already resolved through the string table.
+type valueType struct {
+	typ, unit string
+}
+
+// sample is one stack sample: location ids leaf-first, one value per
+// sample type.
+type sample struct {
+	locs   []uint64
+	values []int64
+}
+
+// location is one address's line stack; multiple entries mean inlining,
+// leaf-first, each naming a function id.
+type location struct {
+	funcIDs []uint64
+}
+
+// row is one function's accumulated cost.
+type row struct {
+	name      string
+	cum, flat int64
+}
+
+// valueIndex picks which entry of each sample's value vector to
+// accumulate: the cpu/nanoseconds column when present (the CPU
+// profile's second column), else the last column.
+func (p *profile) valueIndex() int {
+	for i, vt := range p.sampleType {
+		if vt.typ == "cpu" && vt.unit == "nanoseconds" {
+			return i
+		}
+	}
+	return len(p.sampleType) - 1
+}
+
+// byFunction folds the samples into per-function cumulative and flat
+// cost. A function's cumulative cost counts each sample at most once no
+// matter how often it recurs in the stack; flat cost counts only the
+// leaf frame (the leaf location's first line, per pprof convention).
+func (p *profile) byFunction() ([]row, int64, string) {
+	vi := p.valueIndex()
+	unit := ""
+	if vi >= 0 && vi < len(p.sampleType) {
+		unit = p.sampleType[vi].unit
+	}
+	cum := make(map[string]int64)
+	flat := make(map[string]int64)
+	seen := make(map[string]bool)
+	var total int64
+	for _, s := range p.samples {
+		if vi < 0 || vi >= len(s.values) {
+			continue
+		}
+		v := s.values[vi]
+		total += v
+		clear(seen)
+		for li, locID := range s.locs {
+			loc, ok := p.locations[locID]
+			if !ok {
+				continue
+			}
+			for fi, fid := range loc.funcIDs {
+				name := p.functions[fid]
+				if name == "" {
+					continue
+				}
+				if !seen[name] {
+					seen[name] = true
+					cum[name] += v
+				}
+				if li == 0 && fi == 0 {
+					flat[name] += v
+				}
+			}
+		}
+	}
+	rows := make([]row, 0, len(cum))
+	for name, c := range cum {
+		rows = append(rows, row{name: name, cum: c, flat: flat[name]})
+	}
+	return rows, total, unit
+}
+
+// parseProfile decodes a (possibly gzipped) serialized profile.
+func parseProfile(raw []byte) (*profile, error) {
+	if len(raw) >= 2 && raw[0] == 0x1f && raw[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("gzip: %w", err)
+		}
+		raw, err = io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("gzip: %w", err)
+		}
+	}
+	p := &profile{
+		locations: make(map[uint64]location),
+		functions: make(map[uint64]string),
+	}
+	// First pass collects everything including the string table; string
+	// indices are only resolved afterwards, since the table may follow
+	// the messages that reference it.
+	var sampleTypeIdx [][2]int64 // (type, unit) string indices
+	var funcNameIdx []funcName
+	err := fields(raw, func(field int, wire int, v uint64, chunk []byte) error {
+		switch field {
+		case 1: // sample_type: ValueType
+			var typ, unit int64
+			if err := fields(chunk, scalarPair(&typ, &unit)); err != nil {
+				return err
+			}
+			sampleTypeIdx = append(sampleTypeIdx, [2]int64{typ, unit})
+		case 2: // sample
+			s, err := parseSample(chunk)
+			if err != nil {
+				return err
+			}
+			p.samples = append(p.samples, s)
+		case 4: // location
+			id, loc, err := parseLocation(chunk)
+			if err != nil {
+				return err
+			}
+			p.locations[id] = loc
+		case 5: // function
+			fn, err := parseFunction(chunk)
+			if err != nil {
+				return err
+			}
+			funcNameIdx = append(funcNameIdx, fn)
+		case 6: // string_table
+			p.strings = append(p.strings, string(chunk))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	str := func(i int64) string {
+		if i < 0 || int(i) >= len(p.strings) {
+			return ""
+		}
+		return p.strings[i]
+	}
+	for _, st := range sampleTypeIdx {
+		p.sampleType = append(p.sampleType, valueType{typ: str(st[0]), unit: str(st[1])})
+	}
+	for _, fn := range funcNameIdx {
+		p.functions[fn.id] = str(fn.name)
+	}
+	return p, nil
+}
+
+// funcName is a Function message before string resolution.
+type funcName struct {
+	id   uint64
+	name int64
+}
+
+// parseSample decodes a Sample message (location_id = 1, value = 2).
+func parseSample(b []byte) (sample, error) {
+	var s sample
+	err := fields(b, func(field int, wire int, v uint64, chunk []byte) error {
+		switch field {
+		case 1:
+			return repeatedUint(wire, v, chunk, &s.locs)
+		case 2:
+			return repeatedInt(wire, v, chunk, &s.values)
+		}
+		return nil
+	})
+	return s, err
+}
+
+// parseLocation decodes a Location message (id = 1, line = 4 with
+// function_id = 1).
+func parseLocation(b []byte) (uint64, location, error) {
+	var id uint64
+	var loc location
+	err := fields(b, func(field int, wire int, v uint64, chunk []byte) error {
+		switch field {
+		case 1:
+			id = v
+		case 4:
+			return fields(chunk, func(f int, w int, lv uint64, _ []byte) error {
+				if f == 1 {
+					loc.funcIDs = append(loc.funcIDs, lv)
+				}
+				return nil
+			})
+		}
+		return nil
+	})
+	return id, loc, err
+}
+
+// parseFunction decodes a Function message (id = 1, name = 2).
+func parseFunction(b []byte) (funcName, error) {
+	var fn funcName
+	err := fields(b, func(field int, wire int, v uint64, _ []byte) error {
+		switch field {
+		case 1:
+			fn.id = v
+		case 2:
+			fn.name = int64(v)
+		}
+		return nil
+	})
+	return fn, err
+}
+
+// scalarPair reads two varint fields (1, 2) into the given slots — the
+// shape of ValueType.
+func scalarPair(a, b *int64) func(int, int, uint64, []byte) error {
+	return func(field int, wire int, v uint64, _ []byte) error {
+		switch field {
+		case 1:
+			*a = int64(v)
+		case 2:
+			*b = int64(v)
+		}
+		return nil
+	}
+}
+
+// repeatedUint appends a repeated uint64 field, packed or not.
+func repeatedUint(wire int, v uint64, chunk []byte, out *[]uint64) error {
+	if wire == 0 {
+		*out = append(*out, v)
+		return nil
+	}
+	for len(chunk) > 0 {
+		x, n := uvarint(chunk)
+		if n <= 0 {
+			return fmt.Errorf("pprof: bad packed varint")
+		}
+		*out = append(*out, x)
+		chunk = chunk[n:]
+	}
+	return nil
+}
+
+// repeatedInt is repeatedUint for int64 values.
+func repeatedInt(wire int, v uint64, chunk []byte, out *[]int64) error {
+	var u []uint64
+	if err := repeatedUint(wire, v, chunk, &u); err != nil {
+		return err
+	}
+	for _, x := range u {
+		*out = append(*out, int64(x))
+	}
+	return nil
+}
+
+// fields walks one protobuf message, invoking fn per field. For varint
+// fields v carries the value; for length-delimited fields chunk carries
+// the bytes. Fixed32/64 fields are skipped (the profile schema the
+// summary reads has none).
+func fields(b []byte, fn func(field int, wire int, v uint64, chunk []byte) error) error {
+	for len(b) > 0 {
+		tag, n := uvarint(b)
+		if n <= 0 {
+			return fmt.Errorf("pprof: bad field tag")
+		}
+		b = b[n:]
+		field, wire := int(tag>>3), int(tag&7)
+		switch wire {
+		case 0: // varint
+			v, n := uvarint(b)
+			if n <= 0 {
+				return fmt.Errorf("pprof: bad varint in field %d", field)
+			}
+			b = b[n:]
+			if err := fn(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 2: // length-delimited
+			l, n := uvarint(b)
+			if n <= 0 || uint64(len(b)-n) < l {
+				return fmt.Errorf("pprof: truncated field %d", field)
+			}
+			chunk := b[n : n+int(l)]
+			b = b[n+int(l):]
+			if err := fn(field, wire, 0, chunk); err != nil {
+				return err
+			}
+		case 1: // fixed64
+			if len(b) < 8 {
+				return fmt.Errorf("pprof: truncated fixed64 field %d", field)
+			}
+			b = b[8:]
+		case 5: // fixed32
+			if len(b) < 4 {
+				return fmt.Errorf("pprof: truncated fixed32 field %d", field)
+			}
+			b = b[4:]
+		default:
+			return fmt.Errorf("pprof: unsupported wire type %d in field %d", wire, field)
+		}
+	}
+	return nil
+}
+
+// uvarint is binary.Uvarint without the import: returns the value and
+// byte count, n <= 0 on malformed input.
+func uvarint(b []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, c := range b {
+		if i == 10 {
+			return 0, -1
+		}
+		if c < 0x80 {
+			return x | uint64(c)<<s, i + 1
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"runtime/pprof"
+	"testing"
+)
+
+// enc is a minimal protobuf writer for building test profiles: just
+// enough to exercise the reader against a known-good byte layout.
+type enc struct{ buf bytes.Buffer }
+
+func (e *enc) varint(x uint64) {
+	for x >= 0x80 {
+		e.buf.WriteByte(byte(x) | 0x80)
+		x >>= 7
+	}
+	e.buf.WriteByte(byte(x))
+}
+
+func (e *enc) tag(field, wire int) { e.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (e *enc) uintField(field int, v uint64) {
+	e.tag(field, 0)
+	e.varint(v)
+}
+
+func (e *enc) bytesField(field int, b []byte) {
+	e.tag(field, 2)
+	e.varint(uint64(len(b)))
+	e.buf.Write(b)
+}
+
+func (e *enc) msgField(field int, fill func(*enc)) {
+	var inner enc
+	fill(&inner)
+	e.bytesField(field, inner.buf.Bytes())
+}
+
+func (e *enc) packedField(field int, vals ...uint64) {
+	var inner enc
+	for _, v := range vals {
+		inner.varint(v)
+	}
+	e.bytesField(field, inner.buf.Bytes())
+}
+
+// testProfile builds a two-sample CPU profile by hand:
+//
+//	sample 1: stack leaf→root [inner, outer], 100ns
+//	sample 2: stack [outer], 50ns
+//
+// so outer has cum 150 / flat 50 and inner cum 100 / flat 100.
+func testProfile() []byte {
+	var e enc
+	// string_table: index 0 must be "".
+	for _, s := range []string{"", "samples", "count", "cpu", "nanoseconds", "outer", "inner"} {
+		e.bytesField(6, []byte(s))
+	}
+	// sample_type: (samples, count), (cpu, nanoseconds).
+	e.msgField(1, func(m *enc) { m.uintField(1, 1); m.uintField(2, 2) })
+	e.msgField(1, func(m *enc) { m.uintField(1, 3); m.uintField(2, 4) })
+	// functions: 1 = outer, 2 = inner.
+	e.msgField(5, func(m *enc) { m.uintField(1, 1); m.uintField(2, 5) })
+	e.msgField(5, func(m *enc) { m.uintField(1, 2); m.uintField(2, 6) })
+	// locations: 1 → outer, 2 → inner.
+	e.msgField(4, func(m *enc) {
+		m.uintField(1, 1)
+		m.msgField(4, func(l *enc) { l.uintField(1, 1) })
+	})
+	e.msgField(4, func(m *enc) {
+		m.uintField(1, 2)
+		m.msgField(4, func(l *enc) { l.uintField(1, 2) })
+	})
+	// samples, packed location ids leaf-first and packed values.
+	e.msgField(2, func(m *enc) {
+		m.packedField(1, 2, 1)
+		m.packedField(2, 1, 100)
+	})
+	e.msgField(2, func(m *enc) {
+		m.packedField(1, 1)
+		m.packedField(2, 1, 50)
+	})
+	return e.buf.Bytes()
+}
+
+func TestParseSyntheticProfile(t *testing.T) {
+	p, err := parseProfile(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.valueIndex(); got != 1 {
+		t.Fatalf("valueIndex = %d, want 1 (cpu/nanoseconds)", got)
+	}
+	rows, total, unit := p.byFunction()
+	if total != 150 || unit != "nanoseconds" {
+		t.Fatalf("total = %d %s, want 150 nanoseconds", total, unit)
+	}
+	want := map[string]row{
+		"outer": {name: "outer", cum: 150, flat: 50},
+		"inner": {name: "inner", cum: 100, flat: 100},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("%d rows, want %d: %+v", len(rows), len(want), rows)
+	}
+	for _, r := range rows {
+		if r != want[r.name] {
+			t.Errorf("row %q = %+v, want %+v", r.name, r, want[r.name])
+		}
+	}
+}
+
+// TestParseGzippedProfile pins transparent gzip handling — the format
+// `go test -cpuprofile` writes.
+func TestParseGzippedProfile(t *testing.T) {
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(testProfile()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := parseProfile(zbuf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, total, _ := p.byFunction(); total != 150 {
+		t.Fatalf("gzipped round-trip total = %d, want 150", total)
+	}
+}
+
+// TestParseRealProfile round-trips a live runtime/pprof capture: the
+// reader must accept whatever the current toolchain emits. Sample
+// contents depend on scheduling, so the assertions stop at structural
+// health (parse success, non-negative totals, resolvable sample type).
+func TestParseRealProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	x := 0
+	for i := 0; i < 1<<22; i++ {
+		x += i * i
+	}
+	pprof.StopCPUProfile()
+	_ = x
+	p, err := parseProfile(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.sampleType) == 0 {
+		t.Fatal("no sample types decoded")
+	}
+	if got := p.sampleType[p.valueIndex()]; got.typ != "cpu" || got.unit != "nanoseconds" {
+		t.Fatalf("value column = %+v, want cpu/nanoseconds", got)
+	}
+	if _, total, _ := p.byFunction(); total < 0 {
+		t.Fatalf("negative total %d", total)
+	}
+}
+
+func TestParseTruncatedProfile(t *testing.T) {
+	raw := testProfile()
+	if _, err := parseProfile(raw[:len(raw)-3]); err == nil {
+		t.Fatal("truncated profile accepted")
+	}
+}
+
+// TestSummarizeEndToEnd runs the CLI path over a synthetic profile file.
+func TestSummarizeEndToEnd(t *testing.T) {
+	path := t.TempDir() + "/cpu.pprof"
+	if err := os.WriteFile(path, testProfile(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := summarize(os.Stdout, path, 5); err != nil {
+		t.Fatal(err)
+	}
+}

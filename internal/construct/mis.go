@@ -54,10 +54,7 @@ func (a lubyVal) less(b lubyVal) bool {
 
 // broadcastLubyVal stages a value message on every port.
 func broadcastLubyVal(out *local.Outbox, v lubyVal) {
-	for port := 0; port < out.Degree(); port++ {
-		out.Send(port, v.R)
-		out.Append(port, uint64(v.ID))
-	}
+	out.BroadcastVec(v.R, uint64(v.ID))
 }
 
 // decodeLubyVal rejects anything but a two-word value message.
@@ -96,10 +93,11 @@ func (p *lubyProc) Step(round int, in *local.Inbox, out *local.Outbox) bool {
 		// undecided neighbor (decided neighbors are silent).
 		isMin := true
 		for port := 0; port < in.Degree(); port++ {
-			if !in.Has(port) {
+			words, has := in.Payload(port)
+			if !has {
 				continue
 			}
-			v, ok := decodeLubyVal(in.Words(port))
+			v, ok := decodeLubyVal(words)
 			if !ok {
 				panic("construct: Luby MIS received a malformed value message")
 			}
@@ -118,10 +116,11 @@ func (p *lubyProc) Step(round int, in *local.Inbox, out *local.Outbox) bool {
 	}
 	// Announce round just completed: drop out next to a member.
 	for port := 0; port < in.Degree(); port++ {
-		if !in.Has(port) {
+		words, has := in.Payload(port)
+		if !has {
 			continue
 		}
-		if !decodeLubyJoin(in.Words(port)) {
+		if !decodeLubyJoin(words) {
 			panic("construct: Luby MIS received a malformed join announcement")
 		}
 		p.status = lubyOut

@@ -126,19 +126,7 @@ func VerdictsBatch(bt *local.Batch, dis []*lang.DecisionInstance, d Decider, dra
 // verdicts are identical to the pooled core's for the same (instance,
 // draw).
 func verdictsBatch(bt *local.Batch, dis []*lang.DecisionInstance, d Decider, draws []localrand.Draw) [][]bool {
-	k := len(dis)
-	n := bt.Plan().Graph().N()
-	slab := make([]bool, k*n)
-	out := make([][]bool, k)
-	for b := range out {
-		out[b] = slab[b*n : (b+1)*n : (b+1)*n]
-	}
-	if err := bt.ForEachDecisionViews(dis, d.Radius(), draws, func(b, v int, view *local.View) {
-		slab[b*n+v] = d.Verdict(view)
-	}); err != nil {
-		panic(err.Error())
-	}
-	return out
+	return Exec{Bt: bt}.Verdicts(dis, d, draws)
 }
 
 // AcceptsBatch is Accepts over a vector of trials; see VerdictsBatch.

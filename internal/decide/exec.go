@@ -26,6 +26,62 @@ type Exec struct {
 	// Bt, when set, assembles all lanes' views in one pass on the batch's
 	// cached balls; it takes precedence over Eng.
 	Bt *local.Batch
+	// Mem, when set, backs the returned verdict and acceptance slices
+	// with a reusable double-buffered store instead of fresh allocations:
+	// a trial loop that holds one Mem evaluates allocation-free in steady
+	// state. Returned slices then follow the arena retention contract —
+	// valid while the next evaluation on this Mem runs, overwritten by
+	// the one after. Callers needing longer retention leave Mem nil (the
+	// legacy behavior: every call allocates caller-owned slices).
+	Mem *Mem
+}
+
+// Mem is the reusable verdict storage of an Exec: one double-buffered
+// pair of verdict slabs and acceptance rows, alternating per evaluation
+// exactly like the engine's output arenas, so pipelines can read one
+// evaluation's verdicts while the next runs. A Mem is one trial loop's
+// private scratch: not safe for concurrent use.
+type Mem struct {
+	buf  [2]memBuf
+	flip int
+}
+
+// memBuf is one buffer of the pair: the flat verdict slab (lane b's row
+// at [b*n, (b+1)*n)), the per-lane row headers, and the acceptance row.
+type memBuf struct {
+	slab []bool
+	rows [][]bool
+	acc  []bool
+}
+
+// next returns the buffer the coming evaluation writes, sized for k
+// lanes of n nodes, and flips the pair.
+func (m *Mem) next(k, n int) *memBuf {
+	mb := &m.buf[m.flip]
+	m.flip ^= 1
+	mb.slab = boolsFor(mb.slab, k*n)
+	if cap(mb.rows) < k {
+		mb.rows = make([][]bool, k)
+	}
+	mb.rows = mb.rows[:k]
+	return mb
+}
+
+// lastAcc returns the acceptance row of the buffer the immediately
+// preceding Verdicts call wrote (the flip has already advanced past it).
+func (m *Mem) lastAcc(k int) []bool {
+	mb := &m.buf[m.flip^1]
+	mb.acc = boolsFor(mb.acc, k)
+	return mb.acc
+}
+
+// boolsFor resizes a bool slice, reusing its backing array when capacity
+// allows; contents are stale — callers overwrite every entry they read.
+func boolsFor(s []bool, n int) []bool {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bool, n)
 }
 
 // engine resolves the pooled engine of a non-batched handle, building a
@@ -43,30 +99,69 @@ func (x Exec) Verdicts(dis []*lang.DecisionInstance, d Decider, draws []localran
 	if len(dis) == 0 {
 		return nil
 	}
+	k, n := len(dis), dis[0].G.N()
+	slab, out := x.verdictStore(k, n)
 	if x.Bt != nil {
-		return verdictsBatch(x.Bt, dis, d, draws)
+		if err := x.Bt.ForEachDecisionViews(dis, d.Radius(), draws, func(b, v int, view *local.View) {
+			slab[b*n+v] = d.Verdict(view)
+		}); err != nil {
+			panic(err.Error())
+		}
+		return out
 	}
 	eng := x.engine(dis[0])
-	out := make([][]bool, len(dis))
 	for b, di := range dis {
 		var draw *localrand.Draw
 		if draws != nil {
 			draw = &draws[b]
 		}
-		out[b] = verdictsPooled(eng, di, d, draw)
+		row := out[b]
+		eng.ForEachDecisionView(di, d.Radius(), draw, func(v int, view *local.View) {
+			row[v] = d.Verdict(view)
+		})
 	}
 	return out
+}
+
+// verdictStore stages the verdict slab and row headers of one
+// evaluation: from the Mem's double buffer when one is attached (zero
+// steady-state allocations), freshly allocated and caller-owned
+// otherwise. Every (lane, node) cell is written by the evaluation, so a
+// reused slab's stale contents are never read.
+func (x Exec) verdictStore(k, n int) ([]bool, [][]bool) {
+	var slab []bool
+	var rows [][]bool
+	if x.Mem != nil {
+		mb := x.Mem.next(k, n)
+		slab, rows = mb.slab, mb.rows
+	} else {
+		slab = make([]bool, k*n)
+		rows = make([][]bool, k)
+	}
+	for b := 0; b < k; b++ {
+		rows[b] = slab[b*n : (b+1)*n : (b+1)*n]
+	}
+	return slab, rows
 }
 
 // Accepts reports, per lane, whether every node outputs true — the
 // acceptance rule of §2.2.1.
 func (x Exec) Accepts(dis []*lang.DecisionInstance, d Decider, draws []localrand.Draw) []bool {
 	verdicts := x.Verdicts(dis, d, draws)
-	acc := make([]bool, len(verdicts))
+	acc := x.accStore(len(verdicts))
 	for b, row := range verdicts {
 		acc[b] = allTrue(row)
 	}
 	return acc
+}
+
+// accStore stages the acceptance row: Mem-backed (the same buffer the
+// preceding Verdicts wrote) or freshly allocated.
+func (x Exec) accStore(k int) []bool {
+	if x.Mem != nil {
+		return x.Mem.lastAcc(k)
+	}
+	return make([]bool, k)
 }
 
 // AcceptsFarFrom reports, per lane, whether the decider outputs true at
@@ -78,16 +173,14 @@ func (x Exec) AcceptsFarFrom(dis []*lang.DecisionInstance, d Decider, draws []lo
 		return nil
 	}
 	var dist []int
-	var verdicts [][]bool
 	if x.Bt != nil {
 		dist = x.Bt.Plan().DistFrom(u)
-		verdicts = verdictsBatch(x.Bt, dis, d, draws)
 	} else {
-		eng := x.engine(dis[0])
-		dist = eng.Plan().DistFrom(u)
-		verdicts = Exec{Eng: eng}.Verdicts(dis, d, draws)
+		x.Eng = x.engine(dis[0])
+		dist = x.Eng.Plan().DistFrom(u)
 	}
-	acc := make([]bool, len(verdicts))
+	verdicts := x.Verdicts(dis, d, draws)
+	acc := x.accStore(len(verdicts))
 	for b, row := range verdicts {
 		acc[b] = true
 		for v, ok := range row {

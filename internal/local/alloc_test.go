@@ -117,6 +117,87 @@ func TestEngineReuseCutsAllocs(t *testing.T) {
 	}
 }
 
+// staticOutMix is wireMix with an allocation-free Output: verdata comes
+// from a fixed table of immutable rows instead of a fresh encoding per
+// call. This mirrors how the real algorithms hit the zero-alloc floor —
+// construct's processes return lang.Encode* table entries — so the
+// floors below measure the round kernel, not the fixture's encoder.
+type staticOutMix struct{ rounds int }
+
+func (a staticOutMix) Name() string        { return fmt.Sprintf("static-out-mix(%d)", a.rounds) }
+func (a staticOutMix) MsgWords(d int) int  { return wireMix{}.MsgWords(d) }
+func (a staticOutMix) NewProcess() Process { return NewLegacyProcess(a) }
+func (a staticOutMix) NewWireProcess() WireProcess {
+	return &staticOutProc{wireMixProc{rounds: a.rounds}}
+}
+
+type staticOutProc struct{ wireMixProc }
+
+var staticOutTable = func() [][]byte {
+	t := make([][]byte, 16)
+	for i := range t {
+		t[i] = []byte{byte(i)}
+	}
+	return t
+}()
+
+func (p *staticOutProc) Output() []byte { return staticOutTable[p.state&15] }
+
+// TestSteadyStateAllocFloors pins the absolute allocation contract of
+// the round kernel, not just the relative gates above. A warm batch
+// running one ResetProcess wire algorithm back to back allocates
+// NOTHING per run: outputs land in the double-buffered arena, processes
+// reset in place, tapes reseed in place, and the round loop itself has
+// been allocation-free since the wire core landed. A warm pooled Engine
+// allocates exactly its two caller-owned slices — the Result vector and
+// the output table — which are the price of the Engine contract that
+// callers may retain results forever (TestFaultDeterminismAcrossShapes
+// relies on it). The fixture's Output must itself be allocation-free
+// (immutable table rows, like construct's lang.Encode* outputs), hence
+// staticOutMix rather than wireMix. Skipped under -race, whose
+// instrumentation changes allocation counts.
+func TestSteadyStateAllocFloors(t *testing.T) {
+	in := mustInstance(t, graph.Cycle(256))
+	plan, err := NewPlan(in.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := localrand.NewTapeSpace(13)
+	trial := 0
+
+	const width = 8
+	bt := plan.NewBatch(width)
+	draws := make([]localrand.Draw, width)
+	runBatch := func() {
+		for i := range draws {
+			draws[i] = space.Draw(uint64(trial))
+			trial++
+		}
+		if _, err := bt.Run(in, staticOutMix{rounds: 6}, draws, RunOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runBatch()
+	runBatch() // warm both arena buffers and the pooled process table
+	if got := testing.AllocsPerRun(50, runBatch); got != 0 {
+		t.Errorf("warm batched message run allocates %.1f/op; want exactly 0", got)
+	}
+
+	eng := plan.NewEngine()
+	runEng := func() {
+		d := space.Draw(uint64(trial))
+		trial++
+		if _, err := eng.Run(in, staticOutMix{rounds: 6}, &d, RunOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runEng()
+	runEng()
+	if got := testing.AllocsPerRun(50, runEng); got > 2 {
+		t.Errorf("warm pooled engine run allocates %.1f/op; want ≤ 2 (the caller-owned Result and output table)", got)
+	}
+}
+
 // stripReset wraps a wire algorithm so its processes lose the
 // ResetProcess extension: the pooling gate's control group.
 type stripReset struct{ inner WireAlgorithm }

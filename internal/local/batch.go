@@ -71,34 +71,56 @@ type Batch struct {
 	nextWord []uint64
 	curRefs  []Message
 	nextRefs []Message
-	procs    []WireProcess // [v*block+b]
-	done     []bool        // [v*block+b]
+	procs    []WireProcess  // [v*block+b]
+	resets   []ResetProcess // procs' ResetProcess views, filled as created
+	done     []bool         // [v*block+b]
 	tapes    []localrand.Tape
 	alive    []bool  // per-lane: still running
 	notDone  []int   // per-lane count of nodes still running
 	roundsOf []int   // per-lane Stats.Rounds
 	msgsOf   []int64 // per-lane Stats.Messages
-	// Per-worker, per-lane round counters (delivered messages, newly
-	// finished nodes), merged serially after each round pass so the hot
-	// loop runs without atomics; per-worker Inbox/Outbox scratch so the
-	// round loop allocates nothing per call.
+	// Per-worker, per-lane round counters, merged serially after each
+	// round pass so the hot loop runs without atomics: wkStage holds the
+	// messages each worker's nodes staged this pass (the Outbox stage
+	// rows — the fault-free path's sender-side message accounting),
+	// wkMsgs the receiver-side delivered counts (written only by the
+	// fault pass, whose suppression makes staged ≠ delivered), wkFin the
+	// newly finished nodes. pending buffers the previous pass's merged
+	// stage counts: what was staged at round r-1 is delivered at round r,
+	// so runVec adds pending to msgsOf exactly where the receiver-side
+	// merge used to happen. Per-worker Inbox/Outbox scratch keeps the
+	// round loop allocation-free.
+	wkStage  [][]int64
 	wkMsgs   [][]int64
 	wkFin    [][]int
+	pending  []int64
 	inboxes  []Inbox
 	outboxes []Outbox
-	// roundFn/startFn are the bound roundPass/startPass methods, built
-	// once so the per-round parallelChunks dispatch does not allocate a
-	// closure; rk/rround/rwa/rins/rtape carry the pass parameters to
-	// them. The sharded orchestrator drives the same two passes directly
-	// over a shard's node range (see sharded.go), which is why the
-	// parameters live on the batch rather than in closures.
-	roundFn func(w, vlo, vhi int)
-	startFn func(w, vlo, vhi int)
-	rk      int
-	rround  int
-	rwa     WireAlgorithm
-	rins    func(b int) *lang.Instance
-	rtape   func(b, v int) *localrand.Tape
+	// Per-worker slot-major scratch rows for the fault pass: wkDel
+	// accumulates each lane's delivered count during a node's
+	// reverse-slot walk (the walk reads each slot's contiguous
+	// [s*B, s*B+k) lens range once instead of k stride-B gathers), wkDown
+	// holds the per-lane crash decisions. Both are written and read only
+	// within one node's iteration.
+	wkDel  [][]int32
+	wkDown [][]bool
+	// roundFn/startFn/collectFn are the bound roundPass/startPass/
+	// collectPass methods, built once so the per-round parallelChunks
+	// dispatch does not allocate a closure; rk/rround/rwa/rsrc/rys carry
+	// the pass parameters to them. The sharded orchestrator drives the
+	// same passes directly over a shard's node range (see sharded.go),
+	// which is why the parameters live on the batch rather than in
+	// closures.
+	roundFn   func(w, vlo, vhi int)
+	startFn   func(w, vlo, vhi int)
+	collectFn func(w, vlo, vhi int)
+	rk        int
+	rround    int
+	rwa       WireAlgorithm
+	rsrc      laneSrc
+	rys       [][]byte
+	// outs is the double-buffered per-run output arena (see arenaPair).
+	outs arenaPair
 	// procAlgo is the algorithm whose process table survives in procs
 	// between runs: non-nil only when its processes implement
 	// ResetProcess, in which case startPass resets and reuses them
@@ -133,6 +155,85 @@ type Batch struct {
 	colX      [][][]byte
 	colY      [][][]byte
 	refill    []colRefill
+	// viewOuts is the double-buffered view-path output arena; viewFlip
+	// selects the buffer the next view pass writes (same contract as the
+	// message path's arenaPair).
+	viewOuts [2]viewArena
+	viewFlip int
+}
+
+// laneSrc supplies the per-lane inputs of one execution vector — lane
+// b's instance and the tape of (lane b, node v) — through struct fields
+// instead of per-run closures, so binding a run's parameters to the
+// batch allocates nothing. Exactly one of shared/ins is set. Randomness
+// comes from tapes (row b covers nodes [tlo, tlo+tn), node v at index
+// b*tn+(v-tlo) — shard workers hold windowed rows) or, for the
+// ball-simulation adapter only, from the tapeFn fallback; both nil
+// means deterministic lanes.
+type laneSrc struct {
+	shared *lang.Instance   // every lane runs this instance...
+	ins    []*lang.Instance // ...or lane b runs ins[b]
+	tapes  []localrand.Tape
+	tlo    int // first node the tape rows cover
+	tn     int // tape row stride (nodes per row)
+	tapeFn func(b, v int) *localrand.Tape
+}
+
+// instance returns lane b's instance.
+func (src *laneSrc) instance(b int) *lang.Instance {
+	if src.shared != nil {
+		return src.shared
+	}
+	return src.ins[b]
+}
+
+// hasTapes reports whether the lanes carry randomness.
+func (src *laneSrc) hasTapes() bool { return src.tapes != nil || src.tapeFn != nil }
+
+// tape returns the tape of (lane b, node v); only called when hasTapes.
+func (src *laneSrc) tape(b, v int) *localrand.Tape {
+	if src.tapes != nil {
+		return &src.tapes[b*src.tn+(v-src.tlo)]
+	}
+	return src.tapeFn(b, v)
+}
+
+// runArena is one buffer of a double-buffered per-run output store: the
+// flat output slab (lane b's column at [b*n, (b+1)*n)), the Result
+// values, and the pointer slice handed to the caller.
+type runArena struct {
+	ys  [][]byte
+	res []Result
+	ptr []*Result
+}
+
+// arenaPair is the double-buffered per-run output arena of an executor.
+// Each run writes one buffer and the pair alternates, so a run's
+// returned results stay valid while the NEXT run executes (pipelines
+// read stage i's outputs while stage i+1 runs) and are overwritten by
+// the run after that. Callers needing longer retention copy out.
+type arenaPair struct {
+	buf  [2]runArena
+	flip int
+}
+
+// next returns the buffer the coming run writes, sized for k lanes of n
+// nodes, and flips the pair.
+func (p *arenaPair) next(k, n int) *runArena {
+	ar := &p.buf[p.flip]
+	p.flip ^= 1
+	ar.ys = sliceFor(ar.ys, k*n)
+	ar.res = sliceFor(ar.res, k)
+	ar.ptr = sliceFor(ar.ptr, k)
+	return ar
+}
+
+// viewArena is one buffer of the view path's double-buffered output
+// store: the flat per-node output slab and the per-lane row slice,
+// under the same alternation contract as arenaPair.
+type viewArena struct {
+	slab [][]byte
+	ys   [][][]byte
 }
 
 // colRefill records which of a lane's columns differ from the previous
@@ -200,7 +301,9 @@ func (bt *Batch) checkInstance(in *lang.Instance) error {
 // exceeding the round budget aborts its whole vector rather than failing
 // alone (the repository's algorithms halt within the budget for every
 // draw, making the two behaviors indistinguishable in practice).
-// len(draws) may be any 1..Width().
+// len(draws) may be any 1..Width(). Results live in the batch's
+// double-buffered output arena: they stay valid while the next run on
+// this batch executes and are overwritten by the run after that.
 func (bt *Batch) Run(in *lang.Instance, algo MessageAlgorithm, draws []localrand.Draw, opts RunOptions) ([]*Result, error) {
 	if err := bt.lanes(len(draws)); err != nil {
 		return nil, err
@@ -208,7 +311,7 @@ func (bt *Batch) Run(in *lang.Instance, algo MessageAlgorithm, draws []localrand
 	if err := bt.checkInstance(in); err != nil {
 		return nil, err
 	}
-	return bt.runBlocks(func(int) *lang.Instance { return in }, len(draws), algo, draws, opts)
+	return bt.runBlocks(in, nil, len(draws), algo, draws, opts)
 }
 
 // RunInstances is Run with per-lane instances (all over the plan's graph):
@@ -227,7 +330,7 @@ func (bt *Batch) RunInstances(ins []*lang.Instance, algo MessageAlgorithm, draws
 			return nil, err
 		}
 	}
-	return bt.runBlocks(func(b int) *lang.Instance { return ins[b] }, len(ins), algo, draws, opts)
+	return bt.runBlocks(nil, ins, len(ins), algo, draws, opts)
 }
 
 // msgSlabBudget bounds the bytes the two send slabs of one message pass
@@ -348,10 +451,15 @@ func sliceFor[T any](s []T, n int) []T {
 }
 
 // runBlocks drives the message core over a lane vector in slab-budget
-// blocks: lanes [lo, lo+block) share one round loop per pass.
-func (bt *Batch) runBlocks(insOf func(b int) *lang.Instance, k int, algo MessageAlgorithm, draws []localrand.Draw, opts RunOptions) ([]*Result, error) {
+// blocks: lanes [lo, lo+block) share one round loop per pass. Exactly
+// one of shared/ins carries the lane instances. The whole vector's
+// outputs land in one arena buffer, so the arena alternates per
+// top-level run, not per block — a multi-block run never clobbers its
+// own earlier blocks.
+func (bt *Batch) runBlocks(shared *lang.Instance, ins []*lang.Instance, k int, algo MessageAlgorithm, draws []localrand.Draw, opts RunOptions) ([]*Result, error) {
 	wa := bt.prepareWire(algo)
-	results := make([]*Result, 0, k)
+	n := bt.plan.g.N()
+	ar := bt.outs.next(k, n)
 	for lo := 0; lo < k; lo += bt.block {
 		hi := lo + bt.block
 		if hi > k {
@@ -361,34 +469,34 @@ func (bt *Batch) runBlocks(insOf func(b int) *lang.Instance, k int, algo Message
 		if draws != nil {
 			chunk = draws[lo:hi]
 		}
-		lo := lo
-		blockIns := func(b int) *lang.Instance { return insOf(lo + b) }
-		tapeOf := bt.seedTapes(hi-lo, chunk, func(b int) ids.Assignment { return blockIns(b).ID })
-		rs, err := bt.runVec(blockIns, hi-lo, wa, tapeOf, chunk, opts)
+		src := laneSrc{shared: shared}
+		if ins != nil {
+			src.ins = ins[lo:hi]
+		}
+		bt.seedTapes(hi-lo, chunk, &src)
+		err := bt.runVec(src, hi-lo, wa, chunk, opts, ar.ys[lo*n:hi*n], ar.res[lo:hi], ar.ptr[lo:hi])
 		if err != nil {
 			return nil, err
 		}
-		results = append(results, rs...)
 	}
-	return results, nil
+	return ar.ptr[:k], nil
 }
 
-// seedTapes reseeds the first k tape rows — row b holds lane b's per-node
-// tapes under draws[b], addressed by idOf(b) — and returns the lane-aware
-// tape accessor (nil for deterministic batches).
-func (bt *Batch) seedTapes(k int, draws []localrand.Draw, idOf func(b int) ids.Assignment) func(b, v int) *localrand.Tape {
+// seedTapes reseeds the first k tape rows — row b holds lane b's
+// per-node tapes under draws[b], addressed by src's lane instances —
+// and points src at them (deterministic vectors leave src tape-free).
+func (bt *Batch) seedTapes(k int, draws []localrand.Draw, src *laneSrc) {
 	if draws == nil {
-		return nil
+		return
 	}
 	n := bt.plan.g.N()
 	if bt.tapes == nil {
 		bt.tapes = make([]localrand.Tape, bt.width*n)
 	}
 	for b := 0; b < k; b++ {
-		draws[b].TapeVecInto(bt.tapes[b*n:(b+1)*n], idOf(b))
+		draws[b].TapeVecInto(bt.tapes[b*n:(b+1)*n], src.instance(b).ID)
 	}
-	tapes := bt.tapes
-	return func(b, v int) *localrand.Tape { return &tapes[b*n+v] }
+	src.tapes, src.tlo, src.tn = bt.tapes, 0, n
 }
 
 // prepareWire resolves an algorithm onto the wire core (wireOf) and
@@ -402,22 +510,23 @@ func (bt *Batch) prepareWire(algo MessageAlgorithm) WireAlgorithm {
 }
 
 // runVec is the batched round-loop core shared by every execution path:
-// Engine.Run and the single-shot wrappers are the k = 1 case. insOf
-// supplies lane b's instance (the caller has validated all lanes against
-// the plan), tapeOf supplies lane b's per-node tapes (nil for
-// deterministic lanes), draws carries the lanes' draw identities (read
+// Engine.Run and the single-shot wrappers are the k = 1 case. src
+// supplies lane instances and tapes (the caller has validated all lanes
+// against the plan), draws carries the lanes' draw identities (read
 // only by the fault seam; nil for deterministic lanes), and wa comes
-// from prepareWire on this batch (the slab layout must be current). The
-// loop runs on the wire core: native WireAlgorithms stage fixed-width
-// words straight into the send slabs and the steady-state round costs
-// zero allocations; legacy algorithms run through the boxing shim on the
-// identical loop with their payloads carried by the ref slabs.
-func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorithm, tapeOf func(b, v int) *localrand.Tape, draws []localrand.Draw, opts RunOptions) ([]*Result, error) {
+// from prepareWire on this batch (the slab layout must be current).
+// ys/res/out are the run's arena destinations — k*n output cells, k
+// Result values, k result pointers — typically one block's slices of a
+// runBlocks-level arena buffer. The loop runs on the wire core: native
+// WireAlgorithms stage fixed-width words straight into the send slabs
+// and the steady-state round costs zero allocations; legacy algorithms
+// run through the boxing shim on the identical loop with their payloads
+// carried by the ref slabs.
+func (bt *Batch) runVec(src laneSrc, k int, wa WireAlgorithm, draws []localrand.Draw, opts RunOptions, ys [][]byte, res []Result, out []*Result) error {
 	if k > bt.block {
-		return nil, fmt.Errorf("local: %d lanes exceed the %d-lane slab block", k, bt.block)
+		return fmt.Errorf("local: %d lanes exceed the %d-lane slab block", k, bt.block)
 	}
 	n := bt.plan.g.N()
-	B := bt.block
 	maxRounds := opts.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = 2*n + 64
@@ -427,20 +536,10 @@ func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorith
 	}
 	bt.installFault(bt.effectiveFault(opts), draws, k)
 	bt.ensureWireState()
-	// Drop references into algorithm state when the run ends — on the
-	// error paths too — so a pooled batch never keeps a previous
-	// execution's processes and messages alive. The process table is the
-	// one deliberate exception: when the algorithm's processes implement
-	// ResetProcess the table is kept and reset in place next run.
-	defer func() {
-		if bt.procAlgo == nil {
-			clear(bt.procs)
-		}
-		clear(bt.curRefs)
-		clear(bt.nextRefs)
-		clear(bt.heldRefs)
-		bt.rins, bt.rtape, bt.rwa = nil, nil, nil
-	}()
+	// endRun drops references into algorithm state when the run ends —
+	// on the error paths too — so a pooled batch never keeps a previous
+	// execution's processes and messages alive.
+	defer bt.endRun()
 
 	workers := maxWorkers(n)
 	bt.ensureWorkerScratch(workers)
@@ -450,16 +549,46 @@ func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorith
 		bt.roundsOf[b] = 0
 		bt.msgsOf[b] = 0
 	}
+	// Zero the worker counter rows before the first pass: the passes no
+	// longer self-clear them (the merges below re-zero after reading),
+	// so a row left over from a previous run — a fault run's uncaptured
+	// stage counts above all — must not replay into this one.
+	for w := 0; w < workers; w++ {
+		clear(bt.wkStage[w])
+		clear(bt.wkMsgs[w])
+		clear(bt.wkFin[w])
+	}
 
 	// Init + round-1 staging: every (node, lane) clears its lane's send
 	// state (the slabs are reused across runs) and lets Start stage into
 	// the cur slabs through a per-worker Outbox.
 	bt.preparePools(wa)
-	bt.rk, bt.rwa, bt.rins, bt.rtape = k, wa, insOf, tapeOf
+	bt.rk, bt.rwa, bt.rsrc = k, wa, src
 	if bt.startFn == nil {
 		bt.startFn = bt.startPass
 	}
 	parallelChunks(n, bt.startFn)
+
+	// capture merges the worker stage rows into pending — the messages
+	// staged this pass, delivered (and credited to msgsOf) next round —
+	// re-zeroing the rows for the next pass. Fault runs skip it: their
+	// accounting is receiver-side (wkMsgs), and the stage rows are dead
+	// weight cleared at the next run's init.
+	faulty := bt.fault != nil
+	pend := bt.pending[:k]
+	capture := func() {
+		clear(pend)
+		for w := 0; w < workers; w++ {
+			stRow := bt.wkStage[w][:k]
+			for b := 0; b < k; b++ {
+				pend[b] += stRow[b]
+			}
+			clear(stRow)
+		}
+	}
+	if !faulty {
+		capture()
+	}
 
 	live := k
 	if bt.roundFn == nil {
@@ -469,7 +598,7 @@ func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorith
 	}
 	for round := 1; opts.StopAfter == 0 || round <= opts.StopAfter; round++ {
 		if round > maxRounds {
-			return nil, fmt.Errorf("%w: %d rounds on %d nodes", ErrNoHalt, maxRounds, n)
+			return fmt.Errorf("%w: %d rounds on %d nodes", ErrNoHalt, maxRounds, n)
 		}
 		bt.rround = round
 		parallelChunks(n, bt.roundFn)
@@ -481,14 +610,34 @@ func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorith
 		// last chunk empty), and an idle worker's row must read as zero
 		// rather than replay a previous round's counts.
 		for w := 0; w < workers; w++ {
-			msgRow := bt.wkMsgs[w][:k]
 			finRow := bt.wkFin[w][:k]
 			for b := 0; b < k; b++ {
-				bt.msgsOf[b] += msgRow[b]
 				bt.notDone[b] -= finRow[b]
 			}
-			clear(msgRow)
 			clear(finRow)
+		}
+		if faulty {
+			// Receiver-side accounting: the fault pass counts what
+			// survived suppression into the wkMsgs rows.
+			for w := 0; w < workers; w++ {
+				msgRow := bt.wkMsgs[w][:k]
+				for b := 0; b < k; b++ {
+					bt.msgsOf[b] += msgRow[b]
+				}
+				clear(msgRow)
+			}
+		} else {
+			// Sender-side accounting: what the previous pass staged was
+			// delivered by this one. The alive gate matches the old
+			// receiver-side count exactly — a lane that finished last
+			// round no longer counts arrivals, and a lane's final-round
+			// stages are never delivered or counted.
+			for b := 0; b < k; b++ {
+				if bt.alive[b] {
+					bt.msgsOf[b] += pend[b]
+				}
+			}
+			capture()
 		}
 		for b := 0; b < k; b++ {
 			if !bt.alive[b] {
@@ -505,21 +654,53 @@ func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorith
 		}
 	}
 
-	ys := make([][]byte, k*n)
-	procs := bt.procs
-	parallelFor(n, func(v int) {
-		for b := 0; b < k; b++ {
-			ys[b*n+v] = procs[v*B+b].Output()
-		}
-	})
-	results := make([]*Result, k)
+	bt.rys = ys
+	if bt.collectFn == nil {
+		bt.collectFn = bt.collectPass
+	}
+	parallelChunks(n, bt.collectFn)
 	for b := 0; b < k; b++ {
-		results[b] = &Result{
+		res[b] = Result{
 			Y:     ys[b*n : (b+1)*n : (b+1)*n],
 			Stats: Stats{Rounds: bt.roundsOf[b], Messages: bt.msgsOf[b]},
 		}
+		out[b] = &res[b]
 	}
-	return results, nil
+	return nil
+}
+
+// endRun is runVec's deferred cleanup: it drops references into
+// algorithm state so a pooled batch never keeps a previous execution's
+// processes and messages alive. The process table is the one deliberate
+// exception: when the algorithm's processes implement ResetProcess the
+// table is kept and reset in place next run. (The output arena is the
+// other intended survivor — its retention contract is the documented
+// double-buffer alternation.)
+func (bt *Batch) endRun() {
+	if bt.procAlgo == nil {
+		clear(bt.procs)
+		clear(bt.resets)
+	}
+	clear(bt.curRefs)
+	clear(bt.nextRefs)
+	clear(bt.heldRefs)
+	bt.rsrc = laneSrc{}
+	bt.rys = nil
+	bt.rwa = nil
+}
+
+// collectPass is one worker's share of the output gather: lane b's node
+// v output lands at rys[b*n+v]. Slot-free, so it walks the process
+// table in [node][lane] order directly.
+func (bt *Batch) collectPass(w, vlo, vhi int) {
+	k, B, n := bt.rk, bt.block, bt.plan.g.N()
+	ys, procs := bt.rys, bt.procs
+	for v := vlo; v < vhi; v++ {
+		row := procs[v*B : v*B+k]
+		for b, p := range row {
+			ys[b*n+v] = p.Output()
+		}
+	}
 }
 
 // preparePools decides whether this run's process table can be pooled:
@@ -530,6 +711,7 @@ func (bt *Batch) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorith
 func (bt *Batch) preparePools(wa WireAlgorithm) {
 	if !sameAlgo(bt.procAlgo, wa) {
 		clear(bt.procs)
+		clear(bt.resets)
 		bt.procAlgo = nil
 		if _, ok := wa.NewWireProcess().(ResetProcess); ok {
 			bt.procAlgo = wa
@@ -539,38 +721,53 @@ func (bt *Batch) preparePools(wa WireAlgorithm) {
 }
 
 // startPass is one worker's share of the init + round-1 staging: every
-// (node, lane) clears its lane's send state (the slabs are reused across
-// runs), obtains a process — pooled and reset in place when the
-// algorithm supports it, freshly created otherwise — and lets Start
-// stage into the cur slabs through the worker's Outbox. Pass parameters
-// arrive via rk/rwa/rins/rtape, exactly like roundPass's.
+// node clears its lanes' send state slot-major — the node's outgoing
+// slots are consecutive, so the whole [lo*B, hi*B) window is ONE
+// contiguous clear (lanes ≥ k are unused capacity nobody ever reads, so
+// clearing the full block width is output-invisible and lets the clear
+// run at memclr bandwidth) — then every (node, lane) obtains a process —
+// pooled and reset in place when the algorithm supports it, freshly
+// created otherwise — and lets Start stage into the cur slabs through
+// the worker's Outbox. Pass parameters arrive via rk/rwa/rsrc, exactly
+// like roundPass's.
 func (bt *Batch) startPass(w, vlo, vhi int) {
 	topo := bt.plan.topo
 	k, B, wa := bt.rk, bt.block, bt.rwa
-	insOf, tapeOf, pool := bt.rins, bt.rtape, bt.rpool
+	src, pool := &bt.rsrc, bt.rpool
+	hasTapes := src.hasTapes()
 	procs, done := bt.procs, bt.done
+	resets := bt.resets
+	curLens, curRefs := bt.curLens, bt.curRefs
 	out := &bt.outboxes[w]
 	bt.bindOutbox(out, bt.curLens, bt.curWords, bt.curRefs)
+	out.stage = bt.wkStage[w]
 	for v := vlo; v < vhi; v++ {
 		lo, hi := topo.Slots(v)
 		deg := hi - lo
-		out.deg, out.slotLo = deg, lo-bt.slotBase
+		slo, shi := lo-bt.slotBase, hi-bt.slotBase
+		out.deg, out.slotLo = deg, slo
+		clear(curLens[slo*B : shi*B])
+		if curRefs != nil {
+			clear(curRefs[slo*B : shi*B])
+		}
 		for b := 0; b < k; b++ {
-			in := insOf(b)
+			in := src.instance(b)
 			done[v*B+b] = false
 			p := procs[v*B+b]
-			if rp, ok := p.(ResetProcess); ok && pool {
-				rp.ResetProcess()
+			if pool && resets[v*B+b] != nil {
+				resets[v*B+b].ResetProcess()
 			} else {
 				p = wa.NewWireProcess()
 				procs[v*B+b] = p
+				if rp, ok := p.(ResetProcess); ok {
+					resets[v*B+b] = rp
+				}
 			}
 			info := NodeInfo{ID: in.ID[v], Degree: deg, Input: in.X[v]}
-			if tapeOf != nil {
-				info.Tape = tapeOf(b, v)
+			if hasTapes {
+				info.Tape = src.tape(b, v)
 			}
 			out.b = b
-			out.Reset()
 			p.Start(info, out)
 		}
 	}
@@ -578,18 +775,21 @@ func (bt *Batch) startPass(w, vlo, vhi int) {
 
 // roundPass is one worker's share of one round, fused deliver + step:
 // the message lane b's node v sent on port p arrives across the edge at
-// the reverse slot, so counting arrivals is one walk over the node's
-// RevSlot window of the cur lens slab, and the Inbox reads payload words
-// from cur in place — no receive copy at all. New sends are staged into
-// next through the worker's Outbox. Done nodes still receive (and their
-// deliveries count, as always) but stage nothing. Message and halting
-// counters accumulate into worker-indexed scratch and merge serially
-// after the pass, so the hot loop carries no atomics — and, on the wire
-// path, no allocations.
+// the reverse slot, and the Inbox reads payload words from cur in place —
+// no receive copy at all. New sends are staged into next through the
+// worker's Outbox, whose stage row counts them as they are staged:
+// message accounting is sender-side (every staged message is read by
+// exactly one receiver next round, so runVec credits the previous pass's
+// stage counts as this round's deliveries), which removes the per-round
+// arrival-count walk over the RevSlot window entirely. Done nodes still
+// receive but stage nothing. Halting counters accumulate into
+// worker-indexed scratch and merge serially after the pass, so the hot
+// loop carries no atomics — and, on the wire path, no allocations.
 //
 // An armed fault plan dispatches to faultPass (fault.go), the same walk
-// with the plan applied receiver-side; a fault-free run pays exactly one
-// predictable nil check here and nothing else.
+// with the plan applied receiver-side (suppression makes staged ≠
+// delivered, so the fault pass keeps the arrival count); a fault-free
+// run pays exactly one predictable nil check here and nothing else.
 func (bt *Batch) roundPass(w, vlo, vhi int) {
 	if bt.fault != nil {
 		bt.faultPass(w, vlo, vhi)
@@ -597,14 +797,12 @@ func (bt *Batch) roundPass(w, vlo, vhi int) {
 	}
 	topo := bt.plan.topo
 	k, B, round := bt.rk, bt.block, bt.rround
-	msgRow := bt.wkMsgs[w][:k]
 	finRow := bt.wkFin[w][:k]
-	clear(msgRow)
-	clear(finRow)
 	in, out := &bt.inboxes[w], &bt.outboxes[w]
 	bt.bindInbox(in, bt.curLens, bt.curWords, bt.curRefs)
 	bt.bindOutbox(out, bt.nextLens, bt.nextWord, bt.nextRefs)
-	curLens, nextLens, nextRefs := bt.curLens, bt.nextLens, bt.nextRefs
+	out.stage = bt.wkStage[w]
+	nextLens, nextRefs := bt.nextLens, bt.nextRefs
 	alive, done, procs := bt.alive, bt.done, bt.procs
 	base := bt.slotBase
 	for v := vlo; v < vhi; v++ {
@@ -615,26 +813,19 @@ func (bt *Batch) roundPass(w, vlo, vhi int) {
 		rev := bt.revTab[lo-base : hi-base]
 		in.deg, in.slot = deg, rev
 		out.deg, out.slotLo = deg, lo-base
+		// Reset the node's outgoing slots before staging — next still
+		// holds the sends of two rounds ago. The node's slots are
+		// consecutive, so the whole window is ONE contiguous clear at
+		// memclr bandwidth; dead lanes and the unused capacity lanes
+		// ≥ k are cleared along with the live ones: their stale state
+		// is never read (they are skipped below and by every receiver),
+		// so the wider clear is output-invisible.
+		clear(nextLens[(lo-base)*B : (hi-base)*B])
+		if nextRefs != nil {
+			clear(nextRefs[(lo-base)*B : (hi-base)*B])
+		}
 		for b := 0; b < k; b++ {
-			if !alive[b] {
-				continue
-			}
-			delivered := 0
-			for _, s := range rev {
-				if curLens[int(s)*B+b] > 0 {
-					delivered++
-				}
-			}
-			msgRow[b] += int64(delivered)
-			// Reset this lane's outgoing slots before staging: next still
-			// holds the sends of two rounds ago.
-			for s := lo - base; s < hi-base; s++ {
-				nextLens[s*B+b] = 0
-				if nextRefs != nil {
-					nextRefs[s*B+b] = nil
-				}
-			}
-			if done[v*B+b] {
+			if !alive[b] || done[v*B+b] {
 				continue
 			}
 			in.b, out.b = b, b
@@ -694,12 +885,16 @@ func (bt *Batch) ensureWireState() {
 		bt.curRefs, bt.nextRefs = nil, nil
 	}
 	bt.procs = sliceFor(bt.procs, n*B)
+	bt.resets = sliceFor(bt.resets, n*B)
 	bt.done = sliceFor(bt.done, n*B)
 	if bt.alive == nil {
 		bt.alive = make([]bool, bt.width)
 		bt.notDone = make([]int, bt.width)
 		bt.roundsOf = make([]int, bt.width)
 		bt.msgsOf = make([]int64, bt.width)
+	}
+	if bt.pending == nil {
+		bt.pending = make([]int64, bt.width)
 	}
 }
 
@@ -708,8 +903,11 @@ func (bt *Batch) ensureWireState() {
 // between runs).
 func (bt *Batch) ensureWorkerScratch(workers int) {
 	for len(bt.wkMsgs) < workers {
+		bt.wkStage = append(bt.wkStage, make([]int64, bt.width))
 		bt.wkMsgs = append(bt.wkMsgs, make([]int64, bt.width))
 		bt.wkFin = append(bt.wkFin, make([]int, bt.width))
+		bt.wkDel = append(bt.wkDel, make([]int32, bt.width))
+		bt.wkDown = append(bt.wkDown, make([]bool, bt.width))
 	}
 	if len(bt.inboxes) < workers {
 		bt.inboxes = sliceFor(bt.inboxes, workers)
@@ -872,6 +1070,9 @@ func (bt *Batch) forEachViewVec(vs *viewSet, k int, hasY bool, draws []localrand
 // are assembled once for the whole batch — only the tape binding varies
 // per lane — which is where batched ball-view trials beat pooled ones.
 // Lane outputs are byte-identical to Engine.RunView at the same draw.
+// The returned rows live in the batch's double-buffered view arena:
+// valid while the next view pass on this batch runs, overwritten by the
+// one after that.
 func (bt *Batch) RunView(in *lang.Instance, algo ViewAlgorithm, draws []localrand.Draw) ([][][]byte, error) {
 	if err := bt.lanes(len(draws)); err != nil {
 		return nil, err
@@ -879,7 +1080,7 @@ func (bt *Batch) RunView(in *lang.Instance, algo ViewAlgorithm, draws []localran
 	if err := bt.checkInstance(in); err != nil {
 		return nil, err
 	}
-	return bt.runViewVec(func(int) *lang.Instance { return in }, len(draws), algo, draws), nil
+	return bt.runViewVec(in, nil, len(draws), algo, draws), nil
 }
 
 // RunViewInstances is RunView with per-lane instances (all over the
@@ -896,24 +1097,33 @@ func (bt *Batch) RunViewInstances(ins []*lang.Instance, algo ViewAlgorithm, draw
 			return nil, err
 		}
 	}
-	return bt.runViewVec(func(b int) *lang.Instance { return ins[b] }, len(ins), algo, draws), nil
+	return bt.runViewVec(nil, ins, len(ins), algo, draws), nil
 }
 
-// runViewVec is the batched ball-view core; the output rows share one
-// backing slab (two allocations per batch instead of one per trial).
-func (bt *Batch) runViewVec(insOf func(b int) *lang.Instance, k int, algo ViewAlgorithm, draws []localrand.Draw) [][][]byte {
+// runViewVec is the batched ball-view core; the output rows live in the
+// batch's double-buffered view arena (zero steady-state allocations per
+// pass instead of one per trial), alternating per pass so a pipeline
+// can read one pass's outputs while the next runs.
+func (bt *Batch) runViewVec(shared *lang.Instance, ins []*lang.Instance, k int, algo ViewAlgorithm, draws []localrand.Draw) [][][]byte {
 	vs := bt.viewSetFor(algo.Radius(), false)
 	n := len(vs.views)
-	slab := make([][]byte, k*n)
+	ar := &bt.viewOuts[bt.viewFlip]
+	bt.viewFlip ^= 1
+	slab := sliceFor(ar.slab, k*n)
+	ar.slab = slab
 	bt.ensureColumns()
 	for b := 0; b < k; b++ {
-		in := insOf(b)
+		in := shared
+		if in == nil {
+			in = ins[b]
+		}
 		bt.colID[b] = in.ID
 		bt.colX[b] = in.X
 	}
 	bt.forEachViewVec(vs, k, false, draws,
 		func(b, v int, view *View) { slab[b*n+v] = algo.Output(view) })
-	ys := make([][][]byte, k)
+	ys := sliceFor(ar.ys, k)
+	ar.ys = ys
 	for b := 0; b < k; b++ {
 		ys[b] = slab[b*n : (b+1)*n : (b+1)*n]
 	}

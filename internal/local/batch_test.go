@@ -84,6 +84,51 @@ func TestBatchMatchesPooledMessage(t *testing.T) {
 	}
 }
 
+// TestBatchPartialWidthMatrix sweeps the slot-major kernel's ragged
+// widths: k ∈ {1, 3, B-1, B} lanes on a width-B batch, across every
+// graph family and both transports (legacy boxed tapeXOR, wire-native
+// wireMix), every lane byte-identical to a pooled Engine run at the
+// same draw. Partial widths are where a slot-major kernel can first go
+// wrong — the contiguous lens clears and dense cut copies span all B
+// lanes of a slot while only k are live — so the matrix pins that dead
+// lanes neither leak into live ones nor shift their bytes.
+func TestBatchPartialWidthMatrix(t *testing.T) {
+	const width = 8
+	space := localrand.NewTapeSpace(73)
+	for name, g := range testFamilies(t) {
+		t.Run(name, func(t *testing.T) {
+			in := mustInstance(t, g)
+			plan, err := NewPlan(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bt := plan.NewBatch(width)
+			eng := plan.NewEngine()
+			lo := 0
+			for _, algo := range []MessageAlgorithm{tapeXOR{rounds: 3}, wireMix{rounds: 4}} {
+				for _, k := range []int{1, 3, width - 1, width} {
+					draws := drawRange(space, lo, k)
+					lo += k
+					results, err := bt.Run(in, algo, draws, RunOptions{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(results) != k {
+						t.Fatalf("%s k=%d: %d results", algo.Name(), k, len(results))
+					}
+					for b := 0; b < k; b++ {
+						want, err := eng.Run(in, algo, &draws[b], RunOptions{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						expectSameResult(t, fmt.Sprintf("%s k=%d lane %d", algo.Name(), k, b), want, results[b])
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestBatchMatchesPooledView pins the same contract for the ball-view
 // path, including a radius switch mid-stream and a deterministic batch.
 func TestBatchMatchesPooledView(t *testing.T) {

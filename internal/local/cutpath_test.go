@@ -1,0 +1,140 @@
+package local
+
+import (
+	"strings"
+	"testing"
+
+	"rlnc/internal/graph"
+	"rlnc/internal/localrand"
+)
+
+// benchCutFixture builds a warm two-shard split of a random-regular
+// graph: one clean run sizes the slabs and computes the cut layout, so
+// the benchmarks below measure the steady-state pack and install, not
+// first-run growth. The orchestrator chops wide runs into lane blocks
+// (the shards' slab budget), so the per-exchange lane count is the
+// shard batch's block, not the run width — kOf picks the benchmark's k
+// from that block after the warm run.
+func benchCutFixture(b *testing.B, kOf func(block int) int) (*Sharded, int) {
+	b.Helper()
+	g, err := graph.RandomRegular(512, 4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := mustInstance(b, g)
+	sh, err := MustPlan(g).NewSharded(32, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := localrand.NewTapeSpace(29)
+	if _, err := sh.Run(in, wireMix{rounds: 2}, drawRange(space, 0, 32), RunOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	k := kOf(sh.shards[0].bt.block)
+	if k < 1 {
+		b.Skipf("shard lane block %d too small for this variant", sh.shards[0].bt.block)
+	}
+	return sh, k
+}
+
+// cutCases is the full/partial split the cut benchmarks sweep: "full"
+// runs at k == B, the dense fast path (maximal consecutive-slot runs
+// collapse to one lens and one word copy); "partial" at k < B, the
+// per-slot strided path.
+var cutCases = []struct {
+	name string
+	kOf  func(block int) int
+}{
+	{"full", func(block int) int { return block }},
+	{"partial", func(block int) int { return block / 2 }},
+}
+
+// BenchmarkCutPack measures packCut flattening one peer's cut slots out
+// of the current send slabs.
+func BenchmarkCutPack(b *testing.B) {
+	for _, bc := range cutCases {
+		b.Run(bc.name, func(b *testing.B) {
+			sh, k := benchCutFixture(b, bc.kOf)
+			bt := sh.shards[0].bt
+			port := &sh.shards[0].out[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bt.packCut(port.cut, k, &port.buf)
+			}
+		})
+	}
+}
+
+// BenchmarkCutInstall measures installCut writing a received block into
+// the receiver's halo segment, same full/partial split as the pack.
+func BenchmarkCutInstall(b *testing.B) {
+	for _, bc := range cutCases {
+		b.Run(bc.name, func(b *testing.B) {
+			sh, k := benchCutFixture(b, bc.kOf)
+			// Pack the sender-side block once; the receiver installs the
+			// identical shape every iteration, as in a real exchange.
+			sendBt := sh.shards[0].bt
+			sendPort := &sh.shards[0].out[0]
+			sendBt.packCut(sendPort.cut, k, &sendPort.buf)
+			recvBt := sh.shards[1].bt
+			recvPort := &sh.shards[1].in[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := recvBt.installCut(recvPort.haloLo, len(recvPort.cut), k, sendPort.buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestInstallCutFullBlockRejectsMalformedLens is the regression gate for
+// installCut's k == B dense fast path: value-level lens validation must
+// run BEFORE the dense copy, so a structurally valid block carrying an
+// oversized or negative len — byte-stream peers can produce both — is
+// refused without a single slab byte changing. The oversize sits in the
+// final (slot, lane) cell to force a full clamp scan.
+func TestInstallCutFullBlockRejectsMalformedLens(t *testing.T) {
+	g := graph.Cycle(8)
+	plan := MustPlan(g)
+	sh, err := plan.NewSharded(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := mustInstance(t, g)
+	k := 4 // == width: the dense fast path
+	if _, err := sh.Run(in, wireMix{rounds: 2}, drawRange(localrand.NewTapeSpace(17), 0, k), RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	bt := sh.shards[1].bt
+	if bt.block != k {
+		// The dense branch only triggers at k == bt.block; the shard's
+		// slab budget must not have chopped the lanes.
+		k = bt.block
+	}
+	port := sh.shards[1].in[0]
+	ncut := len(port.cut)
+	lens := make([]int32, ncut*k)
+	words := 0
+	for i := 0; i < ncut; i++ {
+		words += int(bt.capW[port.haloLo+i]) * k
+	}
+	snap := append([]int32(nil), bt.curLens...)
+	for name, bad := range map[string]int32{
+		"oversized": bt.capW[port.haloLo+ncut-1] + 2, // one word past capacity
+		"negative":  -1,
+	} {
+		lens[len(lens)-1] = bad
+		err := bt.installCut(port.haloLo, ncut, k, CutBlock{Lens: lens, Words: make([]uint64, words)})
+		if err == nil || !strings.Contains(err.Error(), "capacity") {
+			t.Fatalf("%s len accepted by fast path: %v", name, err)
+		}
+		for i, l := range bt.curLens {
+			if l != snap[i] {
+				t.Fatalf("%s len: dense copy ran before validation (curLens[%d] = %d, want %d)", name, i, l, snap[i])
+			}
+		}
+	}
+}

@@ -262,6 +262,17 @@ func (bt *Batch) ensureHeldSlabs(slots, B int) {
 // receiver zeroing curLens at its sender's slot included — touch slots
 // this worker is the unique reader of, so the pass stays data-race-free
 // under the same contract as roundPass.
+//
+// Like roundPass, the walk is slot-major: per node, the crash draws
+// resolve once per lane, then one pass over the RevSlot window applies
+// the suppression chain to each slot's contiguous [s*B, s*B+k) lane
+// range, then the outgoing slots clear contiguously, then the lanes
+// step. Every fault decision is a pure positional function of
+// (channel, round, global slot, lane identity), so the iteration-order
+// change cannot perturb a single draw — outputs are byte-identical to
+// the lane-major walk. Down and dead lanes skip the suppression chain
+// entirely (held-slab state included), exactly as they skipped the
+// whole per-lane walk before.
 func (bt *Batch) faultPass(w, vlo, vhi int) {
 	topo := bt.plan.topo
 	k, B, round := bt.rk, bt.block, bt.rround
@@ -285,87 +296,105 @@ func (bt *Batch) faultPass(w, vlo, vhi int) {
 	in, out := &bt.inboxes[w], &bt.outboxes[w]
 	bt.bindInbox(in, bt.curLens, bt.curWords, bt.curRefs)
 	bt.bindOutbox(out, bt.nextLens, bt.nextWord, bt.nextRefs)
+	// The stage counters land in the worker's row but are never merged:
+	// fault accounting is receiver-side (suppression makes staged ≠
+	// delivered), and the row is re-zeroed at the next run's init.
+	out.stage = bt.wkStage[w]
 	curLens, nextLens, nextRefs := bt.curLens, bt.nextLens, bt.nextRefs
 	curWords, curRefs := bt.curWords, bt.curRefs
 	alive, done, procs := bt.alive, bt.done, bt.procs
 	base := bt.slotBase
 	offW, capW := bt.offW, bt.capW
+	del := bt.wkDel[w][:k]
+	down := bt.wkDown[w][:k]
 	for v := vlo; v < vhi; v++ {
 		lo, hi := topo.Slots(v) // global coordinates, every shape
 		deg := hi - lo
 		rev := bt.revTab[lo-base : hi-base]
 		in.deg, in.slot = deg, rev
 		out.deg, out.slotLo = deg, lo-base
+		// Crash draws, once per lane. The round coordinate is pinned to 0
+		// so one (node, lane) pair crashes in every round of its window.
+		for b := 0; b < k; b++ {
+			down[b] = crashNow && alive[b] && ftape.Bernoulli(f.CrashP, faultCrash, 0, uint64(v), fids[b])
+		}
+		clear(del)
+		// The suppression walk, slot-major: each receive slot's k lanes
+		// are contiguous in the lens slab. Down and dead lanes are
+		// skipped — their held-slab state must stay untouched.
+		for pi, s := range rev {
+			li0 := int(s) * B
+			// The directed edge is keyed by the receiver's own global
+			// slot: lo+pi is v's port pi in every execution shape.
+			gs := uint64(lo + pi)
+			severed := sev != nil && round >= int(sev[lo+pi])
+			for b := 0; b < k; b++ {
+				if !alive[b] || down[b] {
+					continue
+				}
+				li := li0 + b
+				if heldLens != nil {
+					if hl := heldLens[li]; hl > 0 {
+						if curLens[li] == 0 {
+							curLens[li] = hl
+							if nw := int(hl) - 1; nw > 0 {
+								wb := int(offW[s])*B + int(capW[s])*b
+								copy(curWords[wb:wb+nw], heldWords[wb:wb+nw])
+							}
+							if heldRefs != nil {
+								curRefs[li] = heldRefs[li]
+							}
+						}
+						heldLens[li] = 0
+						if heldRefs != nil {
+							heldRefs[li] = nil
+						}
+					}
+				}
+				if curLens[li] == 0 {
+					continue
+				}
+				if severed {
+					curLens[li] = 0
+					continue
+				}
+				if f.Drop > 0 && ftape.Bernoulli(f.Drop, faultDrop, uint64(round), gs, fids[b]) {
+					curLens[li] = 0
+					continue
+				}
+				if heldLens != nil && ftape.Bernoulli(f.Delay, faultDelay, uint64(round), gs, fids[b]) {
+					hl := curLens[li]
+					heldLens[li] = hl
+					if nw := int(hl) - 1; nw > 0 {
+						wb := int(offW[s])*B + int(capW[s])*b
+						copy(heldWords[wb:wb+nw], curWords[wb:wb+nw])
+					}
+					if heldRefs != nil {
+						heldRefs[li] = curRefs[li]
+					}
+					curLens[li] = 0
+					continue
+				}
+				del[b]++
+			}
+		}
+		// Reset the node's outgoing slots exactly as roundPass does — one
+		// contiguous clear over the node's consecutive slot window; a
+		// down node thereby sends nothing next round, and neither dead
+		// lanes' nor the unused capacity lanes' stale state is ever read.
+		clear(nextLens[(lo-base)*B : (hi-base)*B])
+		if nextRefs != nil {
+			clear(nextRefs[(lo-base)*B : (hi-base)*B])
+		}
 		for b := 0; b < k; b++ {
 			if !alive[b] {
 				continue
 			}
-			down := crashNow && ftape.Bernoulli(f.CrashP, faultCrash, 0, uint64(v), fids[b])
-			delivered := 0
-			if !down {
-				for pi, s := range rev {
-					li := int(s)*B + b
-					if heldLens != nil {
-						if hl := heldLens[li]; hl > 0 {
-							if curLens[li] == 0 {
-								curLens[li] = hl
-								if nw := int(hl) - 1; nw > 0 {
-									wb := int(offW[s])*B + int(capW[s])*b
-									copy(curWords[wb:wb+nw], heldWords[wb:wb+nw])
-								}
-								if heldRefs != nil {
-									curRefs[li] = heldRefs[li]
-								}
-							}
-							heldLens[li] = 0
-							if heldRefs != nil {
-								heldRefs[li] = nil
-							}
-						}
-					}
-					if curLens[li] == 0 {
-						continue
-					}
-					// The directed edge is keyed by the receiver's own global
-					// slot: lo+pi is v's port pi in every execution shape.
-					gs := uint64(lo + pi)
-					if sev != nil && round >= int(sev[lo+pi]) {
-						curLens[li] = 0
-						continue
-					}
-					if f.Drop > 0 && ftape.Bernoulli(f.Drop, faultDrop, uint64(round), gs, fids[b]) {
-						curLens[li] = 0
-						continue
-					}
-					if heldLens != nil && ftape.Bernoulli(f.Delay, faultDelay, uint64(round), gs, fids[b]) {
-						hl := curLens[li]
-						heldLens[li] = hl
-						if nw := int(hl) - 1; nw > 0 {
-							wb := int(offW[s])*B + int(capW[s])*b
-							copy(heldWords[wb:wb+nw], curWords[wb:wb+nw])
-						}
-						if heldRefs != nil {
-							heldRefs[li] = curRefs[li]
-						}
-						curLens[li] = 0
-						continue
-					}
-					delivered++
-				}
-			}
-			msgRow[b] += int64(delivered)
-			// Reset this lane's outgoing slots exactly as roundPass does; a
-			// down node thereby sends nothing next round.
-			for s := lo - base; s < hi-base; s++ {
-				nextLens[s*B+b] = 0
-				if nextRefs != nil {
-					nextRefs[s*B+b] = nil
-				}
-			}
+			msgRow[b] += int64(del[b])
 			if done[v*B+b] {
 				continue
 			}
-			if down {
+			if down[b] {
 				if f.CrashUntil == 0 {
 					// Permanent crash: finalize with the frozen state so the
 					// run's halting consensus can still complete; Output()

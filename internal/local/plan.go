@@ -5,7 +5,6 @@ import (
 	"sync"
 
 	"rlnc/internal/graph"
-	"rlnc/internal/ids"
 	"rlnc/internal/lang"
 	"rlnc/internal/localrand"
 )
@@ -124,6 +123,7 @@ type Engine struct {
 	bt      Batch
 	drawBuf [1]localrand.Draw
 	diBuf   [1]*lang.DecisionInstance
+	ptrBuf  [1]*Result
 }
 
 // NewEngine returns a fresh engine of the plan. Slabs are allocated
@@ -147,54 +147,61 @@ func (e *Engine) drawsOf(draw *localrand.Draw) []localrand.Draw {
 // Run executes a message-passing algorithm on an instance over the
 // plan's graph. A nil draw yields a deterministic execution; otherwise
 // each node's tape is drawn from σ by identity, exactly as RunMessage
-// does — outputs and Stats are identical to a single-shot run.
+// does — outputs and Stats are identical to a single-shot run. Unlike a
+// Batch, the Engine gives the Result and its Y table to the caller: both
+// are freshly allocated (the trial loop's only two steady-state
+// allocations) and stay valid forever, so harnesses may hold results
+// across arbitrarily many runs.
 func (e *Engine) Run(in *lang.Instance, algo MessageAlgorithm, draw *localrand.Draw, opts RunOptions) (*Result, error) {
 	if err := e.bt.checkInstance(in); err != nil {
 		return nil, err
 	}
 	draws := e.drawsOf(draw)
-	var tapeOf func(b, v int) *localrand.Tape
+	src := laneSrc{shared: in}
 	if draws != nil {
-		tapeOf = e.bt.seedTapes(1, draws, func(int) ids.Assignment { return in.ID })
+		e.bt.seedTapes(1, draws, &src)
 	}
-	rs, err := e.bt.runVec(func(int) *lang.Instance { return in }, 1, e.bt.prepareWire(algo), tapeOf, draws, opts)
-	if err != nil {
+	res := make([]Result, 1)
+	if err := e.bt.runVec(src, 1, e.bt.prepareWire(algo), draws, opts, make([][]byte, e.bt.plan.g.N()), res, e.ptrBuf[:]); err != nil {
 		return nil, err
 	}
-	return rs[0], nil
+	return &res[0], nil
 }
 
 // runWithTapes runs with an explicit per-node tape source (nil for
 // deterministic executions) addressed by node index; the ball-simulation
-// adapter uses it to thread view tapes through.
+// adapter uses it to thread view tapes through. Same caller-owned
+// result contract as Run.
 func (e *Engine) runWithTapes(in *lang.Instance, algo MessageAlgorithm, tapeOf func(v int) *localrand.Tape, opts RunOptions) (*Result, error) {
 	if err := e.bt.checkInstance(in); err != nil {
 		return nil, err
 	}
-	var vec func(b, v int) *localrand.Tape
+	src := laneSrc{shared: in}
 	if tapeOf != nil {
-		vec = func(_, v int) *localrand.Tape { return tapeOf(v) }
+		src.tapeFn = func(_, v int) *localrand.Tape { return tapeOf(v) }
 	}
-	rs, err := e.bt.runVec(func(int) *lang.Instance { return in }, 1, e.bt.prepareWire(algo), vec, nil, opts)
-	if err != nil {
+	res := make([]Result, 1)
+	if err := e.bt.runVec(src, 1, e.bt.prepareWire(algo), nil, opts, make([][]byte, e.bt.plan.g.N()), res, e.ptrBuf[:]); err != nil {
 		return nil, err
 	}
-	return rs[0], nil
+	return &res[0], nil
 }
 
 // RunView executes a ball-view algorithm on every node of an instance
 // over the plan's graph, reusing the cached balls and view skeletons
-// across calls. The output slice y is fresh on every call; everything
-// else — balls, view node tables, tape accessors — is reused (only the
-// identity/input pointers are refilled), so a trial loop runs
-// allocation-free outside the algorithm's own work even when each trial
-// or pipeline stage hands a fresh Instance over the same graph. Outputs
-// are identical to RunView's.
+// across calls. The output slice y lives in an engine-owned
+// double-buffered arena — valid through the next RunView call,
+// overwritten by the one after; everything else — balls, view node
+// tables, tape accessors — is reused (only the identity/input pointers
+// are refilled), so a trial loop runs allocation-free outside the
+// algorithm's own work even when each trial or pipeline stage hands a
+// fresh Instance over the same graph. Outputs are identical to
+// RunView's.
 func (e *Engine) RunView(in *lang.Instance, algo ViewAlgorithm, draw *localrand.Draw) [][]byte {
 	if err := e.bt.checkInstance(in); err != nil {
 		panic(err.Error())
 	}
-	return e.bt.runViewVec(func(int) *lang.Instance { return in }, 1, algo, e.drawsOf(draw))[0]
+	return e.bt.runViewVec(in, nil, 1, algo, e.drawsOf(draw))[0]
 }
 
 // ForEachDecisionView assembles the radius-t decision views of di over

@@ -351,11 +351,11 @@ func int64SliceEq(a, b []int64) bool {
 // instances, per-lane indices, draw seeds, and the effective fault plan
 // (flattened; workers rebuild it so faulty sharded-remote runs stay
 // byte-identical to local ones).
-func (s *Sharded) beginRemoteRun(insOf func(b int) *lang.Instance, k int, draws []localrand.Draw, fault *FaultPlan) error {
+func (s *Sharded) beginRemoteRun(src laneSrc, k int, draws []localrand.Draw, fault *FaultPlan) error {
 	rs := &runSpec{K: int32(k), Block: int32(s.block), Lane: make([]int32, k)}
 	idxOf := make(map[*lang.Instance]int32, 1)
 	for b := 0; b < k; b++ {
-		in := insOf(b)
+		in := src.instance(b)
 		idx, ok := idxOf[in]
 		if !ok {
 			idx = int32(len(rs.Insts))

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"rlnc/internal/graph"
-	"rlnc/internal/ids"
 	"rlnc/internal/lang"
 	"rlnc/internal/localrand"
 )
@@ -194,7 +193,9 @@ type Sharded struct {
 	// Orchestrator-owned per-run state: the shared tape slab (one row per
 	// lane, read by each node's owning shard), the lane bookkeeping
 	// identical to Batch.runVec's, the shared report channel, and the
-	// abort latch that unblocks links when a shard dies.
+	// abort latch that unblocks links when a shard dies. outs is the
+	// double-buffered per-run output arena (same alternation contract as
+	// Batch's) and deadSh the reusable per-shard death flags.
 	tapes    []localrand.Tape
 	alive    []bool
 	notDone  []int
@@ -202,6 +203,8 @@ type Sharded struct {
 	msgsOf   []int64
 	reports  chan shardReport
 	abort    chan struct{}
+	outs     arenaPair
+	deadSh   []bool
 }
 
 // shardExec is one shard of a Sharded: its node range, its private
@@ -390,7 +393,7 @@ func (s *Sharded) Run(in *lang.Instance, algo MessageAlgorithm, draws []localran
 	if s.remote != nil && !s.remotable(algo) {
 		return s.Unsharded().Run(in, algo, draws, opts)
 	}
-	return s.runBlocks(func(int) *lang.Instance { return in }, len(draws), algo, draws, opts)
+	return s.runBlocks(in, nil, len(draws), algo, draws, opts)
 }
 
 // remotable reports whether algo can cross to the worker processes; an
@@ -424,7 +427,7 @@ func (s *Sharded) RunInstances(ins []*lang.Instance, algo MessageAlgorithm, draw
 	if s.remote != nil && !s.remotable(algo) {
 		return s.Unsharded().RunInstances(ins, algo, draws, opts)
 	}
-	return s.runBlocks(func(b int) *lang.Instance { return ins[b] }, len(ins), algo, draws, opts)
+	return s.runBlocks(nil, ins, len(ins), algo, draws, opts)
 }
 
 // buildLinks installs fresh links for a run: in-process channels wired
@@ -456,22 +459,21 @@ func (s *Sharded) buildLinks() {
 }
 
 // seedTapes reseeds the first k rows of the shared tape slab — row b
-// holds lane b's per-node tapes under draws[b] — and returns the
-// lane-aware accessor every shard reads (a node's tapes are touched only
+// holds lane b's per-node tapes under draws[b] — and points src at it;
+// every shard reads the shared slab (a node's tapes are touched only
 // by its owning shard, so the slab needs no further coordination).
-func (s *Sharded) seedTapes(k int, draws []localrand.Draw, idOf func(b int) ids.Assignment) func(b, v int) *localrand.Tape {
+func (s *Sharded) seedTapes(k int, draws []localrand.Draw, src *laneSrc) {
 	if draws == nil {
-		return nil
+		return
 	}
 	n := s.plan.g.N()
 	if s.tapes == nil {
 		s.tapes = make([]localrand.Tape, s.width*n)
 	}
 	for b := 0; b < k; b++ {
-		draws[b].TapeVecInto(s.tapes[b*n:(b+1)*n], idOf(b))
+		draws[b].TapeVecInto(s.tapes[b*n:(b+1)*n], src.instance(b).ID)
 	}
-	tapes := s.tapes
-	return func(b, v int) *localrand.Tape { return &tapes[b*n+v] }
+	src.tapes, src.tlo, src.tn = s.tapes, 0, n
 }
 
 // ensureLaneState sizes the orchestrator's lane bookkeeping.
@@ -490,7 +492,7 @@ func (s *Sharded) ensureLaneState() {
 // minimum and imposes it on all shards — any agreed lane split is
 // byte-identical to the unsharded batch lane for lane, because lanes
 // are independent.
-func (s *Sharded) runBlocks(insOf func(b int) *lang.Instance, k int, algo MessageAlgorithm, draws []localrand.Draw, opts RunOptions) ([]*Result, error) {
+func (s *Sharded) runBlocks(shared *lang.Instance, ins []*lang.Instance, k int, algo MessageAlgorithm, draws []localrand.Draw, opts RunOptions) ([]*Result, error) {
 	wa := wireOf(algo)
 	block := s.layoutShards(wa)
 	s.ensureLaneState()
@@ -503,7 +505,8 @@ func (s *Sharded) runBlocks(insOf func(b int) *lang.Instance, k int, algo Messag
 	} else {
 		s.buildLinks()
 	}
-	results := make([]*Result, 0, k)
+	n := s.plan.g.N()
+	ar := s.outs.next(k, n)
 	for lo := 0; lo < k; lo += block {
 		hi := lo + block
 		if hi > k {
@@ -513,21 +516,21 @@ func (s *Sharded) runBlocks(insOf func(b int) *lang.Instance, k int, algo Messag
 		if draws != nil {
 			chunk = draws[lo:hi]
 		}
-		lo := lo
-		blockIns := func(b int) *lang.Instance { return insOf(lo + b) }
-		var tapeOf func(b, v int) *localrand.Tape
+		src := laneSrc{shared: shared}
+		if ins != nil {
+			src.ins = ins[lo:hi]
+		}
 		if s.remote == nil {
 			// Remote workers seed their own node windows from the shipped
 			// draw seeds; the orchestrator never materializes tapes.
-			tapeOf = s.seedTapes(hi-lo, chunk, func(b int) ids.Assignment { return blockIns(b).ID })
+			s.seedTapes(hi-lo, chunk, &src)
 		}
-		rs, err := s.runVec(blockIns, hi-lo, wa, tapeOf, chunk, opts)
+		err := s.runVec(src, hi-lo, wa, chunk, opts, ar.ys[lo*n:hi*n], ar.res[lo:hi], ar.ptr[lo:hi])
 		if err != nil {
 			return nil, err
 		}
-		results = append(results, rs...)
 	}
-	return results, nil
+	return ar.ptr[:k], nil
 }
 
 // layoutShards computes every shard's wire layout for wa and imposes
@@ -555,10 +558,10 @@ func (s *Sharded) layoutShards(wa WireAlgorithm) int {
 // exactly as the unsharded loop merges its worker rows. Round count
 // semantics, the ErrNoHalt budget, and StopAfter match Batch.runVec
 // decision for decision.
-func (s *Sharded) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorithm, tapeOf func(b, v int) *localrand.Tape, chunk []localrand.Draw, opts RunOptions) ([]*Result, error) {
+func (s *Sharded) runVec(src laneSrc, k int, wa WireAlgorithm, chunk []localrand.Draw, opts RunOptions, ys [][]byte, res []Result, out []*Result) error {
 	n := s.plan.g.N()
 	if k > s.block {
-		return nil, fmt.Errorf("local: %d lanes exceed the %d-lane slab block", k, s.block)
+		return fmt.Errorf("local: %d lanes exceed the %d-lane slab block", k, s.block)
 	}
 	maxRounds := opts.MaxRounds
 	if maxRounds == 0 {
@@ -573,8 +576,9 @@ func (s *Sharded) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorit
 		s.roundsOf[b] = 0
 		s.msgsOf[b] = 0
 	}
-	ys := make([][]byte, k*n)
-	dead := make([]bool, len(s.shards))
+	dead := sliceFor(s.deadSh, len(s.shards))
+	clear(dead)
+	s.deadSh = dead
 	var panicked any
 	var linkErr error
 	aborted := false
@@ -590,8 +594,8 @@ func (s *Sharded) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorit
 	// runs byte-identical to faulty unsharded ones.
 	eff := s.effectiveFault(opts)
 	if s.remote != nil {
-		if err := s.beginRemoteRun(insOf, k, chunk, eff); err != nil {
-			return nil, err
+		if err := s.beginRemoteRun(src, k, chunk, eff); err != nil {
+			return err
 		}
 		for i, sh := range s.shards {
 			sh.ctrl = make(chan shardCmd, 1)
@@ -601,7 +605,7 @@ func (s *Sharded) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorit
 		for _, sh := range s.shards {
 			sh.bt.installFault(eff, chunk, k)
 			sh.ctrl = make(chan shardCmd, 1)
-			go sh.run(s, insOf, k, wa, tapeOf, ys)
+			go sh.run(s, src, k, wa, ys)
 		}
 	}
 	liveShards := len(s.shards)
@@ -687,21 +691,21 @@ func (s *Sharded) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorit
 	}
 	finish(runErr == nil && linkErr == nil)
 	if runErr != nil {
-		return nil, runErr
+		return runErr
 	}
 	if linkErr != nil {
 		// A failure surfacing only in the final gather (a worker dying at
 		// collection, above all) must not pass for a clean run.
-		return nil, fmt.Errorf("local: sharded exchange: %w", linkErr)
+		return fmt.Errorf("local: sharded exchange: %w", linkErr)
 	}
-	results := make([]*Result, k)
 	for b := 0; b < k; b++ {
-		results[b] = &Result{
+		res[b] = Result{
 			Y:     ys[b*n : (b+1)*n : (b+1)*n],
 			Stats: Stats{Rounds: s.roundsOf[b], Messages: s.msgsOf[b]},
 		}
+		out[b] = &res[b]
 	}
-	return results, nil
+	return nil
 }
 
 // run is one shard's execution loop: init + round-1 staging over its own
@@ -709,7 +713,7 @@ func (s *Sharded) runVec(insOf func(b int) *lang.Instance, k int, wa WireAlgorit
 // The Batch passes are the unsharded ones — worker 0 over [lo, hi) — and
 // the shared alive slice (orchestrator-written between rounds, command
 // channels provide the happens-before) stands in for the batch's own.
-func (sh *shardExec) run(s *Sharded, insOf func(b int) *lang.Instance, k int, wa WireAlgorithm, tapeOf func(b, v int) *localrand.Tape, ys [][]byte) {
+func (sh *shardExec) run(s *Sharded, src laneSrc, k int, wa WireAlgorithm, ys [][]byte) {
 	defer func() {
 		if r := recover(); r != nil {
 			sh.cleanup()
@@ -720,9 +724,15 @@ func (sh *shardExec) run(s *Sharded, insOf func(b int) *lang.Instance, k int, wa
 	n := s.plan.g.N()
 	bt.ensureWireState()
 	bt.ensureWorkerScratch(1)
+	// Zero the counter rows before staging: a previous run's final-round
+	// stage counts (never captured — last-round stages are not delivered)
+	// must not replay into this run's first round.
+	clear(bt.wkStage[0])
+	clear(bt.wkMsgs[0])
+	clear(bt.wkFin[0])
 	bt.alive = s.alive
 	bt.preparePools(wa)
-	bt.rk, bt.rwa, bt.rins, bt.rtape = k, wa, insOf, tapeOf
+	bt.rk, bt.rwa, bt.rsrc = k, wa, src
 	bt.startPass(0, sh.lo, sh.hi)
 	for {
 		cmd := <-sh.ctrl
@@ -749,11 +759,34 @@ func (sh *shardExec) run(s *Sharded, insOf func(b int) *lang.Instance, k int, wa
 // the shard's node window, and the slab swap. The shard-worker protocol
 // drives the same method from a control connection instead of the
 // in-process ctrl channel.
+//
+// Message accounting on the fault-free path is sender-side: what this
+// shard's nodes staged last round is delivered (to its own nodes or
+// across a cut to a peer's) this round, so the previous pass's stage
+// counts become this round's report row. Per-shard partials differ from
+// the receiver-side ones — a cut message now counts at its sender's
+// shard — but the orchestrator only ever sums the rows, and the global
+// per-lane sums are identical. The alive gate matches the unsharded
+// merge: the orchestrator updates the shared alive vector before issuing
+// the round, exactly the state the receiver-side count observed. Fault
+// runs keep receiver-side accounting — faultPass overwrites the row.
 func (sh *shardExec) execRound(round, k int) error {
 	bt := sh.bt
 	if err := sh.exchange(round, k); err != nil {
 		return err
 	}
+	stRow := bt.wkStage[0][:k]
+	if bt.fault == nil {
+		msgRow := bt.wkMsgs[0][:k]
+		for b := 0; b < k; b++ {
+			msgRow[b] = 0
+			if bt.alive[b] {
+				msgRow[b] = stRow[b]
+			}
+		}
+	}
+	clear(stRow)
+	clear(bt.wkFin[0][:k])
 	bt.rround = round
 	bt.roundPass(0, sh.lo, sh.hi)
 	bt.curLens, bt.nextLens = bt.nextLens, bt.curLens
@@ -786,7 +819,8 @@ func (sh *shardExec) cleanup() {
 	clear(bt.curRefs)
 	clear(bt.nextRefs)
 	clear(bt.heldRefs)
-	bt.rins, bt.rtape, bt.rwa = nil, nil, nil
+	bt.rsrc = laneSrc{}
+	bt.rwa = nil
 }
 
 // exchange performs one round's cut handoff: pack and send the cur-slab
@@ -820,19 +854,40 @@ func (sh *shardExec) exchange(round, k int) error {
 // send slabs into blk, reusing its backing arrays. The cut lists global
 // slots the sender owns, so each maps to the window-local slot
 // s−slotBase; lens rows are k lanes per slot, word rows capW·k per slot
-// — both contiguous in the slab, so each slot is two copies.
+// — both contiguous in the slab. When the run uses the full lane block
+// (k == B) the pack goes further: offW is a strict prefix sum over
+// consecutive local slots, so a maximal run of consecutive cut slots is
+// ONE dense lens copy and ONE dense word copy — cut slots cluster on
+// contiguous CSR ranges, making the per-peer pack a handful of memcpys
+// instead of a per-slot loop.
 func (bt *Batch) packCut(cut []int32, k int, blk *CutBlock) {
 	B := bt.block
 	base := bt.slotBase
 	lens := blk.Lens[:0]
 	words := blk.Words[:0]
-	for _, s := range cut {
-		sl := int(s) - base
-		li := sl * B
-		lens = append(lens, bt.curLens[li:li+k]...)
-		if w := int(bt.capW[sl]); w > 0 {
-			wbase := int(bt.offW[sl]) * B
-			words = append(words, bt.curWords[wbase:wbase+w*k]...)
+	if k == B {
+		for i := 0; i < len(cut); {
+			j := i + 1
+			for j < len(cut) && cut[j] == cut[j-1]+1 {
+				j++
+			}
+			slo, shi := int(cut[i])-base, int(cut[j-1])-base+1
+			lens = append(lens, bt.curLens[slo*B:shi*B]...)
+			wlo, whi := int(bt.offW[slo]), int(bt.offW[shi-1])+int(bt.capW[shi-1])
+			if whi > wlo {
+				words = append(words, bt.curWords[wlo*B:whi*B]...)
+			}
+			i = j
+		}
+	} else {
+		for _, s := range cut {
+			sl := int(s) - base
+			li := sl * B
+			lens = append(lens, bt.curLens[li:li+k]...)
+			if w := int(bt.capW[sl]); w > 0 {
+				wbase := int(bt.offW[sl]) * B
+				words = append(words, bt.curWords[wbase:wbase+w*k]...)
+			}
 		}
 	}
 	blk.Lens, blk.Words = lens, words
@@ -866,32 +921,45 @@ func (bt *Batch) installCut(haloLo, ncut, k int, blk CutBlock) error {
 	if len(blk.Words) != wantW {
 		return fmt.Errorf("local: cut block carries %d words, layout expects %d for %d slots × %d lanes", len(blk.Words), wantW, ncut, k)
 	}
-	li0, w0, r0 := 0, 0, 0
+	// Clamp the lens values, not just the section shapes: a
+	// structurally valid frame carrying an oversized len would
+	// otherwise make the Inbox read past the slot's word capacity —
+	// silent wrong delivery at best, a bounds panic at worst. Local
+	// packCut can never produce one; byte-stream peers can.
 	for i := 0; i < ncut; i++ {
 		sl := haloLo + i
-		li := sl * B
-		// Clamp the lens values, not just the section shapes: a
-		// structurally valid frame carrying an oversized len would
-		// otherwise make the Inbox read past the slot's word capacity —
-		// silent wrong delivery at best, a bounds panic at worst. Local
-		// packCut can never produce one; byte-stream peers can.
-		for _, l := range blk.Lens[li0 : li0+k] {
+		for _, l := range blk.Lens[i*k : (i+1)*k] {
 			if l < 0 || l > bt.capW[sl]+1 {
 				return fmt.Errorf("local: cut block len %d exceeds slot capacity %d words", l-1, bt.capW[sl])
 			}
 		}
-		copy(bt.curLens[li:li+k], blk.Lens[li0:li0+k])
-		li0 += k
-		if w := int(bt.capW[sl]); w > 0 {
-			base := int(bt.offW[sl]) * B
-			copy(bt.curWords[base:base+w*k], blk.Words[w0:w0+w*k])
-			w0 += w * k
+	}
+	if k == B && ncut > 0 {
+		// Full-block fast path: a peer's halo segment is consecutive
+		// local slots and offW is a strict prefix sum over them, so the
+		// whole install is one dense lens copy and one dense word copy.
+		copy(bt.curLens[haloLo*B:(haloLo+ncut)*B], blk.Lens)
+		wlo := int(bt.offW[haloLo])
+		copy(bt.curWords[wlo*B:wlo*B+wantW], blk.Words)
+	} else {
+		li0, w0 := 0, 0
+		for i := 0; i < ncut; i++ {
+			sl := haloLo + i
+			li := sl * B
+			copy(bt.curLens[li:li+k], blk.Lens[li0:li0+k])
+			li0 += k
+			if w := int(bt.capW[sl]); w > 0 {
+				base := int(bt.offW[sl]) * B
+				copy(bt.curWords[base:base+w*k], blk.Words[w0:w0+w*k])
+				w0 += w * k
+			}
 		}
 	}
 	if bt.curRefs != nil && len(blk.Refs) > 0 {
 		if len(blk.Refs) != ncut*k {
 			return fmt.Errorf("local: cut block carries %d refs for %d slots × %d lanes", len(blk.Refs), ncut, k)
 		}
+		r0 := 0
 		for i := 0; i < ncut; i++ {
 			li := (haloLo + i) * B
 			copy(bt.curRefs[li:li+k], blk.Refs[r0:r0+k])

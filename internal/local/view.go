@@ -31,13 +31,14 @@
 //     instance and share it across workers.
 //   - Batch (batch.go) is one worker's vectorized execution scratch: it
 //     runs a vector of independent trials through a single pass, with
-//     structure-of-arrays message slabs indexed [slot][lane] and cached
-//     view skeletons refilled once per pass, so the round scheduling,
-//     the reverse-slot gather, the halting checks, and the view assembly
-//     amortize across the whole vector. Lane b is byte-identical to a
-//     lone execution of the same (instance, draw). Algorithms whose
-//     processes implement ResetProcess additionally have their
-//     per-(node, lane) process table pooled across back-to-back runs.
+//     structure-of-arrays message slabs indexed [slot][lane] (see "Slab
+//     layout" below) and cached view skeletons refilled once per pass,
+//     so the round scheduling, the reverse-slot gather, the halting
+//     checks, and the view assembly amortize across the whole vector.
+//     Lane b is byte-identical to a lone execution of the same
+//     (instance, draw). Algorithms whose processes implement
+//     ResetProcess additionally have their per-(node, lane) process
+//     table pooled across back-to-back runs.
 //   - Engine (plan.go) is the one-lane case of the same core: a Batch of
 //     width 1 with scalar wrappers. RunView and RunMessage are
 //     single-shot wrappers building a transient Engine.
@@ -65,6 +66,41 @@
 //     for every shard count, cut placement, and transport;
 //     internal/shardtest enforces the contract differentially, TCP
 //     links included.
+//
+// # Slab layout and the slot-major round kernel
+//
+// The wire slabs are structure-of-arrays over directed CSR slots with
+// the lane as the minor axis. For a batch of width B, slot s's length
+// code for lane b sits at lens[s*B+b] (0 = no message, n+1 = n payload
+// words) and its payload words at words[offW[s]*B + capW[s]*b ...],
+// where capW[s] is the slot's fixed word capacity and offW is its
+// prefix sum. A slot belongs to its SENDER: a node's Outbox writes its
+// own contiguous slot window [lo, hi), and receivers read through the
+// plan's reverse-slot table. That ownership is what makes the round
+// kernel slot-major: one pass walks each node's window once, clears the
+// next-round lens range with a single contiguous clear — (hi-lo)·B
+// adjacent entries, not B strided walks — then steps the node's live
+// lanes in place. The same contiguity powers the sharded cut exchange:
+// at full lane blocks (k == B), packCut flattens a maximal run of
+// consecutive cut slots into one dense lens copy and one dense word
+// copy, and installCut writes a peer's whole halo segment the same way
+// (after value-level lens validation — byte-stream peers can send
+// anything).
+//
+// Message accounting is sender-side on the fault-free path: delivered
+// messages of round r are exactly the messages staged in round r-1, so
+// the Outbox counts 0→staged lens transitions per lane as they happen
+// and the kernel credits the previous pass's counts to lanes still
+// alive at delivery time — no receiver-side lens walk. The fault pass
+// keeps receiver-side counting, because suppression and delay make
+// staged ≠ delivered there.
+//
+// Per-run outputs land in double-buffered arenas (per-node output
+// encodings and the Result vector alternate between two buffers), so a
+// warm Batch runs a full trial with zero allocations; the width-1
+// Engine instead returns freshly allocated, caller-owned Result and
+// output slices — exactly two allocations — because its callers may
+// retain results indefinitely. alloc_test.go pins both floors.
 //
 // # Fault injection
 //

@@ -181,6 +181,28 @@ func (in *Inbox) Words(port int) []uint64 {
 	return in.word[base : base+n : base+n]
 }
 
+// Payload returns the payload words of the message on port together
+// with a presence flag — one lens load instead of the Has+Words pair,
+// which matters in per-port receive loops on the hot path. ok is true
+// whenever a message arrived, including zero-word signals (whose
+// payload is nil). The slice is engine-owned scratch: read-only, valid
+// only for the duration of the call it was handed over in.
+func (in *Inbox) Payload(port int) (words []uint64, ok bool) {
+	s := int(in.slot[port])
+	n := int(in.lens[s*in.B+in.b]) - 1
+	if n < 0 {
+		return nil, false
+	}
+	if n == 0 {
+		return nil, true
+	}
+	if in.box != nil {
+		return in.box[port], true
+	}
+	base := int(in.offW[s])*in.B + int(in.capW[s])*in.b
+	return in.word[base : base+n : base+n], true
+}
+
 // ref returns the by-reference payload of the message on port (boxing
 // shim and full-information transport), or nil if no message arrived.
 func (in *Inbox) ref(port int) Message {
@@ -206,6 +228,16 @@ type Outbox struct {
 	offW   []int32
 	capW   []int32
 	refs   []Message
+	// stage is the engine's sender-side message accounting: every staging
+	// operation that turns an empty port into a staged one increments
+	// stage[b], and Reset decrements per staged port it clears, so after a
+	// pass stage[b] holds exactly the number of messages lane b staged.
+	// Each staged message is read by exactly one receiver next round,
+	// which makes staged-at-round-r identical to delivered-at-round-r+1 —
+	// the invariant that lets the fault-free round loop skip the
+	// receiver-side arrival count entirely. Always non-nil on engine
+	// paths (a per-worker row); loopback pairs bind a throwaway row.
+	stage []int64
 }
 
 // Degree returns the number of ports (the node's degree).
@@ -214,7 +246,11 @@ func (out *Outbox) Degree() int { return out.deg }
 // Signal stages a zero-word message on port: presence without payload
 // (the wire form of an empty announcement struct).
 func (out *Outbox) Signal(port int) {
-	out.lens[(out.slotLo+port)*out.B+out.b] = 1
+	li := (out.slotLo+port)*out.B + out.b
+	if out.lens[li] == 0 {
+		out.stage[out.b]++
+	}
+	out.lens[li] = 1
 }
 
 // Send stages a one-word message on port, replacing anything staged
@@ -224,8 +260,12 @@ func (out *Outbox) Send(port int, word uint64) {
 	if out.capW[s] < 1 {
 		panic("local: Send on a zero-capacity wire slot (MsgWords bound too small)")
 	}
+	li := s*out.B + out.b
+	if out.lens[li] == 0 {
+		out.stage[out.b]++
+	}
 	out.word[int(out.offW[s])*out.B+int(out.capW[s])*out.b] = word
-	out.lens[s*out.B+out.b] = 2
+	out.lens[li] = 2
 }
 
 // Append appends one payload word to the message staged on port,
@@ -236,6 +276,7 @@ func (out *Outbox) Append(port int, word uint64) {
 	li := s*out.B + out.b
 	n := int(out.lens[li])
 	if n == 0 {
+		out.stage[out.b]++
 		n = 1
 	}
 	if n-1 >= int(out.capW[s]) {
@@ -252,6 +293,29 @@ func (out *Outbox) Broadcast(word uint64) {
 	}
 }
 
+// BroadcastVec stages the same multi-word message on every port,
+// replacing anything staged there this round. It is the hoisted form of
+// a per-port Send+Append chain: the bounds check and slot math run once
+// per port instead of once per word, which matters for algorithms that
+// broadcast a fixed tuple every round. It panics when the message
+// exceeds the algorithm's MsgWords bound.
+func (out *Outbox) BroadcastVec(words ...uint64) {
+	n := len(words)
+	for p := 0; p < out.deg; p++ {
+		s := out.slotLo + p
+		if n > int(out.capW[s]) {
+			panic("local: wire message exceeds the algorithm's MsgWords bound")
+		}
+		li := s*out.B + out.b
+		if out.lens[li] == 0 {
+			out.stage[out.b]++
+		}
+		base := int(out.offW[s])*out.B + int(out.capW[s])*out.b
+		copy(out.word[base:base+n], words)
+		out.lens[li] = int32(n + 1)
+	}
+}
+
 // SignalAll stages a zero-word message on every port.
 func (out *Outbox) SignalAll() {
 	for p := 0; p < out.deg; p++ {
@@ -263,9 +327,13 @@ func (out *Outbox) SignalAll() {
 func (out *Outbox) Reset() {
 	for p := 0; p < out.deg; p++ {
 		s := out.slotLo + p
-		out.lens[s*out.B+out.b] = 0
+		li := s*out.B + out.b
+		if out.lens[li] != 0 {
+			out.stage[out.b]--
+		}
+		out.lens[li] = 0
 		if out.refs != nil {
-			out.refs[s*out.B+out.b] = nil
+			out.refs[li] = nil
 		}
 	}
 }
@@ -275,8 +343,12 @@ func (out *Outbox) Reset() {
 // fixed-width encoding.
 func (out *Outbox) sendRef(port int, m Message) {
 	s := out.slotLo + port
-	out.refs[s*out.B+out.b] = m
-	out.lens[s*out.B+out.b] = 1
+	li := s*out.B + out.b
+	if out.lens[li] == 0 {
+		out.stage[out.b]++
+	}
+	out.refs[li] = m
+	out.lens[li] = 1
 }
 
 // NewLoopback builds a connected Outbox/Inbox pair over a single node of
@@ -296,7 +368,7 @@ func NewLoopback(deg, msgWords int) (*Outbox, *Inbox) {
 		capW[i] = int32(msgWords)
 		slots[i] = int32(i)
 	}
-	out := &Outbox{deg: deg, B: 1, lens: lens, word: words, offW: offW, capW: capW, refs: refs}
+	out := &Outbox{deg: deg, B: 1, lens: lens, word: words, offW: offW, capW: capW, refs: refs, stage: make([]int64, 1)}
 	in := &Inbox{deg: deg, B: 1, slot: slots, lens: lens, word: words, offW: offW, capW: capW, refs: refs}
 	return out, in
 }
@@ -418,6 +490,9 @@ func (p *legacyProc) Start(info NodeInfo) []Message {
 		word: make([]uint64, deg*p.cap),
 		offW: offW, capW: capW,
 		refs: make([]Message, deg),
+		// The legacy transport keeps its own receiver-side accounting; the
+		// staged-transition counter lands in a throwaway row.
+		stage: make([]int64, 1),
 	}
 	p.send = make([]Message, deg)
 	p.wp.Start(info, &p.out)

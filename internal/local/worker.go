@@ -332,12 +332,15 @@ func (w *shardWorker) beginRun(rs *runSpec) {
 		}
 		run.insts[i] = in
 	}
-	insOf := func(b int) *lang.Instance { return run.insts[rs.Lane[b]] }
 	for _, li := range rs.Lane {
 		if int(li) < 0 || int(li) >= len(run.insts) {
 			run.errText = fmt.Sprintf("local: run lane instance index %d out of %d", li, len(run.insts))
 			return
 		}
+	}
+	laneIns := make([]*lang.Instance, k)
+	for b := 0; b < k; b++ {
+		laneIns[b] = run.insts[rs.Lane[b]]
 	}
 	// Reconstruct the effective fault plan (or disarm any previous run's).
 	// Lane identities come from the same draw seeds the tapes use, so a
@@ -371,7 +374,7 @@ func (w *shardWorker) beginRun(rs *runSpec) {
 	} else {
 		bt.installFaultSeeds(nil, nil, k)
 	}
-	var tapeOf func(b, v int) *localrand.Tape
+	src := laneSrc{ins: laneIns}
 	if rs.HasDraws {
 		if len(rs.Draws) != k {
 			run.errText = fmt.Sprintf("local: %d draw seeds for %d lanes", len(rs.Draws), k)
@@ -381,10 +384,9 @@ func (w *shardWorker) beginRun(rs *runSpec) {
 		run.tapes = make([]localrand.Tape, k*nwin)
 		for b := 0; b < k; b++ {
 			d := localrand.DrawFromSeed(rs.Draws[b])
-			d.TapeVecInto(run.tapes[b*nwin:(b+1)*nwin], insOf(b).ID[sh.lo:sh.hi])
+			d.TapeVecInto(run.tapes[b*nwin:(b+1)*nwin], laneIns[b].ID[sh.lo:sh.hi])
 		}
-		lo, tapes := sh.lo, run.tapes
-		tapeOf = func(b, v int) *localrand.Tape { return &tapes[b*nwin+(v-lo)] }
+		src.tapes, src.tlo, src.tn = run.tapes, sh.lo, nwin
 	}
 	run.alive = make([]bool, j.width)
 	for b := 0; b < k; b++ {
@@ -392,9 +394,15 @@ func (w *shardWorker) beginRun(rs *runSpec) {
 	}
 	bt.ensureWireState()
 	bt.ensureWorkerScratch(1)
+	// Zero the counter rows before staging, exactly as the in-process
+	// shard loop does: a previous run's uncaptured final-round stage
+	// counts must not replay into this run's first round.
+	clear(bt.wkStage[0])
+	clear(bt.wkMsgs[0])
+	clear(bt.wkFin[0])
 	bt.alive = run.alive
 	bt.preparePools(j.wa)
-	bt.rk, bt.rwa, bt.rins, bt.rtape = k, j.wa, insOf, tapeOf
+	bt.rk, bt.rwa, bt.rsrc = k, j.wa, src
 	bt.startPass(0, sh.lo, sh.hi)
 }
 
