@@ -261,6 +261,149 @@ func BenchmarkTrialBatchedMessage(b *testing.B) {
 	}
 }
 
+// BenchmarkTrialBatchedMessageScalar is BenchmarkTrialBatchedMessage
+// with the lane-vectorized fast path stripped (local.ScalarOnly): the
+// same retry-coloring vectors stepped one lane at a time through scalar
+// WireProcesses. The BatchedMessage/BatchedMessageScalar ratio is the
+// speedup of the SoA stepping seam alone, at byte-identical outputs
+// (pinned by internal/shardtest's vec differential matrix).
+func BenchmarkTrialBatchedMessageScalar(b *testing.B) {
+	const width = 32
+	in, _, _ := benchTrialFixture(b)
+	algo := construct.MessageConstruction{Algo: local.ScalarOnly(construct.RetryMessage(3, 2))}
+	space := localrand.NewTapeSpace(19)
+	plan := local.MustPlan(in.G)
+	bt := plan.NewBatch(width)
+	draws := make([]localrand.Draw, width)
+	for j := 0; j < width; j++ {
+		draws[j] = space.Draw(uint64(j))
+	}
+	if _, err := construct.RunBatch(algo, bt, in, draws); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += width {
+		k := width
+		if left := b.N - done; left < k {
+			k = left
+		}
+		for j := 0; j < k; j++ {
+			draws[j] = space.Draw(uint64(done + j))
+		}
+		if _, err := construct.RunBatch(algo, bt, in, draws[:k]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchStepPath measures one algorithm's per-trial stepping cost at
+// width 32, vectorized (the SoA StepVec path) or scalar (ScalarOnly).
+// Each Benchmark{Step*}{Scalar,Vec} pair isolates one migrated
+// algorithm's kernel, so a regression in a single StepVec shows up in
+// its own pair instead of being averaged into the trial benchmarks.
+// Both sides are asserted byte-identical before timing.
+func benchStepPath(b *testing.B, wa local.MessageAlgorithm, in *lang.Instance, random, scalar bool) {
+	const width = 32
+	algo := wa
+	if scalar {
+		algo = local.ScalarOnly(wa)
+	}
+	plan := local.MustPlan(in.G)
+	bt := plan.NewBatch(width)
+	space := localrand.NewTapeSpace(29)
+	sclBt := plan.NewBatch(width)
+	ins := make([]*lang.Instance, width)
+	for i := range ins {
+		ins[i] = in
+	}
+	run := func(bt *local.Batch, a local.MessageAlgorithm, draws []localrand.Draw) []*local.Result {
+		var res []*local.Result
+		var err error
+		if random {
+			res, err = bt.Run(in, a, draws, local.RunOptions{})
+		} else {
+			res, err = bt.RunInstances(ins[:len(ins)], a, nil, local.RunOptions{})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	draws := make([]localrand.Draw, width)
+	for i := range draws {
+		draws[i] = space.Draw(uint64(i))
+	}
+	got := run(bt, algo, draws)
+	want := run(sclBt, local.ScalarOnly(wa), draws)
+	for i := range want {
+		if want[i].Stats != got[i].Stats {
+			b.Fatalf("lane %d: Stats %+v, want %+v", i, got[i].Stats, want[i].Stats)
+		}
+		for v := range want[i].Y {
+			if string(want[i].Y[v]) != string(got[i].Y[v]) {
+				b.Fatalf("lane %d node %d: output differs from scalar reference", i, v)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += width {
+		k := width
+		if left := b.N - done; left < k {
+			k = left
+		}
+		for j := 0; j < k; j++ {
+			draws[j] = space.Draw(uint64(done + j))
+		}
+		if random {
+			if _, err := bt.Run(in, algo, draws[:k], local.RunOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := bt.RunInstances(ins[:k], algo, nil, local.RunOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// stepLubyIn/stepRetryIn/stepCVIn build the fixed per-algorithm
+// stepping fixtures: Luby on the 4-regular workhorse graph, retry
+// coloring on the ring, Cole–Vishkin on the oriented ring.
+func stepLubyIn(b *testing.B) *lang.Instance {
+	in, _, _ := benchMessageFixture(b)
+	return in
+}
+
+func stepRingIn(b *testing.B) *lang.Instance {
+	n := 512
+	in, err := lang.NewInstance(graph.Cycle(n), lang.EmptyInputs(n), ids.Consecutive(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+func BenchmarkStepLubyScalar(b *testing.B) {
+	benchStepPath(b, construct.LubyMIS{}, stepLubyIn(b), true, true)
+}
+func BenchmarkStepLubyVec(b *testing.B) {
+	benchStepPath(b, construct.LubyMIS{}, stepLubyIn(b), true, false)
+}
+func BenchmarkStepRetryScalar(b *testing.B) {
+	benchStepPath(b, construct.RetryMessage(3, 2), stepRingIn(b), true, true)
+}
+func BenchmarkStepRetryVec(b *testing.B) {
+	benchStepPath(b, construct.RetryMessage(3, 2), stepRingIn(b), true, false)
+}
+func BenchmarkStepCVScalar(b *testing.B) {
+	benchStepPath(b, construct.ColeVishkin{MaxIDBits: 63}, stepRingIn(b), false, true)
+}
+func BenchmarkStepCVVec(b *testing.B) {
+	benchStepPath(b, construct.ColeVishkin{MaxIDBits: 63}, stepRingIn(b), false, false)
+}
+
 // benchTrialFaulty is BenchmarkTrialBatchedMessage with a FaultPlan
 // armed on the batch: the 0.05-drop plan measures the cost of the fault
 // round path (per-slot tape draws plus suppressed deliveries), and the

@@ -2,29 +2,49 @@
 // cumulative function cost, for CI artifact summaries:
 //
 //	profsum -top 20 trial32.pprof wire32.pprof
+//	profsum -pair scalar.pprof vec.pprof
 //
 // For each profile it prints the functions ranked by cumulative time —
 // the time spent in a function or anything it called, the number that
 // says where a round-trip actually goes — alongside flat time (samples
-// with the function on top of the stack). The parser reads the gzipped
-// profile.proto stream directly with no dependencies, so CI can render
-// summaries without a `go tool pprof` invocation per artifact.
+// with the function on top of the stack). With -pair it takes exactly
+// two profiles (say the scalar and vec stepping paths of the same
+// trial) and renders them side by side, matched by function, ranked by
+// whichever side's cumulative share is larger — so a function hot on
+// either side makes the table and the other side's cost sits next to
+// it. The parser reads the gzipped profile.proto stream directly with
+// no dependencies, so CI can render summaries without a `go tool
+// pprof` invocation per artifact.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 )
 
 func main() {
 	top := flag.Int("top", 20, "number of functions to print per profile")
+	pair := flag.Bool("pair", false, "render exactly two profiles side by side, matched by function")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: profsum [-top N] profile.pprof [profile.pprof ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: profsum [-top N] profile.pprof [profile.pprof ...]\n"+
+			"       profsum -pair [-top N] left.pprof right.pprof\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *pair {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "profsum: -pair takes exactly two profiles")
+			os.Exit(2)
+		}
+		if err := summarizePair(os.Stdout, flag.Arg(0), flag.Arg(1), *top); err != nil {
+			fmt.Fprintf(os.Stderr, "profsum: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -40,12 +60,8 @@ func main() {
 }
 
 // summarize renders one profile's top-N table.
-func summarize(w *os.File, path string, top int) error {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	prof, err := parseProfile(raw)
+func summarize(w io.Writer, path string, top int) error {
+	prof, err := loadProfile(path)
 	if err != nil {
 		return err
 	}
@@ -68,6 +84,101 @@ func summarize(w *os.File, path string, top int) error {
 			quantity(r.flat, unit), pct(r.flat, total), r.name)
 	}
 	return nil
+}
+
+// loadProfile reads and parses one profile file.
+func loadProfile(path string) (*profile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := parseProfile(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return prof, nil
+}
+
+// pairRow is one function's cost on both sides of a -pair table; a side
+// the function never appeared on stays absent (rendered as dashes, not
+// zeros — sampling absence is not measured zero).
+type pairRow struct {
+	name                  string
+	leftCum, rightCum     int64
+	leftPct, rightPct     float64
+	leftShown, rightShown bool
+}
+
+// summarizePair renders two profiles side by side, matched by function
+// name, ranked by the larger of the two cumulative shares.
+func summarizePair(w io.Writer, leftPath, rightPath string, top int) error {
+	lp, err := loadProfile(leftPath)
+	if err != nil {
+		return err
+	}
+	rp, err := loadProfile(rightPath)
+	if err != nil {
+		return err
+	}
+	lrows, ltotal, lunit := lp.byFunction()
+	rrows, rtotal, runit := rp.byFunction()
+	merged := make(map[string]*pairRow, len(lrows)+len(rrows))
+	for _, r := range lrows {
+		merged[r.name] = &pairRow{name: r.name, leftCum: r.cum,
+			leftPct: pct(r.cum, ltotal), leftShown: true}
+	}
+	for _, r := range rrows {
+		m := merged[r.name]
+		if m == nil {
+			m = &pairRow{name: r.name}
+			merged[r.name] = m
+		}
+		m.rightCum, m.rightPct, m.rightShown = r.cum, pct(r.cum, rtotal), true
+	}
+	rows := make([]*pairRow, 0, len(merged))
+	for _, m := range merged {
+		rows = append(rows, m)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		mi := max(rows[i].leftPct, rows[i].rightPct)
+		mj := max(rows[j].leftPct, rows[j].rightPct)
+		if mi != mj {
+			return mi > mj
+		}
+		return rows[i].name < rows[j].name
+	})
+	if top < len(rows) {
+		rows = rows[:top]
+	}
+	fmt.Fprintf(w, "left : %s — %s total across %d samples\n",
+		leftPath, quantity(ltotal, lunit), len(lp.samples))
+	fmt.Fprintf(w, "right: %s — %s total across %d samples\n",
+		rightPath, quantity(rtotal, runit), len(rp.samples))
+	fmt.Fprintf(w, "%12s %7s | %12s %7s  %s\n",
+		"left cum", "cum%", "right cum", "cum%", "function")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12s %7s | %12s %7s  %s\n",
+			sideQuantity(r.leftCum, lunit, r.leftShown), sidePct(r.leftPct, r.leftShown),
+			sideQuantity(r.rightCum, runit, r.rightShown), sidePct(r.rightPct, r.rightShown),
+			r.name)
+	}
+	return nil
+}
+
+// sideQuantity and sidePct render one side's cell, or a dash when the
+// function never sampled on that side.
+func sideQuantity(v int64, unit string, shown bool) string {
+	if !shown {
+		return "-"
+	}
+	return quantity(v, unit)
+}
+
+func sidePct(p float64, shown bool) string {
+	if !shown {
+		return "-"
+	}
+	return fmt.Sprintf("%6.1f%%", p)
 }
 
 // pct guards the zero-total edge (an empty profile).

@@ -5,6 +5,7 @@ import (
 	"compress/gzip"
 	"os"
 	"runtime/pprof"
+	"strings"
 	"testing"
 )
 
@@ -177,5 +178,86 @@ func TestSummarizeEndToEnd(t *testing.T) {
 	}
 	if err := summarize(os.Stdout, path, 5); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// altProfile is testProfile with outer absent and a third function
+// "solo" present instead, so the pair table has all three matching
+// shapes: both sides (inner), left only (outer), right only (solo).
+func altProfile() []byte {
+	var e enc
+	for _, s := range []string{"", "samples", "count", "cpu", "nanoseconds", "solo", "inner"} {
+		e.bytesField(6, []byte(s))
+	}
+	e.msgField(1, func(m *enc) { m.uintField(1, 1); m.uintField(2, 2) })
+	e.msgField(1, func(m *enc) { m.uintField(1, 3); m.uintField(2, 4) })
+	e.msgField(5, func(m *enc) { m.uintField(1, 1); m.uintField(2, 5) })
+	e.msgField(5, func(m *enc) { m.uintField(1, 2); m.uintField(2, 6) })
+	e.msgField(4, func(m *enc) {
+		m.uintField(1, 1)
+		m.msgField(4, func(l *enc) { l.uintField(1, 1) })
+	})
+	e.msgField(4, func(m *enc) {
+		m.uintField(1, 2)
+		m.msgField(4, func(l *enc) { l.uintField(1, 2) })
+	})
+	// solo 300ns, inner 100ns: solo must outrank everything in the pair
+	// table even though it only exists on the right side.
+	e.msgField(2, func(m *enc) {
+		m.packedField(1, 1)
+		m.packedField(2, 1, 300)
+	})
+	e.msgField(2, func(m *enc) {
+		m.packedField(1, 2)
+		m.packedField(2, 1, 100)
+	})
+	return e.buf.Bytes()
+}
+
+// TestSummarizePair pins the side-by-side rendering: union of functions
+// ranked by the larger cumulative share, dashes for a side a function
+// never sampled on, and the -top cut applied to the merged ranking.
+func TestSummarizePair(t *testing.T) {
+	dir := t.TempDir()
+	left, right := dir+"/left.pprof", dir+"/right.pprof"
+	if err := os.WriteFile(left, testProfile(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(right, altProfile(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := summarizePair(&buf, left, right, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 2 header lines + 1 column line + 3 function rows.
+	if len(lines) != 6 {
+		t.Fatalf("%d output lines, want 6:\n%s", len(lines), out)
+	}
+	// Ranking by max share: outer 100% left, solo 75% right, inner 66.7%.
+	for i, name := range []string{"outer", "solo", "inner"} {
+		if !strings.HasSuffix(lines[3+i], name) {
+			t.Errorf("row %d = %q, want function %s", i, lines[3+i], name)
+		}
+	}
+	// outer never sampled on the right, solo never on the left: dashes.
+	if !strings.Contains(lines[3], "|            -       -") {
+		t.Errorf("outer row lacks right-side dashes: %q", lines[3])
+	}
+	if !strings.HasPrefix(strings.TrimLeft(lines[4], " "), "-") {
+		t.Errorf("solo row lacks left-side dash: %q", lines[4])
+	}
+	// The -top cut applies to the merged ranking.
+	buf.Reset()
+	if err := summarizePair(&buf, left, right, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 4 {
+		t.Fatalf("top=1 rendered %d lines, want 4:\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "outer") || strings.Contains(buf.String(), "solo") {
+		t.Fatalf("top=1 must keep only the top-ranked function:\n%s", buf.String())
 	}
 }

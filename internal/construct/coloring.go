@@ -108,6 +108,12 @@ func (p *retryProc) Start(info local.NodeInfo, out *local.Outbox) {
 }
 
 func (p *retryProc) Step(round int, in *local.Inbox, out *local.Outbox) bool {
+	// Past the last retry round nothing can change the color any more, so
+	// the node halts without scanning its final arrivals (whose only
+	// possible effect is a conflict bit nobody reads).
+	if round > p.t {
+		return true
+	}
 	conflicted := false
 	for port := 0; port < in.Degree(); port++ {
 		if !in.Has(port) {
@@ -122,9 +128,6 @@ func (p *retryProc) Step(round int, in *local.Inbox, out *local.Outbox) bool {
 			break
 		}
 	}
-	if round > p.t {
-		return true
-	}
 	if conflicted {
 		p.color = p.tape.Intn(p.q)
 	}
@@ -133,3 +136,120 @@ func (p *retryProc) Step(round int, in *local.Inbox, out *local.Outbox) bool {
 }
 
 func (p *retryProc) Output() []byte { return lang.EncodeColor(p.color) }
+
+// NewVecProcess implements local.VecAlgorithm: one SoA process per node
+// steps every lane of a batch in a single call per round.
+func (a retryAlgo) NewVecProcess() local.VecProcess { return &retryVec{q: a.q, t: a.t} }
+
+// retryVec is retryProc across all lanes as struct-of-arrays; colors are
+// kept as wire words so the broadcast row needs no conversion pass.
+type retryVec struct {
+	q, t  int
+	tapes []*localrand.Tape
+	color []uint64
+	act   []bool // scratch: lanes this call acts for
+	conf  []bool // scratch: conflicted lanes
+	scan  []bool // scratch: lanes still scanning (act and not yet conflicted)
+}
+
+// ResetVec implements local.ResetVecProcess, keeping the palette and
+// round configuration while dropping the tape references into the
+// engine's per-run slab.
+func (p *retryVec) ResetVec() { clear(p.tapes) }
+
+func (p *retryVec) ensure(k int) {
+	p.tapes = vecRow(p.tapes, k)
+	p.color = vecRow(p.color, k)
+	p.act = vecRow(p.act, k)
+	p.conf = vecRow(p.conf, k)
+	p.scan = vecRow(p.scan, k)
+}
+
+func (p *retryVec) StartVec(info *local.VecNodeInfo, out *local.OutboxVec) {
+	k := info.Lanes()
+	p.ensure(k)
+	for b := 0; b < k; b++ {
+		t := info.Tape(b)
+		p.tapes[b] = t
+		p.color[b] = uint64(t.Intn(p.q))
+		p.act[b] = true
+	}
+	out.BroadcastRow(p.color, p.act)
+}
+
+func (p *retryVec) StepVec(round int, in *local.InboxVec, out *local.OutboxVec, done []bool) {
+	k, mask := in.Lanes(), in.Mask()
+	act, conf, scan := p.act[:k], p.conf[:k], p.scan[:k]
+	// Past the last retry round the lanes halt without scanning, exactly
+	// like the scalar Step's early return.
+	if round > p.t {
+		for b := 0; b < k; b++ {
+			if !done[b] && (mask == nil || !mask[b]) {
+				done[b] = true
+			}
+		}
+		return
+	}
+	for b := 0; b < k; b++ {
+		a := !done[b] && (mask == nil || !mask[b])
+		act[b] = a
+		conf[b] = false
+		// A conflicted lane skips the rest of the scan, like the scalar
+		// break — later ports go unvalidated either way — so the scan
+		// predicate folds act and not-yet-conflicted into one branch.
+		scan[b] = a
+	}
+	q, color := uint64(p.q), p.color[:k]
+	for port := 0; port < in.Degree(); port++ {
+		lens := in.LensRow(port)
+		words, stride := in.WordBlock(port)
+		if stride == 1 && len(words) >= k {
+			// MsgWords is 1, so every port's block is stride-1: the lane's
+			// word is words[b] and the bounds checks vanish from the loop.
+			w := words[:k]
+			for b := 0; b < k; b++ {
+				if !scan[b] {
+					continue
+				}
+				l := lens[b]
+				if l == 0 {
+					continue
+				}
+				c := w[b]
+				if l != 2 || c >= q {
+					panic("construct: retry coloring received a malformed color word")
+				}
+				if c == color[b] {
+					conf[b] = true
+					scan[b] = false
+				}
+			}
+			continue
+		}
+		for b := 0; b < k; b++ {
+			if !scan[b] {
+				continue
+			}
+			l := lens[b]
+			if l == 0 {
+				continue
+			}
+			c := words[b*stride]
+			if l != 2 || c >= q {
+				panic("construct: retry coloring received a malformed color word")
+			}
+			if c == color[b] {
+				conf[b] = true
+				scan[b] = false
+			}
+		}
+	}
+	for b := 0; b < k; b++ {
+		if act[b] && conf[b] {
+			p.color[b] = uint64(p.tapes[b].Intn(p.q))
+		}
+	}
+	out.BroadcastRow(p.color, act)
+}
+
+func (p *retryVec) OutputVec(b int) []byte { return lang.EncodeColor(int(p.color[b])) }

@@ -1,0 +1,174 @@
+package decide
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rlnc/internal/graph"
+	"rlnc/internal/ids"
+	"rlnc/internal/lang"
+)
+
+// badRowFamilies are the graph shapes of the row-decider differential:
+// the standard contract families plus the star, whose fixed leaf order
+// makes the order-sensitivity pins below deterministic.
+func badRowFamilies(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	rr, err := graph.RandomRegular(48, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{
+		"cycle":          graph.Cycle(24),
+		"grid":           graph.Grid(5, 5),
+		"tree":           graph.CompleteTree(3, 3),
+		"star":           graph.Star(9),
+		"random-regular": rr,
+	}
+}
+
+// corruptOutputs builds an adversarial output column: mostly valid
+// colors/marks, salted with every malformed shape the deciders must
+// treat identically on both paths — empty outputs, overlong outputs,
+// out-of-palette colors, and (for selection languages) bad mark bytes.
+func corruptOutputs(rng *rand.Rand, n, q int, selection bool) [][]byte {
+	y := make([][]byte, n)
+	for v := range y {
+		switch rng.Intn(8) {
+		case 0:
+			y[v] = []byte{} // malformed: empty
+		case 1:
+			y[v] = []byte{0, 0} // malformed: two bytes
+		case 2:
+			if selection {
+				y[v] = []byte{7} // malformed selection mark
+			} else {
+				y[v] = []byte{byte(q + rng.Intn(3))} // out of palette
+			}
+		default:
+			if selection {
+				y[v] = lang.EncodeSelected(rng.Intn(2) == 1)
+			} else {
+				y[v] = lang.EncodeColor(rng.Intn(q))
+			}
+		}
+	}
+	return y
+}
+
+// viewOnly strips the row decider from an LCL, leaving the per-ball
+// view path — the reference side of the differential.
+func viewOnly(l *lang.LCL) *LCLDecider {
+	return &LCLDecider{L: &lang.LCL{LangName: l.LangName, Radius: l.Radius, Bad: l.Bad}}
+}
+
+// rowOnly replaces the ball predicate with a tripwire, so a dispatch
+// that falls back to view assembly — instead of the BadRow fast path
+// under test — fails loudly.
+func rowOnly(l *lang.LCL) *LCLDecider {
+	return &LCLDecider{L: &lang.LCL{
+		LangName: l.LangName,
+		Radius:   l.Radius,
+		Bad: func(*lang.LabeledBall) bool {
+			panic("decide: BadRow fast path not taken")
+		},
+		BadRow: l.BadRow,
+	}}
+}
+
+// TestBadRowMatchesBallPath is the row-decider differential: for every
+// language defining BadRow, on every family, across seeds of corrupted
+// output columns, Exec.Verdicts through the BadRow fast path must equal
+// the per-ball view path node for node — malformed outputs, planted
+// violations, and out-of-palette colors included. The rowOnly tripwire
+// asserts the fast path actually dispatched.
+func TestBadRowMatchesBallPath(t *testing.T) {
+	langs := []struct {
+		l         *lang.LCL
+		selection bool
+	}{
+		{lang.ProperColoring(3), false},
+		{lang.WeakColoring(3), false},
+		{lang.MIS(), true},
+	}
+	for name, g := range badRowFamilies(t) {
+		n := g.N()
+		id := ids.RandomPerm(n, 17)
+		for _, lc := range langs {
+			if lc.l.BadRow == nil {
+				t.Fatalf("%s defines no BadRow", lc.l.LangName)
+			}
+			t.Run(fmt.Sprintf("%s/%s", name, lc.l.LangName), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(n * 1000)))
+				x := lang.EmptyInputs(n)
+				mem := &Mem{}
+				const lanes = 2
+				for seed := 0; seed < 4; seed++ {
+					dis := make([]*lang.DecisionInstance, lanes)
+					for b := range dis {
+						dis[b] = &lang.DecisionInstance{
+							G: g, X: x, Y: corruptOutputs(rng, n, 3, lc.selection), ID: id,
+						}
+					}
+					want := Exec{}.Verdicts(dis, viewOnly(lc.l), nil)
+					got := Exec{Mem: mem}.Verdicts(dis, rowOnly(lc.l), nil)
+					for b := 0; b < lanes; b++ {
+						for v := 0; v < n; v++ {
+							if want[b][v] != got[b][v] {
+								t.Fatalf("seed %d lane %d node %d: row path %v, view path %v (y=%x)",
+									seed, b, v, got[b][v], want[b][v], dis[b].Y[v])
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBadRowWeakColoringOrder pins the order-sensitive clause of
+// WeakColoring's BadRow on a fixed star: the neighbor scan must stop at
+// the first differing neighbor — acquitting the center even when a
+// LATER neighbor is malformed — but convict when the malformed neighbor
+// comes first, exactly as the ball predicate's early returns do. The
+// star's leaf order is the center's port order, so the two cases are
+// deterministic.
+func TestBadRowWeakColoringOrder(t *testing.T) {
+	g := graph.Star(4) // center 0, leaves 1..4 in port order
+	n := g.N()
+	l := lang.WeakColoring(3)
+	id := ids.Consecutive(n)
+	x := lang.EmptyInputs(n)
+	build := func(first, second []byte) *lang.DecisionInstance {
+		y := make([][]byte, n)
+		for v := range y {
+			y[v] = lang.EncodeColor(0)
+		}
+		y[1], y[2] = first, second
+		return &lang.DecisionInstance{G: g, X: x, Y: y, ID: id}
+	}
+	cases := []struct {
+		name      string
+		di        *lang.DecisionInstance
+		centerBad bool
+	}{
+		// A differing leaf before the malformed one acquits the center.
+		{"differing-then-malformed", build(lang.EncodeColor(1), []byte{}), false},
+		// A malformed leaf before any differing one convicts it.
+		{"malformed-then-differing", build([]byte{}, lang.EncodeColor(1)), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want := Exec{}.Verdicts([]*lang.DecisionInstance{c.di}, viewOnly(l), nil)
+			got := Exec{}.Verdicts([]*lang.DecisionInstance{c.di}, rowOnly(l), nil)
+			// The verdict is the negated predicate: centerBad ⇒ verdict false.
+			if got[0][0] != !c.centerBad {
+				t.Errorf("row path center verdict %v; want %v", got[0][0], !c.centerBad)
+			}
+			if want[0][0] != got[0][0] {
+				t.Errorf("view path center verdict %v, row path %v", want[0][0], got[0][0])
+			}
+		})
+	}
+}

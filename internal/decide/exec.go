@@ -44,6 +44,7 @@ type Exec struct {
 type Mem struct {
 	buf  [2]memBuf
 	flip int
+	col  []int32
 }
 
 // memBuf is one buffer of the pair: the flat verdict slab (lane b's row
@@ -52,6 +53,17 @@ type memBuf struct {
 	slab []bool
 	rows [][]bool
 	acc  []bool
+}
+
+// col is the per-node decode scratch of the row-decider fast path
+// (lang.LCL.BadRow). Transient within one Verdicts call, so it needs no
+// double buffering.
+func (m *Mem) colRow(n int) []int32 {
+	if cap(m.col) >= n {
+		return m.col[:n]
+	}
+	m.col = make([]int32, n)
+	return m.col
 }
 
 // next returns the buffer the coming evaluation writes, sized for k
@@ -101,6 +113,23 @@ func (x Exec) Verdicts(dis []*lang.DecisionInstance, d Decider, draws []localran
 	}
 	k, n := len(dis), dis[0].G.N()
 	slab, out := x.verdictStore(k, n)
+	// Row-decider fast path: a deterministic LCL decider whose language
+	// defines the whole-row Bad predicate skips view assembly entirely —
+	// each lane's outputs decode once into a scratch column and the
+	// verdicts are pure comparisons over the graph's adjacency. Verdicts
+	// are identical to the view path's by the BadRow contract.
+	if draws == nil {
+		if ld, ok := d.(*LCLDecider); ok && ld.L.BadRow != nil {
+			col := x.colStore(n)
+			for b, di := range dis {
+				ld.L.BadRow(di, out[b], col)
+			}
+			for i, bad := range slab[:k*n] {
+				slab[i] = !bad
+			}
+			return out
+		}
+	}
 	if x.Bt != nil {
 		if err := x.Bt.ForEachDecisionViews(dis, d.Radius(), draws, func(b, v int, view *local.View) {
 			slab[b*n+v] = d.Verdict(view)
@@ -153,6 +182,15 @@ func (x Exec) Accepts(dis []*lang.DecisionInstance, d Decider, draws []localrand
 		acc[b] = allTrue(row)
 	}
 	return acc
+}
+
+// colStore stages the row-decider decode scratch: Mem-backed or freshly
+// allocated.
+func (x Exec) colStore(n int) []int32 {
+	if x.Mem != nil {
+		return x.Mem.colRow(n)
+	}
+	return make([]int32, n)
 }
 
 // accStore stages the acceptance row: Mem-backed (the same buffer the

@@ -38,6 +38,20 @@ type LCL struct {
 	// Bad reports whether the ball violates the specification. It is the
 	// membership test of Bad(L).
 	Bad func(b *LabeledBall) bool
+	// BadRow, when non-nil, is Bad evaluated for every center of one
+	// labeled configuration at once over the global columns, without
+	// assembling per-node views: after the call, bad[v] must equal
+	// Bad(B(v, Radius)) for every node v — byte-for-byte the same
+	// predicate, including the treatment of malformed outputs and the
+	// neighbor scan order (the direct-neighbor order of a radius-1 ball
+	// is the graph's port order). Only radius-1 languages whose predicate
+	// reads the outputs of the center and its direct neighbors can define
+	// it; deterministic deciders dispatch to it on the hot trial path
+	// (decide.Exec.Verdicts). len(bad) is the node count; scratch is
+	// caller-provided per-node scratch of the same length, typically a
+	// decode-once column so each output is validated once instead of
+	// once per adjacent center.
+	BadRow func(di *DecisionInstance, bad []bool, scratch []int32)
 }
 
 // Name implements Language.
@@ -107,6 +121,42 @@ func ProperColoring(q int) *LCL {
 			}
 			return false
 		},
+		BadRow: func(di *DecisionInstance, bad []bool, col []int32) {
+			decodeColorRow(di.Y, col)
+			g := di.G
+			for v := range bad {
+				cv := col[v]
+				// The center must carry a valid color below q; neighbors
+				// need only decode — an out-of-palette neighbor is its own
+				// center's violation, exactly as in Bad.
+				if cv < 0 || int(cv) >= q {
+					bad[v] = true
+					continue
+				}
+				b := false
+				for _, u := range g.Neighbors(v) {
+					if cu := col[u]; cu < 0 || cu == cv {
+						b = true
+						break
+					}
+				}
+				bad[v] = b
+			}
+		},
+	}
+}
+
+// decodeColorRow decodes every node's output color once into col:
+// -1 for a malformed output, the raw decoded value otherwise (range
+// checks stay with the caller — Bad treats center and neighbor ranges
+// differently).
+func decodeColorRow(y [][]byte, col []int32) {
+	for v, yv := range y {
+		if c, err := DecodeColor(yv); err != nil {
+			col[v] = -1
+		} else {
+			col[v] = int32(c)
+		}
 	}
 }
 
@@ -131,6 +181,32 @@ func WeakColoring(q int) *LCL {
 				}
 			}
 			return true // no differing neighbor (or isolated center)
+		},
+		BadRow: func(di *DecisionInstance, bad []bool, col []int32) {
+			decodeColorRow(di.Y, col)
+			g := di.G
+			for v := range bad {
+				cv := col[v]
+				if cv < 0 || int(cv) >= q {
+					bad[v] = true
+					continue
+				}
+				// The neighbor scan is order-sensitive: a differing
+				// neighbor before the first malformed one acquits the
+				// center, exactly as Bad's early return does.
+				b := true
+				for _, u := range g.Neighbors(v) {
+					cu := col[u]
+					if cu < 0 {
+						break // malformed neighbor: bad
+					}
+					if cu != cv {
+						b = false // found a differing neighbor
+						break
+					}
+				}
+				bad[v] = b
+			}
 		},
 	}
 }
@@ -160,6 +236,39 @@ func MIS() *LCL {
 				return anySelected // independence violated
 			}
 			return !anySelected // domination violated
+		},
+		BadRow: func(di *DecisionInstance, bad []bool, sel []int32) {
+			for v, yv := range di.Y {
+				if s, err := DecodeSelected(yv); err != nil {
+					sel[v] = -1
+				} else if s {
+					sel[v] = 1
+				} else {
+					sel[v] = 0
+				}
+			}
+			g := di.G
+			for v := range bad {
+				sv := sel[v]
+				if sv < 0 {
+					bad[v] = true
+					continue
+				}
+				nbrErr, anySelected := false, false
+				for _, u := range g.Neighbors(v) {
+					switch sel[u] {
+					case -1:
+						nbrErr = true
+					case 1:
+						anySelected = true
+					}
+				}
+				if sv == 1 {
+					bad[v] = nbrErr || anySelected // independence violated
+				} else {
+					bad[v] = nbrErr || !anySelected // domination violated
+				}
+			}
 		},
 	}
 }

@@ -198,6 +198,78 @@ func TestSteadyStateAllocFloors(t *testing.T) {
 	}
 }
 
+// staticVecMix is vecMix with allocation-free outputs on both paths —
+// the vector-path analogue of staticOutMix, so the floor below measures
+// the vec round kernel rather than the fixture's encoder.
+type staticVecMix struct{ vecMix }
+
+func (a staticVecMix) Name() string        { return fmt.Sprintf("static-vec-mix(%d)", a.rounds) }
+func (a staticVecMix) NewProcess() Process { return NewLegacyProcess(a) }
+func (a staticVecMix) NewWireProcess() WireProcess {
+	return &staticVecMixProc{vecMixProc{rounds: a.rounds}}
+}
+func (a staticVecMix) NewVecProcess() VecProcess {
+	return &staticVecMixVec{vecMixVec{rounds: a.rounds}}
+}
+
+type staticVecMixProc struct{ vecMixProc }
+
+func (p *staticVecMixProc) Output() []byte { return staticOutTable[p.state&15] }
+
+type staticVecMixVec struct{ vecMixVec }
+
+func (p *staticVecMixVec) OutputVec(b int) []byte { return staticOutTable[p.state[b]&15] }
+
+// TestVecAllocFloors pins the absolute allocation contract of the
+// lane-vectorized round kernel, exactly as TestSteadyStateAllocFloors
+// does for the scalar one: a warm batch stepping a ResetVecProcess
+// algorithm back to back allocates NOTHING per run — the per-node SoA
+// process table resets in place, the row staging writes straight into
+// the reused slabs, and outputs land in the double-buffered arena. The
+// fault-armed shape must hold the same floor: the lane mask and
+// pre-step done snapshot are per-worker scratch, not per-run
+// allocations. Skipped under -race, whose instrumentation changes
+// allocation counts.
+func TestVecAllocFloors(t *testing.T) {
+	in := mustInstance(t, graph.Cycle(256))
+	plan, err := NewPlan(in.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := localrand.NewTapeSpace(29)
+	trial := 0
+
+	const width = 8
+	shapes := []struct {
+		name string
+		fp   *FaultPlan
+	}{
+		{"fault-free", nil},
+		{"faulty", &FaultPlan{Seed: 31, Drop: 0.1, CrashP: 0.05, CrashFrom: 2}},
+	}
+	for _, shape := range shapes {
+		bt := plan.NewBatch(width)
+		draws := make([]localrand.Draw, width)
+		runBatch := func() {
+			for i := range draws {
+				draws[i] = space.Draw(uint64(trial))
+				trial++
+			}
+			if _, err := bt.Run(in, staticVecMix{vecMix{rounds: 6}}, draws, RunOptions{Fault: shape.fp}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runBatch()
+		runBatch() // warm both arena buffers and the pooled process table
+		if bt.vecAlgo == nil {
+			t.Fatal("vector path not armed for the alloc floor")
+		}
+		if got := testing.AllocsPerRun(50, runBatch); got != 0 {
+			t.Errorf("%s: warm vectorized batched run allocates %.1f/op; want exactly 0", shape.name, got)
+		}
+	}
+}
+
 // stripReset wraps a wire algorithm so its processes lose the
 // ResetProcess extension: the pooling gate's control group.
 type stripReset struct{ inner WireAlgorithm }

@@ -129,6 +129,24 @@ type Batch struct {
 	procAlgo WireAlgorithm
 	rpool    bool
 
+	// Lane-vectorized stepping state (vec.go): vecAlgo is armed by
+	// layoutWire when the run's algorithm implements VecAlgorithm and the
+	// batch is wider than one lane — the passes then dispatch to their
+	// vec twins, which drive ONE SoA process per node (vprocs, pooled via
+	// vresets/vprocAlgo under the same rules as the scalar table) through
+	// per-worker InboxVec/OutboxVec scratch. wkPrev holds the pre-step
+	// done row a pass diffs new finishes out of; wkMask the per-node lane
+	// mask the fault pass hands crashed lanes to StepVec with.
+	vecAlgo   VecAlgorithm
+	vprocs    []VecProcess // [v] — one per node, all lanes
+	vresets   []ResetVecProcess
+	vprocAlgo WireAlgorithm
+	vinboxes  []InboxVec
+	voutboxes []OutboxVec
+	vinfos    []VecNodeInfo
+	wkPrev    [][]bool
+	wkMask    [][]bool
+
 	// Fault state (fault.go): defFault is the executor default a run
 	// falls back to when RunOptions.Fault is nil; fault is the armed
 	// per-run plan (nil = fault-free fast path), ftape its positional
@@ -409,6 +427,14 @@ func (bt *Batch) layoutWire(wa WireAlgorithm) {
 		block = bt.width
 	}
 	bt.block = block
+	// Arm the lane-vectorized path when the algorithm steps SoA lanes
+	// itself: worth it only with lanes to share the hoisted work across
+	// (a width-1 batch — every Engine — stays scalar), and only for
+	// slab-word payloads (ref-carried messages have no lane-major form).
+	bt.vecAlgo = nil
+	if va, ok := wa.(VecAlgorithm); ok && bt.width > 1 && !bt.useRefs {
+		bt.vecAlgo = va
+	}
 }
 
 // SlabBytesFor reports the byte footprint of the double-buffered wire
@@ -681,6 +707,10 @@ func (bt *Batch) endRun() {
 		clear(bt.procs)
 		clear(bt.resets)
 	}
+	if bt.vprocAlgo == nil {
+		clear(bt.vprocs)
+		clear(bt.vresets)
+	}
 	clear(bt.curRefs)
 	clear(bt.nextRefs)
 	clear(bt.heldRefs)
@@ -693,6 +723,10 @@ func (bt *Batch) endRun() {
 // v output lands at rys[b*n+v]. Slot-free, so it walks the process
 // table in [node][lane] order directly.
 func (bt *Batch) collectPass(w, vlo, vhi int) {
+	if bt.vecAlgo != nil {
+		bt.collectVecPass(vlo, vhi)
+		return
+	}
 	k, B, n := bt.rk, bt.block, bt.plan.g.N()
 	ys, procs := bt.rys, bt.procs
 	for v := vlo; v < vhi; v++ {
@@ -709,6 +743,18 @@ func (bt *Batch) collectPass(w, vlo, vhi int) {
 // processes implement ResetProcess. Steady-state trial loops (same
 // algorithm back to back) skip the probe entirely and reuse the table.
 func (bt *Batch) preparePools(wa WireAlgorithm) {
+	if bt.vecAlgo != nil {
+		if !sameAlgo(bt.vprocAlgo, bt.vecAlgo) {
+			clear(bt.vprocs)
+			clear(bt.vresets)
+			bt.vprocAlgo = nil
+			if _, ok := bt.vecAlgo.NewVecProcess().(ResetVecProcess); ok {
+				bt.vprocAlgo = bt.vecAlgo
+			}
+		}
+		bt.rpool = bt.vprocAlgo != nil
+		return
+	}
 	if !sameAlgo(bt.procAlgo, wa) {
 		clear(bt.procs)
 		clear(bt.resets)
@@ -731,6 +777,10 @@ func (bt *Batch) preparePools(wa WireAlgorithm) {
 // the worker's Outbox. Pass parameters arrive via rk/rwa/rsrc, exactly
 // like roundPass's.
 func (bt *Batch) startPass(w, vlo, vhi int) {
+	if bt.vecAlgo != nil {
+		bt.startVecPass(w, vlo, vhi)
+		return
+	}
 	topo := bt.plan.topo
 	k, B, wa := bt.rk, bt.block, bt.rwa
 	src, pool := &bt.rsrc, bt.rpool
@@ -793,6 +843,10 @@ func (bt *Batch) startPass(w, vlo, vhi int) {
 func (bt *Batch) roundPass(w, vlo, vhi int) {
 	if bt.fault != nil {
 		bt.faultPass(w, vlo, vhi)
+		return
+	}
+	if bt.vecAlgo != nil {
+		bt.roundVecPass(w, vlo, vhi)
 		return
 	}
 	topo := bt.plan.topo
@@ -886,6 +940,10 @@ func (bt *Batch) ensureWireState() {
 	}
 	bt.procs = sliceFor(bt.procs, n*B)
 	bt.resets = sliceFor(bt.resets, n*B)
+	if bt.vecAlgo != nil {
+		bt.vprocs = sliceFor(bt.vprocs, n)
+		bt.vresets = sliceFor(bt.vresets, n)
+	}
 	bt.done = sliceFor(bt.done, n*B)
 	if bt.alive == nil {
 		bt.alive = make([]bool, bt.width)
@@ -909,9 +967,18 @@ func (bt *Batch) ensureWorkerScratch(workers int) {
 		bt.wkDel = append(bt.wkDel, make([]int32, bt.width))
 		bt.wkDown = append(bt.wkDown, make([]bool, bt.width))
 	}
+	for len(bt.wkPrev) < workers {
+		bt.wkPrev = append(bt.wkPrev, make([]bool, bt.width))
+		bt.wkMask = append(bt.wkMask, make([]bool, bt.width))
+	}
 	if len(bt.inboxes) < workers {
 		bt.inboxes = sliceFor(bt.inboxes, workers)
 		bt.outboxes = sliceFor(bt.outboxes, workers)
+	}
+	if len(bt.vinboxes) < workers {
+		bt.vinboxes = sliceFor(bt.vinboxes, workers)
+		bt.voutboxes = sliceFor(bt.voutboxes, workers)
+		bt.vinfos = sliceFor(bt.vinfos, workers)
 	}
 }
 

@@ -307,6 +307,22 @@ func (bt *Batch) faultPass(w, vlo, vhi int) {
 	offW, capW := bt.offW, bt.capW
 	del := bt.wkDel[w][:k]
 	down := bt.wkDown[w][:k]
+	// The vector path shares the whole suppression walk and replaces only
+	// the per-lane step tail: crashed lanes become the node's lane mask,
+	// and one StepVec call advances the rest.
+	vec := bt.vecAlgo != nil
+	var vin *InboxVec
+	var vout *OutboxVec
+	var prev, mask []bool
+	var vprocs []VecProcess
+	if vec {
+		vin, vout = &bt.vinboxes[w], &bt.voutboxes[w]
+		bt.bindInboxVec(vin, k)
+		bt.bindOutboxVec(vout, k, bt.wkStage[w], bt.nextLens, bt.nextWord)
+		prev = bt.wkPrev[w][:k]
+		mask = bt.wkMask[w][:k]
+		vprocs = bt.vprocs
+	}
 	for v := vlo; v < vhi; v++ {
 		lo, hi := topo.Slots(v) // global coordinates, every shape
 		deg := hi - lo
@@ -386,27 +402,72 @@ func (bt *Batch) faultPass(w, vlo, vhi int) {
 		if nextRefs != nil {
 			clear(nextRefs[(lo-base)*B : (hi-base)*B])
 		}
+		if !vec {
+			for b := 0; b < k; b++ {
+				if !alive[b] {
+					continue
+				}
+				msgRow[b] += int64(del[b])
+				if done[v*B+b] {
+					continue
+				}
+				if down[b] {
+					if f.CrashUntil == 0 {
+						// Permanent crash: finalize with the frozen state so the
+						// run's halting consensus can still complete; Output()
+						// reports whatever the process last committed to.
+						done[v*B+b] = true
+						finRow[b]++
+					}
+					continue
+				}
+				in.b, out.b = b, b
+				if procs[v*B+b].Step(round, in, out) {
+					done[v*B+b] = true
+					finRow[b]++
+				}
+			}
+			continue
+		}
+		// Vec step tail: the same per-lane resolution — delivered credit,
+		// permanent-crash finalization (before the pre-step snapshot, so
+		// the diff below cannot double-count it) — folded into a lane
+		// mask, then one StepVec over the remaining lanes.
+		vin.deg, vin.slot = deg, rev
+		vout.deg, vout.slotLo = deg, lo-base
+		doneRow := done[v*B : v*B+k]
+		anyMask, left := false, 0
 		for b := 0; b < k; b++ {
+			mask[b] = false
 			if !alive[b] {
 				continue
 			}
 			msgRow[b] += int64(del[b])
-			if done[v*B+b] {
+			if doneRow[b] {
 				continue
 			}
 			if down[b] {
+				mask[b] = true
+				anyMask = true
 				if f.CrashUntil == 0 {
-					// Permanent crash: finalize with the frozen state so the
-					// run's halting consensus can still complete; Output()
-					// reports whatever the process last committed to.
-					done[v*B+b] = true
+					doneRow[b] = true
 					finRow[b]++
 				}
 				continue
 			}
-			in.b, out.b = b, b
-			if procs[v*B+b].Step(round, in, out) {
-				done[v*B+b] = true
+			left++
+		}
+		if left == 0 {
+			continue
+		}
+		copy(prev, doneRow)
+		vin.mask = nil
+		if anyMask {
+			vin.mask = mask
+		}
+		vprocs[v].StepVec(round, vin, vout, doneRow)
+		for b := 0; b < k; b++ {
+			if doneRow[b] && !prev[b] {
 				finRow[b]++
 			}
 		}

@@ -799,10 +799,9 @@ func (sh *shardExec) execRound(round, k int) error {
 // every lane b and owned node v (n is the global node count).
 func (sh *shardExec) collectInto(ys [][]byte, k, n int) {
 	bt := sh.bt
-	B := bt.block
 	for v := sh.lo; v < sh.hi; v++ {
 		for b := 0; b < k; b++ {
-			ys[b*n+v] = bt.procs[v*B+b].Output()
+			ys[b*n+v] = bt.outputOf(v, b)
 		}
 	}
 }
@@ -815,6 +814,9 @@ func (sh *shardExec) cleanup() {
 	bt := sh.bt
 	if bt.procAlgo == nil {
 		clear(bt.procs)
+	}
+	if bt.vprocAlgo == nil {
+		clear(bt.vprocs)
 	}
 	clear(bt.curRefs)
 	clear(bt.nextRefs)

@@ -1,0 +1,245 @@
+package local
+
+import (
+	"fmt"
+	"testing"
+
+	"rlnc/internal/localrand"
+)
+
+// vecMix is the lane-vectorized companion of wireMix: a wire algorithm
+// implementing VecAlgorithm whose scalar and vector steppings must agree
+// byte for byte. Each round a node folds every port's payload into its
+// state (missing messages perturb it, so drop faults change the bytes),
+// draws one tape word (so tape cursors advance identically on both
+// paths), and alternates between one-word broadcasts and pure signals;
+// lanes finish at the round bound or early when the folded state hits a
+// sentinel residue, so the lane vector diverges mid-run and the done-row
+// skipping of the vector path is exercised on every graph.
+type vecMix struct{ rounds int }
+
+func (a vecMix) Name() string                { return fmt.Sprintf("vec-mix(%d)", a.rounds) }
+func (a vecMix) MsgWords(int) int            { return 2 }
+func (a vecMix) NewProcess() Process         { return NewLegacyProcess(a) }
+func (a vecMix) NewWireProcess() WireProcess { return &vecMixProc{rounds: a.rounds} }
+func (a vecMix) NewVecProcess() VecProcess   { return &vecMixVec{rounds: a.rounds} }
+
+// vecMixProc is the scalar reference stepping of vecMix.
+type vecMixProc struct {
+	rounds int
+	tape   *localrand.Tape
+	state  uint64
+}
+
+func (p *vecMixProc) ResetProcess() { *p = vecMixProc{rounds: p.rounds} }
+
+func (p *vecMixProc) Start(info NodeInfo, out *Outbox) {
+	p.state = uint64(info.ID) * 0x9e3779b97f4a7c15
+	p.tape = info.Tape
+	if p.tape != nil {
+		p.state ^= p.tape.Uint64()
+	}
+	for port := 0; port < out.Degree(); port++ {
+		out.Send(port, p.state)
+		out.Append(port, p.state>>7)
+	}
+}
+
+func (p *vecMixProc) Step(round int, in *Inbox, out *Outbox) bool {
+	for port := 0; port < in.Degree(); port++ {
+		words, ok := in.Payload(port)
+		if !ok {
+			p.state = p.state*3 + 1
+			continue
+		}
+		for _, w := range words {
+			p.state ^= w + uint64(len(words))
+		}
+	}
+	if p.tape != nil {
+		p.state ^= p.tape.Uint64()
+	}
+	if round >= p.rounds || (round >= 2 && p.state&7 == 0) {
+		return true
+	}
+	if round%2 == 1 {
+		out.Broadcast(p.state)
+	} else {
+		out.SignalAll()
+	}
+	return false
+}
+
+func (p *vecMixProc) Output() []byte { return encode64(int64(p.state)) }
+
+// vecMixVec is vecMixProc across all lanes as struct-of-arrays: the same
+// fold, tape draw, halting rule, and send schedule, with the port
+// indirection hoisted out of the lane loop.
+type vecMixVec struct {
+	rounds int
+	tapes  []*localrand.Tape
+	state  []uint64
+	w1     []uint64
+	act    []bool
+}
+
+func (p *vecMixVec) ResetVec() { clear(p.tapes) }
+
+func (p *vecMixVec) StartVec(info *VecNodeInfo, out *OutboxVec) {
+	k := info.Lanes()
+	p.tapes = sliceFor(p.tapes, k)
+	p.state = sliceFor(p.state, k)
+	p.w1 = sliceFor(p.w1, k)
+	p.act = sliceFor(p.act, k)
+	for b := 0; b < k; b++ {
+		t := info.Tape(b)
+		p.tapes[b] = t
+		s := uint64(info.ID(b)) * 0x9e3779b97f4a7c15
+		if t != nil {
+			s ^= t.Uint64()
+		}
+		p.state[b] = s
+		p.w1[b] = s >> 7
+		p.act[b] = true
+	}
+	out.BroadcastRow2(p.state, p.w1, p.act)
+}
+
+func (p *vecMixVec) StepVec(round int, in *InboxVec, out *OutboxVec, done []bool) {
+	k, mask := in.Lanes(), in.Mask()
+	act := p.act[:k]
+	for b := 0; b < k; b++ {
+		act[b] = !done[b] && (mask == nil || !mask[b])
+	}
+	for port := 0; port < in.Degree(); port++ {
+		lens := in.LensRow(port)
+		words, stride := in.WordBlock(port)
+		for b := 0; b < k; b++ {
+			if !act[b] {
+				continue
+			}
+			l := int(lens[b])
+			if l == 0 {
+				p.state[b] = p.state[b]*3 + 1
+				continue
+			}
+			n := l - 1
+			for _, w := range words[b*stride : b*stride+n] {
+				p.state[b] ^= w + uint64(n)
+			}
+		}
+	}
+	for b := 0; b < k; b++ {
+		if !act[b] {
+			continue
+		}
+		if p.tapes[b] != nil {
+			p.state[b] ^= p.tapes[b].Uint64()
+		}
+		if round >= p.rounds || (round >= 2 && p.state[b]&7 == 0) {
+			done[b] = true
+			act[b] = false
+		}
+	}
+	if round%2 == 1 {
+		out.BroadcastRow(p.state, act)
+	} else {
+		out.SignalRow(act)
+	}
+}
+
+func (p *vecMixVec) OutputVec(b int) []byte { return encode64(int64(p.state[b])) }
+
+// TestVecMatchesScalar pins the tentpole contract of the vector path in
+// the package that owns it: on every graph family, a batch stepping
+// vecMix through its VecProcess must reproduce the ScalarOnly reference
+// — the same algorithm stripped of the vector extension — byte for byte,
+// outputs and Stats, at widths 1 (the scalar fallback), 2, and 5, on
+// full and ragged lane vectors, under nil, zero, and lossy fault plans,
+// on reused executors back to back.
+func TestVecMatchesScalar(t *testing.T) {
+	space := localrand.NewTapeSpace(57)
+	plans := []struct {
+		name string
+		fp   *FaultPlan
+	}{
+		{"none", nil},
+		{"zero", &FaultPlan{Seed: 5}},
+		{"faulty", &FaultPlan{Seed: 19, Drop: 0.15, Delay: 0.1, CrashP: 0.05, CrashFrom: 2}},
+		{"crash-recover", &FaultPlan{Seed: 29, Drop: 0.1, CrashP: 0.1, CrashFrom: 1, CrashUntil: 3}},
+	}
+	for name, g := range testFamilies(t) {
+		t.Run(name, func(t *testing.T) {
+			in := mustInstance(t, g)
+			plan := MustPlan(g)
+			algo := vecMix{rounds: 6}
+			lo := 0
+			for _, width := range []int{1, 2, 5} {
+				vecBt := plan.NewBatch(width)
+				sclBt := plan.NewBatch(width)
+				for _, k := range []int{1, width} {
+					for _, pl := range plans {
+						draws := drawRange(space, lo, k)
+						lo += k
+						opts := RunOptions{Fault: pl.fp}
+						want, wantErr := sclBt.Run(in, ScalarOnly(algo), draws, opts)
+						got, gotErr := vecBt.Run(in, algo, draws, opts)
+						label := fmt.Sprintf("width %d k %d plan %s", width, k, pl.name)
+						if (wantErr == nil) != (gotErr == nil) {
+							t.Fatalf("%s: vec error %v, scalar %v", label, gotErr, wantErr)
+						}
+						if wantErr != nil {
+							continue
+						}
+						for b := 0; b < k; b++ {
+							expectSameResult(t, fmt.Sprintf("%s lane %d", label, b), want[b], got[b])
+						}
+					}
+				}
+				if width > 1 && vecBt.vecAlgo == nil {
+					t.Fatalf("width %d: vector path not armed for a VecAlgorithm", width)
+				}
+				if sclBt.vecAlgo != nil {
+					t.Fatalf("width %d: ScalarOnly failed to strip the vector path", width)
+				}
+			}
+		})
+	}
+}
+
+// TestVecSharded pins the vector path under the sharded orchestrator:
+// a sharded run of a VecAlgorithm (whose shard batches step vectorized)
+// must reproduce the unsharded ScalarOnly batch byte for byte — cut
+// exchange, windowed rev tables, and per-shard collection included.
+func TestVecSharded(t *testing.T) {
+	space := localrand.NewTapeSpace(61)
+	for name, g := range testFamilies(t) {
+		t.Run(name, func(t *testing.T) {
+			in := mustInstance(t, g)
+			plan := MustPlan(g)
+			algo := vecMix{rounds: 5}
+			const width = 3
+			sclBt := plan.NewBatch(width)
+			for _, shards := range []int{2, 3} {
+				sh, err := plan.NewSharded(width, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for rep, k := range []int{width, width - 1} {
+					draws := drawRange(space, rep*width, k)
+					want, err := sclBt.Run(in, ScalarOnly(algo), draws, RunOptions{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := sh.Run(in, algo, draws, RunOptions{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for b := 0; b < k; b++ {
+						expectSameResult(t, fmt.Sprintf("shards %d rep %d lane %d", shards, rep, b), want[b], got[b])
+					}
+				}
+			}
+		})
+	}
+}

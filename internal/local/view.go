@@ -102,6 +102,40 @@
 // output slices — exactly two allocations — because its callers may
 // retain results indefinitely. alloc_test.go pins both floors.
 //
+// # Lane-vectorized stepping
+//
+// A WireAlgorithm may additionally implement VecAlgorithm (vec.go): one
+// VecProcess instance then owns a node's state for ALL lanes of the
+// batch as struct-of-arrays, and the round kernel makes a single
+// StartVec/StepVec call per node per pass instead of B scalar calls.
+// InboxVec and OutboxVec expose the slabs lane-major — per-port
+// contiguous lens rows (LensRow) and per-slot word blocks with their
+// lane stride (WordBlock), plus row-staging verbs (SignalRow,
+// BroadcastRow, BroadcastRow2) — so the port→slot lookup, base-offset
+// arithmetic, and decode validation hoist out of the per-lane loop and
+// the inner loop walks the adjacent memory the slot-major layout
+// already provides. A Batch dispatches to the vector path when the
+// algorithm implements VecAlgorithm and the width exceeds one on the
+// wire (non-boxed) path; the scalar per-lane path remains the fallback
+// and the width-1 Engine case, and ScalarOnly wraps an algorithm to
+// force it — the differential suites pin both paths byte-identical.
+//
+// The VecProcess contract mirrors the scalar one per lane, with three
+// SoA-specific rules. State rule: all per-lane state lives in slices
+// the process sizes to VecNodeInfo.Lanes (resized, never reallocated
+// per pass when capacity suffices), and a process implementing
+// ResetVecProcess is pooled per NODE across back-to-back runs exactly
+// like ResetProcess tables — TestVecAllocFloors pins the warm vec trial
+// at zero allocations, fault plans included. Mask rule: StepVec acts
+// only for lanes with done[b] false and Mask()[b] false (a nil mask
+// means all lanes live); the mask is how crashed and finalized lanes
+// are frozen under faults, so a vec process must neither read arrivals
+// for nor stage messages from a masked lane, and it signals halting by
+// setting done[b] itself. Aliasing rule: everything InboxVec hands over
+// is engine-owned scratch valid only during the call, like the scalar
+// Inbox; lens rows and word blocks are read-only views of the live
+// slabs.
+//
 // # Fault injection
 //
 // Faults are a first-class engine seam (fault.go): a FaultPlan is a

@@ -175,7 +175,7 @@ func (in *Inbox) Words(port int) []uint64 {
 		return nil
 	}
 	if in.box != nil {
-		return in.box[port]
+		return in.box[port][:n:n]
 	}
 	base := int(in.offW[s])*in.B + int(in.capW[s])*in.b
 	return in.word[base : base+n : base+n]
@@ -197,7 +197,7 @@ func (in *Inbox) Payload(port int) (words []uint64, ok bool) {
 		return nil, true
 	}
 	if in.box != nil {
-		return in.box[port], true
+		return in.box[port][:n:n], true
 	}
 	base := int(in.offW[s])*in.B + int(in.capW[s])*in.b
 	return in.word[base : base+n : base+n], true

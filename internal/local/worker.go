@@ -425,11 +425,10 @@ func (w *shardWorker) execCmd(cmd *cmdMsg) (rep *reportMsg) {
 	if !cmd.Run {
 		if run.errText == "" && run.panicked == "" && cmd.Collect {
 			nwin := sh.hi - sh.lo
-			B := bt.block
 			rep.Out = make([][]byte, run.k*nwin)
 			for v := sh.lo; v < sh.hi; v++ {
 				for b := 0; b < run.k; b++ {
-					rep.Out[b*nwin+(v-sh.lo)] = bt.procs[v*B+b].Output()
+					rep.Out[b*nwin+(v-sh.lo)] = bt.outputOf(v, b)
 				}
 			}
 		}
