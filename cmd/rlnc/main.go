@@ -14,7 +14,8 @@
 //	rlnc run all            [-quick] [-seed N] [-shards N] [-transport T]
 //	rlnc graph -family cycle -n 12
 //	rlnc sim -algo cv -n 64 [-seed N]
-//	rlnc shard-worker -connect HOST:PORT [-listen ADDR]
+//	rlnc shard-worker -connect HOST:PORT [-listen ADDR] [-advertise ADDR]
+//	                  [-heartbeat D] [-connect-timeout D]
 //
 // # Fault injection
 //
@@ -40,10 +41,12 @@
 //	chan          in-process channel links (default; zero-copy)
 //	tcp-loopback  framed byte streams over loopback TCP sockets inside
 //	              this process — the full codec/kernel path, one process
-//	tcp           N real `rlnc shard-worker` OS processes: this process
-//	              spawns them, ships each one its shard of the job over a
-//	              gob control stream, and the workers exchange cut blocks
-//	              directly with each other over TCP
+//	tcp           N real `rlnc shard-worker` OS processes: by default
+//	              this process spawns them on loopback; with -control it
+//	              instead listens for externally started workers (other
+//	              hosts included), ships each one its shard of the job
+//	              over a gob control stream, and the workers exchange cut
+//	              blocks directly with each other over TCP
 //
 // Per-trial outputs are byte-identical across all transports; rendered
 // tables additionally match the unsharded run whenever the Monte-Carlo
@@ -53,18 +56,51 @@
 // # The shard-worker protocol
 //
 // `rlnc shard-worker -connect HOST:PORT` dials the orchestrator's
-// control listener and serves jobs until the control connection closes.
-// On its control stream the worker (1) announces the address of its data
-// listener, (2) receives jobs — CSR adjacency, partition bounds, its
-// shard index, an algorithm registry key with flat int64 parameters, the
-// peers' data addresses — and acks each after dialing/accepting the
-// direct worker-to-worker TCP data links for its cuts, then (3) executes
+// control listener (retrying with backoff for -connect-timeout, so
+// worker and orchestrator start order is free) and serves jobs until
+// the control connection closes. On its control stream the worker
+// (1) announces itself with a versioned hello — protocol version, data
+// listener address, the algorithm keys its binary registers, and its
+// heartbeat period; a version mismatch fails registration immediately,
+// so mixed fleet binaries cannot desync mid-run, (2) heartbeats every
+// -heartbeat period so the orchestrator can tell a long computation
+// from a dead process (four silent periods mark the worker dead),
+// (3) receives jobs — CSR adjacency, partition bounds, its shard index,
+// an algorithm registry key with flat int64 parameters, the peers' data
+// addresses — and acks each after dialing/accepting the direct
+// worker-to-worker TCP data links for its cuts (peer dials also retry
+// with backoff while a peer's listener comes up), then (4) executes
 // runs: per-run instances and draw seeds, followed by one command per
 // round carrying the lane-liveness vector, each answered with per-lane
 // delivered/finished counts (and collected outputs on the final
 // command). Cut blocks cross the data links as the framed, versioned
 // byte encoding of internal/local's codec. Randomness ships as draw
 // seeds, so worker-side tapes are bit-identical to in-process ones.
+//
+// # Multi-host deployment
+//
+// One host runs the orchestrator, listening for worker registrations:
+//
+//	rlnc run E2 -shards 3 -transport tcp -control 0.0.0.0:7000
+//
+// Each worker host then runs (in any order, before or after — the
+// control dial retries until -connect-timeout):
+//
+//	rlnc shard-worker -connect orch.example:7000 -listen 0.0.0.0:7001
+//
+// Firewalling: the orchestrator's -control port must accept the
+// workers, and every worker's -listen port must accept its peer
+// workers (cut blocks travel worker-to-worker, not through the
+// orchestrator). When a worker binds a wildcard address, the address
+// it advertises to peers is derived from its interface on the control
+// connection; -advertise overrides it for NAT or multi-homed hosts.
+// The run starts once -shards workers have registered. If a worker
+// process dies mid-run, the orchestrator marks it dead via the lost
+// control stream (or four missed heartbeats) and the Monte-Carlo
+// scheduler requeues that worker group's trial chunk onto a fresh
+// executor built from the survivors — output bytes are unchanged, per
+// the sharding contract. When no workers survive, trial chunks fall
+// back to in-process execution, still byte-identical.
 package main
 
 import (
@@ -123,10 +159,12 @@ commands:
   list                         list the experiment suite
   run <id>... | all            run experiments
                                (flags: -quick, -seed N, -shards N,
-                                -transport chan|tcp-loopback|tcp)
+                                -transport chan|tcp-loopback|tcp,
+                                -control ADDR for multi-host workers)
   graph -family F -n N         describe a graph family instance
   sim -algo A -n N             run a construction algorithm on a ring
   shard-worker -connect ADDR   host one shard for a tcp-transport run
+                               (-listen/-advertise for multi-host)
 
 `)
 }
@@ -144,6 +182,7 @@ func cmdRun(args []string) error {
 	seed := fs.Uint64("seed", 1, "tape-space seed")
 	shards := fs.Int("shards", 1, "run message-algorithm trials on a sharded engine of N shards (byte-identical per-trial outputs)")
 	transport := fs.String("transport", "chan", "sharded cut-exchange transport: chan (in-process links), tcp-loopback (byte streams over loopback sockets), tcp (N shard-worker OS processes)")
+	control := fs.String("control", "", "with -transport tcp: listen on this address and await -shards externally started `rlnc shard-worker -connect` registrations (multi-host) instead of spawning loopback workers")
 	drop := fs.Float64("drop", 0, "fault injection: per-message drop probability in [0,1]")
 	delay := fs.Float64("delay", 0, "fault injection: per-message one-round delay probability in [0,1]")
 	crash := fs.Float64("crash", 0, "fault injection: per-node per-round crash probability in [0,1]")
@@ -202,15 +241,24 @@ func cmdRun(args []string) error {
 		if *shards < 2 {
 			return fmt.Errorf("run: -transport tcp needs -shards >= 2")
 		}
-		pool, stop, err := startWorkerProcesses(*shards)
+		var pool *local.WorkerPool
+		var stop func()
+		var err error
+		if *control != "" {
+			pool, stop, err = awaitWorkerFleet(*control, *shards)
+		} else {
+			pool, stop, err = startWorkerProcesses(*shards)
+		}
 		if err != nil {
 			return fmt.Errorf("run: start shard workers: %w", err)
 		}
 		defer stop()
 		cfg.NewSharded = func(plan *local.Plan, width, shards int) (*local.Sharded, error) {
-			if shards != pool.Size() {
-				return nil, fmt.Errorf("rlnc: %d shards requested from a %d-worker pool", shards, pool.Size())
-			}
+			// The pool decides the shard count, not the request: the
+			// executor is built from however many workers are still live
+			// (clamped to the graph), so a mid-run worker death degrades
+			// to the survivors instead of erroring the whole run — the
+			// sharding contract keeps the output bytes identical either way.
 			return plan.NewShardedRemote(width, pool)
 		}
 	default:
@@ -236,29 +284,88 @@ func cmdRun(args []string) error {
 }
 
 // cmdShardWorker hosts one shard of a tcp-transport run: it dials the
-// orchestrator's control listener and serves jobs until the control
-// connection closes (see the package comment for the protocol).
+// orchestrator's control listener (retrying while the orchestrator comes
+// up) and serves jobs until the control connection closes (see the
+// package comment for the protocol and the multi-host deployment notes).
 func cmdShardWorker(args []string) error {
 	fs := flag.NewFlagSet("shard-worker", flag.ExitOnError)
-	connect := fs.String("connect", "", "orchestrator control address (required)")
-	listen := fs.String("listen", "", "data-link listen address (default: loopback ephemeral)")
+	connect := fs.String("connect", "", "orchestrator control address HOST:PORT (required)")
+	listen := fs.String("listen", "", "data-link listen address; bind a reachable interface (e.g. 0.0.0.0:7001) for multi-host runs (default: loopback ephemeral)")
+	advertise := fs.String("advertise", "", "data-link address peer workers dial (default: derived from -listen, wildcard hosts replaced by this worker's interface on the control connection; set explicitly behind NAT)")
+	heartbeat := fs.Duration("heartbeat", local.DefaultWorkerBeat, "control-stream heartbeat period; the orchestrator declares this worker dead after four silent periods")
+	connectTimeout := fs.Duration("connect-timeout", 30*time.Second, "how long to keep retrying the control dial before giving up")
+	dieAfter := fs.Int("die-after-rounds", 0, "testing: abruptly close every connection and exit after N round commands, simulating a worker death mid-run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *connect == "" {
 		return fmt.Errorf("shard-worker: -connect is required")
 	}
-	ctrl, err := net.DialTimeout("tcp", *connect, 30*time.Second)
+	ctrl, err := local.DialRetry("tcp", *connect, *connectTimeout)
 	if err != nil {
 		return fmt.Errorf("shard-worker: %w", err)
 	}
 	defer ctrl.Close()
-	return local.ServeShard(ctrl, *listen)
+	return local.ServeShardOpts(ctrl, local.ServeOptions{
+		Listen:         *listen,
+		Advertise:      *advertise,
+		Beat:           *heartbeat,
+		DieAfterRounds: *dieAfter,
+	})
+}
+
+// acceptWorkers accepts n worker registrations on ln, handshaking each
+// into a WorkerConn. On any failure every already-registered worker is
+// closed before the error returns — no half-built fleet leaks.
+func acceptWorkers(ln net.Listener, n int, each time.Duration) ([]*local.WorkerConn, error) {
+	workers := make([]*local.WorkerConn, n)
+	for i := 0; i < n; i++ {
+		var err error
+		if d, ok := ln.(*net.TCPListener); ok {
+			err = d.SetDeadline(time.Now().Add(each))
+		}
+		var conn net.Conn
+		if err == nil {
+			conn, err = ln.Accept()
+		}
+		if err == nil {
+			// NewWorkerConn closes the conn itself on a failed handshake.
+			workers[i], err = local.NewWorkerConn(conn, each)
+		}
+		if err != nil {
+			for _, w := range workers[:i] {
+				w.Close()
+			}
+			return nil, fmt.Errorf("worker %d of %d: %w", i+1, n, err)
+		}
+	}
+	return workers, nil
+}
+
+// awaitWorkerFleet listens on addr for n externally started
+// `rlnc shard-worker -connect` registrations (the -control multi-host
+// path) and assembles their pool; stop closes the control connections,
+// which is the workers' shutdown signal.
+func awaitWorkerFleet(addr string, n int) (pool *local.WorkerPool, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ln.Close()
+	fmt.Fprintf(os.Stderr, "rlnc: control listening on %s, awaiting %d shard workers\n", ln.Addr(), n)
+	workers, err := acceptWorkers(ln, n, 2*time.Minute)
+	if err != nil {
+		return nil, nil, err
+	}
+	pool = local.NewWorkerPool(workers)
+	return pool, pool.Close, nil
 }
 
 // startWorkerProcesses spawns n `rlnc shard-worker` OS processes wired
 // back to this process's control listener and assembles their pool; stop
-// shuts the pool down and reaps the processes.
+// shuts the pool down and reaps the processes. Every error path kills
+// and reaps whatever was already spawned — a failed orchestrator start
+// must not leave orphan worker processes behind.
 func startWorkerProcesses(n int) (pool *local.WorkerPool, stop func(), err error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -270,42 +377,45 @@ func startWorkerProcesses(n int) (pool *local.WorkerPool, stop func(), err error
 		return nil, nil, err
 	}
 	var procs []*exec.Cmd
+	// reap waits for the spawned workers, escalating to kill if any is
+	// still alive after a grace period: a worker wedged in a syscall must
+	// not wedge the orchestrator's exit (or leak as a zombie) with it.
 	reap := func() {
-		for _, p := range procs {
-			p.Wait()
+		done := make(chan struct{})
+		go func() {
+			for _, p := range procs {
+				p.Wait()
+			}
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			for _, p := range procs {
+				p.Process.Kill()
+			}
+			<-done
 		}
+	}
+	kill := func() {
+		for _, p := range procs {
+			p.Process.Kill()
+		}
+		reap()
 	}
 	for i := 0; i < n; i++ {
 		cmd := exec.Command(exe, "shard-worker", "-connect", ln.Addr().String())
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
-			for _, p := range procs {
-				p.Process.Kill()
-			}
-			reap()
+			kill()
 			return nil, nil, err
 		}
 		procs = append(procs, cmd)
 	}
-	workers := make([]*local.WorkerConn, n)
-	for i := 0; i < n; i++ {
-		if d, ok := ln.(*net.TCPListener); ok {
-			d.SetDeadline(time.Now().Add(30 * time.Second))
-		}
-		conn, err := ln.Accept()
-		if err == nil {
-			workers[i], err = local.NewWorkerConn(conn, 30*time.Second)
-		}
-		if err != nil {
-			for _, w := range workers[:i] {
-				w.Close()
-			}
-			for _, p := range procs {
-				p.Process.Kill()
-			}
-			reap()
-			return nil, nil, err
-		}
+	workers, err := acceptWorkers(ln, n, 30*time.Second)
+	if err != nil {
+		kill()
+		return nil, nil, err
 	}
 	pool = local.NewWorkerPool(workers)
 	stop = func() {

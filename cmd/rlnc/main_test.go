@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -121,6 +124,124 @@ func TestRunExperimentGoldenTransports(t *testing.T) {
 			})
 			expectGolden(t, "run_E2_quick_seed7.golden", out)
 		})
+	}
+}
+
+// freePort reserves a loopback address for a control listener: bind an
+// ephemeral port, note it, release it. The tiny window before the
+// orchestrator rebinds is covered by the workers' control-dial retry.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startExternalWorker launches one `rlnc shard-worker` OS process (this
+// test binary, re-exec'd through the TestMain dispatch) dialing the
+// control address — the externally-started worker of a multi-host
+// deployment, only on loopback. Workers may start before the
+// orchestrator listens: the control dial retries.
+func startExternalWorker(t *testing.T, control string, extra ...string) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"shard-worker", "-connect", control, "-listen", "127.0.0.1:0", "-heartbeat", "100ms"}, extra...)
+	cmd := exec.Command(exe, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+}
+
+// TestRunMultiHostGolden drives the full multi-host path on loopback:
+// the workers are NOT spawned by cmdRun but register themselves against
+// `-control`, exactly as a fleet on separate hosts would — and the run's
+// output must still be the committed unsharded golden, byte for byte.
+func TestRunMultiHostGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment table in -short mode")
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	control := freePort(t)
+	startExternalWorker(t, control)
+	startExternalWorker(t, control)
+	out := captureStdout(t, func() error {
+		return cmdRun([]string{"E2", "-quick", "-seed", "7", "-shards", "2", "-transport", "tcp", "-control", control})
+	})
+	expectGolden(t, "run_E2_quick_seed7.golden", out)
+}
+
+// TestRunMultiHostWorkerDeathGolden is the acceptance test of the
+// requeue contract at the CLI: one of the two registered workers
+// abruptly dies mid-run (-die-after-rounds), the scheduler requeues its
+// in-flight trial chunk onto an executor built from the survivor, and
+// the completed output is STILL byte-identical to the committed golden.
+func TestRunMultiHostWorkerDeathGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment table in -short mode")
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	control := freePort(t)
+	startExternalWorker(t, control, "-die-after-rounds", "35")
+	startExternalWorker(t, control)
+	out := captureStdout(t, func() error {
+		return cmdRun([]string{"E2", "-quick", "-seed", "7", "-shards", "2", "-transport", "tcp", "-control", control})
+	})
+	expectGolden(t, "run_E2_quick_seed7.golden", out)
+}
+
+// childPIDs lists this process's live (and zombie) direct children via
+// /proc — the observable for the fleet-reap contract. Children are
+// attributed to the OS thread that forked them, so every task's list is
+// aggregated (the Go runtime execs from arbitrary threads).
+func childPIDs(t *testing.T) []string {
+	t.Helper()
+	tasks, err := os.ReadDir("/proc/self/task")
+	if err != nil {
+		t.Skipf("no /proc children visibility: %v", err)
+	}
+	var pids []string
+	for _, task := range tasks {
+		b, err := os.ReadFile(fmt.Sprintf("/proc/self/task/%s/children", task.Name()))
+		if err != nil {
+			continue // thread exited between the listing and the read
+		}
+		pids = append(pids, strings.Fields(string(b))...)
+	}
+	return pids
+}
+
+// TestWorkerFleetReaped pins the orchestrator cleanup contract: after
+// stop(), every spawned shard-worker process has been waited on — no
+// zombies, no orphans left behind a `rlnc run -shards N -transport tcp`.
+func TestWorkerFleetReaped(t *testing.T) {
+	before := len(childPIDs(t))
+	pool, stop, err := startWorkerProcesses(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Size() != 2 || pool.Live() != 2 {
+		t.Fatalf("fleet came up with size %d, live %d", pool.Size(), pool.Live())
+	}
+	if n := len(childPIDs(t)); n < before+2 {
+		t.Fatalf("%d children while fleet runs, want >= %d", n, before+2)
+	}
+	stop()
+	if n := len(childPIDs(t)); n > before {
+		t.Fatalf("%d children after stop, want <= %d (workers not reaped)", n, before)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"rlnc/internal/lang"
 	"rlnc/internal/local"
 	"rlnc/internal/localrand"
+	"rlnc/internal/mc"
 	"rlnc/internal/report"
 )
 
@@ -40,10 +41,11 @@ func meanBadFraction(n, T, nTrials int, seed uint64, cfg report.Config) (float64
 		draws := s.lanes(space, lo, hi, func(t int) uint64 { return uint64(t) })
 		ys, err := s.construct(construct.RetryColoring{Q: 3, T: T}, in, draws)
 		if err != nil {
-			for i := range out {
-				out[i] = 1
-			}
-			return
+			// A construct error here is substrate failure (a dead worker, a
+			// poisoned transport), not a measurement: fabricating "all bad"
+			// rows would silently skew the statistic. Fail the chunk so the
+			// scheduler retries it on a fresh executor.
+			mc.Fail(err)
 		}
 		for i, y := range ys {
 			bad := l.CountBadBalls(&lang.Config{G: in.G, X: in.X, Y: y})

@@ -7,6 +7,7 @@ import (
 	"rlnc/internal/lang"
 	"rlnc/internal/local"
 	"rlnc/internal/localrand"
+	"rlnc/internal/mc"
 	"rlnc/internal/relax"
 	"rlnc/internal/report"
 )
@@ -53,10 +54,9 @@ func (e e10) Run(cfg report.Config) (*report.Result, error) {
 				draws := s.lanes(space, lo, hi, func(t int) uint64 { return tag<<32 | uint64(t) })
 				ys, err := s.construct(runner, in, draws)
 				if err != nil {
-					for i := range out {
-						out[i] = float64(n)
-					}
-					return
+					// Substrate failure, not data: retry on a fresh executor
+					// instead of recording every node as violated.
+					mc.Fail(err)
 				}
 				for i, y := range ys {
 					out[i] = float64(l.CountBadBalls(&lang.Config{G: in.G, X: in.X, Y: y}))

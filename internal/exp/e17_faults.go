@@ -8,6 +8,7 @@ import (
 	"rlnc/internal/lang"
 	"rlnc/internal/local"
 	"rlnc/internal/localrand"
+	"rlnc/internal/mc"
 	"rlnc/internal/report"
 )
 
@@ -92,10 +93,9 @@ func (e e17) Run(cfg report.Config) (*report.Result, error) {
 			draws := s.lanes(spaceB, lo, hi, func(t int) uint64 { return uint64(t) })
 			ys, err := s.construct(construct.RetryColoring{Q: 3, T: 4}, inB, draws)
 			if err != nil {
-				for i := range out {
-					out[i] = float64(nB)
-				}
-				return
+				// Substrate failure, not data: retry on a fresh executor
+				// instead of recording every node as violated.
+				mc.Fail(err)
 			}
 			for i, y := range ys {
 				out[i] = float64(l.CountBadBalls(&lang.Config{G: inB.G, X: inB.X, Y: y}))
@@ -130,7 +130,9 @@ func (e e17) Run(cfg report.Config) (*report.Result, error) {
 			draws2 := s.lanes2(spaceC2, lo, hi, func(t int) uint64 { return uint64(t) })
 			ys, err := s.construct(construct.RetryColoring{Q: 3, T: 4}, inC, draws)
 			if err != nil {
-				return
+				// Same contract as above: an all-reject chunk from a broken
+				// substrate is not an acceptance measurement.
+				mc.Fail(err)
 			}
 			dis := s.decisions(inC, ys)
 			for i, acc := range (decide.Exec{Bt: s.bt}).Accepts(dis, d, draws2[:len(dis)]) {

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rlnc/internal/lang"
@@ -23,7 +25,11 @@ import (
 //
 // Protocol (one gob stream per direction per worker):
 //
-//	worker → orchestrator   helloMsg        once, after connecting
+//	worker → orchestrator   helloMsg        once, after connecting: protocol
+//	                                        version, data address, registered
+//	                                        algorithm keys, heartbeat period
+//	worker → orchestrator   workerMsg{Beat} periodic heartbeat, interleaved
+//	                                        with any reply below
 //	orchestrator → worker   ctrlMsg{Job}    per (graph, algorithm) job
 //	worker → orchestrator   workerMsg{Ready}  job built (or its error)
 //	orchestrator → worker   ctrlMsg{Run}    per execution vector
@@ -32,6 +38,17 @@ import (
 //	worker → orchestrator   workerMsg{Report} per Cmd: per-lane delivered
 //	                                        and finished counts, outputs
 //	                                        on collect, or an error
+//
+// Failure model: any control-stream error — a refused deadline, a decode
+// failure, a read deadline expiring with no heartbeat — marks the worker
+// dead on its WorkerConn and surfaces as an error from the running
+// Sharded. The Monte-Carlo scheduler (internal/mc) then closes that
+// trial state and retries the in-flight trial chunk on a fresh one;
+// NewShardedRemote builds the replacement from the pool's surviving
+// workers (or the provider falls back to a local batch when none are
+// left), so a worker dying mid-run requeues its chunk instead of
+// aborting the sweep — with byte-identical output, per the sharding
+// contract.
 //
 // Randomness, instances, and the graph all cross as plain data (draw
 // seeds, identity/input columns, CSR adjacency), so a worker process
@@ -72,12 +89,37 @@ func remoteAlgoFor(key string, params []int64) (MessageAlgorithm, error) {
 	return b.(func([]int64) (MessageAlgorithm, error))(params)
 }
 
+// RegisteredRemoteAlgorithms returns the sorted registry keys this
+// binary can reconstruct — the capability list a worker advertises in
+// its hello.
+func RegisteredRemoteAlgorithms() []string {
+	var keys []string
+	remoteAlgos.Range(func(k, _ any) bool {
+		keys = append(keys, k.(string))
+		return true
+	})
+	sort.Strings(keys)
+	return keys
+}
+
 // --- Wire messages of the control stream ------------------------------------
 
-// helloMsg is the worker's first message: where peers dial its data
-// listener.
+// ctrlProtoVersion is the control-stream protocol version. Version 2
+// added the versioned hello (capabilities + heartbeat period) and the
+// heartbeat message; the orchestrator refuses workers speaking any other
+// version — a silent field mismatch between fleet binaries must fail the
+// handshake, not corrupt a run.
+const ctrlProtoVersion = 2
+
+// helloMsg is the worker's first message: the protocol version it
+// speaks, where peers dial its data listener, which remote-algorithm
+// registry keys its binary can reconstruct, and how often it will
+// heartbeat (0: never).
 type helloMsg struct {
+	Version  int32
 	DataAddr string
+	Algos    []string
+	BeatMS   int64
 }
 
 // jobSpec ships everything a worker needs to stand up one (graph,
@@ -159,8 +201,12 @@ type reportMsg struct {
 	Panicked string
 }
 
-// workerMsg is the worker→orchestrator union.
+// workerMsg is the worker→orchestrator union. Beat marks a heartbeat:
+// contentless, sent by the worker's beat goroutine between (and during)
+// commands; the orchestrator's recv skips beats, using their arrival to
+// refresh its read deadline.
 type workerMsg struct {
+	Beat   bool
 	Ready  *reportMsg // job ack: Err set on failure
 	Report *reportMsg
 }
@@ -168,34 +214,135 @@ type workerMsg struct {
 // --- Worker pool ------------------------------------------------------------
 
 // WorkerConn is the orchestrator's handle on one shard-worker process:
-// the control connection with its gob codecs and the worker's data
-// address.
+// the control connection with its gob codecs, the worker's data address,
+// and the capabilities and heartbeat period it announced. A control
+// failure of any kind marks the conn dead; dead workers are excluded
+// from the live set NewShardedRemote builds its shards from.
 type WorkerConn struct {
 	ctrl     net.Conn
 	enc      *gob.Encoder
 	dec      *gob.Decoder
 	dataAddr string
+	algos    map[string]bool
+	beat     time.Duration
+	dead     atomic.Bool
 }
 
-// NewWorkerConn wraps a freshly accepted control connection, reading the
-// worker's hello (bounded by timeout).
+// ctrlWriteTimeout bounds one control-stream encode: a worker that
+// cannot absorb a small command within it is as good as gone.
+const ctrlWriteTimeout = time.Minute
+
+// NewWorkerConn wraps a freshly accepted control connection, reading and
+// validating the worker's versioned hello (bounded by timeout). On error
+// the connection is closed — the caller holds no other handle to it once
+// it is wrapped, so a failed handshake must not leak the socket.
 func NewWorkerConn(ctrl net.Conn, timeout time.Duration) (*WorkerConn, error) {
 	w := &WorkerConn{ctrl: ctrl, enc: gob.NewEncoder(ctrl), dec: gob.NewDecoder(ctrl)}
+	fail := func(err error) (*WorkerConn, error) {
+		ctrl.Close()
+		return nil, err
+	}
 	if timeout > 0 {
-		ctrl.SetReadDeadline(time.Now().Add(timeout))
-		defer ctrl.SetReadDeadline(time.Time{})
+		if err := ctrl.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return fail(fmt.Errorf("local: worker hello read deadline: %w", err))
+		}
 	}
 	var hello helloMsg
 	if err := w.dec.Decode(&hello); err != nil {
-		return nil, fmt.Errorf("local: worker hello: %w", err)
+		return fail(fmt.Errorf("local: worker hello: %w", err))
+	}
+	if timeout > 0 {
+		if err := ctrl.SetReadDeadline(time.Time{}); err != nil {
+			return fail(fmt.Errorf("local: worker hello clear deadline: %w", err))
+		}
+	}
+	if hello.Version != ctrlProtoVersion {
+		return fail(fmt.Errorf("local: worker speaks control protocol v%d, orchestrator wants v%d (mismatched binaries?)", hello.Version, ctrlProtoVersion))
 	}
 	w.dataAddr = hello.DataAddr
+	w.beat = time.Duration(hello.BeatMS) * time.Millisecond
+	w.algos = make(map[string]bool, len(hello.Algos))
+	for _, k := range hello.Algos {
+		w.algos[k] = true
+	}
 	return w, nil
 }
 
 // DataAddr returns the address peers dial to reach this worker's data
 // listener.
 func (w *WorkerConn) DataAddr() string { return w.dataAddr }
+
+// Supports reports whether the worker's binary advertised the
+// remote-algorithm registry key in its hello.
+func (w *WorkerConn) Supports(key string) bool { return w.algos[key] }
+
+// Dead reports whether the control stream has failed; a dead worker is
+// excluded from subsequent NewShardedRemote live sets.
+func (w *WorkerConn) Dead() bool { return w.dead.Load() }
+
+func (w *WorkerConn) markDead() { w.dead.Store(true) }
+
+// readTimeout is the decode deadline the orchestrator arms while waiting
+// on this worker: four missed heartbeats means dead. Workers that
+// announced no heartbeat get no deadline (legacy behavior — death then
+// surfaces only through TCP resets or link timeouts).
+func (w *WorkerConn) readTimeout() time.Duration {
+	if w.beat <= 0 {
+		return 0
+	}
+	return 4 * w.beat
+}
+
+// send encodes one control message under the write deadline, marking the
+// worker dead on any failure.
+func (w *WorkerConn) send(m *ctrlMsg) error {
+	if err := w.ctrl.SetWriteDeadline(time.Now().Add(ctrlWriteTimeout)); err != nil {
+		w.markDead()
+		return fmt.Errorf("local: worker control write deadline: %w", err)
+	}
+	if err := w.enc.Encode(m); err != nil {
+		w.markDead()
+		return err
+	}
+	if err := w.ctrl.SetWriteDeadline(time.Time{}); err != nil {
+		w.markDead()
+		return fmt.Errorf("local: worker control clear write deadline: %w", err)
+	}
+	return nil
+}
+
+// recv decodes the next non-heartbeat worker message. timeout bounds the
+// silence the orchestrator tolerates: the deadline is re-armed before
+// every decode, so each arriving heartbeat refreshes it and a long
+// computation stays alive as long as the worker's beat goroutine does —
+// while a frozen or vanished worker surfaces as an error after one
+// timeout instead of hanging the driver forever. Any failure marks the
+// worker dead.
+func (w *WorkerConn) recv(timeout time.Duration) (*workerMsg, error) {
+	for {
+		if timeout > 0 {
+			if err := w.ctrl.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+				w.markDead()
+				return nil, fmt.Errorf("local: worker control read deadline: %w", err)
+			}
+		}
+		var msg workerMsg
+		if err := w.dec.Decode(&msg); err != nil {
+			w.markDead()
+			return nil, err
+		}
+		if msg.Beat {
+			continue
+		}
+		if timeout > 0 {
+			if err := w.ctrl.SetReadDeadline(time.Time{}); err != nil {
+				w.markDead()
+				return nil, fmt.Errorf("local: worker control clear read deadline: %w", err)
+			}
+		}
+		return &msg, nil
+	}
+}
 
 // Close closes the control connection, which a serving worker treats as
 // shutdown.
@@ -219,9 +366,23 @@ func NewWorkerPool(workers []*WorkerConn) *WorkerPool {
 	return &WorkerPool{workers: workers}
 }
 
-// Size returns the worker count — the shard count of every Sharded the
-// pool backs.
+// Size returns the total worker count, dead workers included.
 func (p *WorkerPool) Size() int { return len(p.workers) }
+
+// Live returns how many workers still hold a healthy control stream —
+// the shard count of the next Sharded the pool backs.
+func (p *WorkerPool) Live() int { return len(p.liveWorkers()) }
+
+// liveWorkers selects the workers whose control streams have not failed.
+func (p *WorkerPool) liveWorkers() []*WorkerConn {
+	live := make([]*WorkerConn, 0, len(p.workers))
+	for _, w := range p.workers {
+		if !w.Dead() {
+			live = append(live, w)
+		}
+	}
+	return live
+}
 
 // acquire reserves the pool for one Sharded; a pool serves one at a
 // time (Monte-Carlo harnesses with more worker groups fall back to
@@ -254,23 +415,38 @@ func (p *WorkerPool) Close() {
 // --- Remote Sharded ---------------------------------------------------------
 
 // NewShardedRemote is NewSharded with the shards hosted by the pool's
-// worker processes: one shard per worker, balanced cuts, cut blocks on
-// direct worker-to-worker TCP links, rounds and consensus driven over
-// the control streams. Results are byte-identical to NewSharded — and to
-// the unsharded Batch — at equal seeds. The pool is reserved until
-// Close.
+// worker processes: one shard per live worker (capped at the graph's
+// node count), balanced cuts, cut blocks on direct worker-to-worker TCP
+// links, rounds and consensus driven over the control streams. Results
+// are byte-identical to NewSharded — and to the unsharded Batch — at
+// equal seeds and any worker count. The pool is reserved until Close.
+//
+// Dead workers are skipped, so a pool that lost members mid-sweep keeps
+// serving with the survivors; only a pool with no live worker errors,
+// which is the signal for callers (exp's trial-state provider) to fall
+// back to a local batch.
 func (p *Plan) NewShardedRemote(width int, pool *WorkerPool) (*Sharded, error) {
 	if err := pool.acquire(); err != nil {
 		return nil, err
 	}
-	s, err := p.NewSharded(width, pool.Size())
+	live := pool.liveWorkers()
+	if n := p.g.N(); len(live) > n {
+		live = live[:n]
+	}
+	if len(live) == 0 {
+		pool.release()
+		return nil, errors.New("local: worker pool has no live workers")
+	}
+	s, err := p.NewSharded(width, len(live))
 	if err != nil {
 		pool.release()
 		return nil, err
 	}
 	s.remote = pool
+	s.remoteWorkers = live
 	s.closeLinks = func() {
 		s.remote = nil
+		s.remoteWorkers = nil
 		pool.release()
 	}
 	return s, nil
@@ -298,11 +474,12 @@ func (s *Sharded) ensureRemoteJob(algo RemoteAlgorithm) error {
 		return nil
 	}
 	topo := s.plan.topo
-	peers := make([]string, len(pool.workers))
-	for i, w := range pool.workers {
+	workers := s.remoteWorkers
+	peers := make([]string, len(workers))
+	for i, w := range workers {
 		peers[i] = w.dataAddr
 	}
-	for i, w := range pool.workers {
+	for i, w := range workers {
 		spec := &jobSpec{
 			Job:        s.remoteJob,
 			Offsets:    topo.Offsets,
@@ -315,16 +492,19 @@ func (s *Sharded) ensureRemoteJob(algo RemoteAlgorithm) error {
 			Peers:      peers,
 			TimeoutMS:  s.linkTimeout.Milliseconds(),
 		}
-		if err := w.enc.Encode(&ctrlMsg{Job: spec}); err != nil {
+		if err := w.send(&ctrlMsg{Job: spec}); err != nil {
 			return fmt.Errorf("local: send job to worker %d: %w", i, err)
 		}
 	}
-	for i, w := range pool.workers {
-		var msg workerMsg
-		if err := w.dec.Decode(&msg); err != nil {
+	for i, w := range workers {
+		// Link setup dials peers with retry, so an ack may take a while;
+		// the worker's heartbeats keep refreshing the deadline throughout.
+		msg, err := w.recv(w.readTimeout())
+		if err != nil {
 			return fmt.Errorf("local: worker %d job ack: %w", i, err)
 		}
 		if msg.Ready == nil {
+			w.markDead() // protocol violation: the stream is desynced
 			return fmt.Errorf("local: worker %d answered a job with no ready ack", i)
 		}
 		if msg.Ready.Err != "" {
@@ -383,8 +563,8 @@ func (s *Sharded) beginRemoteRun(src laneSrc, k int, draws []localrand.Draw, fau
 			rs.FaultCuts = append(rs.FaultCuts, int64(c.Round), int64(c.U), int64(c.Z))
 		}
 	}
-	for i, w := range s.remote.workers {
-		if err := w.enc.Encode(&ctrlMsg{Run: rs}); err != nil {
+	for i, w := range s.remoteWorkers {
+		if err := w.send(&ctrlMsg{Run: rs}); err != nil {
 			return fmt.Errorf("local: send run to worker %d: %w", i, err)
 		}
 	}
@@ -397,9 +577,16 @@ func (s *Sharded) beginRemoteRun(src laneSrc, k int, draws []localrand.Draw, fau
 // error reports so the consensus loop unwinds exactly like an exchange
 // failure.
 func (s *Sharded) remoteDrive(idx, k, n int, ys [][]byte) {
-	w := s.remote.workers[idx]
+	w := s.remoteWorkers[idx]
 	sh := s.shards[idx]
 	lo, hi := sh.lo, sh.hi
+	// Round replies are small and heartbeat-covered; a collect reply can
+	// be a large gob message whose decode outlasts the heartbeat window
+	// on a slow link, so it gets the more generous of the two bounds.
+	collectTimeout := w.readTimeout()
+	if lt := 2 * s.linkTimeout; lt > collectTimeout {
+		collectTimeout = lt
+	}
 	var broken error
 	for {
 		cmd := <-sh.ctrl
@@ -411,13 +598,18 @@ func (s *Sharded) remoteDrive(idx, k, n int, ys [][]byte) {
 				Collect: cmd.collect,
 				Alive:   s.alive[:k],
 			}}
-			if err := w.enc.Encode(&msg); err != nil {
+			timeout := w.readTimeout()
+			if cmd.collect {
+				timeout = collectTimeout
+			}
+			if err := w.send(&msg); err != nil {
 				broken = fmt.Errorf("local: worker %d command: %w", idx, err)
 			} else {
-				var wm workerMsg
-				if err := w.dec.Decode(&wm); err != nil {
+				wm, err := w.recv(timeout)
+				if err != nil {
 					broken = fmt.Errorf("local: worker %d report: %w", idx, err)
 				} else if wm.Report == nil {
+					w.markDead() // protocol violation: the stream is desynced
 					broken = fmt.Errorf("local: worker %d answered a command with no report", idx)
 				} else {
 					rep = wm.Report

@@ -183,12 +183,17 @@ type Sharded struct {
 	defFault *FaultPlan
 
 	// Remote mode (remote.go): the shards run as worker processes from
-	// this pool; remoteJob/remoteKey/remoteParams identify the job the
-	// workers currently hold for this executor.
-	remote       *WorkerPool
-	remoteJob    int64
-	remoteKey    string
-	remoteParams []int64
+	// this pool. remoteWorkers is the live subset selected at
+	// construction — one worker per shard, in shard order; workers that
+	// die later fail their shard's driver, which the Monte-Carlo layer
+	// answers by retrying the trial chunk on a fresh Sharded built from
+	// the survivors. remoteJob/remoteKey/remoteParams identify the job
+	// the workers currently hold for this executor.
+	remote        *WorkerPool
+	remoteWorkers []*WorkerConn
+	remoteJob     int64
+	remoteKey     string
+	remoteParams  []int64
 
 	// Orchestrator-owned per-run state: the shared tape slab (one row per
 	// lane, read by each node's owning shard), the lane bookkeeping
@@ -396,17 +401,27 @@ func (s *Sharded) Run(in *lang.Instance, algo MessageAlgorithm, draws []localran
 	return s.runBlocks(in, nil, len(draws), algo, draws, opts)
 }
 
-// remotable reports whether algo can cross to the worker processes; an
-// algorithm that cannot runs on the local companion batch instead
-// (byte-identical by the sharding contract).
+// remotable reports whether algo can cross to the worker processes: it
+// must be reconstructible from this binary's registry AND advertised by
+// every live worker's handshake — a fleet of mixed binaries must not
+// ship a job half its workers cannot build. An algorithm that cannot
+// cross runs on the local companion batch instead (byte-identical by
+// the sharding contract).
 func (s *Sharded) remotable(algo MessageAlgorithm) bool {
 	ra, ok := algo.(RemoteAlgorithm)
 	if !ok {
 		return false
 	}
 	key, params := ra.RemoteSpec()
-	_, err := remoteAlgoFor(key, params)
-	return err == nil
+	if _, err := remoteAlgoFor(key, params); err != nil {
+		return false
+	}
+	for _, w := range s.remoteWorkers {
+		if !w.Supports(key) {
+			return false
+		}
+	}
+	return true
 }
 
 // RunInstances is Run with per-lane instances (all over the plan's

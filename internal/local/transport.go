@@ -16,6 +16,40 @@ import (
 // link in sharded.go remains the zero-copy fast path; this is the seam's
 // real implementation.
 
+// DialRetry dials addr, retrying with bounded exponential backoff until
+// total has elapsed. Multi-host deployments constrain no start order —
+// a worker may dial the orchestrator before its control listener is up,
+// and a peer's data listener may not exist yet when the first link dial
+// fires — so connection refusals inside the window are a race, not a
+// failure. The last dial error is returned when the window closes.
+func DialRetry(network, addr string, total time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(total)
+	delay := 50 * time.Millisecond
+	var lastErr error
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("local: dial %s: gave up after %v: %w", addr, total, lastErr)
+		}
+		attempt := remain
+		if attempt > 3*time.Second {
+			attempt = 3 * time.Second
+		}
+		conn, err := net.DialTimeout(network, addr, attempt)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if time.Until(deadline) <= delay {
+			return nil, fmt.Errorf("local: dial %s: gave up after %v: %w", addr, total, lastErr)
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
+	}
+}
+
 // StreamLink wraps byte-stream connections as a ShardLink: Send frames
 // the block onto send, Recv reads one frame from recv. Either conn may
 // be nil for a unidirectional endpoint (a worker process holds the send

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"rlnc/internal/graph"
@@ -56,15 +57,43 @@ func readDataPreamble(conn net.Conn) (job int64, from, to int32, err error) {
 	return job, from, to, nil
 }
 
-// shardWorker is one serving worker's state: the control codecs, the
-// data listener peers dial, and the current job and run.
+// shardWorker is one serving worker's state: the control connection and
+// codecs, the data listener peers dial, and the current job and run.
+// sendMu serializes control-stream writes between the serve loop and the
+// heartbeat goroutine — a gob encoder is not safe for concurrent use.
 type shardWorker struct {
-	enc *gob.Encoder
-	dec *gob.Decoder
-	ln  net.Listener
+	ctrl   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	sendMu sync.Mutex
+	ln     net.Listener
+
+	// dieAfter counts down on each round command when positive; at zero
+	// the worker abruptly closes every connection and exits — the
+	// deterministic stand-in for a worker process dying mid-run
+	// (ServeOptions.DieAfterRounds, `rlnc shard-worker -die-after-rounds`).
+	dieAfter int
 
 	job *workerJob
 	run *workerRun
+}
+
+// sendMsg encodes one worker message under the write deadline. Deadline
+// errors are real failures (a closed or deadline-refusing conn), not
+// noise to discard: they surface so the serve loop can exit descriptively.
+func (w *shardWorker) sendMsg(m *workerMsg) error {
+	w.sendMu.Lock()
+	defer w.sendMu.Unlock()
+	if err := w.ctrl.SetWriteDeadline(time.Now().Add(ctrlWriteTimeout)); err != nil {
+		return fmt.Errorf("local: shard worker write deadline: %w", err)
+	}
+	if err := w.enc.Encode(m); err != nil {
+		return err
+	}
+	if err := w.ctrl.SetWriteDeadline(time.Time{}); err != nil {
+		return fmt.Errorf("local: shard worker clear write deadline: %w", err)
+	}
+	return nil
 }
 
 // workerJob is one (graph, partition, algorithm) job: the rebuilt plan,
@@ -92,12 +121,53 @@ type workerRun struct {
 	panicked string
 }
 
+// DefaultWorkerBeat is the heartbeat period a serving worker announces
+// and keeps when ServeOptions.Beat is zero. The orchestrator declares a
+// worker dead after four silent periods, so with the default a frozen
+// worker is detected in ~8s; deployments with very large collect
+// payloads on slow links can raise it (`rlnc shard-worker -heartbeat`).
+const DefaultWorkerBeat = 2 * time.Second
+
+// ServeOptions configures one serving shard worker.
+type ServeOptions struct {
+	// Listen is the address the worker's data listener binds. Empty
+	// selects a loopback ephemeral port — single-host default. Multi-host
+	// workers bind a reachable interface (or ":0" for all interfaces).
+	Listen string
+	// Advertise is the data address reported to the orchestrator and
+	// dialed by peer workers. Empty derives it from the listener: a
+	// wildcard host (":0", "0.0.0.0") is replaced by the local address of
+	// the control connection — the interface that reaches the
+	// orchestrator is the best default guess for what peers can reach.
+	Advertise string
+	// Beat is the heartbeat period on the control stream; 0 selects
+	// DefaultWorkerBeat, negative disables heartbeats entirely.
+	Beat time.Duration
+	// DieAfterRounds, when positive, abruptly closes every connection and
+	// exits with an error after that many round commands — fault
+	// injection at the process level, used by CI to prove a mid-run
+	// worker death requeues cleanly. Zero never dies.
+	DieAfterRounds int
+}
+
 // ServeShard serves shard jobs on the control connection until the
 // orchestrator closes it, hosting one shard of a remote Sharded per job.
-// listenAddr is the address the data listener binds ("" selects a
-// loopback ephemeral port); its resolved address is reported to the
-// orchestrator in the hello and relayed to peer workers.
+// listenAddr is the data listener's bind address ("" selects a loopback
+// ephemeral port). ServeShardOpts is the full-option form.
 func ServeShard(ctrl net.Conn, listenAddr string) error {
+	return ServeShardOpts(ctrl, ServeOptions{Listen: listenAddr})
+}
+
+// errWorkerChaosExit marks a deliberate DieAfterRounds death.
+var errWorkerChaosExit = errors.New("local: shard worker chaos exit (die-after-rounds reached)")
+
+// ServeShardOpts serves shard jobs on the control connection until the
+// orchestrator closes it. It announces itself with a versioned hello
+// (protocol version, data address, registered-algorithm capabilities,
+// heartbeat period) and then heartbeats from a dedicated goroutine so
+// the orchestrator can tell a long computation from a dead worker.
+func ServeShardOpts(ctrl net.Conn, o ServeOptions) error {
+	listenAddr := o.Listen
 	if listenAddr == "" {
 		listenAddr = "127.0.0.1:0"
 	}
@@ -105,15 +175,34 @@ func ServeShard(ctrl net.Conn, listenAddr string) error {
 	if err != nil {
 		return fmt.Errorf("local: shard worker listen: %w", err)
 	}
+	beat := o.Beat
+	if beat == 0 {
+		beat = DefaultWorkerBeat
+	}
 	w := &shardWorker{
-		enc: gob.NewEncoder(ctrl),
-		dec: gob.NewDecoder(ctrl),
-		ln:  ln,
+		ctrl:     ctrl,
+		enc:      gob.NewEncoder(ctrl),
+		dec:      gob.NewDecoder(ctrl),
+		ln:       ln,
+		dieAfter: o.DieAfterRounds,
 	}
 	defer w.teardownJob()
 	defer ln.Close()
-	if err := w.enc.Encode(&helloMsg{DataAddr: ln.Addr().String()}); err != nil {
+	hello := &helloMsg{
+		Version:  ctrlProtoVersion,
+		DataAddr: advertiseAddr(o.Advertise, ctrl, ln),
+		Algos:    RegisteredRemoteAlgorithms(),
+	}
+	if beat > 0 {
+		hello.BeatMS = beat.Milliseconds()
+	}
+	if err := w.sendHello(hello); err != nil {
 		return fmt.Errorf("local: shard worker hello: %w", err)
+	}
+	if beat > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go w.heartbeat(beat, stop)
 	}
 	for {
 		var msg ctrlMsg
@@ -129,17 +218,99 @@ func ServeShard(ctrl net.Conn, listenAddr string) error {
 			if err := w.setupJob(msg.Job); err != nil {
 				ready.Err = err.Error()
 			}
-			if err := w.enc.Encode(&workerMsg{Ready: ready}); err != nil {
+			if err := w.sendMsg(&workerMsg{Ready: ready}); err != nil {
 				return err
 			}
 		case msg.Run != nil:
 			w.beginRun(msg.Run)
 		case msg.Cmd != nil:
-			if err := w.enc.Encode(&workerMsg{Report: w.execCmd(msg.Cmd)}); err != nil {
+			if msg.Cmd.Run && w.dieAfter > 0 {
+				if w.dieAfter--; w.dieAfter == 0 {
+					// Simulated process death: no farewell on any stream —
+					// peers and orchestrator see exactly what a kill -9
+					// produces (reset data links, dead control stream).
+					w.abruptClose()
+					return errWorkerChaosExit
+				}
+			}
+			if err := w.sendMsg(&workerMsg{Report: w.execCmd(msg.Cmd)}); err != nil {
 				return err
 			}
 		}
 	}
+}
+
+// sendHello encodes the hello under the write deadline (the hello
+// predates workerMsg framing, so it cannot ride sendMsg).
+func (w *shardWorker) sendHello(h *helloMsg) error {
+	w.sendMu.Lock()
+	defer w.sendMu.Unlock()
+	if err := w.ctrl.SetWriteDeadline(time.Now().Add(ctrlWriteTimeout)); err != nil {
+		return fmt.Errorf("local: shard worker write deadline: %w", err)
+	}
+	if err := w.enc.Encode(h); err != nil {
+		return err
+	}
+	if err := w.ctrl.SetWriteDeadline(time.Time{}); err != nil {
+		return fmt.Errorf("local: shard worker clear write deadline: %w", err)
+	}
+	return nil
+}
+
+// heartbeat sends one Beat per period until stop closes or a send fails.
+// A failed beat is not itself fatal to the worker: either the control
+// stream is dead (the serve loop is about to find out) or nothing has
+// read the stream for a full write deadline — both end the goroutine.
+func (w *shardWorker) heartbeat(period time.Duration, stop chan struct{}) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := w.sendMsg(&workerMsg{Beat: true}); err != nil {
+				return
+			}
+		case <-stop:
+			return
+		}
+	}
+}
+
+// abruptClose severs every connection the worker holds — control, data
+// listener, and the current job's data links — with no protocol
+// farewell, emulating sudden process death.
+func (w *shardWorker) abruptClose() {
+	w.ctrl.Close()
+	w.ln.Close()
+	if w.job != nil {
+		for _, c := range w.job.conns {
+			c.Close()
+		}
+	}
+}
+
+// advertiseAddr resolves the data address peers will dial: the explicit
+// override when set, otherwise the listener's address with a wildcard
+// host substituted by the control connection's local IP (a peer cannot
+// dial "0.0.0.0"; the interface facing the orchestrator is the sanest
+// guess for one peers reach too).
+func advertiseAddr(advertise string, ctrl net.Conn, ln net.Listener) string {
+	if advertise != "" {
+		return advertise
+	}
+	lnAddr := ln.Addr().String()
+	host, port, err := net.SplitHostPort(lnAddr)
+	if err != nil {
+		return lnAddr
+	}
+	ip := net.ParseIP(host)
+	if host != "" && (ip == nil || !ip.IsUnspecified()) {
+		return lnAddr
+	}
+	if la, ok := ctrl.LocalAddr().(*net.TCPAddr); ok && la.IP != nil && !la.IP.IsUnspecified() {
+		return net.JoinHostPort(la.IP.String(), port)
+	}
+	return lnAddr
 }
 
 // teardownJob closes the current job's data connections.
@@ -219,13 +390,19 @@ func (w *shardWorker) setupJob(spec *jobSpec) error {
 // connectLinks establishes the job's data connections: one dialed TCP
 // connection per out-cut (identified by a fixed preamble) and one
 // accepted connection per in-cut, matched to its port by the preamble's
-// sender shard. Dials never wait on accepts (the listener backlog holds
-// them), so the symmetric setup cannot deadlock.
+// sender shard. Dials retry with backoff — on separate hosts a peer's
+// listener may not be up yet when this worker's job arrives — and never
+// wait on accepts (the listener backlog holds them), so the symmetric
+// setup cannot deadlock. Deadline errors are checked everywhere: a conn
+// that refuses deadlines would otherwise turn a vanished peer into an
+// unbounded hang, and the listener deadline is cleared afterwards so a
+// stale deadline cannot poison the next job's accepts.
 func (j *workerJob) connectLinks(ln net.Listener, peers []string) error {
-	deadline := time.Now().Add(j.timeout + 5*time.Second)
+	window := j.timeout + 5*time.Second
+	deadline := time.Now().Add(window)
 	for oi := range j.sh.out {
 		port := &j.sh.out[oi]
-		conn, err := net.DialTimeout("tcp", peers[port.peer], j.timeout+5*time.Second)
+		conn, err := DialRetry("tcp", peers[port.peer], window)
 		if err != nil {
 			return fmt.Errorf("local: dial peer shard %d: %w", port.peer, err)
 		}
@@ -233,24 +410,33 @@ func (j *workerJob) connectLinks(ln net.Listener, peers []string) error {
 		if tc, ok := conn.(*net.TCPConn); ok {
 			tc.SetNoDelay(true)
 		}
-		conn.SetWriteDeadline(deadline)
+		if err := conn.SetWriteDeadline(deadline); err != nil {
+			return fmt.Errorf("local: peer shard %d write deadline: %w", port.peer, err)
+		}
 		if err := writeDataPreamble(conn, j.id, int32(j.sh.idx), int32(port.peer)); err != nil {
 			return fmt.Errorf("local: preamble to peer shard %d: %w", port.peer, err)
 		}
-		conn.SetWriteDeadline(time.Time{})
+		if err := conn.SetWriteDeadline(time.Time{}); err != nil {
+			return fmt.Errorf("local: peer shard %d clear write deadline: %w", port.peer, err)
+		}
 		port.link = StreamLink(conn, nil, j.timeout)
 	}
+	type deadliner interface{ SetDeadline(time.Time) error }
 	pending := len(j.sh.in)
 	for pending > 0 {
-		type deadliner interface{ SetDeadline(time.Time) error }
 		if d, ok := ln.(deadliner); ok {
-			d.SetDeadline(deadline)
+			if err := d.SetDeadline(deadline); err != nil {
+				return fmt.Errorf("local: data listener deadline: %w", err)
+			}
 		}
 		conn, err := ln.Accept()
 		if err != nil {
 			return fmt.Errorf("local: accept peer data link: %w", err)
 		}
-		conn.SetReadDeadline(deadline)
+		if err := conn.SetReadDeadline(deadline); err != nil {
+			conn.Close()
+			return fmt.Errorf("local: peer data-link read deadline: %w", err)
+		}
 		job, from, to, err := readDataPreamble(conn)
 		if err != nil {
 			conn.Close()
@@ -266,7 +452,10 @@ func (j *workerJob) connectLinks(ln net.Listener, peers []string) error {
 		for ii := range j.sh.in {
 			port := &j.sh.in[ii]
 			if port.peer == int(from) && port.link == nil {
-				conn.SetReadDeadline(time.Time{})
+				if err := conn.SetReadDeadline(time.Time{}); err != nil {
+					conn.Close()
+					return fmt.Errorf("local: peer data-link clear read deadline: %w", err)
+				}
 				if tc, ok := conn.(*net.TCPConn); ok {
 					tc.SetNoDelay(true)
 				}
@@ -280,6 +469,13 @@ func (j *workerJob) connectLinks(ln net.Listener, peers []string) error {
 		if !matched {
 			conn.Close()
 			return fmt.Errorf("local: unexpected data link from shard %d", from)
+		}
+	}
+	// The accept loop is done: clear the listener deadline so the next
+	// job's accepts (or a long idle period) don't inherit a stale one.
+	if d, ok := ln.(deadliner); ok {
+		if err := d.SetDeadline(time.Time{}); err != nil {
+			return fmt.Errorf("local: clear data listener deadline: %w", err)
 		}
 	}
 	return nil

@@ -96,15 +96,25 @@ func (e Executor[S]) stateFn() func() S {
 // estimate. The body receives a contiguous trial chunk [lo, hi) of at
 // most Batch indices and fills out (out[i] reports trial lo+i); wrap a
 // per-trial predicate with Scalar when no vectorization is wanted.
+//
+// Chunks are scheduled by the work-stealing queue (steal.go): workers
+// pull chunks off a shared dequeue, so a slow worker just processes
+// fewer of them, and a chunk whose body fails (Fail, or any panic) is
+// retried on a freshly built state before the failure is considered
+// permanent. Estimates stay bit-identical to the legacy static split.
 func (e Executor[S]) Run(f func(s S, lo, hi int, out []bool)) Estimate {
-	return runBatchedWorkers(e.Trials, e.batch(), e.pool(), e.stateFn(), f)
+	return runSteal(e.Trials, e.batch(), e.pool(), e.stateFn(), f)
 }
 
 // Mean executes the executor's trials of a real-valued body and returns
-// the sample mean and standard error. Chunking follows Run's; wrap a
-// per-trial observable with ScalarMean when no vectorization is wanted.
+// the sample mean and standard error. Chunking and failure handling
+// follow Run's work-stealing schedule; per-trial values are merged in
+// trial order, so the float accumulation order — hence every rendered
+// digit — is a fixed function of the trial count, independent of pool
+// size and scheduling. Wrap a per-trial observable with ScalarMean when
+// no vectorization is wanted.
 func (e Executor[S]) Mean(f func(s S, lo, hi int, out []float64)) (mean, stderr float64) {
-	return meanBatchedWorkers(e.Trials, e.batch(), e.pool(), e.stateFn(), f)
+	return meanSteal(e.Trials, e.batch(), e.pool(), e.stateFn(), f)
 }
 
 // Scalar adapts a per-trial predicate to Run's vector body.

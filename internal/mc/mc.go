@@ -154,8 +154,10 @@ func shardGroups(shards int) int {
 	return groups
 }
 
-// runBatchedWorkers is the shared chunk-distribution core of RunBatched
-// and RunSharded.
+// runBatchedWorkers is the legacy static-split core: every worker gets
+// one contiguous trial range up front. Retained as the differential
+// reference for the work-stealing scheduler (steal.go), whose Estimate
+// must stay bit-identical to this split.
 func runBatchedWorkers[S any](trials, batch, workers int, newState func() S, f func(s S, lo, hi int, out []bool)) Estimate {
 	if batch < 1 {
 		batch = 1
@@ -222,7 +224,11 @@ func MeanSharded[S any](trials, batch, shards int, newState func() S, f func(s S
 	return Executor[S]{Trials: trials, Batch: batch, Shards: shards, NewState: newState}.Mean(f)
 }
 
-// meanBatchedWorkers is the shared core of MeanBatched and MeanSharded.
+// meanBatchedWorkers is the legacy static-split Mean core; like
+// runBatchedWorkers it survives as the reference the work-stealing
+// scheduler is differentially tested against. Its per-worker float
+// accumulation makes the low digits depend on the worker count — the
+// trial-order merge in meanSteal is what replaced it.
 func meanBatchedWorkers[S any](trials, batch, workers int, newState func() S, f func(s S, lo, hi int, out []float64)) (mean, stderr float64) {
 	if batch < 1 {
 		batch = 1
@@ -252,6 +258,12 @@ func meanBatchedWorkers[S any](trials, batch, workers int, newState func() S, f 
 		sum += sums[w]
 		sq += sqs[w]
 	}
+	return meanStats(trials, sum, sq)
+}
+
+// meanStats turns accumulated value and square sums into the sample mean
+// and standard error.
+func meanStats(trials int, sum, sq float64) (mean, stderr float64) {
 	n := float64(trials)
 	mean = sum / n
 	variance := sq/n - mean*mean

@@ -1,0 +1,226 @@
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// trialOutcome is the deterministic per-trial Bernoulli body every
+// scheduler test shares: outcome is a pure function of the trial index,
+// exactly the contract real trial bodies honor (all randomness derived
+// from the index), so any two schedulers must agree bit for bit.
+func trialOutcome(trial int) bool {
+	x := uint64(trial)*0x9e3779b97f4a7c15 + 0x1234
+	x ^= x >> 29
+	return x%3 == 0
+}
+
+func trialValue(trial int) float64 {
+	x := uint64(trial)*0x9e3779b97f4a7c15 + 0x77
+	x ^= x >> 31
+	return float64(x%1000) / 997.0
+}
+
+// schedulerShapes is the trials/batch/workers sweep of the differential
+// tests: zero trials, trials < workers, trials < batch, ragged tails,
+// single-chunk, and bulk shapes.
+var schedulerShapes = []struct{ trials, batch, workers int }{
+	{0, 1, 4},
+	{0, 32, 1},
+	{1, 1, 8},
+	{1, 4, 8},
+	{3, 1, 8},   // trials < workers, scalar chunks
+	{5, 32, 4},  // trials < batch: one ragged chunk
+	{7, 2, 3},   // ragged tail
+	{64, 32, 2}, // exact chunks
+	{100, 7, 16},
+	{257, 32, 5},
+}
+
+// TestStealEstimateMatchesStaticSplit is the work-stealing scheduler's
+// acceptance gate: for every pool shape — trials below the worker count
+// and the zero-trial edge of forEachWorker included — the stolen
+// Estimate is bit-identical to the legacy static split's, and every
+// trial executes exactly once.
+func TestStealEstimateMatchesStaticSplit(t *testing.T) {
+	for _, shape := range schedulerShapes {
+		shape := shape
+		t.Run(fmt.Sprintf("t%d_b%d_w%d", shape.trials, shape.batch, shape.workers), func(t *testing.T) {
+			body := func(_ struct{}, lo, hi int, out []bool) {
+				for i := lo; i < hi; i++ {
+					out[i-lo] = trialOutcome(i)
+				}
+			}
+			newState := func() struct{} { return struct{}{} }
+			want := runBatchedWorkers(shape.trials, shape.batch, shape.workers, newState, body)
+
+			ran := make([]atomic.Int32, shape.trials)
+			got := runSteal(shape.trials, shape.batch, shape.workers, newState,
+				func(s struct{}, lo, hi int, out []bool) {
+					for i := lo; i < hi; i++ {
+						ran[i].Add(1)
+					}
+					body(s, lo, hi, out)
+				})
+			if got != want {
+				t.Fatalf("steal %+v != static %+v", got, want)
+			}
+			for i := range ran {
+				if n := ran[i].Load(); n != 1 {
+					t.Fatalf("trial %d executed %d times", i, n)
+				}
+			}
+		})
+	}
+}
+
+// TestStealMeanTrialOrderDeterminism pins the Mean merge contract: the
+// stolen mean and standard error are bitwise identical to the static
+// split at one worker (the committed-golden configuration) for every
+// pool shape — i.e. the float accumulation order is the fixed trial
+// order no matter how many workers steal.
+func TestStealMeanTrialOrderDeterminism(t *testing.T) {
+	body := func(_ struct{}, lo, hi int, out []float64) {
+		for i := lo; i < hi; i++ {
+			out[i-lo] = trialValue(i)
+		}
+	}
+	newState := func() struct{} { return struct{}{} }
+	for _, shape := range schedulerShapes {
+		if shape.trials == 0 {
+			continue // NaN/NaN on both sides; compared below
+		}
+		wantMean, wantErr := meanBatchedWorkers(shape.trials, shape.batch, 1, newState, body)
+		gotMean, gotErr := meanSteal(shape.trials, shape.batch, shape.workers, newState, body)
+		if math.Float64bits(gotMean) != math.Float64bits(wantMean) ||
+			math.Float64bits(gotErr) != math.Float64bits(wantErr) {
+			t.Fatalf("shape %+v: steal mean (%v, %v) != one-worker static (%v, %v)",
+				shape, gotMean, gotErr, wantMean, wantErr)
+		}
+	}
+	// Zero trials: NaN mean, zero stderr, no body calls — same as static.
+	mean, stderr := meanSteal(0, 4, 3, newState, body)
+	if !math.IsNaN(mean) || stderr != 0 {
+		t.Fatalf("zero-trial mean = (%v, %v), want (NaN, 0)", mean, stderr)
+	}
+}
+
+// flakyState fails every chunk attempt while the shared failure budget
+// lasts, then runs clean; Close counts so the test can assert failed
+// states are actually released before their replacements are built.
+type flakyState struct {
+	failures *atomic.Int32 // remaining attempts to fail
+	closed   *atomic.Int32
+}
+
+func (s flakyState) Close() error {
+	s.closed.Add(1)
+	return nil
+}
+
+// TestStealRequeuesFailedChunk pins the requeue contract: a chunk whose
+// body fails is retried on a fresh state, the sweep completes with every
+// trial counted exactly once, and the failed state was closed.
+func TestStealRequeuesFailedChunk(t *testing.T) {
+	var failures, closed, built atomic.Int32
+	failures.Store(2) // two attempts die (possibly on different chunks)
+	newState := func() flakyState {
+		built.Add(1)
+		return flakyState{failures: &failures, closed: &closed}
+	}
+	trials, batch, workers := 40, 4, 3
+	want := runBatchedWorkers(trials, batch, workers, func() struct{} { return struct{}{} },
+		func(_ struct{}, lo, hi int, out []bool) {
+			for i := lo; i < hi; i++ {
+				out[i-lo] = trialOutcome(i)
+			}
+		})
+	ran := make([]atomic.Int32, trials)
+	got := runSteal(trials, batch, workers, newState, func(s flakyState, lo, hi int, out []bool) {
+		if s.failures.Add(-1) >= 0 {
+			Fail(errors.New("substrate failure"))
+		}
+		for i := lo; i < hi; i++ {
+			ran[i].Add(1)
+			out[i-lo] = trialOutcome(i)
+		}
+	})
+	if got != want {
+		t.Fatalf("estimate after requeue %+v != static %+v", got, want)
+	}
+	for i := range ran {
+		if n := ran[i].Load(); n != 1 {
+			t.Fatalf("trial %d completed %d times", i, n)
+		}
+	}
+	if closed.Load() < 2 {
+		t.Fatalf("%d states closed, want >= 2 (one per failed attempt)", closed.Load())
+	}
+	if built.Load() != 3+2 {
+		t.Fatalf("%d states built, want 5 (3 workers + a replacement per failed attempt)", built.Load())
+	}
+}
+
+// TestStealPermanentFailurePanics pins the retry bound: a chunk that
+// fails on every fresh state aborts the sweep by re-raising the original
+// panic value after maxChunkAttempts attempts — it neither spins forever
+// nor silently drops trials.
+func TestStealPermanentFailurePanics(t *testing.T) {
+	sentinel := errors.New("permanently broken")
+	var attempts atomic.Int32
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("permanently failing chunk did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, sentinel) {
+			t.Fatalf("panic value %v, want the original failure", r)
+		}
+		// The failing chunk burned exactly its attempt budget; other
+		// chunks may or may not have run, but none more than the budget.
+		if n := attempts.Load(); n < maxChunkAttempts {
+			t.Fatalf("%d attempts before permanent failure, want >= %d", n, maxChunkAttempts)
+		}
+	}()
+	runSteal(8, 4, 2, func() struct{} { return struct{}{} },
+		func(_ struct{}, lo, hi int, out []bool) {
+			if lo == 0 {
+				attempts.Add(1)
+				Fail(sentinel)
+			}
+			for i := lo; i < hi; i++ {
+				out[i-lo] = trialOutcome(i)
+			}
+		})
+}
+
+// TestExecutorStealMatrix runs the same differential through the public
+// Executor surface — Batch/Shards field combinations included — so the
+// wiring from Executor.Run/Mean down to the stealing cores is covered,
+// not just the cores themselves.
+func TestExecutorStealMatrix(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	for _, trials := range []int{0, 1, 5, 97} {
+		for _, batch := range []int{0, 1, 8} {
+			est := Executor[struct{}]{Trials: trials, Batch: batch}.
+				Run(Scalar(func(_ struct{}, trial int) bool { return trialOutcome(trial) }))
+			want := runBatchedWorkers(trials, batch, procs,
+				func() struct{} { return struct{}{} },
+				Scalar(func(_ struct{}, trial int) bool { return trialOutcome(trial) }))
+			if est != want {
+				t.Fatalf("trials=%d batch=%d: executor %+v != static %+v", trials, batch, est, want)
+			}
+			// Shard-group pool sizing must not change the estimate either.
+			est2 := Executor[struct{}]{Trials: trials, Batch: batch, Shards: 2}.
+				Run(Scalar(func(_ struct{}, trial int) bool { return trialOutcome(trial) }))
+			if est2 != want {
+				t.Fatalf("trials=%d batch=%d shards=2: %+v != %+v", trials, batch, est2, want)
+			}
+		}
+	}
+}

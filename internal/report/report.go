@@ -163,10 +163,17 @@ type Config struct {
 	// NewSharded, when set, builds the sharded executors the trial loops
 	// use instead of the default in-process one — the CLI injects the
 	// loopback-TCP transport and the shard-worker process pool through
-	// it (`rlnc run -transport ...`). A provider may refuse (a worker
-	// pool serves one executor at a time); the trial loop then falls
-	// back to a plain batch, which the sharding contract keeps
-	// byte-identical. Executors are Closed when their worker retires.
+	// it (`rlnc run -transport ...`, spawned loopback workers or a
+	// `-control` multi-host fleet). A provider may refuse (a worker pool
+	// serves one executor at a time); the trial loop then falls back to
+	// a plain batch, which the sharding contract keeps byte-identical.
+	// Providers are also the recovery path: when a chunk fails because a
+	// worker process died, the Monte-Carlo scheduler closes the chunk's
+	// executor and calls the provider again, which builds from the
+	// pool's surviving workers (or refuses, degrading to the local
+	// batch) — so trial sweeps ride out mid-run worker deaths with
+	// unchanged output bytes. Executors are Closed when their worker
+	// retires.
 	NewSharded func(plan *local.Plan, width, shards int) (*local.Sharded, error)
 }
 

@@ -172,9 +172,15 @@ type (
 	// WorkerPool is a fixed set of shard-worker processes backing remote
 	// sharded executors (Plan.NewShardedRemote); RemoteAlgorithm is the
 	// portability hook an algorithm implements to cross the process
-	// boundary.
+	// boundary. Workers register with a versioned hello and heartbeat on
+	// the control stream; a dead worker is excluded from the next
+	// NewShardedRemote, so Monte-Carlo sweeps retry onto the survivors.
 	WorkerPool      = local.WorkerPool
 	RemoteAlgorithm = local.RemoteAlgorithm
+	// ServeOptions configures a serving shard worker for multi-host
+	// deployment: data-listener bind and advertise addresses, heartbeat
+	// period, and the die-after-rounds chaos switch used by fault tests.
+	ServeOptions = local.ServeOptions
 	// ResetProcess is the reset-and-reuse extension of WireProcess:
 	// engines pool the per-(node, lane) process table across trials of
 	// one algorithm when its processes implement it.
@@ -208,9 +214,14 @@ var (
 	StreamLink              = local.StreamLink
 	NewTCPLoopback          = local.NewTCPLoopback
 	ServeShard              = local.ServeShard
+	ServeShardOpts          = local.ServeShardOpts
 	NewWorkerPool           = local.NewWorkerPool
 	NewWorkerConn           = local.NewWorkerConn
 	RegisterRemoteAlgorithm = local.RegisterRemoteAlgorithm
+	// DialRetry dials with bounded exponential backoff — the multi-host
+	// helper for control and data-link dials, where start order between
+	// orchestrator and workers is deliberately unconstrained.
+	DialRetry = local.DialRetry
 	// FullInfo turns a radius-t view algorithm into a t-round
 	// message-passing algorithm (§2.1.1 simulation).
 	FullInfo = local.FullInfo
