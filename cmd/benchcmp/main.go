@@ -8,6 +8,13 @@
 //
 // Benchmarks named on the command line must be present in both files;
 // any other benchmark is reported for information but never gates.
+//
+// With -md, benchcmp instead renders one result file as a markdown
+// table (fastest ns/op per benchmark, sorted by name) and exits — the
+// README's benchmark table is regenerated from the committed baseline
+// this way:
+//
+//	benchcmp -md BENCH_main.json
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 )
 
@@ -85,13 +93,38 @@ func parse(path string) (map[string]float64, error) {
 	return out, sc.Err()
 }
 
+// writeMarkdown renders one parsed result set as a markdown table on
+// stdout, sorted by benchmark name for stable diffs.
+func writeMarkdown(ns map[string]float64) {
+	names := make([]string, 0, len(ns))
+	for name := range ns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("| benchmark | ns/op |")
+	fmt.Println("|---|---:|")
+	for _, name := range names {
+		fmt.Printf("| %s | %.0f |\n", name, ns[name])
+	}
+}
+
 func main() {
 	oldPath := flag.String("old", "", "baseline benchmark JSON (required)")
 	newPath := flag.String("new", "", "candidate benchmark JSON (required)")
 	maxRegress := flag.Float64("max-regress", 0.10, "maximum tolerated time/op regression (fraction)")
+	mdPath := flag.String("md", "", "render this benchmark JSON as a markdown table and exit")
 	flag.Parse()
+	if *mdPath != "" {
+		ns, err := parse(*mdPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+			os.Exit(2)
+		}
+		writeMarkdown(ns)
+		return
+	}
 	if *oldPath == "" || *newPath == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp -old OLD.json -new NEW.json [-max-regress F] Benchmark...")
+		fmt.Fprintln(os.Stderr, "usage: benchcmp -old OLD.json -new NEW.json [-max-regress F] Benchmark... | benchcmp -md RESULTS.json")
 		os.Exit(2)
 	}
 	oldNs, err := parse(*oldPath)

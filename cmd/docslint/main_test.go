@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSlug(t *testing.T) {
+	for heading, want := range map[string]string{
+		"Quick start":             "quick-start",
+		"The `rlnc serve` daemon": "the-rlnc-serve-daemon",
+		"E1–E17 in one line":      "e1e17-in-one-line",
+		"HTTP API":                "http-api",
+	} {
+		if got := slug(heading); got != want {
+			t.Errorf("slug(%q) = %q, want %q", heading, got, want)
+		}
+	}
+}
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	writeDoc(t, dir, "other.md", "# Other Title\n\nbody\n")
+	doc := writeDoc(t, dir, "doc.md", strings.Join([]string{
+		"# Title",
+		"",
+		"Good: [other](other.md), [sec](other.md#other-title),",
+		"[self](#title), [web](https://example.com/x).",
+		"",
+		"```",
+		"[not a link](missing-in-fence.md)",
+		"```",
+		"",
+		"Bad: [gone](missing.md), [noanchor](#nope),",
+		"[badfrag](other.md#absent).",
+		"",
+	}, "\n"))
+	problems, err := checkFile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 3 {
+		t.Fatalf("found %d problems, want 3:\n%s", len(problems), strings.Join(problems, "\n"))
+	}
+	for i, want := range []string{"missing.md", "#nope", "#absent"} {
+		if !strings.Contains(problems[i], want) {
+			t.Errorf("problem %d %q does not mention %q", i, problems[i], want)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 //	rlnc run all            [-quick] [-seed N] [-shards N] [-transport T]
 //	rlnc graph -family cycle -n 12
 //	rlnc sim -algo cv -n 64 [-seed N]
+//	rlnc serve -listen HOST:PORT [-store DIR] [-control HOST:PORT -shards N]
 //	rlnc shard-worker -connect HOST:PORT [-listen ADDR] [-advertise ADDR]
 //	                  [-heartbeat D] [-connect-timeout D]
 //
@@ -101,12 +102,30 @@
 // executor built from the survivors — output bytes are unchanged, per
 // the sharding contract. When no workers survive, trial chunks fall
 // back to in-process execution, still byte-identical.
+//
+// # The serve control plane
+//
+// `rlnc serve` turns the binary into a long-lived experiment daemon: an
+// HTTP+JSON API (internal/serve) that accepts experiment and algorithm
+// jobs, executes them on the same Monte-Carlo machinery as `rlnc run`,
+// streams per-run progress as Server-Sent Events, and archives every
+// finished table in a content-addressed run store under -store. Run IDs
+// hash the job's canonical configuration, so resubmitting an identical
+// job — however the JSON is spelled — is a cache hit served from the
+// store without recompute. With -control and -shards the daemon fronts
+// a multi-host shard-worker fleet: jobs submitted over HTTP execute
+// across externally started `rlnc shard-worker` processes, exactly as
+// `rlnc run -transport tcp -control` does for one run. See
+// docs/OPERATIONS.md for the API reference and deployment walkthroughs,
+// docs/ARCHITECTURE.md for where the daemon sits on the execution
+// stack.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"strings"
@@ -120,6 +139,7 @@ import (
 	"rlnc/internal/local"
 	"rlnc/internal/localrand"
 	"rlnc/internal/report"
+	"rlnc/internal/serve"
 )
 
 func main() {
@@ -137,6 +157,8 @@ func main() {
 		err = cmdGraph(os.Args[2:])
 	case "sim":
 		err = cmdSim(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "shard-worker":
 		err = cmdShardWorker(os.Args[2:])
 	case "help", "-h", "--help":
@@ -163,6 +185,9 @@ commands:
                                 -control ADDR for multi-host workers)
   graph -family F -n N         describe a graph family instance
   sim -algo A -n N             run a construction algorithm on a ring
+  serve -listen ADDR           HTTP control plane with a content-addressed
+                               run store (-store DIR; -control ADDR
+                               -shards N to front a worker fleet)
   shard-worker -connect ADDR   host one shard for a tcp-transport run
                                (-listen/-advertise for multi-host)
 
@@ -266,7 +291,7 @@ func cmdRun(args []string) error {
 	}
 	failed := 0
 	for _, e := range exps {
-		fmt.Printf("=== %s — %s\n    reproduces %s\n\n", e.ID(), e.Title(), e.PaperRef())
+		fmt.Print(report.Header(e))
 		res, err := e.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID(), err)
@@ -429,34 +454,15 @@ func startWorkerProcesses(n int) (pool *local.WorkerPool, stop func(), err error
 
 func cmdGraph(args []string) error {
 	fs := flag.NewFlagSet("graph", flag.ExitOnError)
-	family := fs.String("family", "cycle", "cycle|path|complete|star|grid|torus|tree|hypercube|petersen")
+	family := fs.String("family", "cycle", strings.Join(graph.Families(), "|"))
 	n := fs.Int("n", 12, "size parameter")
 	dot := fs.Bool("dot", false, "emit Graphviz DOT")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var g *graph.Graph
-	switch *family {
-	case "cycle":
-		g = graph.Cycle(*n)
-	case "path":
-		g = graph.Path(*n)
-	case "complete":
-		g = graph.Complete(*n)
-	case "star":
-		g = graph.Star(*n)
-	case "grid":
-		g = graph.Grid(*n, *n)
-	case "torus":
-		g = graph.Torus(*n, *n)
-	case "tree":
-		g = graph.CompleteTree(2, *n)
-	case "hypercube":
-		g = graph.Hypercube(*n)
-	case "petersen":
-		g = graph.Petersen()
-	default:
-		return fmt.Errorf("graph: unknown family %q", *family)
+	g, err := graph.Family(*family, *n)
+	if err != nil {
+		return fmt.Errorf("graph: %w", err)
 	}
 	fmt.Printf("%s  diameter=%d connected=%v\n", g, g.Diameter(), g.Connected())
 	if *dot {
@@ -521,4 +527,66 @@ func cmdSim(args []string) error {
 		}
 	}
 	return nil
+}
+
+// cmdServe hosts the experiment control plane: an HTTP+JSON daemon
+// accepting jobs against the experiment and algorithm registries,
+// executing them through the shared Monte-Carlo machinery, and caching
+// every finished table in the content-addressed run store under -store.
+// With -control and -shards, the daemon first assembles a multi-host
+// shard-worker fleet (externally started `rlnc shard-worker -connect`
+// processes) and routes every job's sharded trial loops through it.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7080", "HTTP listen address HOST:PORT")
+	storeDir := fs.String("store", "runstore", "run-store directory (created if missing)")
+	control := fs.String("control", "", "listen on this address for `rlnc shard-worker -connect` registrations and run jobs on the fleet (requires -shards)")
+	shards := fs.Int("shards", 0, "with -control: fleet size to await before serving")
+	maxQueue := fs.Int("max-queue", 64, "maximum accepted-but-unexecuted runs before submissions get 503")
+	maxTrials := fs.Int("max-trials", 0, "maximum trials an algorithm job may request (0: default 100000)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*control != "") != (*shards > 0) {
+		return fmt.Errorf("serve: -control and -shards must be set together")
+	}
+	st, err := serve.OpenStore(*storeDir)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	opts := serve.Options{
+		Store:    st,
+		MaxQueue: *maxQueue,
+		Limits:   serve.Limits{MaxTrials: *maxTrials},
+		Logf: func(format string, fargs ...any) {
+			fmt.Fprintf(os.Stderr, "rlnc serve: "+format+"\n", fargs...)
+		},
+	}
+	if *control != "" {
+		if *shards < 2 {
+			return fmt.Errorf("serve: -shards must be at least 2 with -control")
+		}
+		pool, stop, err := awaitWorkerFleet(*control, *shards)
+		if err != nil {
+			return fmt.Errorf("serve: start shard workers: %w", err)
+		}
+		defer stop()
+		opts.NewSharded = func(plan *local.Plan, width, shards int) (*local.Sharded, error) {
+			// As in cmdRun's tcp transport: the pool sizes the executor from
+			// its surviving workers, so fleet deaths degrade instead of
+			// erroring (see the package comment on multi-host deployment).
+			return plan.NewShardedRemote(width, pool)
+		}
+	}
+	srv, err := serve.NewServer(opts)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "rlnc serve: listening on http://%s (run store %s)\n", ln.Addr(), st.Dir())
+	return http.Serve(ln, srv)
 }

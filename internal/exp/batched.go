@@ -139,7 +139,7 @@ func (s *trialBatch) decisions(in *lang.Instance, ys [][][]byte) []*lang.Decisio
 // worker's executor via trialBatch.SetFault. Message constructions then
 // run on sharded engines with byte-identical per-trial outputs.
 func executor(trials int, plan *local.Plan, cfg report.Config) mc.Executor[*trialBatch] {
-	x := mc.Executor[*trialBatch]{Trials: trials, Batch: trialBatchWidth, Fault: cfg.Fault}
+	x := mc.Executor[*trialBatch]{Trials: trials, Batch: trialBatchWidth, Fault: cfg.Fault, Progress: cfg.Progress}
 	if cfg.Shards > 1 {
 		x.Shards = cfg.Shards
 		x.NewState = newTrialBatch(plan, cfg.Shards, cfg.NewSharded)

@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"fmt"
+
+	"rlnc/internal/report"
+)
+
+// This file is the runnable-by-key surface of the experiment suite: the
+// serve control plane (internal/serve) validates and executes submitted
+// experiment jobs through it, so a job names an experiment exactly the
+// way `rlnc run` does — by its registry ID — and runs through the same
+// report.Config plumbing (quick mode, seed, shards, fault plan,
+// progress hook) as the CLI.
+
+// ByID looks up one experiment by its registry key (case-insensitive),
+// forcing this package's init-time registrations along the way — unlike
+// report.ByID, a caller needs no side-effect import to see the full
+// suite.
+func ByID(id string) (report.Experiment, bool) { return report.ByID(id) }
+
+// Run executes the experiment registered under id with the given
+// configuration and returns its result. Unknown IDs error before any
+// work happens, which is the validation the serve layer's job intake
+// relies on.
+func Run(id string, cfg report.Config) (*report.Result, error) {
+	e, ok := report.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q", id)
+	}
+	return e.Run(cfg)
+}

@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// familyBuilders maps the graph-family names the CLI and the serve
+// control plane accept onto their generators. Families here take one
+// size parameter n; two-parameter generators (Grid, Torus) are exposed
+// as their square n×n instances, matching `rlnc graph`'s historical
+// behavior, and Petersen ignores n.
+var familyBuilders = map[string]func(n int) *Graph{
+	"cycle":     Cycle,
+	"path":      Path,
+	"complete":  Complete,
+	"star":      Star,
+	"grid":      func(n int) *Graph { return Grid(n, n) },
+	"torus":     func(n int) *Graph { return Torus(n, n) },
+	"tree":      func(n int) *Graph { return CompleteTree(2, n) },
+	"hypercube": Hypercube,
+	"petersen":  func(int) *Graph { return Petersen() },
+}
+
+// Families returns the sorted family names Family accepts — the
+// vocabulary `rlnc graph -family` and the serve layer's job validation
+// share.
+func Families() []string {
+	names := make([]string, 0, len(familyBuilders))
+	for name := range familyBuilders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Family builds the named graph family at size n: the single lookup
+// behind `rlnc graph -family` and `POST /v1/runs` algorithm jobs, so
+// the CLI and the control plane cannot drift on what a family name
+// means. Unknown names error; size validity is the generator's business
+// (generators panic on nonsensical sizes, which job validation screens
+// beforehand with its own bounds).
+func Family(name string, n int) (*Graph, error) {
+	build, ok := familyBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("graph: unknown family %q (have %v)", name, Families())
+	}
+	return build(n), nil
+}

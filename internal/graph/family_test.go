@@ -1,0 +1,39 @@
+package graph
+
+import "testing"
+
+// TestFamilyLookup pins the family registry: every advertised name
+// builds, the sizes round-trip sensibly, and unknown names error
+// instead of panicking — this is the validation surface POST /v1/runs
+// leans on.
+func TestFamilyLookup(t *testing.T) {
+	for _, name := range Families() {
+		n := 5
+		g, err := Family(name, n)
+		if err != nil {
+			t.Fatalf("family %s: %v", name, err)
+		}
+		if g.N() < 1 {
+			t.Fatalf("family %s built an empty graph", name)
+		}
+	}
+	if _, err := Family("nope", 5); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	// The two-parameter families build their square instances.
+	g, err := Family("grid", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 16 {
+		t.Fatalf("grid 4 has %d nodes, want 16", g.N())
+	}
+	// Petersen ignores n.
+	p, err := Family("petersen", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 10 {
+		t.Fatalf("petersen has %d nodes, want 10", p.N())
+	}
+}

@@ -89,6 +89,16 @@ func remoteAlgoFor(key string, params []int64) (MessageAlgorithm, error) {
 	return b.(func([]int64) (MessageAlgorithm, error))(params)
 }
 
+// BuildRemoteAlgorithm reconstructs the algorithm registered under key
+// from its flat parameters — the same lookup a shard-worker process
+// performs for a shipped job, exported so the serve control plane can
+// validate and execute `POST /v1/runs` algorithm jobs against the
+// identical registry. Unknown keys and parameter-shape mismatches
+// error.
+func BuildRemoteAlgorithm(key string, params []int64) (MessageAlgorithm, error) {
+	return remoteAlgoFor(key, params)
+}
+
 // RegisteredRemoteAlgorithms returns the sorted registry keys this
 // binary can reconstruct — the capability list a worker advertises in
 // its hello.

@@ -48,6 +48,15 @@ type Executor[S any] struct {
 	// nil yields the zero S. States implementing io.Closer are closed
 	// when their worker retires.
 	NewState func() S
+	// Progress, when non-nil, observes the sweep's trial-chunk schedule:
+	// it is called once with (0, total) before the first chunk runs —
+	// total being the sweep's chunk count — and once per completed chunk
+	// with the cumulative completed count. Failed attempts report nothing
+	// (their requeued rerun does, on success). Calls after the first may
+	// arrive concurrently from worker goroutines, so the callback must be
+	// safe for concurrent use; it must not panic. This is the hook the
+	// serve layer's per-run SSE progress events ride on.
+	Progress func(done, total int)
 }
 
 // faultSetter is what a worker state must expose for Executor.Fault to
@@ -103,7 +112,7 @@ func (e Executor[S]) stateFn() func() S {
 // retried on a freshly built state before the failure is considered
 // permanent. Estimates stay bit-identical to the legacy static split.
 func (e Executor[S]) Run(f func(s S, lo, hi int, out []bool)) Estimate {
-	return runSteal(e.Trials, e.batch(), e.pool(), e.stateFn(), f)
+	return runSteal(e.Trials, e.batch(), e.pool(), e.stateFn(), e.Progress, f)
 }
 
 // Mean executes the executor's trials of a real-valued body and returns
@@ -114,7 +123,7 @@ func (e Executor[S]) Run(f func(s S, lo, hi int, out []bool)) Estimate {
 // size and scheduling. Wrap a per-trial observable with ScalarMean when
 // no vectorization is wanted.
 func (e Executor[S]) Mean(f func(s S, lo, hi int, out []float64)) (mean, stderr float64) {
-	return meanSteal(e.Trials, e.batch(), e.pool(), e.stateFn(), f)
+	return meanSteal(e.Trials, e.batch(), e.pool(), e.stateFn(), e.Progress, f)
 }
 
 // Scalar adapts a per-trial predicate to Run's vector body.

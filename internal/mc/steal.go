@@ -81,13 +81,21 @@ func runChunk(body func()) (failure *chunkFailure) {
 // built, and the chunk is requeued until maxChunkAttempts is exhausted,
 // at which point the sweep drains and the original panic value is
 // re-raised.
-func stealWorkers[S any](trials, batch, workers int, newState func() S, body func(w int, s S, lo, hi int)) {
+//
+// progress, when non-nil, observes the schedule: (0, nchunks) once
+// before the first chunk is handed out, then the cumulative completed
+// count after each clean chunk — the latter concurrently from worker
+// goroutines (Executor.Progress documents the contract).
+func stealWorkers[S any](trials, batch, workers int, newState func() S, progress func(done, total int), body func(w int, s S, lo, hi int)) {
 	if batch < 1 {
 		batch = 1
 	}
 	nchunks := (trials + batch - 1) / batch
 	if nchunks == 0 {
 		return
+	}
+	if progress != nil {
+		progress(0, nchunks)
 	}
 	if workers > nchunks {
 		workers = nchunks
@@ -150,7 +158,11 @@ func stealWorkers[S any](trials, batch, workers int, newState func() S, body fun
 					queue <- stealChunk{lo: c.lo, hi: c.hi, attempt: c.attempt + 1}
 					continue
 				}
-				if pending.Add(-1) == 0 {
+				left := pending.Add(-1)
+				if progress != nil {
+					progress(nchunks-int(left), nchunks)
+				}
+				if left == 0 {
 					finish()
 					return
 				}
@@ -168,13 +180,13 @@ func stealWorkers[S any](trials, batch, workers int, newState func() S, body fun
 // over the stealing scheduler. A chunk's successes are counted only
 // after its body returns clean — a failed attempt contributes nothing,
 // and its requeued rerun recounts from a zeroed row.
-func runSteal[S any](trials, batch, workers int, newState func() S, f func(s S, lo, hi int, out []bool)) Estimate {
+func runSteal[S any](trials, batch, workers int, newState func() S, progress func(done, total int), f func(s S, lo, hi int, out []bool)) Estimate {
 	if batch < 1 {
 		batch = 1
 	}
 	counts := make([]int, workers)
 	outs := make([][]bool, workers)
-	stealWorkers(trials, batch, workers, newState, func(w int, s S, lo, hi int) {
+	stealWorkers(trials, batch, workers, newState, progress, func(w int, s S, lo, hi int) {
 		if outs[w] == nil {
 			outs[w] = make([]bool, batch)
 		}
@@ -201,12 +213,12 @@ func runSteal[S any](trials, batch, workers int, newState func() S, f func(s S, 
 // function of the trial count — independent of pool size, scheduling,
 // and stealing — and identical to the static split's single-worker
 // order, which is what the committed GOMAXPROCS=1 goldens pin.
-func meanSteal[S any](trials, batch, workers int, newState func() S, f func(s S, lo, hi int, out []float64)) (mean, stderr float64) {
+func meanSteal[S any](trials, batch, workers int, newState func() S, progress func(done, total int), f func(s S, lo, hi int, out []float64)) (mean, stderr float64) {
 	if batch < 1 {
 		batch = 1
 	}
 	vals := make([]float64, trials)
-	stealWorkers(trials, batch, workers, newState, func(w int, s S, lo, hi int) {
+	stealWorkers(trials, batch, workers, newState, progress, func(w int, s S, lo, hi int) {
 		chunk := vals[lo:hi]
 		clear(chunk)
 		f(s, lo, hi, chunk)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -59,7 +60,7 @@ func TestStealEstimateMatchesStaticSplit(t *testing.T) {
 			want := runBatchedWorkers(shape.trials, shape.batch, shape.workers, newState, body)
 
 			ran := make([]atomic.Int32, shape.trials)
-			got := runSteal(shape.trials, shape.batch, shape.workers, newState,
+			got := runSteal(shape.trials, shape.batch, shape.workers, newState, nil,
 				func(s struct{}, lo, hi int, out []bool) {
 					for i := lo; i < hi; i++ {
 						ran[i].Add(1)
@@ -95,7 +96,7 @@ func TestStealMeanTrialOrderDeterminism(t *testing.T) {
 			continue // NaN/NaN on both sides; compared below
 		}
 		wantMean, wantErr := meanBatchedWorkers(shape.trials, shape.batch, 1, newState, body)
-		gotMean, gotErr := meanSteal(shape.trials, shape.batch, shape.workers, newState, body)
+		gotMean, gotErr := meanSteal(shape.trials, shape.batch, shape.workers, newState, nil, body)
 		if math.Float64bits(gotMean) != math.Float64bits(wantMean) ||
 			math.Float64bits(gotErr) != math.Float64bits(wantErr) {
 			t.Fatalf("shape %+v: steal mean (%v, %v) != one-worker static (%v, %v)",
@@ -103,7 +104,7 @@ func TestStealMeanTrialOrderDeterminism(t *testing.T) {
 		}
 	}
 	// Zero trials: NaN mean, zero stderr, no body calls — same as static.
-	mean, stderr := meanSteal(0, 4, 3, newState, body)
+	mean, stderr := meanSteal(0, 4, 3, newState, nil, body)
 	if !math.IsNaN(mean) || stderr != 0 {
 		t.Fatalf("zero-trial mean = (%v, %v), want (NaN, 0)", mean, stderr)
 	}
@@ -140,7 +141,7 @@ func TestStealRequeuesFailedChunk(t *testing.T) {
 			}
 		})
 	ran := make([]atomic.Int32, trials)
-	got := runSteal(trials, batch, workers, newState, func(s flakyState, lo, hi int, out []bool) {
+	got := runSteal(trials, batch, workers, newState, nil, func(s flakyState, lo, hi int, out []bool) {
 		if s.failures.Add(-1) >= 0 {
 			Fail(errors.New("substrate failure"))
 		}
@@ -187,7 +188,7 @@ func TestStealPermanentFailurePanics(t *testing.T) {
 			t.Fatalf("%d attempts before permanent failure, want >= %d", n, maxChunkAttempts)
 		}
 	}()
-	runSteal(8, 4, 2, func() struct{} { return struct{}{} },
+	runSteal(8, 4, 2, func() struct{} { return struct{}{} }, nil,
 		func(_ struct{}, lo, hi int, out []bool) {
 			if lo == 0 {
 				attempts.Add(1)
@@ -197,6 +198,63 @@ func TestStealPermanentFailurePanics(t *testing.T) {
 				out[i-lo] = trialOutcome(i)
 			}
 		})
+}
+
+// TestStealProgressReports pins the Progress hook contract: one leading
+// (0, total) call before any chunk completes, then exactly one call per
+// completed chunk carrying a distinct cumulative count, so the full
+// event set is {0, 1, ..., total} — with requeued failures reporting
+// only on their eventually-clean rerun. The estimate itself must be
+// unchanged by observation.
+func TestStealProgressReports(t *testing.T) {
+	var mu sync.Mutex
+	var dones []int
+	total := -1
+	var failures atomic.Int32
+	failures.Store(2)
+	trials, batch, workers := 40, 4, 3
+	est := Executor[struct{}]{
+		Trials: trials, Batch: batch,
+		Progress: func(done, n int) {
+			mu.Lock()
+			defer mu.Unlock()
+			dones = append(dones, done)
+			total = n
+		},
+	}.Run(func(_ struct{}, lo, hi int, out []bool) {
+		if failures.Add(-1) >= 0 {
+			Fail(errors.New("substrate failure"))
+		}
+		for i := lo; i < hi; i++ {
+			out[i-lo] = trialOutcome(i)
+		}
+	})
+	want := runBatchedWorkers(trials, batch, workers, func() struct{} { return struct{}{} },
+		func(_ struct{}, lo, hi int, out []bool) {
+			for i := lo; i < hi; i++ {
+				out[i-lo] = trialOutcome(i)
+			}
+		})
+	if est != want {
+		t.Fatalf("observed estimate %+v != static %+v", est, want)
+	}
+	nchunks := (trials + batch - 1) / batch
+	if total != nchunks {
+		t.Fatalf("reported total %d, want %d", total, nchunks)
+	}
+	if len(dones) != nchunks+1 {
+		t.Fatalf("%d progress calls, want %d (leading zero + one per chunk)", len(dones), nchunks+1)
+	}
+	if dones[0] != 0 {
+		t.Fatalf("first progress call reported done=%d, want 0", dones[0])
+	}
+	seen := make(map[int]bool, len(dones))
+	for _, d := range dones {
+		if d < 0 || d > nchunks || seen[d] {
+			t.Fatalf("progress counts %v: want each of 0..%d exactly once", dones, nchunks)
+		}
+		seen[d] = true
+	}
 }
 
 // TestExecutorStealMatrix runs the same differential through the public

@@ -1,0 +1,124 @@
+package report
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the canonical-encoding core of the content-addressed run
+// store (internal/serve): a run's identity is the hash of its canonical
+// configuration, so "same config + same seed" resolves to the same run
+// ID on every host, across process restarts, and across field-order and
+// whitespace variations of the submitted JSON. Experiments are
+// deterministic functions of their canonical configuration — that is the
+// determinism-by-construction the whole repository pins with golden
+// tests — so a stored result table is exactly re-servable for any
+// resubmission that canonicalizes to the same bytes.
+//
+// The encoding is deliberately boring: one "key=value" line per field,
+// keys sorted, values rendered by a fixed, locale-free formatter, under
+// a versioned header. Anything that changes a run's output must appear
+// as a field; anything that cannot change the output (submission time,
+// client identity, HTTP framing) must not.
+
+// CanonVersion is the canonical-encoding version, baked into every
+// encoding's header line. Bump it whenever the experiment substrate
+// changes observable output for identical configurations (an engine
+// migration that legitimately moves table bytes, a changed default),
+// so stale stored tables miss instead of serving the old bytes.
+const CanonVersion = 1
+
+// Canon accumulates the canonical form of one run configuration as
+// key=value pairs. The zero value is ready to use; keys must be
+// non-empty, free of '=' and newlines, and unique — violations panic,
+// since they indicate a programming error in the caller's field
+// enumeration, not bad user input.
+type Canon struct {
+	pairs map[string]string
+}
+
+// put installs one rendered pair, enforcing key hygiene.
+func (c *Canon) put(key, val string) {
+	if key == "" || strings.ContainsAny(key, "=\n") {
+		panic(fmt.Sprintf("report: canonical key %q invalid", key))
+	}
+	if strings.Contains(val, "\n") {
+		panic(fmt.Sprintf("report: canonical value for %q contains a newline", key))
+	}
+	if c.pairs == nil {
+		c.pairs = make(map[string]string)
+	}
+	if _, dup := c.pairs[key]; dup {
+		panic(fmt.Sprintf("report: canonical key %q set twice", key))
+	}
+	c.pairs[key] = val
+}
+
+// PutString records a string field verbatim (it must not contain
+// newlines).
+func (c *Canon) PutString(key, v string) { c.put(key, v) }
+
+// PutInt records an integer field.
+func (c *Canon) PutInt(key string, v int64) { c.put(key, strconv.FormatInt(v, 10)) }
+
+// PutUint records an unsigned integer field.
+func (c *Canon) PutUint(key string, v uint64) { c.put(key, strconv.FormatUint(v, 10)) }
+
+// PutBool records a boolean field.
+func (c *Canon) PutBool(key string, v bool) { c.put(key, strconv.FormatBool(v)) }
+
+// PutFloat records a float field exactly: the value is rendered in
+// hexadecimal floating-point ('x', -1), which round-trips every float64
+// bit pattern — two configurations hash alike iff their floats are
+// bitwise equal, so no decimal-formatting ambiguity can alias two
+// different fault probabilities onto one run ID. NaN is rejected: a
+// NaN-bearing configuration has no meaningful identity.
+func (c *Canon) PutFloat(key string, v float64) {
+	if math.IsNaN(v) {
+		panic(fmt.Sprintf("report: canonical float %q is NaN", key))
+	}
+	c.put(key, strconv.FormatFloat(v, 'x', -1, 64))
+}
+
+// PutInts records an integer-slice field as a comma-joined list.
+func (c *Canon) PutInts(key string, vs []int64) {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.FormatInt(v, 10)
+	}
+	c.put(key, strings.Join(parts, ","))
+}
+
+// Encode renders the canonical byte form: the versioned header line
+// followed by every key=value pair in sorted key order, one per line.
+// Equal configurations encode to equal bytes regardless of Put order.
+func (c *Canon) Encode() []byte {
+	keys := make([]string, 0, len(c.pairs))
+	for k := range c.pairs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "rlnc-canon/%d\n", CanonVersion)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(c.pairs[k])
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// Hash returns the run ID of the canonical form: the hex SHA-256 of
+// Encode, truncated to 32 hex digits (128 bits — collision-free for any
+// conceivable run population, short enough for URLs and directory
+// names).
+func (c *Canon) Hash() string {
+	sum := sha256.Sum256(c.Encode())
+	return hex.EncodeToString(sum[:16])
+}

@@ -136,6 +136,28 @@ func (r *Result) Render(w io.Writer) {
 	}
 }
 
+// Header renders the experiment banner exactly as the CLI prints it
+// before a run: the ID/title line and the paper reference, followed by a
+// blank line. RunText composes it with the rendered result; the two are
+// shared by `rlnc run` and the serve layer so their output bytes cannot
+// diverge.
+func Header(e Experiment) string {
+	return fmt.Sprintf("=== %s — %s\n    reproduces %s\n\n", e.ID(), e.Title(), e.PaperRef())
+}
+
+// RunText renders one completed experiment run byte-identically to the
+// CLI: Header, the result's tables and checks, and the trailing blank
+// line `rlnc run` emits between experiments. The serve layer stores and
+// serves exactly these bytes, which is what lets an HTTP-fetched table
+// diff clean against the committed CLI goldens.
+func RunText(e Experiment, res *Result) []byte {
+	var b strings.Builder
+	b.WriteString(Header(e))
+	res.Render(&b)
+	b.WriteByte('\n')
+	return []byte(b.String())
+}
+
 // Config tunes an experiment run.
 type Config struct {
 	// Quick reduces trial counts and sweep sizes for CI and benchmarks.
@@ -175,6 +197,16 @@ type Config struct {
 	// unchanged output bytes. Executors are Closed when their worker
 	// retires.
 	NewSharded func(plan *local.Plan, width, shards int) (*local.Sharded, error)
+	// Progress, when set, observes every Monte-Carlo sweep the experiment
+	// runs: each sweep reports (0, total) once before its first trial
+	// chunk executes — total being that sweep's chunk count — and the
+	// cumulative completed-chunk count after each chunk (mc.Executor's
+	// Progress contract). An experiment typically runs many sweeps (one
+	// per table cell), so callers count the (0, total) events to number
+	// phases. Per-chunk calls arrive concurrently from trial workers; the
+	// callback must be safe for concurrent use and must not panic. The
+	// serve layer's SSE progress stream is this hook.
+	Progress func(done, total int)
 }
 
 // Experiment is one entry of the per-experiment index in DESIGN.md.

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// The run store is a content-addressed, flat-file archive of finished
+// runs: one directory per run ID holding the normalized job, its
+// canonical encoding, the rendered result table, and the run metadata.
+// Flat files rather than a database on purpose — the store's unit of
+// work is "write one immutable directory, rename it into place", which
+// needs no daemon-side locking, survives crashes (a half-written run is
+// a tmp directory that never got renamed, invisible to readers), and
+// lets operators inspect or rsync the archive with ordinary tools. A
+// run ID is the hash of the job's canonical configuration (see
+// internal/report's Canon), so the store doubles as the cache: a
+// resubmitted configuration resolves to an existing directory and is
+// served without recompute.
+//
+// Layout under the store root:
+//
+//	<root>/v1/<id[:2]>/<id>/meta.json   run metadata (RunMeta)
+//	<root>/v1/<id[:2]>/<id>/job.json    the normalized JobSpec
+//	<root>/v1/<id[:2]>/<id>/canon.txt   canonical encoding the ID hashes
+//	<root>/v1/<id[:2]>/<id>/table.txt   rendered result table, verbatim
+//
+// The two-hex-digit fan-out keeps directory listings shallow at millions
+// of stored runs. Only successful runs are stored: failures may be
+// transient (a dead worker fleet, a cancelled process) and must not
+// poison the cache.
+
+// storeVersion names the store layout; it appears as the first path
+// segment so a future incompatible layout can live alongside this one.
+const storeVersion = "v1"
+
+// RunMeta is the stored metadata of one run — everything about the run
+// except the table bytes themselves.
+type RunMeta struct {
+	// ID is the content-addressed run ID (the canonical-config hash).
+	ID string `json:"id"`
+	// Spec is the normalized job the ID addresses.
+	Spec JobSpec `json:"spec"`
+	// Status is "queued", "running", "done", or "error".
+	Status string `json:"status"`
+	// Error carries the failure message of an "error" run.
+	Error string `json:"error,omitempty"`
+	// ChecksPass reports whether every experiment check passed (always
+	// true for algorithm jobs, which carry no checks).
+	ChecksPass bool `json:"checksPass"`
+	// SubmittedAt, StartedAt, and FinishedAt stamp the run's lifecycle
+	// in UTC.
+	SubmittedAt time.Time `json:"submittedAt"`
+	StartedAt   time.Time `json:"startedAt,omitempty"`
+	FinishedAt  time.Time `json:"finishedAt,omitempty"`
+	// TableBytes is the size of the stored table.
+	TableBytes int `json:"tableBytes"`
+	// Cached reports that this response was served from the run store
+	// without recompute. Never persisted as true: it is set on the way
+	// out when a stored run answers a fresh submission.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// Store is the flat-file run archive rooted at one directory. Methods
+// are safe for concurrent use; cross-process safety comes from the
+// write-tmp-then-rename protocol, not locks.
+type Store struct {
+	root string
+}
+
+// OpenStore opens (creating if needed) a run store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("serve: store directory must not be empty")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, storeVersion), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: open store: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.root }
+
+// runDir maps a run ID to its directory.
+func (s *Store) runDir(id string) string {
+	return filepath.Join(s.root, storeVersion, id[:2], id)
+}
+
+// Get loads a stored run. The boolean reports whether the run exists; a
+// directory with unreadable or torn contents returns an error rather
+// than a miss, so corruption is surfaced instead of silently recomputed
+// over.
+func (s *Store) Get(id string) (meta RunMeta, table []byte, ok bool, err error) {
+	if !validRunID(id) {
+		return RunMeta{}, nil, false, fmt.Errorf("serve: malformed run id %q", id)
+	}
+	dir := s.runDir(id)
+	metaBytes, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return RunMeta{}, nil, false, nil
+	}
+	if err != nil {
+		return RunMeta{}, nil, false, fmt.Errorf("serve: store read %s: %w", id, err)
+	}
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return RunMeta{}, nil, false, fmt.Errorf("serve: store meta %s corrupt: %w", id, err)
+	}
+	table, err = os.ReadFile(filepath.Join(dir, "table.txt"))
+	if err != nil {
+		return RunMeta{}, nil, false, fmt.Errorf("serve: store table %s: %w", id, err)
+	}
+	if meta.TableBytes != len(table) {
+		return RunMeta{}, nil, false, fmt.Errorf("serve: store table %s torn: %d bytes, meta says %d",
+			id, len(table), meta.TableBytes)
+	}
+	return meta, table, true, nil
+}
+
+// Put archives a finished run atomically: the directory is assembled
+// under a tmp name and renamed into place, so readers never observe a
+// partial run. Losing a rename race to an identical run (two daemons
+// sharing a store) is not an error — content addressing makes the
+// winner's bytes equal by construction.
+func (s *Store) Put(meta RunMeta, canon, table []byte) error {
+	if !validRunID(meta.ID) {
+		return fmt.Errorf("serve: malformed run id %q", meta.ID)
+	}
+	if meta.Status != statusDone {
+		return fmt.Errorf("serve: refusing to store run %s with status %q", meta.ID, meta.Status)
+	}
+	meta.Cached = false
+	meta.TableBytes = len(table)
+	metaBytes, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: marshal meta: %w", err)
+	}
+	jobBytes, err := json.MarshalIndent(meta.Spec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: marshal job: %w", err)
+	}
+	final := s.runDir(meta.ID)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return fmt.Errorf("serve: store put: %w", err)
+	}
+	tmp, err := os.MkdirTemp(filepath.Dir(final), "tmp-"+meta.ID+"-")
+	if err != nil {
+		return fmt.Errorf("serve: store put: %w", err)
+	}
+	defer os.RemoveAll(tmp) // no-op after a successful rename
+	for name, data := range map[string][]byte{
+		"meta.json": metaBytes,
+		"job.json":  jobBytes,
+		"canon.txt": canon,
+		"table.txt": table,
+	} {
+		if err := os.WriteFile(filepath.Join(tmp, name), data, 0o644); err != nil {
+			return fmt.Errorf("serve: store put %s: %w", name, err)
+		}
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		if _, _, ok, getErr := s.Get(meta.ID); getErr == nil && ok {
+			return nil // lost the race to an identical run
+		}
+		return fmt.Errorf("serve: store put: %w", err)
+	}
+	return nil
+}
+
+// List returns the metadata of every stored run, sorted by finish time
+// (oldest first). Torn or foreign directories are skipped, not fatal:
+// one bad entry must not take down the listing.
+func (s *Store) List() ([]RunMeta, error) {
+	var out []RunMeta
+	base := filepath.Join(s.root, storeVersion)
+	fans, err := os.ReadDir(base)
+	if err != nil {
+		return nil, fmt.Errorf("serve: store list: %w", err)
+	}
+	for _, fan := range fans {
+		if !fan.IsDir() || len(fan.Name()) != 2 {
+			continue
+		}
+		runs, err := os.ReadDir(filepath.Join(base, fan.Name()))
+		if err != nil {
+			continue
+		}
+		for _, run := range runs {
+			if !run.IsDir() || !validRunID(run.Name()) {
+				continue
+			}
+			metaBytes, err := os.ReadFile(filepath.Join(base, fan.Name(), run.Name(), "meta.json"))
+			if err != nil {
+				continue
+			}
+			var meta RunMeta
+			if json.Unmarshal(metaBytes, &meta) != nil || meta.ID != run.Name() {
+				continue
+			}
+			out = append(out, meta)
+		}
+	}
+	// Oldest-finished first, ID as the deterministic tiebreak.
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].FinishedAt.Equal(out[j].FinishedAt) {
+			return out[i].FinishedAt.Before(out[j].FinishedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// validRunID reports whether id has the exact shape Canon.Hash emits:
+// 32 lowercase hex digits. Everything touching the filesystem goes
+// through this gate, so a request path can never become a directory
+// traversal.
+func validRunID(id string) bool {
+	if len(id) != 32 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

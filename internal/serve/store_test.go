@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// doneMeta builds a storable metadata record for tests.
+func doneMeta(id string) RunMeta {
+	return RunMeta{
+		ID:          id,
+		Spec:        JobSpec{Experiment: "E2", Quick: true, Seed: 7},
+		Status:      statusDone,
+		ChecksPass:  true,
+		SubmittedAt: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		FinishedAt:  time.Date(2026, 8, 8, 12, 0, 5, 0, time.UTC),
+	}
+}
+
+// testID fabricates a distinct valid run ID per suffix.
+func testID(suffix byte) string {
+	return strings.Repeat("0", 31) + string(suffix)
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := testID('a')
+	table := []byte("=== E2 — table\n")
+	canon := []byte("rlnc-canon/1\nkind=experiment\n")
+	if err := st.Put(doneMeta(id), canon, table); err != nil {
+		t.Fatal(err)
+	}
+	meta, got, ok, err := st.Get(id)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if string(got) != string(table) {
+		t.Fatalf("table round trip: got %q", got)
+	}
+	if meta.ID != id || meta.Status != statusDone || meta.TableBytes != len(table) {
+		t.Fatalf("meta round trip: %+v", meta)
+	}
+	if meta.Cached {
+		t.Fatal("Cached must never persist as true")
+	}
+	// A second Put of the same run (the shared-store rename race) is fine.
+	if err := st.Put(doneMeta(id), canon, table); err != nil {
+		t.Fatalf("idempotent Put: %v", err)
+	}
+}
+
+func TestStoreMissAndMalformedID(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := st.Get(testID('b')); err != nil || ok {
+		t.Fatalf("miss: ok=%v err=%v", ok, err)
+	}
+	for _, id := range []string{"", "short", strings.Repeat("Z", 32), "../../../../etc/passwd00000000000"[:32]} {
+		if _, _, _, err := st.Get(id); err == nil {
+			t.Fatalf("malformed id %q accepted", id)
+		}
+	}
+}
+
+func TestStoreRefusesUnfinishedRuns(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := doneMeta(testID('c'))
+	meta.Status = statusRunning
+	if err := st.Put(meta, nil, nil); err == nil {
+		t.Fatal("stored a running run")
+	}
+}
+
+func TestStoreDetectsTornTable(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := testID('d')
+	if err := st.Put(doneMeta(id), nil, []byte("full table bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(st.runDir(id), "table.txt"), []byte("trunc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := st.Get(id); err == nil {
+		t.Fatal("torn table read as a hit")
+	}
+}
+
+func TestStoreList(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stored out of finish order; List must sort oldest-finished first.
+	late := doneMeta(testID('f'))
+	late.FinishedAt = late.FinishedAt.Add(time.Hour)
+	for _, m := range []RunMeta{late, doneMeta(testID('e'))} {
+		if err := st.Put(m, nil, []byte("t")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != testID('e') || got[1].ID != testID('f') {
+		t.Fatalf("List order: %+v", got)
+	}
+}

@@ -36,7 +36,14 @@
 //     (decision verbs), and construct.Exec (construction runs) each give
 //     one options-struct entry point per verb over the engine shapes;
 //   - the experiment suite E1–E17 (see DESIGN.md §5 and EXPERIMENTS.md;
-//     E17 is the fault-injection degradation study).
+//     E17 is the fault-injection degradation study);
+//   - the serve control plane: a Server is a long-lived HTTP daemon
+//     (job intake, validation against the experiment/algorithm/family
+//     registries, one-at-a-time execution, SSE progress) over a
+//     content-addressed RunStore — run IDs hash the normalized job's
+//     canonical encoding, so identical configurations are answered from
+//     the store with zero recompute. `rlnc serve` hosts it; see
+//     docs/OPERATIONS.md for the HTTP API.
 //
 // See examples/ for runnable programs and cmd/rlnc for the CLI.
 package rlnc
@@ -55,6 +62,7 @@ import (
 	"rlnc/internal/orderinv"
 	"rlnc/internal/relax"
 	"rlnc/internal/report"
+	"rlnc/internal/serve"
 )
 
 // Network substrate.
@@ -330,3 +338,33 @@ func Experiments() []report.Experiment { return exp.All() }
 
 // ExperimentByID looks up one experiment (e.g. "E5").
 func ExperimentByID(id string) (report.Experiment, bool) { return report.ByID(id) }
+
+// The serve control plane (hosted by `rlnc serve`; HTTP API in
+// docs/OPERATIONS.md). Named Server/ServerOptions — not ServeOptions,
+// which is the shard-worker serving configuration above.
+type (
+	// Server is the long-lived experiment daemon: an http.Handler
+	// accepting jobs at POST /v1/runs, executing them one at a time on
+	// the Monte-Carlo harness, streaming SSE progress, and answering
+	// repeated configurations from the content-addressed run store.
+	Server = serve.Server
+	// ServerOptions configures a Server: the backing store, validation
+	// limits, queue depth, and the sharded-executor provider that routes
+	// jobs onto a worker fleet.
+	ServerOptions = serve.Options
+	// JobSpec is one submitted run configuration — an experiment by
+	// registry ID or an algorithm by key plus graph family — whose
+	// normalized canonical encoding hashes to the run ID.
+	JobSpec = serve.JobSpec
+	// RunStore is the flat-file content-addressed store of finished
+	// runs; RunMeta is one run's stored metadata.
+	RunStore = serve.Store
+	RunMeta  = serve.RunMeta
+)
+
+var (
+	// NewServer builds a Server over a store; OpenRunStore opens (or
+	// creates) a store rooted at a directory.
+	NewServer    = serve.NewServer
+	OpenRunStore = serve.OpenStore
+)
